@@ -1,0 +1,1 @@
+"""Benchmark harnesses: one per paper artefact plus ablations/extensions."""

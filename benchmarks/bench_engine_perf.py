@@ -1,0 +1,48 @@
+"""Engine throughput: reference vs fast implementation.
+
+The honest comparison the HPC guides demand: identical semantics (proved by
+the equivalence suite), so any speedup is pure implementation.  Reports
+games/second for one paper-sized tournament (50 seats, 40 rounds).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.strategy import Strategy
+from repro.game.stats import TournamentStats
+from repro.paths.distributions import SHORTER_PATHS
+from repro.paths.oracle import RandomPathOracle
+from repro.sim import make_engine
+
+ROUNDS = 40
+SEATS = 50
+GAMES = ROUNDS * SEATS
+
+
+def run_tournament(engine_name: str) -> TournamentStats:
+    rng = np.random.default_rng(0)
+    engine = make_engine(engine_name, 40, 10)
+    engine.set_strategies([Strategy.random(rng) for _ in range(40)])
+    participants = list(range(40)) + engine.selfish_ids(10)
+    oracle = RandomPathOracle(np.random.default_rng(1), SHORTER_PATHS)
+    stats = TournamentStats()
+    engine.reset_generation()
+    engine.run_tournament(participants, ROUNDS, oracle, stats, None, None)
+    return stats
+
+
+@pytest.mark.parametrize("engine_name", ["reference", "fast"])
+def test_engine_tournament_throughput(benchmark, engine_name):
+    stats = benchmark.pedantic(
+        run_tournament, args=(engine_name,), rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert stats.nn_originated + stats.csn_originated == GAMES
+    benchmark.extra_info["games_per_tournament"] = GAMES
+    benchmark.extra_info["games_per_second"] = GAMES / benchmark.stats["mean"]
+
+
+def test_engines_equal_output_on_this_workload():
+    """Guard: the two timed configurations do identical work."""
+    assert run_tournament("reference").to_dict() == run_tournament("fast").to_dict()

@@ -1,0 +1,110 @@
+"""Extension bench: second-hand reputation exchange (CORE/CONFIDANT-style).
+
+Gossip measurably widens each node's knowledge (more known subjects per
+table), but in this model it barely moves delivery: a source learns about a
+selfish node first-hand the first time its own packet dies there, and the
+watchdog alert already propagates upstream — first-hand knowledge saturates
+within a few rounds.  This is an honest negative result that supports the
+paper's first-hand-only design choice (and echoes ref [1]'s finding that
+second-hand information adds only marginal benefit).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.node import AlwaysForwardPlayer, ConstantlySelfishPlayer
+from repro.core.payoff import PayoffConfig
+from repro.game.stats import TournamentStats
+from repro.paths.distributions import SHORTER_PATHS
+from repro.paths.oracle import RandomPathOracle
+from repro.reputation.activity import ActivityClassifier
+from repro.reputation.exchange import ExchangeConfig
+from repro.reputation.trust import TrustTable
+from repro.tournament.runner import run_tournament
+from repro.utils.tables import format_table
+
+from benchmarks.conftest import emit_report
+
+N_NORMAL, N_CSN, ROUNDS = 16, 4, 40
+
+
+def build_players():
+    players = {pid: AlwaysForwardPlayer(pid) for pid in range(N_NORMAL)}
+    for k in range(N_CSN):
+        players[N_NORMAL + k] = ConstantlySelfishPlayer(N_NORMAL + k)
+    return players
+
+
+def play(exchange: ExchangeConfig | None, seed: int = 9) -> TournamentStats:
+    players = build_players()
+    oracle = RandomPathOracle(np.random.default_rng(seed), SHORTER_PATHS)
+    return run_tournament(
+        players,
+        list(range(N_NORMAL + N_CSN)),
+        ROUNDS,
+        oracle,
+        TrustTable(),
+        ActivityClassifier(),
+        PayoffConfig(),
+        exchange=exchange,
+        rng=np.random.default_rng(seed + 1),
+    )
+
+
+def test_exchange_tournament_kernel(benchmark):
+    cfg = ExchangeConfig(enabled=True, interval=5, fanout=2, positive_only=False)
+    stats = benchmark.pedantic(
+        play, args=(cfg,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert stats.nn_originated == N_NORMAL * ROUNDS
+
+
+def _knowledge(players) -> int:
+    return sum(p.reputation.n_known for p in players.values())
+
+
+def play_with_knowledge(exchange, seed: int = 9):
+    players = build_players()
+    oracle = RandomPathOracle(np.random.default_rng(seed), SHORTER_PATHS)
+    stats = run_tournament(
+        players,
+        list(range(N_NORMAL + N_CSN)),
+        ROUNDS,
+        oracle,
+        TrustTable(),
+        ActivityClassifier(),
+        PayoffConfig(),
+        exchange=exchange,
+        rng=np.random.default_rng(seed + 1),
+    )
+    return stats, _knowledge(players)
+
+
+def test_exchange_extension_report(session):
+    off, known_off = play_with_knowledge(None)
+    on, known_on = play_with_knowledge(
+        ExchangeConfig(enabled=True, interval=5, fanout=2, positive_only=False)
+    )
+    core_style, known_core = play_with_knowledge(
+        ExchangeConfig(enabled=True, interval=5, fanout=2, positive_only=True)
+    )
+    rows = [
+        ["no exchange (paper)", f"{off.cooperation_level*100:.1f}%", f"{off.nn_csn_free_fraction*100:.1f}%", known_off],
+        ["full exchange", f"{on.cooperation_level*100:.1f}%", f"{on.nn_csn_free_fraction*100:.1f}%", known_on],
+        ["positive-only (CORE-style)", f"{core_style.cooperation_level*100:.1f}%", f"{core_style.nn_csn_free_fraction*100:.1f}%", known_core],
+    ]
+    report = format_table(
+        rows,
+        headers=["regime", "NN delivery", "CSN-free chosen paths", "known entries"],
+        title=(
+            "Extension: second-hand reputation exchange (refs [1][10]) -"
+            " knowledge spreads, delivery barely moves (first-hand watchdog"
+            " saturates first)"
+        ),
+    )
+    emit_report("exchange_extension", session, report)
+    # gossip must widen knowledge ...
+    assert known_on > known_off
+    # ... while delivery stays within noise of first-hand-only collection
+    assert abs(on.nn_csn_free_fraction - off.nn_csn_free_fraction) < 0.05

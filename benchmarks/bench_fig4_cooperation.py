@@ -1,0 +1,36 @@
+"""Fig. 4 — the evolution of cooperation across all four evaluation cases.
+
+Timed kernel: one full smoke-scale replication of case 1 (the minimal
+end-to-end GA + tournament workload).  The report renders the mean
+cooperation curves and final levels against the paper's values.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import render_fig4
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.replication import run_replication
+
+from benchmarks.conftest import emit_report
+
+
+def test_fig4_replication_kernel(benchmark):
+    config = ExperimentConfig.for_case("case1", scale="smoke")
+    result = benchmark.pedantic(
+        run_replication, args=(config, 0), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.history.n_generations == config.generations
+
+
+def test_fig4_report(session):
+    results = {name: session.result_for(name) for name in
+               ("case1", "case2", "case3", "case4")}
+    report = render_fig4(results)
+    emit_report("fig4", session, report)
+    # shape assertions (loose at smoke scale, tight at default scale)
+    finals = {name: res.final_cooperation()[0] for name, res in results.items()}
+    if session.scale != "smoke":
+        # paper ordering: case1 >> case3 > case4 > case2
+        assert finals["case1"] > 0.85
+        assert finals["case1"] > finals["case3"] > finals["case4"]
+        assert finals["case2"] < 0.45

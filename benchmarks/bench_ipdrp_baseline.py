@@ -1,0 +1,50 @@
+"""Baseline bench: IPDRP evolution (the paper's ref [12] substrate).
+
+Times the random-pairing PD tournament and reports the evolutionary outcome:
+memory-one strategies under random pairing drift toward defection — exactly
+the failure mode the paper's reputation+activity mechanism is built to fix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.parameters import GAConfig
+from repro.ipdrp.evolution import evolve_ipdrp
+from repro.ipdrp.game import play_random_pairing_tournament
+from repro.ipdrp.strategy import IpdrpStrategy
+from repro.utils.tables import format_table
+
+from benchmarks.conftest import emit_report
+
+
+def test_ipdrp_tournament_kernel(benchmark):
+    rng = np.random.default_rng(0)
+    strategies = [IpdrpStrategy.random(rng) for _ in range(50)]
+    payoffs, coop = benchmark(
+        play_random_pairing_tournament, strategies, 100, np.random.default_rng(1)
+    )
+    assert len(payoffs) == 50
+    assert 0.0 <= coop <= 1.0
+
+
+def test_ipdrp_baseline_report(session):
+    history = evolve_ipdrp(
+        generations=30,
+        rounds=60,
+        ga_config=GAConfig(population_size=50, mutation_rate=0.005),
+        seed=4,
+    )
+    rows = [
+        ["initial cooperation", f"{history.cooperation[0] * 100:.1f}%"],
+        ["final cooperation", f"{history.cooperation[-1] * 100:.1f}%"],
+        ["final mean payoff/round", f"{history.mean_fitness[-1]:.2f}"],
+    ]
+    report = format_table(
+        rows,
+        headers=["metric", "value"],
+        title="Baseline: IPDRP (ref [12]) - defection wins without reputation",
+    )
+    emit_report("ipdrp_baseline", session, report)
+    assert history.cooperation[-1] < history.cooperation[0]
+    assert history.cooperation[-1] < 0.35

@@ -1,0 +1,34 @@
+"""Replication throughput vs worker count (the paper's 60-run averaging is
+embarrassingly parallel; this bench shows the process-pool payoff and proves
+results are worker-count invariant)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+
+CONFIG = ExperimentConfig.for_case(
+    "case1", scale="smoke", replications=4, generations=4
+)
+
+
+@pytest.mark.parametrize("processes", [1, 2])
+def test_replication_scaling(benchmark, processes):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=(CONFIG,),
+        kwargs={"processes": processes},
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert len(result.replications) == 4
+    benchmark.extra_info["processes"] = processes
+
+
+def test_worker_count_invariance():
+    serial = run_experiment(CONFIG, processes=1)
+    parallel = run_experiment(CONFIG, processes=2)
+    assert serial.to_dict() == parallel.to_dict()

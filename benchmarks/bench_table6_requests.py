@@ -1,0 +1,50 @@
+"""Table 6 — responses to forwarding requests by source class (cases 3-4).
+
+Timed kernel: the statistics pipeline itself (recording + pooling a large
+synthetic request stream), since Table 6 is pure bookkeeping over the same
+simulations as Table 5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import render_table6
+from repro.analysis.requests import request_fractions
+from repro.game.stats import TournamentStats
+
+from benchmarks.conftest import emit_report
+
+
+def record_request_stream(n: int = 200_000) -> TournamentStats:
+    rng = np.random.default_rng(0)
+    stats = TournamentStats()
+    src = rng.random(n) < 0.3
+    resp = rng.random(n) < 0.4
+    fwd = rng.random(n) < 0.7
+    for i in range(n):
+        stats.record_request(bool(src[i]), bool(resp[i]), bool(fwd[i]))
+    return stats
+
+
+def test_table6_stats_kernel(benchmark):
+    stats = benchmark.pedantic(
+        record_request_stream, rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert stats.requests_from_nn.total + stats.requests_from_csn.total == 200_000
+
+
+def test_table6_report(session):
+    case3 = session.result_for("case3")
+    case4 = session.result_for("case4")
+    report = render_table6(case3, case4)
+    emit_report("table6", session, report)
+    if session.scale != "smoke":
+        nn3, csn3 = case3.pooled_requests()
+        f_nn = request_fractions(nn3)
+        f_csn = request_fractions(csn3)
+        # paper shape: NN requests mostly accepted; rejections of NN packets
+        # come overwhelmingly from CSN; CSN requests mostly rejected.
+        assert f_nn["accepted"] > 0.5
+        assert f_nn["rejected_by_csn"] > f_nn["rejected_by_np"]
+        assert f_csn["accepted"] < 0.35

@@ -1,0 +1,40 @@
+"""Table 7 — the most popular evolved strategies (cases 3-4).
+
+Timed kernel: the strategy census over a large synthetic population set
+(60 replications x 100 strategies, the paper's full volume).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import render_table7
+from repro.analysis.strategies import most_common_strategies, unknown_bit_fraction
+
+from benchmarks.conftest import emit_report
+
+
+def census_kernel() -> list:
+    rng = np.random.default_rng(3)
+    populations = [
+        [int(v) for v in rng.integers(0, 2**13, size=100)] for _ in range(60)
+    ]
+    return most_common_strategies(populations, k=5)
+
+
+def test_table7_census_kernel(benchmark):
+    top = benchmark(census_kernel)
+    assert len(top) == 5
+
+
+def test_table7_report(session):
+    case3 = session.result_for("case3")
+    case4 = session.result_for("case4")
+    report = render_table7(case3, case4)
+    emit_report("table7", session, report)
+    if session.scale != "smoke":
+        # paper §6.3: the evolved decision against unknown nodes is forward,
+        # "as a result, new nodes can easily join the network".
+        assert unknown_bit_fraction(case3.final_populations()) > 0.5
+        top3 = most_common_strategies(case3.final_populations(), k=5)
+        assert top3, "census must find strategies"

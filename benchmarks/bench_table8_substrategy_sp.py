@@ -1,0 +1,38 @@
+"""Table 8 — evolved sub-strategies per trust level, case 3 (short paths).
+
+Timed kernel: sub-strategy distribution extraction across all trust levels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import render_table8_9
+from repro.analysis.strategies import substrategy_distribution
+
+from benchmarks.conftest import emit_report
+
+
+def substrategy_kernel(populations) -> list:
+    return [substrategy_distribution(populations, trust) for trust in range(4)]
+
+
+def test_table8_substrategy_kernel(benchmark):
+    rng = np.random.default_rng(4)
+    populations = [
+        [int(v) for v in rng.integers(0, 2**13, size=100)] for _ in range(60)
+    ]
+    dists = benchmark(substrategy_kernel, populations)
+    assert len(dists) == 4
+
+
+def test_table8_report(session):
+    case3 = session.result_for("case3")
+    report = render_table8_9(
+        case3, "case 3 (short paths) - Table 8", min_fraction=0.03
+    )
+    emit_report("table8", session, report)
+    if session.scale != "smoke":
+        # paper Table 8: trust level 3 is dominated by '111 - always forward'
+        dist3 = dict(substrategy_distribution(case3.final_populations(), 3))
+        assert dist3.get("111", 0.0) > 0.5

@@ -1,0 +1,36 @@
+"""Table 9 — evolved sub-strategies per trust level, case 4 (long paths)."""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import render_table8_9
+from repro.analysis.strategies import substrategy_distribution
+
+from benchmarks.conftest import emit_report
+
+
+def test_table9_report_kernel(benchmark, session):
+    case4 = session.result_for("case4")
+    report = benchmark.pedantic(
+        render_table8_9,
+        args=(case4, "case 4 (long paths) - Table 9"),
+        kwargs={"min_fraction": 0.03},
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    emit_report("table9", session, report)
+    if session.scale != "smoke":
+        populations = case4.final_populations()
+        dist3 = dict(substrategy_distribution(populations, 3))
+        # trust 3 converges to always-forward in case 4 as well
+        assert dist3.get("111", 0.0) > 0.5
+        # paper's qualitative claim: case 4 evolves *less* cooperative
+        # low-trust sub-strategies than case 3 (harder to avoid CSN).
+        case3 = session.result_for("case3")
+        coop_bits = lambda pops, trust: sum(  # noqa: E731
+            frac * pattern.count("1") / 3
+            for pattern, frac in substrategy_distribution(pops, trust)
+        )
+        assert coop_bits(populations, 1) <= coop_bits(
+            case3.final_populations(), 1
+        ) + 0.12

@@ -1,0 +1,57 @@
+"""Shared infrastructure for the benchmark harnesses.
+
+Each ``bench_*`` file does two things:
+
+1. **times** a representative kernel with pytest-benchmark, and
+2. **prints/saves** the paper-style artefact report.
+
+Reports use the default-scale results cached in ``results/`` when available
+(written by ``python -m repro reproduce all --out results``); otherwise they
+fall back to a seconds-scale smoke run so ``pytest benchmarks/`` always works
+standalone.  The scale actually used is printed in every report header.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.registry import ReproductionSession
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+REPORT_DIR = RESULTS_DIR / "bench_reports"
+SEED = 2007
+
+
+def _pick_scale() -> str:
+    forced = os.environ.get("REPRO_BENCH_SCALE")
+    if forced:
+        return forced
+    cached = all(
+        (RESULTS_DIR / f"{case}_default_seed{SEED}.json").exists()
+        for case in ("case1", "case2", "case3", "case4")
+    )
+    return "default" if cached else "smoke"
+
+
+@pytest.fixture(scope="session")
+def session() -> ReproductionSession:
+    """The shared per-case experiment cache behind all artefact benches."""
+    scale = _pick_scale()
+    return ReproductionSession(
+        scale=scale,
+        seed=SEED,
+        processes=1 if scale == "smoke" else None,
+        cache_dir=RESULTS_DIR if scale == "default" else None,
+    )
+
+
+def emit_report(name: str, session: ReproductionSession, text: str) -> None:
+    """Print a report and persist it under results/bench_reports/."""
+    header = f"[{name}] reproduction scale = {session.scale}"
+    body = header + "\n" + text
+    print("\n" + body)
+    REPORT_DIR.mkdir(parents=True, exist_ok=True)
+    (REPORT_DIR / f"{name}.txt").write_text(body + "\n")

@@ -1,0 +1,92 @@
+"""Scenario: how sensitive is cooperation to the payoff-table design?
+
+DESIGN.md §2.1 reconstructs the paper's garbled intermediate payoff table as
+monotone in trust (forwarding pays more for trusted sources, discarding pays
+more for untrusted ones).  This study perturbs that structure and measures
+the evolved cooperation level, showing which properties of the table are
+load-bearing:
+
+* the paper's monotone table sustains cooperation;
+* flattening the *forward* row (no trust investment) weakens it;
+* inverting the rows (forwarding for strangers pays best) distorts it;
+* the no-enforcement table (discard always wins) destroys it.
+
+Run:
+    python examples/payoff_sensitivity.py
+"""
+
+from __future__ import annotations
+
+from repro import ExperimentConfig, GAConfig, PayoffConfig, SimulationConfig
+from repro.analysis.diversity import mean_pairwise_hamming, unique_fraction
+from repro.experiments.cases import EvaluationCase
+from repro.experiments.replication import run_replication
+from repro.tournament.environment import TournamentEnvironment
+from repro.utils.tables import format_table
+
+VARIANTS: dict[str, PayoffConfig] = {
+    "paper (monotone)": PayoffConfig(),
+    "flat forward row": PayoffConfig(
+        forward_by_trust=(1.5, 1.5, 1.5, 1.5), discard_by_trust=(3.0, 2.0, 1.0, 0.5)
+    ),
+    "inverted rows": PayoffConfig(
+        forward_by_trust=(3.0, 2.0, 1.0, 0.5), discard_by_trust=(0.5, 1.0, 2.0, 3.0)
+    ),
+    "no enforcement": PayoffConfig.without_reputation(),
+}
+
+
+def evolve(payoffs: PayoffConfig):
+    case = EvaluationCase(
+        name="payoff_study",
+        description="payoff sensitivity world",
+        environments=(TournamentEnvironment("PS", 16, 3),),
+        path_mode="shorter",
+    )
+    config = ExperimentConfig(
+        case=case,
+        generations=22,
+        replications=1,
+        seed=2007,
+        engine="fast",
+        ga=GAConfig(population_size=32),
+        sim=SimulationConfig(rounds=60, payoffs=payoffs),
+    )
+    return run_replication(config, 0)
+
+
+def main() -> None:
+    rows = []
+    for name, payoffs in VARIANTS.items():
+        print(f"evolving under: {name} ...")
+        rep = evolve(payoffs)
+        coop = float(rep.history.cooperation_series()[-5:].mean())
+        rows.append(
+            [
+                name,
+                f"{coop * 100:.1f}%",
+                f"{mean_pairwise_hamming(rep.final_population):.2f}",
+                f"{unique_fraction(rep.final_population) * 100:.0f}%",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            rows,
+            headers=[
+                "payoff table",
+                "final cooperation",
+                "mean pairwise Hamming",
+                "unique genotypes",
+            ],
+            title="Payoff-table sensitivity (16-seat world, 3 CSN)",
+        )
+    )
+    print(
+        "\nThe monotone structure of Fig. 2a is load-bearing: cooperation"
+        "\nneeds forwarding-for-the-trusted to out-pay discarding."
+    )
+
+
+if __name__ == "__main__":
+    main()

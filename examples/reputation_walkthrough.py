@@ -1,0 +1,91 @@
+"""Didactic walkthrough of the paper's mechanisms on a five-node network.
+
+Replays Fig. 1a (watchdog alerts), Fig. 1b (trust lookup), Fig. 1c (strategy
+coding) and Fig. 2b (payoffs) step by step, printing every intermediate
+quantity.  Useful for checking your understanding of the model against the
+implementation.
+
+Run:
+    python examples/reputation_walkthrough.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ActivityClassifier,
+    AlwaysForwardPlayer,
+    ConstantlySelfishPlayer,
+    GameSetup,
+    PayoffConfig,
+    Strategy,
+    TournamentStats,
+    TrustTable,
+)
+from repro.game.engine import play_game
+
+A, B, C, D, E = range(5)
+NAMES = "ABCDE"
+
+
+def show_tables(players) -> None:
+    for pid, player in sorted(players.items()):
+        snap = player.reputation.snapshot()
+        if not snap:
+            print(f"    {NAMES[pid]}: (no reputation data)")
+            continue
+        entries = ", ".join(
+            f"{NAMES[s]}: ps={ps} pf={pf} rate={pf / ps:.2f}"
+            for s, (ps, pf) in sorted(snap.items())
+        )
+        print(f"    {NAMES[pid]}: {entries}")
+
+
+def main() -> None:
+    trust = TrustTable()
+    activity = ActivityClassifier()
+    payoffs = PayoffConfig()
+
+    print("=== Fig. 1a: watchdog updates when D drops the packet ===")
+    players = {
+        A: AlwaysForwardPlayer(A),
+        B: AlwaysForwardPlayer(B),
+        C: AlwaysForwardPlayer(C),
+        D: ConstantlySelfishPlayer(D),
+        E: AlwaysForwardPlayer(E),
+    }
+    setup = GameSetup(source=A, destination=E, paths=((B, C, D),))
+    result = play_game(players, setup, 0, trust, activity, payoffs, TournamentStats())
+    print(f"  A -> E via B, C, D; success={result.success},"
+          f" dropped by {NAMES[result.dropper]}")
+    print("  reputation tables afterwards:")
+    show_tables(players)
+
+    print("\n=== Fig. 1b: the trust lookup table ===")
+    for rate in (1.0, 0.95, 0.9, 0.65, 0.5, 0.3, 0.1):
+        print(f"  forwarding rate {rate:.2f} -> trust level {trust.level(rate)}")
+
+    print("\n=== Fig. 1c: strategy coding ===")
+    strategy = Strategy.from_string("000 111 000 100 1")
+    print(f"  strategy: {strategy.to_string()}   (1=forward, 0=discard)")
+    print(f"  trust 3 + activity LO  -> bit 9  -> "
+          f"{'forward' if strategy.decide(3, 0) else 'discard'}")
+    print(f"  unknown source         -> bit 12 -> "
+          f"{'forward' if strategy.decide_unknown() else 'discard'}")
+    for t in range(4):
+        print(f"  sub-strategy for trust {t}: {strategy.sub_strategy(t)}")
+
+    print("\n=== Fig. 2: payoff tables ===")
+    print(f"  source: success={payoffs.source_success},"
+          f" failure={payoffs.source_failure}")
+    print(f"  forward payoff by trust 0..3: {payoffs.forward_by_trust}")
+    print(f"  discard payoff by trust 0..3: {payoffs.discard_by_trust}")
+    print(f"  unknown source is paid at default trust {payoffs.default_trust}")
+    print(
+        "\n  Forwarding for trusted nodes is an investment; discarding"
+        "\n  untrusted traffic is the cheap, safe choice - exactly the"
+        "\n  gradient the GA climbs."
+    )
+
+
+if __name__ == "__main__":
+    main()

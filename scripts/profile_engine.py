@@ -1,0 +1,54 @@
+"""Profile the simulation hot loop (the HPC-guide workflow: measure first).
+
+Runs one paper-sized tournament under cProfile for each engine and prints
+the top functions by cumulative time.  Use this before attempting any
+optimisation of the engines.
+
+Run:
+    python scripts/profile_engine.py [rounds]
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+from io import StringIO
+
+import numpy as np
+
+from repro.core.strategy import Strategy
+from repro.game.stats import TournamentStats
+from repro.paths.distributions import SHORTER_PATHS
+from repro.paths.oracle import RandomPathOracle
+from repro.sim import make_engine
+
+
+def profile_engine(name: str, rounds: int) -> None:
+    rng = np.random.default_rng(0)
+    engine = make_engine(name, 40, 10)
+    engine.set_strategies([Strategy.random(rng) for _ in range(40)])
+    participants = list(range(40)) + engine.selfish_ids(10)
+    oracle = RandomPathOracle(np.random.default_rng(1), SHORTER_PATHS)
+    stats = TournamentStats()
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    engine.run_tournament(participants, rounds, oracle, stats, None, None)
+    profiler.disable()
+
+    out = StringIO()
+    ps = pstats.Stats(profiler, stream=out).sort_stats("cumulative")
+    ps.print_stats(12)
+    print(f"\n===== {name} engine, {rounds} rounds, {rounds * 50} games =====")
+    print("\n".join(out.getvalue().splitlines()[:22]))
+
+
+def main() -> None:
+    rounds = int(sys.argv[1]) if len(sys.argv) > 1 else 60
+    for name in ("reference", "fast"):
+        profile_engine(name, rounds)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Analysis of experiment results: cooperation metrics, strategy censuses,
+request statistics and paper-style report rendering."""
+
+from repro.analysis.cooperation import (
+    final_mean_cooperation,
+    moving_average,
+    series_confidence_band,
+)
+from repro.analysis.requests import request_fractions
+from repro.analysis.strategies import (
+    most_common_strategies,
+    strategy_counts,
+    substrategy_distribution,
+    unknown_bit_fraction,
+)
+
+__all__ = [
+    "moving_average",
+    "final_mean_cooperation",
+    "series_confidence_band",
+    "strategy_counts",
+    "most_common_strategies",
+    "substrategy_distribution",
+    "unknown_bit_fraction",
+    "request_fractions",
+]

@@ -1,0 +1,55 @@
+"""Cooperation-level series utilities (Fig. 4 post-processing)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["moving_average", "final_mean_cooperation", "series_confidence_band"]
+
+
+def moving_average(series: np.ndarray, window: int) -> np.ndarray:
+    """Centered-ish moving average used to smooth plotted series.
+
+    Uses a trailing window clipped at the series start, so the output has the
+    same length as the input and no boundary NaNs.
+    """
+    series = np.asarray(series, dtype=float)
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if window == 1 or len(series) == 0:
+        return series.copy()
+    cumsum = np.cumsum(np.insert(series, 0, 0.0))
+    out = np.empty_like(series)
+    for i in range(len(series)):
+        lo = max(0, i - window + 1)
+        out[i] = (cumsum[i + 1] - cumsum[lo]) / (i + 1 - lo)
+    return out
+
+
+def final_mean_cooperation(matrix: np.ndarray, tail: int = 1) -> float:
+    """Mean cooperation over the last ``tail`` generations and all replications.
+
+    ``matrix`` is (replications, generations).  The paper's Table 5 values
+    are "taken from the last generations (average value of all experiments)";
+    ``tail > 1`` reproduces that reading.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError("expected a (replications, generations) matrix")
+    if not 1 <= tail <= matrix.shape[1]:
+        raise ValueError(f"tail must be in 1..{matrix.shape[1]}, got {tail}")
+    return float(matrix[:, -tail:].mean())
+
+
+def series_confidence_band(
+    matrix: np.ndarray, z: float = 1.96
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(mean, lower, upper) normal-approximation band per generation."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError("expected a (replications, generations) matrix")
+    mean = matrix.mean(axis=0)
+    if matrix.shape[0] < 2:
+        return mean, mean.copy(), mean.copy()
+    sem = matrix.std(axis=0, ddof=1) / np.sqrt(matrix.shape[0])
+    return mean, mean - z * sem, mean + z * sem

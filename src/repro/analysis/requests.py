@@ -1,0 +1,20 @@
+"""Forwarding-request response fractions (Table 6)."""
+
+from __future__ import annotations
+
+from repro.game.stats import RequestCounters
+
+__all__ = ["request_fractions"]
+
+
+def request_fractions(counters: RequestCounters) -> dict[str, float]:
+    """The three Table 6 rows for one source class, as fractions.
+
+    ``accepted`` + ``rejected_by_np`` + ``rejected_by_csn`` sums to 1 (up to
+    rounding) whenever any request occurred.
+    """
+    return {
+        "accepted": counters.fraction_accepted(),
+        "rejected_by_np": counters.fraction_rejected_by_nn(),
+        "rejected_by_csn": counters.fraction_rejected_by_csn(),
+    }

@@ -1,0 +1,83 @@
+"""Strategy censuses over final populations (§6.3, Tables 7–9).
+
+All functions take ``populations`` — a list of final populations, one per
+replication, each a list of packed strategy ints — exactly what
+:meth:`repro.experiments.results.ExperimentResult.final_populations` returns.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+from repro.core.strategy import N_TRUST_LEVELS, Strategy
+
+__all__ = [
+    "strategy_counts",
+    "most_common_strategies",
+    "substrategy_distribution",
+    "unknown_bit_fraction",
+]
+
+
+def _iter_strategies(populations: Iterable[Sequence[int]]) -> Iterable[Strategy]:
+    for population in populations:
+        for packed in population:
+            yield Strategy.from_int(packed)
+
+
+def strategy_counts(populations: Iterable[Sequence[int]]) -> Counter:
+    """Counter of full 13-bit strategies over all final populations."""
+    return Counter(_iter_strategies(populations))
+
+
+def most_common_strategies(
+    populations: Iterable[Sequence[int]], k: int = 5
+) -> list[tuple[Strategy, float]]:
+    """The ``k`` most popular strategies and their population fraction (Table 7)."""
+    counts = strategy_counts(populations)
+    total = sum(counts.values())
+    if total == 0:
+        return []
+    return [(strategy, n / total) for strategy, n in counts.most_common(k)]
+
+
+def substrategy_distribution(
+    populations: Iterable[Sequence[int]],
+    trust: int,
+    min_fraction: float = 0.0,
+) -> list[tuple[str, float]]:
+    """Distribution of 3-bit sub-strategies for one trust level (Tables 8–9).
+
+    Returns ``(pattern, fraction)`` pairs sorted by descending fraction.  The
+    paper prints only sub-strategies above 3% of final populations; pass
+    ``min_fraction=0.03`` for that filter.
+    """
+    if not 0 <= trust < N_TRUST_LEVELS:
+        raise ValueError(f"trust must be in 0..{N_TRUST_LEVELS - 1}, got {trust}")
+    counts: Counter = Counter(
+        s.sub_strategy(trust) for s in _iter_strategies(populations)
+    )
+    total = sum(counts.values())
+    if total == 0:
+        return []
+    items = [
+        (pattern, n / total)
+        for pattern, n in counts.most_common()
+        if n / total >= min_fraction
+    ]
+    return items
+
+
+def unknown_bit_fraction(populations: Iterable[Sequence[int]]) -> float:
+    """Fraction of final strategies whose unknown-node decision is *forward*.
+
+    §6.3: "a decision against an unknown player (last bit) is to forward.
+    As a result, new nodes can easily join the network."
+    """
+    total = 0
+    forward = 0
+    for s in _iter_strategies(populations):
+        total += 1
+        forward += 1 if s.decide_unknown() else 0
+    return forward / total if total else 0.0

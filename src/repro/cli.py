@@ -1,0 +1,155 @@
+"""Command-line interface.
+
+Examples
+--------
+List the reproducible artefacts and paper cases::
+
+    python -m repro list
+
+Reproduce a single artefact (reduced default scale)::
+
+    python -m repro reproduce fig4 --scale default --out results/
+
+Reproduce everything the paper reports::
+
+    python -m repro reproduce all --out results/
+
+Run one evaluation case with custom parameters and save raw results::
+
+    python -m repro run-case case3 --generations 80 --rounds 150 \
+        --replications 8 --out results/case3.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro._version import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Evolution of Strategy Driven Behavior in Ad Hoc"
+            " Networks Using a Genetic Algorithm' (IPPS 2007)."
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list artefacts and evaluation cases")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_rep = sub.add_parser("reproduce", help="reproduce paper artefacts")
+    p_rep.add_argument(
+        "artefact",
+        help="artefact id (fig4, table5, ... ) or 'all'",
+    )
+    p_rep.add_argument("--scale", default="default", help="paper|default|smoke")
+    p_rep.add_argument("--seed", type=int, default=2007)
+    p_rep.add_argument("--engine", default="fast", choices=("fast", "reference"))
+    p_rep.add_argument("--processes", type=int, default=None)
+    p_rep.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory for raw JSON results and rendered reports",
+    )
+    p_rep.set_defaults(func=_cmd_reproduce)
+
+    p_case = sub.add_parser("run-case", help="run one evaluation case")
+    p_case.add_argument("case", help="case1 .. case4")
+    p_case.add_argument("--generations", type=int, default=None)
+    p_case.add_argument("--rounds", type=int, default=None)
+    p_case.add_argument("--replications", type=int, default=None)
+    p_case.add_argument("--scale", default="default")
+    p_case.add_argument("--seed", type=int, default=2007)
+    p_case.add_argument("--engine", default="fast", choices=("fast", "reference"))
+    p_case.add_argument("--processes", type=int, default=None)
+    p_case.add_argument("--out", type=Path, default=None, help="JSON output path")
+    p_case.set_defaults(func=_cmd_run_case)
+
+    return parser
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.experiments.cases import CASES
+    from repro.experiments.registry import ARTEFACTS
+
+    print("Artefacts:")
+    for spec in ARTEFACTS.values():
+        print(f"  {spec}")
+    print("\nEvaluation cases (Table 4):")
+    for case in CASES.values():
+        envs = ", ".join(f"{e.name}({e.n_selfish} CSN)" for e in case.environments)
+        print(f"  {case.name}: {case.description}")
+        print(f"      environments: {envs}; paths: {case.path_mode}")
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.experiments.registry import ARTEFACTS, ReproductionSession
+
+    ids = list(ARTEFACTS) if args.artefact == "all" else [args.artefact]
+    unknown = [a for a in ids if a not in ARTEFACTS]
+    if unknown:
+        print(f"unknown artefact(s): {unknown}; try 'repro list'", file=sys.stderr)
+        return 2
+    session = ReproductionSession(
+        scale=args.scale,
+        seed=args.seed,
+        engine=args.engine,
+        processes=args.processes,
+        cache_dir=args.out,
+        verbose=True,
+    )
+    for artefact_id in ids:
+        report = session.render(artefact_id)
+        print(f"\n===== {artefact_id} =====")
+        print(report)
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / f"{artefact_id}_{args.scale}.txt").write_text(report + "\n")
+    return 0
+
+
+def _cmd_run_case(args: argparse.Namespace) -> int:
+    from repro.experiments import ExperimentConfig, run_experiment
+    from repro.parallel.progress import ProgressPrinter
+
+    overrides: dict = {"seed": args.seed, "engine": args.engine}
+    if args.generations is not None:
+        overrides["generations"] = args.generations
+    if args.replications is not None:
+        overrides["replications"] = args.replications
+    config = ExperimentConfig.for_case(args.case, scale=args.scale, **overrides)
+    if args.rounds is not None:
+        config = config.with_(sim=config.sim.with_(rounds=args.rounds))
+    result = run_experiment(
+        config,
+        processes=args.processes,
+        progress=ProgressPrinter(args.case),
+    )
+    mean, std = result.final_cooperation()
+    print(f"{args.case}: final cooperation {mean * 100:.1f}% (std {std * 100:.1f}%)")
+    for env, coop in result.per_env_cooperation().items():
+        print(f"  {env}: {coop * 100:.1f}% cooperation")
+    if args.out is not None:
+        path = result.save(args.out)
+        print(f"raw results written to {path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

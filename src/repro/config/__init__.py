@@ -1,0 +1,32 @@
+"""Configuration: dataclasses for every tunable, plus the paper's presets."""
+
+from repro.config.parameters import GAConfig, SimulationConfig
+from repro.config.presets import (
+    PAPER_GENERATIONS,
+    PAPER_POPULATION,
+    PAPER_REPLICATIONS,
+    PAPER_ROUNDS,
+    PAPER_TOURNAMENT_SIZE,
+    TE1,
+    TE2,
+    TE3,
+    TE4,
+    environment_with_csn,
+    paper_environments,
+)
+
+__all__ = [
+    "GAConfig",
+    "SimulationConfig",
+    "TE1",
+    "TE2",
+    "TE3",
+    "TE4",
+    "paper_environments",
+    "environment_with_csn",
+    "PAPER_POPULATION",
+    "PAPER_TOURNAMENT_SIZE",
+    "PAPER_ROUNDS",
+    "PAPER_GENERATIONS",
+    "PAPER_REPLICATIONS",
+]

@@ -1,0 +1,129 @@
+"""Configuration dataclasses for the GA and the simulation substrate.
+
+Both are immutable, validated on construction, and round-trip through plain
+dicts (for JSON result files).  Defaults are the paper's values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any
+
+from repro.config.presets import (
+    PAPER_CROSSOVER_RATE,
+    PAPER_MUTATION_RATE,
+    PAPER_POPULATION,
+    PAPER_ROUNDS,
+)
+from repro.core.payoff import PayoffConfig
+from repro.reputation.exchange import ExchangeConfig
+from repro.utils.validation import check_probability
+
+__all__ = ["GAConfig", "SimulationConfig"]
+
+_SELECTION_METHODS = ("tournament", "roulette")
+_PATH_MODES = ("shorter", "longer")
+
+
+@dataclass(frozen=True)
+class GAConfig:
+    """Genetic algorithm parameters (§5, §6.1).
+
+    ``elitism`` (number of top strategies copied unchanged) defaults to 0 —
+    the paper uses none — and exists for the ablation benches.
+    """
+
+    population_size: int = PAPER_POPULATION
+    crossover_rate: float = PAPER_CROSSOVER_RATE
+    mutation_rate: float = PAPER_MUTATION_RATE
+    selection: str = "tournament"
+    tournament_size: int = 2
+    elitism: int = 0
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise ValueError(
+                f"population_size must be >= 2, got {self.population_size}"
+            )
+        check_probability(self.crossover_rate, "crossover_rate")
+        check_probability(self.mutation_rate, "mutation_rate")
+        if self.selection not in _SELECTION_METHODS:
+            raise ValueError(
+                f"selection must be one of {_SELECTION_METHODS}, got {self.selection!r}"
+            )
+        if self.tournament_size < 1:
+            raise ValueError(
+                f"tournament_size must be >= 1, got {self.tournament_size}"
+            )
+        if not 0 <= self.elitism <= self.population_size:
+            raise ValueError(
+                f"elitism must be in [0, population_size], got {self.elitism}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "GAConfig":
+        return cls(**data)
+
+    def with_(self, **changes: Any) -> "GAConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything about how one generation is evaluated in the network game."""
+
+    rounds: int = PAPER_ROUNDS
+    plays_per_environment: int = 1  # the paper's unspecified L (DESIGN.md §2.10)
+    path_mode: str = "shorter"
+    trust_bounds: tuple[float, ...] = (0.3, 0.6, 0.9)
+    activity_band: float = 0.2
+    payoffs: PayoffConfig = field(default_factory=PayoffConfig)
+    exchange: ExchangeConfig = field(default_factory=ExchangeConfig)
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {self.rounds}")
+        if self.plays_per_environment < 1:
+            raise ValueError(
+                f"plays_per_environment must be >= 1,"
+                f" got {self.plays_per_environment}"
+            )
+        if self.path_mode not in _PATH_MODES:
+            raise ValueError(
+                f"path_mode must be one of {_PATH_MODES}, got {self.path_mode!r}"
+            )
+        object.__setattr__(
+            self, "trust_bounds", tuple(float(b) for b in self.trust_bounds)
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        data = asdict(self)
+        # JSON has no tuples; emit lists so to_dict(from_dict(x)) == x holds
+        # across a JSON round-trip.
+        data["trust_bounds"] = list(self.trust_bounds)
+        data["payoffs"]["forward_by_trust"] = list(self.payoffs.forward_by_trust)
+        data["payoffs"]["discard_by_trust"] = list(self.payoffs.discard_by_trust)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SimulationConfig":
+        data = dict(data)
+        if isinstance(data.get("payoffs"), dict):
+            payoffs = dict(data["payoffs"])
+            for key in ("forward_by_trust", "discard_by_trust"):
+                if key in payoffs:
+                    payoffs[key] = tuple(payoffs[key])
+            data["payoffs"] = PayoffConfig(**payoffs)
+        if isinstance(data.get("exchange"), dict):
+            data["exchange"] = ExchangeConfig(**data["exchange"])
+        if "trust_bounds" in data:
+            data["trust_bounds"] = tuple(data["trust_bounds"])
+        return cls(**data)
+
+    def with_(self, **changes: Any) -> "SimulationConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)

@@ -1,0 +1,66 @@
+"""The paper's parameter tables, encoded as presets.
+
+* Table 1 — tournament environments TE1–TE4 (CSN / normal node counts);
+* Table 2 — hop-length distributions (in :mod:`repro.paths.distributions`);
+* Table 3 — alternate-path counts (ibid.);
+* §6.1 "Parameters of GA" — population 100, tournament size 50, crossover
+  0.9, mutation 0.001, 300 rounds, 500 generations, 60 repetitions.
+
+``tests/test_config_presets.py`` asserts these presets against the paper's
+published numbers, so any drift fails loudly.
+"""
+
+from __future__ import annotations
+
+from repro.tournament.environment import TournamentEnvironment
+
+__all__ = [
+    "PAPER_TOURNAMENT_SIZE",
+    "PAPER_POPULATION",
+    "PAPER_ROUNDS",
+    "PAPER_GENERATIONS",
+    "PAPER_REPLICATIONS",
+    "PAPER_CROSSOVER_RATE",
+    "PAPER_MUTATION_RATE",
+    "TE1",
+    "TE2",
+    "TE3",
+    "TE4",
+    "paper_environments",
+    "environment_with_csn",
+]
+
+#: §6.1: players per tournament (both NN and CSN).
+PAPER_TOURNAMENT_SIZE = 50
+#: §6.1: total number of normal nodes (the GA population size).
+PAPER_POPULATION = 100
+#: §6.1: rounds per tournament.
+PAPER_ROUNDS = 300
+#: §6.1: GA generations.
+PAPER_GENERATIONS = 500
+#: §6.1: independent repetitions averaged in every reported figure.
+PAPER_REPLICATIONS = 60
+#: §6.1: one-point crossover probability.
+PAPER_CROSSOVER_RATE = 0.9
+#: §6.1: per-bit mutation probability.
+PAPER_MUTATION_RATE = 0.001
+
+# Table 1: number of CSN per environment (out of 50 seats).
+TE1 = TournamentEnvironment("TE1", PAPER_TOURNAMENT_SIZE, 0)
+TE2 = TournamentEnvironment("TE2", PAPER_TOURNAMENT_SIZE, 10)
+TE3 = TournamentEnvironment("TE3", PAPER_TOURNAMENT_SIZE, 25)
+TE4 = TournamentEnvironment("TE4", PAPER_TOURNAMENT_SIZE, 30)
+
+
+def paper_environments() -> tuple[TournamentEnvironment, ...]:
+    """All four Table 1 environments, in order."""
+    return (TE1, TE2, TE3, TE4)
+
+
+def environment_with_csn(
+    n_selfish: int, tournament_size: int = PAPER_TOURNAMENT_SIZE
+) -> TournamentEnvironment:
+    """A single custom environment (used by sweeps and evaluation case 2)."""
+    return TournamentEnvironment(
+        f"TE(csn={n_selfish})", tournament_size, n_selfish
+    )

@@ -1,0 +1,43 @@
+"""Core domain model: strategies, players, payoffs, fitness.
+
+This package implements §3.3 (strategy coding), §4.2 (payoffs and fitness)
+and §4.3 (node types) of the paper.
+"""
+
+from repro.core.activity import Activity
+from repro.core.fitness import PayoffAccumulator
+from repro.core.node import (
+    AlwaysDropPlayer,
+    AlwaysForwardPlayer,
+    ConstantlySelfishPlayer,
+    NormalPlayer,
+    Player,
+    RandomPlayer,
+    ThresholdPlayer,
+)
+from repro.core.payoff import PayoffConfig
+from repro.core.strategy import (
+    N_ACTIVITY_LEVELS,
+    N_TRUST_LEVELS,
+    STRATEGY_LENGTH,
+    UNKNOWN_BIT,
+    Strategy,
+)
+
+__all__ = [
+    "Activity",
+    "Strategy",
+    "STRATEGY_LENGTH",
+    "N_TRUST_LEVELS",
+    "N_ACTIVITY_LEVELS",
+    "UNKNOWN_BIT",
+    "PayoffConfig",
+    "PayoffAccumulator",
+    "Player",
+    "NormalPlayer",
+    "ConstantlySelfishPlayer",
+    "AlwaysForwardPlayer",
+    "AlwaysDropPlayer",
+    "RandomPlayer",
+    "ThresholdPlayer",
+]

@@ -1,0 +1,32 @@
+"""Activity levels of a source node (§3.2).
+
+The paper defines three activity levels — low, medium, high — assigned by
+comparing the source's forwarded-packet count against the observer's mean
+over all known nodes.  The classification itself lives in
+:mod:`repro.reputation.activity`; this module only defines the level enum so
+the core strategy encoding does not depend on the reputation package.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Activity"]
+
+
+class Activity(enum.IntEnum):
+    """Source-node activity level.
+
+    The integer values are the column offsets inside each trust-level block of
+    the 13-bit strategy (Fig. 1c): ``LO`` is the first column, ``MI`` the
+    second, ``HI`` the third.
+    """
+
+    LO = 0
+    MI = 1
+    HI = 2
+
+    @property
+    def label(self) -> str:
+        """The paper's two-letter label (``LO`` / ``MI`` / ``HI``)."""
+        return self.name

@@ -1,0 +1,76 @@
+"""Per-player payoff accounting and the fitness function of Eq. (1).
+
+    fitness = (tps + tpf + tpd) / ne
+
+where ``tps``/``tpf``/``tpd`` are the total payoffs received for sending own
+packets, forwarding, and discarding, and ``ne`` is the number of events (own
+packets sent + packets forwarded + packets discarded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PayoffAccumulator"]
+
+
+@dataclass
+class PayoffAccumulator:
+    """Mutable accumulator for one player's payoffs within one generation."""
+
+    send_payoff: float = 0.0
+    forward_payoff: float = 0.0
+    discard_payoff: float = 0.0
+    n_sent: int = 0
+    n_forwarded: int = 0
+    n_discarded: int = 0
+
+    def record_send(self, payoff: float) -> None:
+        """Record the source-side payoff of one own game."""
+        self.send_payoff += payoff
+        self.n_sent += 1
+
+    def record_forward(self, payoff: float) -> None:
+        """Record the payoff of one forwarding decision."""
+        self.forward_payoff += payoff
+        self.n_forwarded += 1
+
+    def record_discard(self, payoff: float) -> None:
+        """Record the payoff of one discarding decision."""
+        self.discard_payoff += payoff
+        self.n_discarded += 1
+
+    @property
+    def total_payoff(self) -> float:
+        """``tps + tpf + tpd`` of Eq. (1)."""
+        return self.send_payoff + self.forward_payoff + self.discard_payoff
+
+    @property
+    def n_events(self) -> int:
+        """``ne`` of Eq. (1)."""
+        return self.n_sent + self.n_forwarded + self.n_discarded
+
+    @property
+    def fitness(self) -> float:
+        """Average payoff per event; 0.0 for a player with no events."""
+        if self.n_events == 0:
+            return 0.0
+        return self.total_payoff / self.n_events
+
+    def reset(self) -> None:
+        """Clear all counters (start of a new generation)."""
+        self.send_payoff = 0.0
+        self.forward_payoff = 0.0
+        self.discard_payoff = 0.0
+        self.n_sent = 0
+        self.n_forwarded = 0
+        self.n_discarded = 0
+
+    def merge(self, other: "PayoffAccumulator") -> None:
+        """Fold another accumulator into this one (multi-tournament totals)."""
+        self.send_payoff += other.send_payoff
+        self.forward_payoff += other.forward_payoff
+        self.discard_payoff += other.discard_payoff
+        self.n_sent += other.n_sent
+        self.n_forwarded += other.n_forwarded
+        self.n_discarded += other.n_discarded

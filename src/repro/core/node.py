@@ -1,0 +1,210 @@
+"""Player (node) types of §4.3, plus baseline behaviours for benchmarks.
+
+The paper uses two types: *normal nodes* (strategy-driven, evolved) and
+*constantly selfish nodes* (CSN — always drop, never evolved).  We add a few
+fixed baseline behaviours used by the ablation benches and examples:
+always-forward (altruist), always-drop with a different label, a Bernoulli
+random forwarder, and a trust-threshold forwarder.
+
+A ``Player`` owns its reputation table and payoff accumulator; the *decision*
+made about a packet is produced by :meth:`Player.decide_packet`, which returns
+both the forward/discard choice and the trust level used (needed for the
+intermediate payoff lookup).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.activity import Activity
+from repro.core.fitness import PayoffAccumulator
+from repro.core.strategy import Strategy
+from repro.reputation.activity import ActivityClassifier
+from repro.reputation.records import ReputationTable
+from repro.reputation.trust import TrustTable
+
+__all__ = [
+    "Decision",
+    "Player",
+    "NormalPlayer",
+    "ConstantlySelfishPlayer",
+    "AlwaysForwardPlayer",
+    "AlwaysDropPlayer",
+    "RandomPlayer",
+    "ThresholdPlayer",
+]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Outcome of one forwarding decision.
+
+    ``trust`` is the trust level the decider assigned to the source, or
+    ``None`` when the source was unknown (the payoff table then applies its
+    default trust level).  ``activity`` is ``None`` for unknown sources.
+    """
+
+    forward: bool
+    trust: Optional[int]
+    activity: Optional[Activity]
+    source_known: bool
+
+
+class Player:
+    """Base class: identity, reputation memory, payoff accounting."""
+
+    #: True for constantly selfish nodes (excluded from evolution; used by
+    #: the statistics counters to attribute requests and rejections).
+    is_selfish: bool = False
+
+    def __init__(self, player_id: int):
+        self.id = int(player_id)
+        self.reputation = ReputationTable()
+        self.payoffs = PayoffAccumulator()
+
+    # -- behaviour ---------------------------------------------------------
+
+    def decide_packet(
+        self,
+        source: int,
+        trust_table: TrustTable,
+        activity: ActivityClassifier,
+    ) -> Decision:
+        """Decide whether to forward a packet originated by ``source``.
+
+        Default implementation resolves trust/activity from this player's own
+        reputation table and delegates to :meth:`_decide`; unknown sources
+        delegate to :meth:`_decide_unknown`.
+        """
+        if self.reputation.knows(source):
+            rate = self.reputation.forwarding_rate(source)
+            trust = trust_table.level(rate)
+            act = activity.classify(self.reputation, source)
+            return Decision(
+                forward=self._decide(trust, act),
+                trust=trust,
+                activity=act,
+                source_known=True,
+            )
+        return Decision(
+            forward=self._decide_unknown(),
+            trust=None,
+            activity=None,
+            source_known=False,
+        )
+
+    def _decide(self, trust: int, activity: Activity) -> bool:
+        raise NotImplementedError
+
+    def _decide_unknown(self) -> bool:
+        raise NotImplementedError
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def reset_memory(self) -> None:
+        """Clear reputation data (evaluation Step 1, §4.4)."""
+        self.reputation.clear()
+
+    def reset_payoffs(self) -> None:
+        """Clear payoff accounting (start of a generation)."""
+        self.payoffs.reset()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(id={self.id})"
+
+
+class NormalPlayer(Player):
+    """A strategy-driven normal node (NN) whose strategy evolves (§4.3)."""
+
+    def __init__(self, player_id: int, strategy: Strategy):
+        super().__init__(player_id)
+        self.strategy = strategy
+
+    def _decide(self, trust: int, activity: Activity) -> bool:
+        return self.strategy.decide(trust, activity)
+
+    def _decide_unknown(self) -> bool:
+        return self.strategy.decide_unknown()
+
+    def __repr__(self) -> str:
+        return f"NormalPlayer(id={self.id}, strategy='{self.strategy.to_string()}')"
+
+
+class ConstantlySelfishPlayer(Player):
+    """CSN: never cooperates — always drops (§4.3).
+
+    CSN still originate packets (each player sources once per round, and the
+    paper's Table 6 reports requests *from* CSN), but their payoffs are
+    ignored and they are excluded from selection and reproduction.
+    """
+
+    is_selfish = True
+
+    def _decide(self, trust: int, activity: Activity) -> bool:
+        return False
+
+    def _decide_unknown(self) -> bool:
+        return False
+
+
+class AlwaysForwardPlayer(Player):
+    """Baseline altruist: forwards everything."""
+
+    def _decide(self, trust: int, activity: Activity) -> bool:
+        return True
+
+    def _decide_unknown(self) -> bool:
+        return True
+
+
+class AlwaysDropPlayer(Player):
+    """Baseline defector (like CSN but counted as a normal node)."""
+
+    def _decide(self, trust: int, activity: Activity) -> bool:
+        return False
+
+    def _decide_unknown(self) -> bool:
+        return False
+
+
+class RandomPlayer(Player):
+    """Baseline Bernoulli forwarder: forwards with probability ``p``.
+
+    Owns a private generator so its draws never perturb the shared simulation
+    stream (keeps engine-equivalence tests exact).
+    """
+
+    def __init__(self, player_id: int, p: float, rng: np.random.Generator):
+        super().__init__(player_id)
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {p}")
+        self.p = float(p)
+        self._rng = rng
+
+    def _decide(self, trust: int, activity: Activity) -> bool:
+        return bool(self._rng.random() < self.p)
+
+    def _decide_unknown(self) -> bool:
+        return bool(self._rng.random() < self.p)
+
+
+class ThresholdPlayer(Player):
+    """Baseline reciprocator: forwards iff trust >= ``min_trust``.
+
+    Unknown sources are forwarded iff ``forward_unknown`` — with the default
+    ``True`` this resembles a generous tit-for-tat over the trust metric.
+    """
+
+    def __init__(self, player_id: int, min_trust: int = 2, forward_unknown: bool = True):
+        super().__init__(player_id)
+        self.min_trust = int(min_trust)
+        self.forward_unknown = bool(forward_unknown)
+
+    def _decide(self, trust: int, activity: Activity) -> bool:
+        return trust >= self.min_trust
+
+    def _decide_unknown(self) -> bool:
+        return self.forward_unknown

@@ -1,0 +1,115 @@
+"""Payoff tables of §4.2 / Fig. 2a.
+
+Two tables exist: one for the source node (payoff depends only on whether the
+packet reached the destination) and one for intermediate nodes (payoff depends
+on the decision taken and on the trust level assigned to the packet's source).
+
+The intermediate table in the paper's PDF is garbled by text extraction; the
+values used here are the monotone reconstruction documented in DESIGN.md §2.1:
+forwarding pays more for more-trusted sources (an "investment of trust"),
+discarding pays more for less-trusted sources (battery saved, no valuable
+relationship lost).  Both rows use the multiset {0.5, 1, 2, 3} that appears in
+the original figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.strategy import N_TRUST_LEVELS
+
+__all__ = ["PayoffConfig"]
+
+
+def _default_forward() -> tuple[float, ...]:
+    # index = trust level 0..3
+    return (0.5, 1.0, 2.0, 3.0)
+
+
+def _default_discard() -> tuple[float, ...]:
+    return (3.0, 2.0, 1.0, 0.5)
+
+
+@dataclass(frozen=True)
+class PayoffConfig:
+    """All payoff parameters of the Ad Hoc Network Game.
+
+    Attributes
+    ----------
+    source_success:
+        Source payoff when its packet reaches the destination (paper: 5).
+    source_failure:
+        Source payoff when the packet is discarded en route (paper: 0).
+    forward_by_trust:
+        Intermediate payoff for *forwarding*, indexed by the trust level the
+        intermediate assigns to the source (index 0..3).
+    discard_by_trust:
+        Intermediate payoff for *discarding*, same indexing.
+    default_trust:
+        Trust level used to pay a decision about an *unknown* source
+        (paper §6.1: "unknown nodes have a default trust value assigned to 1").
+    """
+
+    source_success: float = 5.0
+    source_failure: float = 0.0
+    forward_by_trust: tuple[float, ...] = field(default_factory=_default_forward)
+    discard_by_trust: tuple[float, ...] = field(default_factory=_default_discard)
+    default_trust: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("forward_by_trust", "discard_by_trust"):
+            row = tuple(float(v) for v in getattr(self, name))
+            if len(row) != N_TRUST_LEVELS:
+                raise ValueError(
+                    f"{name} must have {N_TRUST_LEVELS} entries, got {len(row)}"
+                )
+            object.__setattr__(self, name, row)
+        if not 0 <= self.default_trust < N_TRUST_LEVELS:
+            raise ValueError(
+                f"default_trust must be in 0..{N_TRUST_LEVELS - 1},"
+                f" got {self.default_trust}"
+            )
+
+    # -- lookups -----------------------------------------------------------
+
+    def source_payoff(self, success: bool) -> float:
+        """Payoff for the source node given the transmission status."""
+        return self.source_success if success else self.source_failure
+
+    def intermediate_payoff(self, forwarded: bool, trust: int | None) -> float:
+        """Payoff for an intermediate's decision.
+
+        ``trust`` is the trust level the intermediate assigns to the source;
+        ``None`` means the source is unknown and :attr:`default_trust` is used.
+        """
+        level = self.default_trust if trust is None else int(trust)
+        if not 0 <= level < N_TRUST_LEVELS:
+            raise ValueError(f"trust level must be in 0..3, got {level}")
+        table = self.forward_by_trust if forwarded else self.discard_by_trust
+        return table[level]
+
+    @property
+    def max_intermediate_payoff(self) -> float:
+        """Largest payoff any intermediate decision can earn."""
+        return max(*self.forward_by_trust, *self.discard_by_trust)
+
+    @property
+    def max_payoff(self) -> float:
+        """Largest payoff any single event can earn (bounds fitness)."""
+        return max(
+            self.source_success, self.source_failure, self.max_intermediate_payoff
+        )
+
+    @classmethod
+    def without_reputation(cls) -> "PayoffConfig":
+        """Payoffs for a network *without* a reputation enforcement system.
+
+        §4.2: "If such system was not used, the payoff for selfish behavior
+        (discarding packets) would always be higher than for forwarding" —
+        modelled as a flat discard payoff above a flat forward payoff.  Used
+        by the `bench_ablation_reputation` experiment.
+        """
+        return cls(
+            forward_by_trust=(0.5, 0.5, 0.5, 0.5),
+            discard_by_trust=(3.0, 3.0, 3.0, 3.0),
+        )

@@ -1,0 +1,19 @@
+"""Experiment harness: the paper's evaluation cases, replication running,
+result aggregation and the per-artefact reproduction registry."""
+
+from repro.experiments.cases import CASES, EvaluationCase, get_case
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.replication import ReplicationResult, run_replication
+from repro.experiments.results import ExperimentResult
+from repro.experiments.runner import run_experiment
+
+__all__ = [
+    "EvaluationCase",
+    "CASES",
+    "get_case",
+    "ExperimentConfig",
+    "run_replication",
+    "ReplicationResult",
+    "ExperimentResult",
+    "run_experiment",
+]

@@ -1,0 +1,91 @@
+"""The paper's evaluation cases (Table 4).
+
+================  =========================  ==========
+case              tournament environment(s)  path mode
+================  =========================  ==========
+case 1            TE1 (0 CSN)                shorter
+case 2            30 CSN (see note)          shorter
+case 3            TE1–TE4                    shorter
+case 4            TE1–TE4                    longer
+================  =========================  ==========
+
+Note on case 2: Table 4 labels the environment "3 (30 CSN)" while Table 1
+gives TE3 = 25 CSN and TE4 = 30 CSN; §6.2 describes case 2 as "most of the
+population (60%) is composed of CSN", i.e. 30 of 50 seats.  We therefore use
+a single environment with 30 CSN (DESIGN.md §2.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.presets import environment_with_csn, paper_environments
+from repro.tournament.environment import TournamentEnvironment
+
+__all__ = ["EvaluationCase", "CASES", "get_case"]
+
+
+@dataclass(frozen=True)
+class EvaluationCase:
+    """One evaluation case: which environments, which path mode."""
+
+    name: str
+    description: str
+    environments: tuple[TournamentEnvironment, ...]
+    path_mode: str  # "shorter" or "longer"
+
+    def __post_init__(self) -> None:
+        if not self.environments:
+            raise ValueError("a case needs at least one environment")
+        if self.path_mode not in ("shorter", "longer"):
+            raise ValueError(f"unknown path mode {self.path_mode!r}")
+
+    @property
+    def max_selfish(self) -> int:
+        """Largest CSN pool any of the case's environments needs."""
+        return max(env.n_selfish for env in self.environments)
+
+
+def _build_cases() -> dict[str, EvaluationCase]:
+    te1, te2, te3, te4 = paper_environments()
+    case2_env = environment_with_csn(30)
+    return {
+        "case1": EvaluationCase(
+            name="case1",
+            description="CSN-free tournament (TE1), shorter paths",
+            environments=(te1,),
+            path_mode="shorter",
+        ),
+        "case2": EvaluationCase(
+            name="case2",
+            description="single environment with 30 CSN (60%), shorter paths",
+            environments=(case2_env,),
+            path_mode="shorter",
+        ),
+        "case3": EvaluationCase(
+            name="case3",
+            description="all environments TE1-TE4, shorter paths",
+            environments=(te1, te2, te3, te4),
+            path_mode="shorter",
+        ),
+        "case4": EvaluationCase(
+            name="case4",
+            description="all environments TE1-TE4, longer paths",
+            environments=(te1, te2, te3, te4),
+            path_mode="longer",
+        ),
+    }
+
+
+#: Table 4, by case name.
+CASES: dict[str, EvaluationCase] = _build_cases()
+
+
+def get_case(name: str) -> EvaluationCase:
+    """Look up a paper case by name (``"case1"`` .. ``"case4"``)."""
+    try:
+        return CASES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown case {name!r}; available: {sorted(CASES)}"
+        ) from None

@@ -1,0 +1,121 @@
+"""Top-level experiment configuration.
+
+An :class:`ExperimentConfig` pins everything a replication needs — the
+evaluation case, GA parameters, simulation parameters, engine choice, scale
+and master seed — so that a replication is a pure function of
+``(config, replication_index)``.
+
+Scale presets
+-------------
+``paper``    — the paper's full scale (500 generations x 300 rounds x 60
+               replications); hours of CPU, provided for completeness.
+``default``  — the documented reduced scale used for the shipped
+               reproduction (EXPERIMENTS.md): same population and
+               environments, fewer generations/rounds/replications.
+``smoke``    — seconds-scale sanity runs for tests and CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.config.parameters import GAConfig, SimulationConfig
+from repro.config.presets import PAPER_GENERATIONS, PAPER_REPLICATIONS
+from repro.experiments.cases import EvaluationCase, get_case
+
+__all__ = ["ExperimentConfig", "SCALES"]
+
+#: (generations, rounds, replications) per scale preset.
+SCALES: dict[str, tuple[int, int, int]] = {
+    "paper": (PAPER_GENERATIONS, 300, PAPER_REPLICATIONS),
+    "default": (60, 100, 4),
+    "smoke": (3, 8, 1),
+}
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Complete, self-contained description of one experiment."""
+
+    case: EvaluationCase
+    generations: int = 60
+    replications: int = 4
+    seed: int = 2007  # the paper's publication year, for flavour
+    engine: str = "fast"
+    ga: GAConfig = field(default_factory=GAConfig)
+    sim: SimulationConfig = field(default_factory=SimulationConfig)
+
+    def __post_init__(self) -> None:
+        if self.generations < 1:
+            raise ValueError(f"generations must be >= 1, got {self.generations}")
+        if self.replications < 1:
+            raise ValueError(f"replications must be >= 1, got {self.replications}")
+        if self.engine not in ("fast", "reference"):
+            raise ValueError(
+                f"engine must be 'fast' or 'reference', got {self.engine!r}"
+            )
+        if self.sim.path_mode != self.case.path_mode:
+            # keep sim in line with the case definition
+            object.__setattr__(
+                self, "sim", self.sim.with_(path_mode=self.case.path_mode)
+            )
+        for env in self.case.environments:
+            if env.n_normal > self.ga.population_size:
+                raise ValueError(
+                    f"{env.name} needs {env.n_normal} normal players but the"
+                    f" population has only {self.ga.population_size}"
+                )
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def for_case(
+        cls,
+        case: str | EvaluationCase,
+        scale: str = "default",
+        **overrides: Any,
+    ) -> "ExperimentConfig":
+        """Build a config for a paper case at a named scale."""
+        if isinstance(case, str):
+            case = get_case(case)
+        if scale not in SCALES:
+            raise ValueError(f"unknown scale {scale!r}; available: {sorted(SCALES)}")
+        generations, rounds, replications = SCALES[scale]
+        config = cls(
+            case=case,
+            generations=overrides.pop("generations", generations),
+            replications=overrides.pop("replications", replications),
+            sim=overrides.pop(
+                "sim", SimulationConfig(rounds=rounds, path_mode=case.path_mode)
+            ),
+            **overrides,
+        )
+        return config
+
+    def with_(self, **changes: Any) -> "ExperimentConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    # -- summary ---------------------------------------------------------------
+
+    def describe(self) -> dict[str, Any]:
+        """A JSON-friendly summary stored alongside results."""
+        return {
+            "case": self.case.name,
+            "path_mode": self.case.path_mode,
+            "environments": [
+                {
+                    "name": env.name,
+                    "tournament_size": env.tournament_size,
+                    "n_selfish": env.n_selfish,
+                }
+                for env in self.case.environments
+            ],
+            "generations": self.generations,
+            "replications": self.replications,
+            "seed": self.seed,
+            "engine": self.engine,
+            "ga": self.ga.to_dict(),
+            "sim": self.sim.to_dict(),
+        }

@@ -1,0 +1,187 @@
+"""Reproduction registry: one entry per paper artefact (figure/table).
+
+A :class:`ReproductionSession` owns the expensive per-case experiment runs
+and shares them between artefacts (Fig. 4 needs cases 1–4; Tables 5–9 reuse
+cases 3–4), optionally persisting raw results as JSON so reports can be
+re-rendered without re-simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.analysis import reporting
+from repro.experiments.config import SCALES, ExperimentConfig
+from repro.experiments.results import ExperimentResult
+from repro.experiments.runner import run_experiment
+from repro.parallel.progress import ProgressPrinter
+
+__all__ = ["ARTEFACTS", "ArtefactSpec", "ReproductionSession"]
+
+
+@dataclass(frozen=True)
+class ArtefactSpec:
+    """One reproducible paper artefact."""
+
+    artefact_id: str
+    title: str
+    cases: tuple[str, ...]
+    render: Callable[["ReproductionSession"], str]
+
+    def __str__(self) -> str:
+        return f"{self.artefact_id}: {self.title} (cases: {', '.join(self.cases)})"
+
+
+class ReproductionSession:
+    """Runs and caches the per-case experiments behind all artefacts."""
+
+    def __init__(
+        self,
+        scale: str = "default",
+        seed: int = 2007,
+        engine: str = "fast",
+        processes: int | None = None,
+        cache_dir: str | Path | None = None,
+        verbose: bool = False,
+    ):
+        if scale not in SCALES:
+            raise ValueError(f"unknown scale {scale!r}; available: {sorted(SCALES)}")
+        self.scale = scale
+        self.seed = seed
+        self.engine = engine
+        self.processes = processes
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.verbose = verbose
+        self._results: dict[str, ExperimentResult] = {}
+
+    # -- case execution -------------------------------------------------------
+
+    def config_for(self, case_name: str) -> ExperimentConfig:
+        return ExperimentConfig.for_case(
+            case_name, scale=self.scale, seed=self.seed, engine=self.engine
+        )
+
+    def _cache_path(self, case_name: str) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{case_name}_{self.scale}_seed{self.seed}.json"
+
+    def result_for(self, case_name: str) -> ExperimentResult:
+        """The experiment result for a case, computed/loaded at most once."""
+        if case_name in self._results:
+            return self._results[case_name]
+        cache = self._cache_path(case_name)
+        if cache is not None and cache.exists():
+            result = ExperimentResult.load(cache)
+        else:
+            progress = (
+                ProgressPrinter(f"{case_name} [{self.scale}]") if self.verbose else None
+            )
+            result = run_experiment(
+                self.config_for(case_name),
+                processes=self.processes,
+                progress=progress,
+            )
+            if cache is not None:
+                result.save(cache)
+        self._results[case_name] = result
+        return result
+
+    # -- artefacts -------------------------------------------------------------
+
+    def render(self, artefact_id: str) -> str:
+        """Run whatever the artefact needs and return its printable report."""
+        spec = ARTEFACTS.get(artefact_id)
+        if spec is None:
+            raise KeyError(
+                f"unknown artefact {artefact_id!r}; available: {sorted(ARTEFACTS)}"
+            )
+        return spec.render(self)
+
+    def render_all(self) -> dict[str, str]:
+        """All artefact reports, in registry order."""
+        return {aid: self.render(aid) for aid in ARTEFACTS}
+
+
+# -- artefact render functions ----------------------------------------------
+
+
+def _render_fig4(session: ReproductionSession) -> str:
+    results = {
+        name: session.result_for(name)
+        for name in ("case1", "case2", "case3", "case4")
+    }
+    return reporting.render_fig4(results)
+
+
+def _render_table5(session: ReproductionSession) -> str:
+    return reporting.render_table5(
+        session.result_for("case3"), session.result_for("case4")
+    )
+
+
+def _render_table6(session: ReproductionSession) -> str:
+    return reporting.render_table6(
+        session.result_for("case3"), session.result_for("case4")
+    )
+
+
+def _render_table7(session: ReproductionSession) -> str:
+    return reporting.render_table7(
+        session.result_for("case3"), session.result_for("case4")
+    )
+
+
+def _render_table8(session: ReproductionSession) -> str:
+    return reporting.render_table8_9(
+        session.result_for("case3"), "case 3 (short paths) - Table 8"
+    )
+
+
+def _render_table9(session: ReproductionSession) -> str:
+    return reporting.render_table8_9(
+        session.result_for("case4"), "case 4 (long paths) - Table 9"
+    )
+
+
+#: Every reproducible artefact, keyed by id.
+ARTEFACTS: dict[str, ArtefactSpec] = {
+    "fig4": ArtefactSpec(
+        "fig4",
+        "The evolution of cooperation (all evaluation cases)",
+        ("case1", "case2", "case3", "case4"),
+        _render_fig4,
+    ),
+    "table5": ArtefactSpec(
+        "table5",
+        "Cooperation levels per environment (cases 3-4)",
+        ("case3", "case4"),
+        _render_table5,
+    ),
+    "table6": ArtefactSpec(
+        "table6",
+        "Response to packet forwarding requests (cases 3-4)",
+        ("case3", "case4"),
+        _render_table6,
+    ),
+    "table7": ArtefactSpec(
+        "table7",
+        "Most popular evolved strategies (cases 3-4)",
+        ("case3", "case4"),
+        _render_table7,
+    ),
+    "table8": ArtefactSpec(
+        "table8",
+        "Evolved sub-strategies, case 3 (short paths)",
+        ("case3",),
+        _render_table8,
+    ),
+    "table9": ArtefactSpec(
+        "table9",
+        "Evolved sub-strategies, case 4 (long paths)",
+        ("case4",),
+        _render_table9,
+    ),
+}

@@ -1,0 +1,135 @@
+"""One independent replication: random initial strategies evolved for G
+generations, with full per-generation bookkeeping.
+
+A replication is a pure function of ``(config, replication_index)``: its
+generator is derived from the master seed and the index via
+``SeedSequence(seed, spawn_key=(index,))``, so results do not depend on
+worker count or execution order (see :mod:`repro.parallel`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.strategy import STRATEGY_LENGTH, Strategy
+from repro.experiments.config import ExperimentConfig
+from repro.game.stats import TournamentStats
+from repro.ga.evolution import GeneticAlgorithm
+from repro.ga.history import GenerationRecord, History
+from repro.paths.distributions import HOP_MODES
+from repro.paths.oracle import RandomPathOracle
+from repro.reputation.activity import ActivityClassifier
+from repro.reputation.trust import TrustTable
+from repro.sim import make_engine
+from repro.tournament.evaluation import evaluate_generation
+from repro.utils.rng import derive_generator
+
+__all__ = ["ReplicationResult", "run_replication"]
+
+
+@dataclass
+class ReplicationResult:
+    """Everything recorded about one replication."""
+
+    replication: int
+    history: History
+    final_population: list[int]  # strategies of the last *evaluated* generation
+    final_per_env: dict[str, TournamentStats]  # last generation's stats
+    final_overall: TournamentStats
+
+    def final_strategies(self) -> list[Strategy]:
+        """The last evaluated population as :class:`Strategy` objects."""
+        return [Strategy.from_int(v) for v in self.final_population]
+
+    def to_dict(self) -> dict:
+        return {
+            "replication": self.replication,
+            "history": self.history.to_dict(),
+            "final_population": list(self.final_population),
+            "final_per_env": {
+                name: stats.to_dict() for name, stats in self.final_per_env.items()
+            },
+            "final_overall": self.final_overall.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ReplicationResult":
+        return cls(
+            replication=int(data["replication"]),
+            history=History.from_dict(data["history"]),
+            final_population=[int(v) for v in data["final_population"]],
+            final_per_env={
+                name: TournamentStats.from_dict(stats)
+                for name, stats in data["final_per_env"].items()
+            },
+            final_overall=TournamentStats.from_dict(data["final_overall"]),
+        )
+
+
+def run_replication(config: ExperimentConfig, replication: int) -> ReplicationResult:
+    """Run one full replication of ``config``.
+
+    The population is evaluated ``config.generations`` times with
+    ``config.generations - 1`` GA steps in between, so the reported final
+    statistics and final population describe the same (last evaluated)
+    generation.
+    """
+    rng = derive_generator(config.seed, (replication,))
+    sim = config.sim
+    trust_table = TrustTable(bounds=sim.trust_bounds)
+    activity = ActivityClassifier(band=sim.activity_band)
+    engine = make_engine(
+        config.engine,
+        n_population=config.ga.population_size,
+        max_selfish=config.case.max_selfish,
+        trust_table=trust_table,
+        activity=activity,
+        payoffs=sim.payoffs,
+    )
+    oracle = RandomPathOracle(rng, HOP_MODES[sim.path_mode])
+    ga = GeneticAlgorithm(config.ga)
+    population = ga.initial_population(STRATEGY_LENGTH, rng)
+
+    history = History()
+    last_result = None
+    for generation in range(config.generations):
+        strategies = [Strategy(bits) for bits in population]
+        engine.set_strategies(strategies)
+        result = evaluate_generation(
+            engine,
+            config.case.environments,
+            rounds=sim.rounds,
+            plays_per_environment=sim.plays_per_environment,
+            oracle=oracle,
+            rng=rng,
+            exchange=sim.exchange,
+        )
+        history.append(
+            GenerationRecord(
+                generation=generation,
+                cooperation=result.cooperation_level,
+                cooperation_per_env={
+                    name: stats.cooperation_level
+                    for name, stats in result.per_environment.items()
+                },
+                mean_fitness=float(np.mean(result.fitness)),
+                best_fitness=float(np.max(result.fitness)),
+                mean_forwarding_fraction=float(
+                    np.mean([s.forwarding_fraction() for s in strategies])
+                ),
+            )
+        )
+        last_result = result
+        if generation < config.generations - 1:
+            population = ga.next_generation(population, result.fitness, rng)
+
+    assert last_result is not None
+    return ReplicationResult(
+        replication=replication,
+        history=history,
+        final_population=[Strategy(bits).to_int() for bits in population],
+        final_per_env=last_result.per_environment,
+        final_overall=last_result.overall,
+    )

@@ -1,0 +1,39 @@
+"""Experiment runner: replications in parallel, results aggregated.
+
+``run_experiment`` is the single entry point used by the CLI, the benchmark
+harnesses and the examples.  Replication ``i`` always sees the random stream
+derived from ``(config.seed, i)``, so the outcome is independent of the
+worker count.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.replication import ReplicationResult, run_replication
+from repro.experiments.results import ExperimentResult
+from repro.parallel.pool import parallel_map
+
+__all__ = ["run_experiment"]
+
+
+def _task(args: tuple[ExperimentConfig, int]) -> ReplicationResult:
+    """Module-level task wrapper (must be picklable for the process pool)."""
+    config, replication = args
+    return run_replication(config, replication)
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    processes: int | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> ExperimentResult:
+    """Run all replications of ``config`` and aggregate the results.
+
+    ``processes=None`` uses one worker per core (capped at the replication
+    count); ``processes=1`` runs serially in-process.
+    """
+    tasks = [(config, i) for i in range(config.replications)]
+    replications = parallel_map(_task, tasks, processes=processes, progress=progress)
+    return ExperimentResult(config=config.describe(), replications=replications)

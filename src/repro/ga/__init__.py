@@ -1,0 +1,25 @@
+"""Genetic algorithm (§5): selection, one-point crossover, bit-flip mutation.
+
+Implemented from scratch on tuple-of-bits genomes; generic enough to drive
+both the 13-bit ad hoc strategies and the 5-bit IPDRP baseline strategies.
+"""
+
+from repro.ga.evolution import GeneticAlgorithm
+from repro.ga.history import GenerationRecord, History
+from repro.ga.operators import mutate, one_point_crossover
+from repro.ga.selection import (
+    roulette_select_index,
+    select_index,
+    tournament_select_index,
+)
+
+__all__ = [
+    "one_point_crossover",
+    "mutate",
+    "tournament_select_index",
+    "roulette_select_index",
+    "select_index",
+    "GeneticAlgorithm",
+    "History",
+    "GenerationRecord",
+]

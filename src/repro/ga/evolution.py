@@ -1,0 +1,79 @@
+"""The generational GA step of §5.
+
+Per generation: fitness of each player's strategy is its average payoff over
+all tournaments (Eq. 1, computed by the evaluation); then N pairs of parents
+are selected, one-point crossover is applied with probability ``p_c``, one of
+the two children is kept at random, and uniform bit-flip mutation with
+probability ``p_m`` per bit finishes the offspring.  Constantly selfish nodes
+never enter selection or reproduction.
+
+This class is genome-agnostic: it maps bit tuples to bit tuples.  The ad hoc
+experiment wraps it over 13-bit strategies; the IPDRP baseline over 5-bit
+strategies.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.config.parameters import GAConfig
+from repro.ga.operators import mutate, one_point_crossover
+from repro.ga.selection import select_index
+
+__all__ = ["GeneticAlgorithm"]
+
+Bits = tuple[int, ...]
+
+
+class GeneticAlgorithm:
+    """Stateless generational step; all state lives in (population, fitness)."""
+
+    def __init__(self, config: GAConfig):
+        self.config = config
+
+    def initial_population(
+        self, genome_length: int, rng: np.random.Generator
+    ) -> list[Bits]:
+        """Uniformly random initial strategies (§5)."""
+        return [
+            tuple(int(b) for b in rng.integers(0, 2, size=genome_length))
+            for _ in range(self.config.population_size)
+        ]
+
+    def next_generation(
+        self,
+        population: Sequence[Bits],
+        fitness: np.ndarray,
+        rng: np.random.Generator,
+    ) -> list[Bits]:
+        """Produce the next population from the current one and its fitness."""
+        cfg = self.config
+        if len(population) != cfg.population_size:
+            raise ValueError(
+                f"population size {len(population)} != configured"
+                f" {cfg.population_size}"
+            )
+        fitness = np.asarray(fitness, dtype=float)
+        if len(fitness) != len(population):
+            raise ValueError("fitness length must match population length")
+
+        offspring: list[Bits] = []
+        if cfg.elitism:
+            # Highest-fitness strategies copied unchanged (ablation only;
+            # the paper itself uses no elitism).
+            elite_order = np.argsort(-fitness, kind="stable")[: cfg.elitism]
+            offspring.extend(tuple(population[int(i)]) for i in elite_order)
+
+        while len(offspring) < cfg.population_size:
+            i = select_index(cfg.selection, fitness, rng, cfg.tournament_size)
+            j = select_index(cfg.selection, fitness, rng, cfg.tournament_size)
+            parent_a, parent_b = population[i], population[j]
+            if rng.random() < cfg.crossover_rate:
+                child_a, child_b = one_point_crossover(parent_a, parent_b, rng)
+            else:
+                child_a, child_b = tuple(parent_a), tuple(parent_b)
+            child = child_a if rng.random() < 0.5 else child_b
+            offspring.append(mutate(child, cfg.mutation_rate, rng))
+        return offspring

@@ -1,0 +1,100 @@
+"""Per-generation evolution records (the data behind Fig. 4).
+
+A :class:`History` collects one :class:`GenerationRecord` per generation:
+overall and per-environment cooperation levels, fitness summary, and the mean
+forwarding fraction of the population's strategies.  Histories serialise to
+plain dicts for the JSON result files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["GenerationRecord", "History"]
+
+
+@dataclass(frozen=True)
+class GenerationRecord:
+    """Summary of one evaluated generation."""
+
+    generation: int
+    cooperation: float
+    cooperation_per_env: dict[str, float]
+    mean_fitness: float
+    best_fitness: float
+    mean_forwarding_fraction: float
+
+    def to_dict(self) -> dict:
+        return {
+            "generation": self.generation,
+            "cooperation": self.cooperation,
+            "cooperation_per_env": dict(self.cooperation_per_env),
+            "mean_fitness": self.mean_fitness,
+            "best_fitness": self.best_fitness,
+            "mean_forwarding_fraction": self.mean_forwarding_fraction,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GenerationRecord":
+        return cls(
+            generation=int(data["generation"]),
+            cooperation=float(data["cooperation"]),
+            cooperation_per_env={
+                k: float(v) for k, v in data["cooperation_per_env"].items()
+            },
+            mean_fitness=float(data["mean_fitness"]),
+            best_fitness=float(data["best_fitness"]),
+            mean_forwarding_fraction=float(data["mean_forwarding_fraction"]),
+        )
+
+
+@dataclass
+class History:
+    """All generation records of one replication, in order."""
+
+    records: list[GenerationRecord] = field(default_factory=list)
+
+    def append(self, record: GenerationRecord) -> None:
+        if self.records and record.generation != self.records[-1].generation + 1:
+            raise ValueError(
+                f"non-contiguous generation {record.generation} after"
+                f" {self.records[-1].generation}"
+            )
+        self.records.append(record)
+
+    @property
+    def n_generations(self) -> int:
+        return len(self.records)
+
+    def cooperation_series(self) -> np.ndarray:
+        """Cooperation level per generation (one Fig. 4 curve)."""
+        return np.array([r.cooperation for r in self.records], dtype=float)
+
+    def cooperation_series_env(self, env: str) -> np.ndarray:
+        """Per-environment cooperation series (Table 5 uses the last value)."""
+        return np.array(
+            [r.cooperation_per_env[env] for r in self.records], dtype=float
+        )
+
+    def environments(self) -> Sequence[str]:
+        """Environment names present in the records."""
+        return list(self.records[0].cooperation_per_env) if self.records else []
+
+    @property
+    def final(self) -> GenerationRecord:
+        if not self.records:
+            raise ValueError("empty history has no final record")
+        return self.records[-1]
+
+    def to_dict(self) -> dict:
+        return {"records": [r.to_dict() for r in self.records]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "History":
+        history = cls()
+        for rec in data["records"]:
+            history.append(GenerationRecord.from_dict(rec))
+        return history

@@ -1,0 +1,48 @@
+"""Variation operators: standard one-point crossover and uniform bit-flip
+mutation (§5).
+
+Operators act on plain bit tuples; the callers own the conversion to/from
+:class:`~repro.core.strategy.Strategy` so these stay genome-length agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["one_point_crossover", "mutate"]
+
+Bits = tuple[int, ...]
+
+
+def one_point_crossover(
+    a: Sequence[int], b: Sequence[int], rng: np.random.Generator
+) -> tuple[Bits, Bits]:
+    """Standard one-point crossover.
+
+    The cut point is uniform on ``1 .. L-1`` so both children always contain
+    genetic material from both parents (a cut at 0 or L would clone them).
+    Returns both children; §5 keeps one of the two at random.
+    """
+    a = tuple(a)
+    b = tuple(b)
+    if len(a) != len(b):
+        raise ValueError(f"parent length mismatch: {len(a)} vs {len(b)}")
+    if len(a) < 2:
+        raise ValueError("crossover needs genomes of length >= 2")
+    cut = int(rng.integers(1, len(a)))
+    return a[:cut] + b[cut:], b[:cut] + a[cut:]
+
+
+def mutate(bits: Sequence[int], rate: float, rng: np.random.Generator) -> Bits:
+    """Uniform bit-flip mutation: each bit flips independently with ``rate``.
+
+    Always consumes exactly ``len(bits)`` uniforms so the random stream
+    advances identically whether or not any bit flips (keeps replications
+    reproducible under parameter changes that don't touch the flow).
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"mutation rate must be in [0, 1], got {rate}")
+    draws = rng.random(len(bits))
+    return tuple(1 - b if u < rate else b for b, u in zip(bits, draws))

@@ -1,0 +1,68 @@
+"""Parent selection.
+
+The paper uses tournament selection ("we apply similar evolutionary technique
+as in IPDRP [12] except that we use a tournament selection instead of a
+roulette one", §5); roulette-wheel selection is implemented as well for the
+selection ablation bench and the IPDRP baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["tournament_select_index", "roulette_select_index", "select_index"]
+
+
+def tournament_select_index(
+    fitness: np.ndarray, rng: np.random.Generator, size: int = 2
+) -> int:
+    """Pick ``size`` contenders uniformly with replacement; fittest wins.
+
+    Ties go to the contender drawn first (stable, and unbiased because the
+    draw order is itself uniform).
+    """
+    fitness = np.asarray(fitness, dtype=float)
+    if fitness.ndim != 1 or len(fitness) == 0:
+        raise ValueError("fitness must be a non-empty 1-D array")
+    if size < 1:
+        raise ValueError(f"tournament size must be >= 1, got {size}")
+    contenders = rng.integers(0, len(fitness), size=size)
+    best = int(contenders[0])
+    for c in contenders[1:]:
+        c = int(c)
+        if fitness[c] > fitness[best]:
+            best = c
+    return best
+
+
+def roulette_select_index(fitness: np.ndarray, rng: np.random.Generator) -> int:
+    """Fitness-proportionate selection.
+
+    Requires non-negative fitness (true here: every payoff in the game is
+    non-negative, so Eq. (1) is non-negative).  A population with zero total
+    fitness degenerates to a uniform pick.
+    """
+    fitness = np.asarray(fitness, dtype=float)
+    if fitness.ndim != 1 or len(fitness) == 0:
+        raise ValueError("fitness must be a non-empty 1-D array")
+    if (fitness < 0).any():
+        raise ValueError("roulette selection requires non-negative fitness")
+    total = fitness.sum()
+    if total <= 0.0:
+        return int(rng.integers(0, len(fitness)))
+    u = rng.random() * total
+    return int(np.searchsorted(np.cumsum(fitness), u, side="right").clip(0, len(fitness) - 1))
+
+
+def select_index(
+    method: str,
+    fitness: np.ndarray,
+    rng: np.random.Generator,
+    tournament_size: int = 2,
+) -> int:
+    """Dispatch on the configured selection method name."""
+    if method == "tournament":
+        return tournament_select_index(fitness, rng, tournament_size)
+    if method == "roulette":
+        return roulette_select_index(fitness, rng)
+    raise ValueError(f"unknown selection method {method!r}")

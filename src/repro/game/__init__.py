@@ -1,0 +1,8 @@
+"""The Ad Hoc Network Game (§4.1–4.2): one packet, one source, a path of
+intermediates deciding in sequence, payoffs and watchdog reputation updates."""
+
+from repro.game.engine import play_game
+from repro.game.result import GameResult
+from repro.game.stats import RequestCounters, TournamentStats
+
+__all__ = ["play_game", "GameResult", "TournamentStats", "RequestCounters"]

@@ -1,0 +1,50 @@
+"""Result records produced by a single Ad Hoc Network Game."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.node import Decision
+from repro.paths.oracle import GameSetup
+
+__all__ = ["GameResult"]
+
+
+@dataclass(frozen=True)
+class GameResult:
+    """Everything that happened in one game.
+
+    ``decisions`` is aligned with the first ``len(decisions)`` intermediates
+    of the chosen path: only nodes that actually received the packet made a
+    decision.  ``drop_index`` is the path position of the node that discarded
+    the packet, or ``None`` on success.
+    """
+
+    setup: GameSetup
+    chosen_path_index: int
+    decisions: tuple[Decision, ...]
+    success: bool
+
+    @property
+    def chosen_path(self) -> tuple[int, ...]:
+        return self.setup.paths[self.chosen_path_index]
+
+    @property
+    def drop_index(self) -> int | None:
+        """Index into the chosen path of the dropping node, if any."""
+        if self.success:
+            return None
+        return len(self.decisions) - 1
+
+    @property
+    def dropper(self) -> int | None:
+        """Id of the node that discarded the packet, if any."""
+        idx = self.drop_index
+        return None if idx is None else self.chosen_path[idx]
+
+    def __post_init__(self) -> None:
+        path = self.setup.paths[self.chosen_path_index]
+        if len(self.decisions) > len(path):
+            raise ValueError("more decisions than intermediates on the path")
+        if self.success and len(self.decisions) != len(path):
+            raise ValueError("successful game must have a decision per hop")

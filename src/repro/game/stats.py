@@ -1,0 +1,203 @@
+"""Mergeable statistics counters for tournaments and generations.
+
+These counters are the raw material for the paper's evaluation artefacts:
+
+* cooperation level (Fig. 4, Table 5) — packets originated by normal nodes
+  that reached their destination;
+* CSN-free chosen paths (Table 5) — whether the source managed to route
+  around constantly selfish nodes;
+* responses to forwarding requests by source type (Table 6).
+
+Both simulation engines update a :class:`TournamentStats` through the same
+call sequence, so engine-equivalence tests can compare the counters field by
+field.  ``merge`` folds tournaments into environments, environments into
+generations, and replications into experiment aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RequestCounters", "TournamentStats"]
+
+
+@dataclass
+class RequestCounters:
+    """Responses to forwarding requests from one class of source (Table 6).
+
+    A *request* is a packet arriving at an intermediate node that must decide;
+    nodes downstream of a drop never receive the packet and are not counted.
+    """
+
+    accepted_by_nn: int = 0
+    accepted_by_csn: int = 0  # structurally zero for pure CSN, kept for generality
+    rejected_by_nn: int = 0
+    rejected_by_csn: int = 0
+
+    def record(self, responder_selfish: bool, forwarded: bool) -> None:
+        """Count one request handled by a normal (or selfish) responder."""
+        if forwarded:
+            if responder_selfish:
+                self.accepted_by_csn += 1
+            else:
+                self.accepted_by_nn += 1
+        else:
+            if responder_selfish:
+                self.rejected_by_csn += 1
+            else:
+                self.rejected_by_nn += 1
+
+    @property
+    def total(self) -> int:
+        return (
+            self.accepted_by_nn
+            + self.accepted_by_csn
+            + self.rejected_by_nn
+            + self.rejected_by_csn
+        )
+
+    @property
+    def accepted(self) -> int:
+        return self.accepted_by_nn + self.accepted_by_csn
+
+    def fraction_accepted(self) -> float:
+        """Fraction of requests accepted (0.0 when no requests occurred)."""
+        return self.accepted / self.total if self.total else 0.0
+
+    def fraction_rejected_by_nn(self) -> float:
+        return self.rejected_by_nn / self.total if self.total else 0.0
+
+    def fraction_rejected_by_csn(self) -> float:
+        return self.rejected_by_csn / self.total if self.total else 0.0
+
+    def merge(self, other: "RequestCounters") -> None:
+        self.accepted_by_nn += other.accepted_by_nn
+        self.accepted_by_csn += other.accepted_by_csn
+        self.rejected_by_nn += other.rejected_by_nn
+        self.rejected_by_csn += other.rejected_by_csn
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "accepted_by_nn": self.accepted_by_nn,
+            "accepted_by_csn": self.accepted_by_csn,
+            "rejected_by_nn": self.rejected_by_nn,
+            "rejected_by_csn": self.rejected_by_csn,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, int]) -> "RequestCounters":
+        return cls(**{k: int(v) for k, v in data.items()})
+
+
+@dataclass
+class TournamentStats:
+    """All counters gathered while playing games."""
+
+    # packet delivery, by source type (nn = normal node, csn = selfish)
+    nn_originated: int = 0
+    nn_delivered: int = 0
+    csn_originated: int = 0
+    csn_delivered: int = 0
+    # chosen-path composition, by source type
+    nn_paths_chosen: int = 0
+    nn_csn_free_paths: int = 0
+    csn_paths_chosen: int = 0
+    csn_csn_free_paths: int = 0
+    # forwarding requests, by source type
+    requests_from_nn: RequestCounters = field(default_factory=RequestCounters)
+    requests_from_csn: RequestCounters = field(default_factory=RequestCounters)
+
+    # -- recording ---------------------------------------------------------
+
+    def record_path_choice(self, source_selfish: bool, contains_csn: bool) -> None:
+        """Count the composition of the path the source actually chose."""
+        if source_selfish:
+            self.csn_paths_chosen += 1
+            if not contains_csn:
+                self.csn_csn_free_paths += 1
+        else:
+            self.nn_paths_chosen += 1
+            if not contains_csn:
+                self.nn_csn_free_paths += 1
+
+    def record_request(
+        self, source_selfish: bool, responder_selfish: bool, forwarded: bool
+    ) -> None:
+        """Count one forwarding request and its outcome."""
+        counters = self.requests_from_csn if source_selfish else self.requests_from_nn
+        counters.record(responder_selfish, forwarded)
+
+    def record_game(self, source_selfish: bool, success: bool) -> None:
+        """Count one finished game (packet delivered or dropped)."""
+        if source_selfish:
+            self.csn_originated += 1
+            if success:
+                self.csn_delivered += 1
+        else:
+            self.nn_originated += 1
+            if success:
+                self.nn_delivered += 1
+
+    # -- derived metrics -----------------------------------------------------
+
+    @property
+    def cooperation_level(self) -> float:
+        """§6.2: fraction of NN-originated packets that reached the destination."""
+        if self.nn_originated == 0:
+            return 0.0
+        return self.nn_delivered / self.nn_originated
+
+    @property
+    def csn_delivery_level(self) -> float:
+        """Fraction of CSN-originated packets delivered (paper: near zero)."""
+        if self.csn_originated == 0:
+            return 0.0
+        return self.csn_delivered / self.csn_originated
+
+    @property
+    def nn_csn_free_fraction(self) -> float:
+        """Table 5's "CSN-free paths": chosen NN paths containing no CSN."""
+        if self.nn_paths_chosen == 0:
+            return 0.0
+        return self.nn_csn_free_paths / self.nn_paths_chosen
+
+    # -- aggregation ---------------------------------------------------------
+
+    def merge(self, other: "TournamentStats") -> None:
+        self.nn_originated += other.nn_originated
+        self.nn_delivered += other.nn_delivered
+        self.csn_originated += other.csn_originated
+        self.csn_delivered += other.csn_delivered
+        self.nn_paths_chosen += other.nn_paths_chosen
+        self.nn_csn_free_paths += other.nn_csn_free_paths
+        self.csn_paths_chosen += other.csn_paths_chosen
+        self.csn_csn_free_paths += other.csn_csn_free_paths
+        self.requests_from_nn.merge(other.requests_from_nn)
+        self.requests_from_csn.merge(other.requests_from_csn)
+
+    def to_dict(self) -> dict:
+        return {
+            "nn_originated": self.nn_originated,
+            "nn_delivered": self.nn_delivered,
+            "csn_originated": self.csn_originated,
+            "csn_delivered": self.csn_delivered,
+            "nn_paths_chosen": self.nn_paths_chosen,
+            "nn_csn_free_paths": self.nn_csn_free_paths,
+            "csn_paths_chosen": self.csn_paths_chosen,
+            "csn_csn_free_paths": self.csn_csn_free_paths,
+            "requests_from_nn": self.requests_from_nn.to_dict(),
+            "requests_from_csn": self.requests_from_csn.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TournamentStats":
+        stats = cls(
+            **{
+                k: int(v)
+                for k, v in data.items()
+                if k not in ("requests_from_nn", "requests_from_csn")
+            }
+        )
+        stats.requests_from_nn = RequestCounters.from_dict(data["requests_from_nn"])
+        stats.requests_from_csn = RequestCounters.from_dict(data["requests_from_csn"])
+        return stats

@@ -1,0 +1,22 @@
+"""IPDRP baseline: the Iterated Prisoner's Dilemma under Random Pairing.
+
+The paper's game model "has some similarities with the Iterated Prisoner's
+Dilemma under the Random Pairing (IPDRP) game" of Namikawa & Ishibuchi
+(CEC'05, the paper's ref [12]) and borrows its evolutionary setup (§5).  This
+package implements that baseline from scratch: 5-bit single-round-memory
+strategies, random pairing each round, and GA evolution — used to sanity-check
+the GA machinery on a known system and as a comparison bench.
+"""
+
+from repro.ipdrp.game import PDPayoffs, play_random_pairing_tournament
+from repro.ipdrp.strategy import IPDRP_STRATEGY_LENGTH, IpdrpStrategy
+from repro.ipdrp.evolution import evolve_ipdrp, IpdrpHistory
+
+__all__ = [
+    "IpdrpStrategy",
+    "IPDRP_STRATEGY_LENGTH",
+    "PDPayoffs",
+    "play_random_pairing_tournament",
+    "evolve_ipdrp",
+    "IpdrpHistory",
+]

@@ -1,0 +1,98 @@
+"""Random-pairing PD tournament (paper §2, ref [12]).
+
+Every round the population is randomly paired; each pair plays one Prisoner's
+Dilemma move, with each player conditioning on the outcome of its *own*
+previous encounter (against a likely different opponent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.ipdrp.strategy import IpdrpStrategy
+
+__all__ = ["PDPayoffs", "play_random_pairing_tournament"]
+
+
+@dataclass(frozen=True)
+class PDPayoffs:
+    """Prisoner's Dilemma payoff parameters (row player's view).
+
+    Defaults are the classic T=5 > R=3 > P=1 > S=0 with 2R > T + S.
+    """
+
+    temptation: float = 5.0  # I defect, opponent cooperates
+    reward: float = 3.0  # both cooperate
+    punishment: float = 1.0  # both defect
+    sucker: float = 0.0  # I cooperate, opponent defects
+
+    def __post_init__(self) -> None:
+        if not (
+            self.temptation > self.reward > self.punishment > self.sucker
+        ):
+            raise ValueError(
+                "payoffs must satisfy T > R > P > S for a Prisoner's Dilemma"
+            )
+        if not 2 * self.reward > self.temptation + self.sucker:
+            raise ValueError("payoffs must satisfy 2R > T + S")
+
+    def payoff(self, mine: bool, theirs: bool) -> float:
+        """My payoff given both moves (True = cooperate)."""
+        if mine and theirs:
+            return self.reward
+        if mine and not theirs:
+            return self.sucker
+        if not mine and theirs:
+            return self.temptation
+        return self.punishment
+
+
+def play_random_pairing_tournament(
+    strategies: Sequence[IpdrpStrategy],
+    rounds: int,
+    rng: np.random.Generator,
+    payoffs: PDPayoffs | None = None,
+) -> tuple[np.ndarray, float]:
+    """Play ``rounds`` of random pairing; return (mean payoffs, cooperation).
+
+    Returns the per-player average payoff per round and the overall fraction
+    of cooperative moves.  Requires an even number of players (the paper's
+    populations are even).
+    """
+    n = len(strategies)
+    if n < 2 or n % 2:
+        raise ValueError(f"need an even number (>= 2) of players, got {n}")
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    payoffs = payoffs or PDPayoffs()
+
+    totals = np.zeros(n, dtype=float)
+    # per-player memory of the previous encounter: (my move, opponent's move)
+    my_last = np.zeros(n, dtype=bool)
+    opp_last = np.zeros(n, dtype=bool)
+    played = False
+    coop_moves = 0
+
+    for _ in range(rounds):
+        order = rng.permutation(n)
+        for k in range(0, n, 2):
+            i, j = int(order[k]), int(order[k + 1])
+            if not played:
+                move_i = strategies[i].first_move()
+                move_j = strategies[j].first_move()
+            else:
+                move_i = strategies[i].move(bool(my_last[i]), bool(opp_last[i]))
+                move_j = strategies[j].move(bool(my_last[j]), bool(opp_last[j]))
+            totals[i] += payoffs.payoff(move_i, move_j)
+            totals[j] += payoffs.payoff(move_j, move_i)
+            my_last[i], opp_last[i] = move_i, move_j
+            my_last[j], opp_last[j] = move_j, move_i
+            coop_moves += int(move_i) + int(move_j)
+        played = True
+
+    mean_payoffs = totals / rounds
+    cooperation = coop_moves / (rounds * n)
+    return mean_payoffs, cooperation

@@ -1,0 +1,92 @@
+"""5-bit single-round-memory IPDRP strategies (paper §2, ref [12]).
+
+"Each player has a single round memory strategy represented by a binary
+string of the length five.  The first bit of the strategy determines the
+first move of the player, while bits [1-4] define the moves for all possible
+scenarios in the previous round."
+
+Bit layout::
+
+    bit 0 : first move of the tournament
+    bit 1 : move after (my C, opponent C)
+    bit 2 : move after (my C, opponent D)
+    bit 3 : move after (my D, opponent C)
+    bit 4 : move after (my D, opponent D)
+
+Bit value 1 = cooperate, 0 = defect.  Note the memory is of the player's own
+previous encounter, even though the next opponent is a different random
+player — that is what distinguishes IPDRP from the classic IPD.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.bitstring import bits_from_string, bits_to_string, validate_bits
+
+__all__ = ["IpdrpStrategy", "IPDRP_STRATEGY_LENGTH"]
+
+IPDRP_STRATEGY_LENGTH = 5
+
+
+class IpdrpStrategy:
+    """Immutable 5-bit memory-one strategy for the IPDRP."""
+
+    __slots__ = ("_bits",)
+
+    def __init__(self, bits: Sequence[int]):
+        self._bits = validate_bits(bits, IPDRP_STRATEGY_LENGTH)
+
+    @classmethod
+    def from_string(cls, text: str) -> "IpdrpStrategy":
+        return cls(bits_from_string(text, IPDRP_STRATEGY_LENGTH))
+
+    @classmethod
+    def random(cls, rng: np.random.Generator) -> "IpdrpStrategy":
+        return cls(tuple(int(b) for b in rng.integers(0, 2, size=IPDRP_STRATEGY_LENGTH)))
+
+    @classmethod
+    def always_cooperate(cls) -> "IpdrpStrategy":
+        return cls((1, 1, 1, 1, 1))
+
+    @classmethod
+    def always_defect(cls) -> "IpdrpStrategy":
+        return cls((0, 0, 0, 0, 0))
+
+    @classmethod
+    def tit_for_tat_like(cls) -> "IpdrpStrategy":
+        """Cooperate first; repeat what the *previous opponent* did.
+
+        (A TFT analogue under random pairing: bits 1,3 react to opponent C;
+        bits 2,4 to opponent D.)
+        """
+        return cls((1, 1, 0, 1, 0))
+
+    @property
+    def bits(self) -> tuple[int, ...]:
+        return self._bits
+
+    def first_move(self) -> bool:
+        """Cooperate on the first round?"""
+        return bool(self._bits[0])
+
+    def move(self, my_last: bool, opponent_last: bool) -> bool:
+        """Next move given my own previous move and my previous opponent's."""
+        index = 1 + (0 if my_last else 2) + (0 if opponent_last else 1)
+        return bool(self._bits[index])
+
+    def to_string(self) -> str:
+        return bits_to_string(self._bits)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IpdrpStrategy):
+            return NotImplemented
+        return self._bits == other._bits
+
+    def __hash__(self) -> int:
+        return hash(("ipdrp", self._bits))
+
+    def __repr__(self) -> str:
+        return f"IpdrpStrategy('{self.to_string()}')"

@@ -1,0 +1,15 @@
+"""Geometric-topology extension (low-mobility networks).
+
+The paper chooses intermediates uniformly at random, explicitly to simulate
+"a network with a high mobility level, in which topology changes very fast"
+(§4.1).  This package provides the complementary regime: nodes placed in the
+unit square with a fixed radio range, candidate routes extracted from the
+resulting unit-disk graph via networkx shortest simple paths.  Plugging the
+:class:`TopologyPathOracle` into either engine turns the paper's abstract
+game into a static-topology simulation — an extension ablated in
+``benchmarks/bench_topology_extension.py``.
+"""
+
+from repro.network.topology import GeometricTopology, TopologyPathOracle
+
+__all__ = ["GeometricTopology", "TopologyPathOracle"]

@@ -1,0 +1,148 @@
+"""Unit-disk network topology and a topology-driven path oracle.
+
+Nodes are placed uniformly in the unit square; two nodes are neighbours when
+their Euclidean distance is at most ``radio_range`` (every node uses an
+omni-directional antenna with the same range, as §3.1 assumes).  Candidate
+routes between a source and a destination are the first ``max_paths``
+shortest simple paths in hop count, capped at ``max_hops``.
+
+The oracle keeps the engine contract of :class:`repro.paths.oracle.PathOracle`
+(destination + candidate paths per game), so either simulation engine can run
+unmodified on a static topology.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.paths.oracle import GameSetup
+
+__all__ = ["GeometricTopology", "TopologyPathOracle"]
+
+
+class GeometricTopology:
+    """A random geometric (unit-disk) graph over the participant ids."""
+
+    def __init__(
+        self,
+        node_ids: Sequence[int],
+        radio_range: float,
+        rng: np.random.Generator,
+        require_connected: bool = True,
+        max_placement_attempts: int = 50,
+    ):
+        if not 0.0 < radio_range <= np.sqrt(2.0):
+            raise ValueError(
+                f"radio_range must be in (0, sqrt(2)], got {radio_range}"
+            )
+        ids = list(node_ids)
+        if len(ids) < 3:
+            raise ValueError("a topology needs at least 3 nodes")
+        self.radio_range = float(radio_range)
+        self.node_ids = ids
+        for attempt in range(max_placement_attempts):
+            positions = {nid: tuple(rng.random(2)) for nid in ids}
+            graph = self._build_graph(positions)
+            if not require_connected or nx.is_connected(graph):
+                break
+        else:
+            raise RuntimeError(
+                f"could not place a connected topology in"
+                f" {max_placement_attempts} attempts; increase radio_range"
+            )
+        self.positions = positions
+        self.graph = graph
+
+    def _build_graph(self, positions: dict[int, tuple[float, float]]) -> nx.Graph:
+        graph = nx.Graph()
+        graph.add_nodes_from(positions)
+        ids = list(positions)
+        limit_sq = self.radio_range**2
+        for i, a in enumerate(ids):
+            xa, ya = positions[a]
+            for b in ids[i + 1 :]:
+                xb, yb = positions[b]
+                if (xa - xb) ** 2 + (ya - yb) ** 2 <= limit_sq:
+                    graph.add_edge(a, b)
+        return graph
+
+    def degree_stats(self) -> tuple[float, int, int]:
+        """(mean, min, max) node degree — useful for choosing radio_range."""
+        degrees = [d for _, d in self.graph.degree()]
+        return float(np.mean(degrees)), int(min(degrees)), int(max(degrees))
+
+    def candidate_paths(
+        self, source: int, destination: int, max_paths: int, max_hops: int
+    ) -> list[tuple[int, ...]]:
+        """Up to ``max_paths`` shortest simple routes as intermediate tuples.
+
+        Routes longer than ``max_hops`` hops are discarded; direct neighbour
+        routes (no intermediate) are skipped since the game needs at least
+        one forwarding decision.
+        """
+        paths: list[tuple[int, ...]] = []
+        try:
+            generator = nx.shortest_simple_paths(self.graph, source, destination)
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            return paths
+        for node_path in islice(generator, max_paths * 4):
+            hops = len(node_path) - 1
+            if hops > max_hops:
+                break  # generator yields by increasing length
+            if hops < 2:
+                continue  # destination in direct range: no game to play
+            paths.append(tuple(node_path[1:-1]))
+            if len(paths) == max_paths:
+                break
+        return paths
+
+
+class TopologyPathOracle:
+    """Path oracle backed by a static :class:`GeometricTopology`.
+
+    The destination is drawn uniformly among participants that are reachable
+    with at least one valid route; if a drawn destination offers no route
+    (e.g. only direct-neighbour connectivity), it is rejected and redrawn, up
+    to ``max_draws`` before giving up with a descriptive error.
+    """
+
+    def __init__(
+        self,
+        topology: GeometricTopology,
+        rng: np.random.Generator,
+        max_paths: int = 3,
+        max_hops: int = 10,
+        max_draws: int = 64,
+    ):
+        self.topology = topology
+        self.rng = rng
+        self.max_paths = max_paths
+        self.max_hops = max_hops
+        self.max_draws = max_draws
+
+    def draw(self, source: int, participants: Sequence[int]) -> GameSetup:
+        others = [p for p in participants if p != source]
+        if not others:
+            raise ValueError("need at least one potential destination")
+        for _ in range(self.max_draws):
+            destination = others[int(self.rng.integers(len(others)))]
+            active = set(participants)
+            paths = [
+                p
+                for p in self.topology.candidate_paths(
+                    source, destination, self.max_paths, self.max_hops
+                )
+                if all(node in active for node in p)
+            ]
+            if paths:
+                return GameSetup(
+                    source=source, destination=destination, paths=tuple(paths)
+                )
+        raise RuntimeError(
+            f"no routable destination found for source {source} after"
+            f" {self.max_draws} draws; topology too sparse for this game"
+        )

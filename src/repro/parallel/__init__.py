@@ -1,0 +1,13 @@
+"""Parallel execution of independent replications.
+
+The paper averages 60 independent evolutionary runs — an embarrassingly
+parallel workload.  :func:`repro.parallel.pool.parallel_map` distributes any
+indexed task set over a process pool; results are returned in index order and
+are bit-identical to a serial run because every task derives its own random
+stream from ``(master_seed, index)``.
+"""
+
+from repro.parallel.pool import parallel_map
+from repro.parallel.progress import ProgressPrinter
+
+__all__ = ["parallel_map", "ProgressPrinter"]

@@ -1,0 +1,214 @@
+"""Hop-length and alternate-path-count distributions (Tables 2 and 3).
+
+Table 2 reading
+---------------
+The paper's Table 2 lists probabilities against hop *ranges*.  Read per range
+the columns do not sum to one; read per individual hop count they sum to
+exactly one in both modes, so that is the interpretation used (documented in
+DESIGN.md §2.2)::
+
+    shorter paths: P(2)=0.2, P(3)=P(4)=0.3, P(5..8)=0.05, P(9)=P(10)=0
+    longer  paths: P(2)=0.1, P(3)=P(4)=0.1, P(5..8)=0.10, P(9)=P(10)=0.15
+
+Table 3 reading
+---------------
+Alternate-path counts are given for 2–3, 4–6 and 7–8 hops; for 9–10 hops we
+extend the 7–8 row, consistent with the paper's "the longer the path, the
+fewer routes" trend (DESIGN.md §2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "DiscreteDistribution",
+    "HopDistribution",
+    "PathCountDistribution",
+    "SHORTER_PATHS",
+    "LONGER_PATHS",
+    "DEFAULT_PATH_COUNTS",
+]
+
+
+class DiscreteDistribution:
+    """A finite distribution over integer outcomes, sampled via inverse CDF.
+
+    Probabilities must sum to 1 within a small tolerance; they are renormalised
+    exactly so the cumulative array ends at 1.0.
+    """
+
+    __slots__ = ("_values", "_probs", "_cum")
+
+    def __init__(self, pmf: Mapping[int, float]):
+        if not pmf:
+            raise ValueError("distribution needs at least one outcome")
+        items = sorted((int(v), float(p)) for v, p in pmf.items())
+        values = [v for v, _ in items]
+        probs = np.array([p for _, p in items], dtype=float)
+        if (probs < 0).any():
+            raise ValueError(f"negative probability in {pmf!r}")
+        total = probs.sum()
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"probabilities must sum to 1, got {total!r}")
+        probs /= total
+        self._values = tuple(values)
+        self._probs = probs
+        self._cum = np.cumsum(probs)
+        self._cum[-1] = 1.0  # guard against float drift at the top end
+
+    @property
+    def values(self) -> tuple[int, ...]:
+        """Possible outcomes, ascending."""
+        return self._values
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Probability of each outcome (aligned with :attr:`values`)."""
+        return self._probs.copy()
+
+    def pmf(self, value: int) -> float:
+        """P(X = value); 0.0 for outcomes not in the support."""
+        try:
+            return float(self._probs[self._values.index(value)])
+        except ValueError:
+            return 0.0
+
+    def mean(self) -> float:
+        """Expected value."""
+        return float(np.dot(self._values, self._probs))
+
+    def sample(self, rng: np.random.Generator) -> int:
+        """Draw one outcome."""
+        u = rng.random()
+        return self._values[int(np.searchsorted(self._cum, u, side="right"))]
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` outcomes with a single uniform batch (hot-loop path)."""
+        u = rng.random(n)
+        idx = np.searchsorted(self._cum, u, side="right")
+        return np.asarray(self._values, dtype=np.int64)[idx]
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{v}: {p:.3f}" for v, p in zip(self._values, self._probs))
+        return f"DiscreteDistribution({{{pairs}}})"
+
+
+@dataclass(frozen=True)
+class HopDistribution:
+    """Distribution of the number of hops from source to destination.
+
+    A path of ``h`` hops traverses ``h - 1`` intermediate nodes.
+    """
+
+    name: str
+    dist: DiscreteDistribution
+
+    @property
+    def min_hops(self) -> int:
+        return self.dist.values[0]
+
+    @property
+    def max_hops(self) -> int:
+        return self.dist.values[-1]
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return self.dist.sample(rng)
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return self.dist.sample_many(rng, n)
+
+
+def _expand_ranges(rows: Sequence[tuple[range, float]]) -> dict[int, float]:
+    pmf: dict[int, float] = {}
+    for hop_range, prob in rows:
+        for h in hop_range:
+            pmf[h] = prob
+    return pmf
+
+
+#: Table 2, "shorter paths" column, expanded per hop count.
+SHORTER_PATHS = HopDistribution(
+    name="shorter",
+    dist=DiscreteDistribution(
+        _expand_ranges(
+            [
+                (range(2, 3), 0.20),
+                (range(3, 5), 0.30),
+                (range(5, 9), 0.05),
+                (range(9, 11), 0.00),
+            ]
+        )
+    ),
+)
+
+#: Table 2, "longer paths" column, expanded per hop count.
+LONGER_PATHS = HopDistribution(
+    name="longer",
+    dist=DiscreteDistribution(
+        _expand_ranges(
+            [
+                (range(2, 3), 0.10),
+                (range(3, 5), 0.10),
+                (range(5, 9), 0.10),
+                (range(9, 11), 0.15),
+            ]
+        )
+    ),
+)
+
+HOP_MODES: dict[str, HopDistribution] = {
+    "shorter": SHORTER_PATHS,
+    "longer": LONGER_PATHS,
+}
+
+
+class PathCountDistribution:
+    """Number of alternate paths available, conditioned on path length (Table 3)."""
+
+    def __init__(self, rows: Mapping[tuple[int, int], Mapping[int, float]] | None = None):
+        """``rows`` maps inclusive hop ranges ``(lo, hi)`` to count pmfs."""
+        if rows is None:
+            rows = _DEFAULT_COUNT_ROWS
+        self._rows: list[tuple[int, int, DiscreteDistribution]] = []
+        for (lo, hi), pmf in sorted(rows.items()):
+            if lo > hi:
+                raise ValueError(f"bad hop range ({lo}, {hi})")
+            self._rows.append((lo, hi, DiscreteDistribution(pmf)))
+        for (_, hi_a, _), (lo_b, _, _) in zip(self._rows, self._rows[1:]):
+            if lo_b != hi_a + 1:
+                raise ValueError("hop ranges must be contiguous")
+
+    def distribution_for(self, hops: int) -> DiscreteDistribution:
+        """The count pmf for a path of ``hops`` hops.
+
+        Hops above the last configured range reuse the last row (the 9–10 hop
+        extension of DESIGN.md §2.3); hops below the first range are an error.
+        """
+        if hops < self._rows[0][0]:
+            raise ValueError(f"no path-count row for {hops} hops")
+        for lo, hi, dist in self._rows:
+            if lo <= hops <= hi:
+                return dist
+        return self._rows[-1][2]
+
+    def sample(self, rng: np.random.Generator, hops: int) -> int:
+        """Draw the number of available alternate paths for a given length."""
+        return self.distribution_for(hops).sample(rng)
+
+    def max_count(self) -> int:
+        """Largest possible number of alternate paths across all rows."""
+        return max(dist.values[-1] for _, _, dist in self._rows)
+
+
+_DEFAULT_COUNT_ROWS: dict[tuple[int, int], dict[int, float]] = {
+    (2, 3): {1: 0.50, 2: 0.30, 3: 0.20},
+    (4, 6): {1: 0.60, 2: 0.25, 3: 0.15},
+    (7, 8): {1: 0.80, 2: 0.15, 3: 0.05},
+}
+
+#: Table 3 with the documented 9–10 hop extension.
+DEFAULT_PATH_COUNTS = PathCountDistribution()

@@ -1,0 +1,85 @@
+"""Random generation of candidate path sets (§6.1, "Selecting paths").
+
+For each game: draw a hop count from the mode's hop distribution, draw the
+number of available alternate paths conditioned on that hop count (Table 3),
+then build each path as ``hops - 1`` distinct intermediates sampled uniformly
+without replacement from the participant pool (excluding source and
+destination).  Alternate paths are sampled independently and may overlap.
+
+Sampling-without-replacement uses a partial Fisher–Yates shuffle over a
+scratch list, which is both exact and O(m) per path — measurably faster in
+the hot loop than ``Generator.choice(..., replace=False)``, which builds a
+full permutation internally for small pools.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.paths.distributions import (
+    DEFAULT_PATH_COUNTS,
+    HopDistribution,
+    PathCountDistribution,
+)
+
+__all__ = ["PathSetGenerator", "sample_distinct"]
+
+
+def sample_distinct(
+    pool: list[int], k: int, rng: np.random.Generator
+) -> tuple[int, ...]:
+    """Draw ``k`` distinct elements from ``pool`` uniformly, order random.
+
+    Mutates ``pool`` in place (partial Fisher–Yates); the pool keeps the same
+    multiset of elements, only their order changes, so callers can reuse it.
+    """
+    n = len(pool)
+    if k > n:
+        raise ValueError(f"cannot draw {k} distinct nodes from a pool of {n}")
+    # Draw all k random indices in one call: one RNG invocation per path
+    # instead of one per hop (profiling showed per-call overhead dominates).
+    if k == 0:
+        return ()
+    js = rng.integers(0, n - np.arange(k))
+    for i in range(k):
+        j = i + int(js[i])
+        pool[i], pool[j] = pool[j], pool[i]
+    return tuple(pool[:k])
+
+
+class PathSetGenerator:
+    """Draws (hop count, alternate path set) pairs for one game."""
+
+    def __init__(
+        self,
+        hop_distribution: HopDistribution,
+        count_distribution: PathCountDistribution | None = None,
+    ):
+        self.hop_distribution = hop_distribution
+        self.count_distribution = (
+            DEFAULT_PATH_COUNTS if count_distribution is None else count_distribution
+        )
+
+    def generate(
+        self,
+        rng: np.random.Generator,
+        pool: Sequence[int],
+    ) -> list[tuple[int, ...]]:
+        """Generate the candidate path set for one game.
+
+        ``pool`` is the set of possible intermediates (participants minus
+        source and destination).  The hop count is clamped so a path never
+        needs more intermediates than the pool holds (only relevant for tiny
+        tournaments; the paper's pool of 48 always accommodates 9).
+        """
+        hops = self.hop_distribution.sample(rng)
+        n_intermediates = min(hops - 1, len(pool))
+        if n_intermediates < 1:
+            raise ValueError("participant pool too small for any path")
+        n_paths = self.count_distribution.sample(rng, hops)
+        scratch = list(pool)
+        return [
+            sample_distinct(scratch, n_intermediates, rng) for _ in range(n_paths)
+        ]

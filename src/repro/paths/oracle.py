@@ -1,0 +1,115 @@
+"""Path oracles — the single source of randomness for game setup.
+
+A *path oracle* answers, for each game, "who is the destination and which
+candidate paths exist?".  Both simulation engines (reference and fast) call
+the oracle in exactly the same order (round by round, source by source), so
+two engines sharing an identically-seeded oracle consume identical random
+streams and produce bit-identical trajectories — the property exploited by
+``tests/test_engine_equivalence.py``.
+
+Oracles also underpin testing: :class:`ScriptedPathOracle` replays a fixed
+schedule so unit tests can script exact scenarios (e.g. the paper's Fig. 1a
+example), and :mod:`repro.network.topology` provides a geometric-topology
+oracle as a low-mobility extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Protocol, Sequence
+
+import numpy as np
+
+from repro.paths.distributions import HopDistribution, PathCountDistribution
+from repro.paths.generator import PathSetGenerator
+
+__all__ = ["GameSetup", "PathOracle", "RandomPathOracle", "ScriptedPathOracle"]
+
+
+@dataclass(frozen=True)
+class GameSetup:
+    """Everything random about one game: destination and candidate paths."""
+
+    source: int
+    destination: int
+    paths: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        if not self.paths:
+            raise ValueError("a game needs at least one candidate path")
+        for path in self.paths:
+            if self.source in path or self.destination in path:
+                raise ValueError(
+                    f"path {path} contains source/destination "
+                    f"({self.source}/{self.destination})"
+                )
+            if len(set(path)) != len(path):
+                raise ValueError(f"path {path} repeats an intermediate")
+
+
+class PathOracle(Protocol):
+    """Protocol implemented by all oracles."""
+
+    def draw(self, source: int, participants: Sequence[int]) -> GameSetup:
+        """Produce the setup of the next game originated by ``source``."""
+        ...
+
+
+class RandomPathOracle:
+    """The paper's oracle: random destination, random paths (high mobility).
+
+    "All intermediate nodes are chosen randomly.  This simulates a network
+    with a high mobility level, in which topology changes very fast." (§4.1)
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        hop_distribution: HopDistribution,
+        count_distribution: PathCountDistribution | None = None,
+    ):
+        self.rng = rng
+        self.generator = PathSetGenerator(hop_distribution, count_distribution)
+
+    def draw(self, source: int, participants: Sequence[int]) -> GameSetup:
+        others = [p for p in participants if p != source]
+        if len(others) < 2:
+            raise ValueError(
+                "need at least 3 participants (source, destination, 1 intermediate)"
+            )
+        destination = others[int(self.rng.integers(len(others)))]
+        pool = [p for p in others if p != destination]
+        paths = self.generator.generate(self.rng, pool)
+        return GameSetup(
+            source=source, destination=destination, paths=tuple(paths)
+        )
+
+
+class ScriptedPathOracle:
+    """Replays a pre-built schedule of :class:`GameSetup`s (testing).
+
+    The schedule is consumed in order; drawing past the end raises.  ``draw``
+    verifies the requested source matches the scripted one, catching
+    scheduling bugs in the engines early.
+    """
+
+    def __init__(self, setups: Iterable[GameSetup]):
+        self._setups = list(setups)
+        self._next = 0
+
+    def draw(self, source: int, participants: Sequence[int]) -> GameSetup:
+        if self._next >= len(self._setups):
+            raise IndexError("scripted oracle exhausted")
+        setup = self._setups[self._next]
+        self._next += 1
+        if setup.source != source:
+            raise AssertionError(
+                f"scripted setup #{self._next - 1} is for source {setup.source}, "
+                f"engine asked for {source}"
+            )
+        return setup
+
+    @property
+    def remaining(self) -> int:
+        """Number of scripted games not yet consumed."""
+        return len(self._setups) - self._next

@@ -1,0 +1,54 @@
+"""Path rating and best-path selection (§3.1).
+
+"A path rating is calculated as a multiplication of all known forwarding
+rates of all nodes belonging to the route.  An unknown node has a forwarding
+rate set to 0.5.  If a source node has more than one path available to the
+destination it will choose the one with the best reputation."
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.reputation.records import DEFAULT_UNKNOWN_RATE, ReputationTable
+
+__all__ = ["rate_path", "best_path_index"]
+
+
+def rate_path(
+    table: ReputationTable,
+    path: Sequence[int],
+    unknown_rate: float = DEFAULT_UNKNOWN_RATE,
+) -> float:
+    """Product of the source's known forwarding rates along ``path``.
+
+    ``table`` is the *source's* reputation table; intermediates the source has
+    never observed contribute ``unknown_rate`` (paper: 0.5).  An empty path
+    rates 1.0 (nothing can drop the packet).
+    """
+    rating = 1.0
+    for node in path:
+        rating *= table.forwarding_rate(node, default=unknown_rate)
+    return rating
+
+
+def best_path_index(
+    table: ReputationTable,
+    paths: Sequence[Sequence[int]],
+    unknown_rate: float = DEFAULT_UNKNOWN_RATE,
+) -> int:
+    """Index of the best-rated path; first index wins ties.
+
+    Tie-breaking by first index keeps the choice deterministic given the
+    oracle's path ordering, which is what allows the two simulation engines to
+    be compared bit-for-bit.
+    """
+    if not paths:
+        raise ValueError("best_path_index needs at least one path")
+    best_i = 0
+    best_r = rate_path(table, paths[0], unknown_rate)
+    for i in range(1, len(paths)):
+        r = rate_path(table, paths[i], unknown_rate)
+        if r > best_r:
+            best_i, best_r = i, r
+    return best_i

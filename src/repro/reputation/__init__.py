@@ -1,0 +1,21 @@
+"""Reputation substrate: first-hand records, trust levels, activity levels.
+
+Implements §3.1 (reputation collection and trust evaluation) and §3.2
+(activity evaluation) plus the optional second-hand exchange extension
+(inspired by the paper's refs [1] CONFIDANT-rumours and [10] CORE).
+"""
+
+from repro.reputation.activity import ActivityClassifier
+from repro.reputation.exchange import ExchangeConfig, exchange_reputation
+from repro.reputation.records import DEFAULT_UNKNOWN_RATE, ReputationRecord, ReputationTable
+from repro.reputation.trust import TrustTable
+
+__all__ = [
+    "ReputationRecord",
+    "ReputationTable",
+    "DEFAULT_UNKNOWN_RATE",
+    "TrustTable",
+    "ActivityClassifier",
+    "ExchangeConfig",
+    "exchange_reputation",
+]

@@ -1,0 +1,64 @@
+"""Activity-level classification (§3.2).
+
+An intermediate node classifies the *activity* of a packet's source by
+comparing the source's forwarded-packet count (as recorded in the observer's
+own reputation table) against ``av``, the observer's mean forwarded count over
+all known nodes:
+
+* within ``[av - band*av, av + band*av]``  ->  medium (MI)
+* below that range                          ->  low (LO)
+* above that range                          ->  high (HI)
+
+with ``band = 0.2`` in the paper.  Rewarding activity matters because a node
+sitting in sleep mode is indistinguishable from one that left the network, so
+sleeping never costs reputation directly — only the activity mechanism makes
+idle listening pay (§1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.activity import Activity
+from repro.reputation.records import ReputationTable
+
+__all__ = ["ActivityClassifier"]
+
+
+@dataclass(frozen=True)
+class ActivityClassifier:
+    """Classifies a known source node's activity from an observer's table."""
+
+    band: float = 0.2
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.band:
+            raise ValueError(f"band must be non-negative, got {self.band}")
+
+    def classify_value(self, forwarded: float, average: float) -> Activity:
+        """Classify a raw forwarded count against an average.
+
+        The medium band is inclusive at both ends; with ``average == 0`` a
+        count of 0 is medium and any positive count is high.
+        """
+        lo = average - self.band * average
+        hi = average + self.band * average
+        if forwarded < lo:
+            return Activity.LO
+        if forwarded > hi:
+            return Activity.HI
+        return Activity.MI
+
+    def classify(self, table: ReputationTable, source: int) -> Activity:
+        """Classify ``source``'s activity as seen by the owner of ``table``.
+
+        ``source`` must be known to the observer; unknown sources never reach
+        the activity classifier (the strategy's unknown bit decides first).
+        """
+        if not table.knows(source):
+            raise KeyError(
+                f"activity undefined: node {source} unknown to this observer"
+            )
+        return self.classify_value(
+            table.forwarded_count(source), table.average_forwarded()
+        )

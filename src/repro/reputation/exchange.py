@@ -1,0 +1,98 @@
+"""Second-hand reputation exchange — optional extension.
+
+The paper collects reputation **first-hand only** (plus in-path alerts).  Its
+related-work section discusses systems that additionally exchange reputation
+between nodes: CORE [10] exchanges *positive* observations only (to prevent
+bad-mouthing), CONFIDANT [2]/[1] also uses negative second-hand reports.
+
+This module implements a configurable gossip step that can be enabled in the
+tournament runner (``TournamentConfig.exchange``): every ``interval`` rounds
+each player shares its counters with ``fanout`` random peers, which fold them
+in scaled by ``weight``.  ``positive_only=True`` reproduces CORE's rule by
+sharing only the forwarded counts (``ps = pf``), so a gossip message can never
+worsen a subject's rate.
+
+This is an *extension* (ablated in ``benchmarks/bench_exchange_extension.py``);
+the paper's own experiments all run with the exchange disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.reputation.records import ReputationTable
+
+__all__ = ["ExchangeConfig", "exchange_reputation"]
+
+
+@dataclass(frozen=True)
+class ExchangeConfig:
+    """Parameters of the second-hand reputation exchange."""
+
+    enabled: bool = False
+    interval: int = 10  # rounds between gossip steps
+    fanout: int = 2  # peers each player shares with per step
+    weight: float = 0.5  # scale applied to received counts
+    positive_only: bool = True  # CORE-style: share only positive observations
+
+    def __post_init__(self) -> None:
+        if self.interval < 1:
+            raise ValueError(f"interval must be >= 1, got {self.interval}")
+        if self.fanout < 0:
+            raise ValueError(f"fanout must be >= 0, got {self.fanout}")
+        if not 0.0 <= self.weight <= 1.0:
+            raise ValueError(f"weight must be in [0, 1], got {self.weight}")
+
+
+def _scaled(count: int, weight: float) -> int:
+    return int(round(count * weight))
+
+
+def exchange_reputation(
+    tables: Mapping[int, ReputationTable],
+    participants: Sequence[int],
+    config: ExchangeConfig,
+    rng: np.random.Generator,
+) -> int:
+    """Run one gossip step among ``participants``.
+
+    Each participant picks ``fanout`` distinct peers (uniformly, without
+    replacement) and *sends* its snapshot to them; receivers merge scaled
+    counts about subjects other than themselves and the sender.  Returns the
+    number of (sender, receiver) messages delivered — useful for tests and
+    instrumentation.
+
+    Snapshots are taken up-front so a message reflects the sender's state at
+    the start of the step, not gossip received within the same step (no
+    same-step amplification).
+    """
+    if not config.enabled or config.fanout == 0:
+        return 0
+    ids = list(participants)
+    if len(ids) < 2:
+        return 0
+    snapshots = {pid: tables[pid].snapshot() for pid in ids}
+    messages = 0
+    for sender in ids:
+        peers_pool = [p for p in ids if p != sender]
+        k = min(config.fanout, len(peers_pool))
+        chosen = rng.choice(len(peers_pool), size=k, replace=False)
+        for idx in chosen:
+            receiver = peers_pool[int(idx)]
+            table = tables[receiver]
+            for subject, (ps, pf) in snapshots[sender].items():
+                if subject == receiver or subject == sender:
+                    continue
+                if config.positive_only:
+                    add_pf = _scaled(pf, config.weight)
+                    add_ps = add_pf  # only positive evidence is transmitted
+                else:
+                    add_ps = _scaled(ps, config.weight)
+                    add_pf = min(_scaled(pf, config.weight), add_ps)
+                if add_ps:
+                    table.merge_counts(subject, add_ps, add_pf)
+            messages += 1
+    return messages

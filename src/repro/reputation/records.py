@@ -1,0 +1,152 @@
+"""First-hand reputation records (§3.1).
+
+Each node keeps, for every other node it has observed, a pair of counters:
+
+* ``ps`` — packets it knows were *sent to* that node for forwarding,
+* ``pf`` — of those, how many that node actually *forwarded*.
+
+The forwarding rate ``fr = pf / ps`` feeds the trust lookup table
+(:mod:`repro.reputation.trust`); the raw ``pf`` count feeds the activity
+classifier (:mod:`repro.reputation.activity`).
+
+The table additionally maintains two running aggregates — the number of known
+nodes and the total forwarded count — so the activity average ``av`` is O(1)
+per query instead of O(#known).  This matters: activity is queried once per
+forwarding decision in the simulation hot loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator
+
+__all__ = ["ReputationRecord", "ReputationTable", "DEFAULT_UNKNOWN_RATE"]
+
+#: Forwarding rate assumed for a node with no reputation data (§3.1:
+#: "An unknown node has a forwarding rate set to 0.5").  Used by path rating.
+DEFAULT_UNKNOWN_RATE = 0.5
+
+
+@dataclass
+class ReputationRecord:
+    """Counters one observer keeps about one subject node."""
+
+    ps: int = 0  # packets sent to the subject (observed forwarding requests)
+    pf: int = 0  # packets the subject forwarded
+
+    @property
+    def rate(self) -> float:
+        """Forwarding rate ``pf / ps``; raises if no observation exists."""
+        if self.ps == 0:
+            raise ValueError("forwarding rate undefined: no observations")
+        return self.pf / self.ps
+
+
+class ReputationTable:
+    """All first-hand records held by a single observer node."""
+
+    __slots__ = ("_records", "_pf_total")
+
+    def __init__(self) -> None:
+        self._records: Dict[int, ReputationRecord] = {}
+        self._pf_total = 0
+
+    # -- updates -----------------------------------------------------------
+
+    def record(self, subject: int, forwarded: bool) -> None:
+        """Record one observed decision (``forwarded`` or dropped) by ``subject``."""
+        rec = self._records.get(subject)
+        if rec is None:
+            rec = ReputationRecord()
+            self._records[subject] = rec
+        rec.ps += 1
+        if forwarded:
+            rec.pf += 1
+            self._pf_total += 1
+
+    def merge_counts(self, subject: int, ps: int, pf: int) -> None:
+        """Fold external counts into the record for ``subject``.
+
+        Used by the second-hand exchange extension.  ``pf`` may not exceed
+        ``ps`` and both must be non-negative.
+        """
+        if ps < 0 or pf < 0 or pf > ps:
+            raise ValueError(f"invalid counts ps={ps} pf={pf}")
+        if ps == 0:
+            return
+        rec = self._records.get(subject)
+        if rec is None:
+            rec = ReputationRecord()
+            self._records[subject] = rec
+        rec.ps += ps
+        rec.pf += pf
+        self._pf_total += pf
+
+    def clear(self) -> None:
+        """Forget everything (start of a new evaluation, §4.4 Step 1)."""
+        self._records.clear()
+        self._pf_total = 0
+
+    # -- queries -----------------------------------------------------------
+
+    def knows(self, subject: int) -> bool:
+        """True if at least one observation about ``subject`` exists."""
+        rec = self._records.get(subject)
+        return rec is not None and rec.ps > 0
+
+    def get(self, subject: int) -> ReputationRecord | None:
+        """The record about ``subject`` or ``None`` if unknown."""
+        return self._records.get(subject)
+
+    def forwarding_rate(self, subject: int, default: float | None = None) -> float:
+        """``fr(subject)`` or ``default`` when unknown.
+
+        With ``default=None`` an unknown subject raises ``KeyError`` — callers
+        that *must* distinguish unknown nodes should use :meth:`knows`.
+        """
+        rec = self._records.get(subject)
+        if rec is None or rec.ps == 0:
+            if default is None:
+                raise KeyError(f"no reputation data about node {subject}")
+            return default
+        return rec.pf / rec.ps
+
+    def forwarded_count(self, subject: int) -> int:
+        """Raw ``pf`` count for ``subject`` (0 if unknown)."""
+        rec = self._records.get(subject)
+        return 0 if rec is None else rec.pf
+
+    @property
+    def n_known(self) -> int:
+        """Number of nodes with at least one observation."""
+        return len(self._records)
+
+    @property
+    def pf_total(self) -> int:
+        """Sum of forwarded counts over all known nodes."""
+        return self._pf_total
+
+    def average_forwarded(self) -> float:
+        """``av`` of §3.2: mean forwarded count over all known nodes.
+
+        Returns 0.0 when no node is known (callers guard on :meth:`knows`
+        for the source anyway, so this is only reachable in degenerate
+        configurations).
+        """
+        if not self._records:
+            return 0.0
+        return self._pf_total / len(self._records)
+
+    def subjects(self) -> Iterator[int]:
+        """Iterate over the ids of all known nodes."""
+        return iter(self._records)
+
+    def snapshot(self) -> dict[int, tuple[int, int]]:
+        """A ``{subject: (ps, pf)}`` copy — used by tests and the exchange."""
+        return {s: (r.ps, r.pf) for s, r in self._records.items()}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:
+        return f"ReputationTable(known={len(self._records)}, pf_total={self._pf_total})"

@@ -1,0 +1,67 @@
+"""Trust lookup table (§3.1, Fig. 1b).
+
+The forwarding rate is mapped onto four discrete trust levels::
+
+    rate in (0.9, 1.0]  ->  trust 3   (highest)
+    rate in (0.6, 0.9]  ->  trust 2
+    rate in (0.3, 0.6]  ->  trust 1
+    rate in [0.0, 0.3]  ->  trust 0   (lowest)
+
+The paper's worked example — a forwarding rate of 0.95 yields trust level 3 —
+is asserted in the test suite.  The bin edges are configurable; the number of
+levels is ``len(bounds) + 1``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+__all__ = ["TrustTable"]
+
+
+def _default_bounds() -> tuple[float, ...]:
+    return (0.3, 0.6, 0.9)
+
+
+@dataclass(frozen=True)
+class TrustTable:
+    """Maps forwarding rate in [0, 1] to a discrete trust level.
+
+    ``bounds`` are the *upper-inclusive* bin edges: a rate equal to a bound
+    falls in the lower bin (0.9 -> level 2, 0.90001 -> level 3), matching the
+    figure's half-open ranges read top-down.
+    """
+
+    bounds: tuple[float, ...] = field(default_factory=_default_bounds)
+
+    def __post_init__(self) -> None:
+        bounds = tuple(float(b) for b in self.bounds)
+        if not bounds:
+            raise ValueError("TrustTable needs at least one bound")
+        if list(bounds) != sorted(bounds):
+            raise ValueError(f"bounds must be increasing, got {bounds}")
+        if bounds[0] <= 0.0 or bounds[-1] >= 1.0:
+            raise ValueError(f"bounds must lie strictly inside (0, 1), got {bounds}")
+        object.__setattr__(self, "bounds", bounds)
+
+    @property
+    def n_levels(self) -> int:
+        """Number of trust levels (paper: 4)."""
+        return len(self.bounds) + 1
+
+    @property
+    def max_level(self) -> int:
+        """The highest trust level (paper: 3)."""
+        return len(self.bounds)
+
+    def level(self, rate: float) -> int:
+        """Trust level for a forwarding rate in [0, 1]."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"forwarding rate must be in [0, 1], got {rate}")
+        # bisect_left counts the bounds strictly below `rate`; with
+        # upper-inclusive bins that count is exactly the trust level.
+        return bisect_left(self.bounds, rate)
+
+    def __repr__(self) -> str:
+        return f"TrustTable(bounds={self.bounds})"

@@ -1,0 +1,42 @@
+"""Simulation engines.
+
+Two interchangeable implementations of the tournament semantics:
+
+* :class:`repro.sim.reference.ReferenceEngine` — object-oriented, built from
+  the auditable :mod:`repro.game` / :mod:`repro.core` pieces, supports event
+  observation and the reputation-exchange extension;
+* :class:`repro.sim.fast.FastEngine` — flat-array hot loop for large
+  reproduction sweeps.
+
+Both consume randomness through the shared path oracle and scheduler only, so
+identical seeds give bit-identical trajectories (see
+``tests/test_engine_equivalence.py``).
+"""
+
+from repro.sim.fast import FastEngine
+from repro.sim.reference import ReferenceEngine
+
+__all__ = ["ReferenceEngine", "FastEngine", "make_engine"]
+
+
+def make_engine(
+    name: str,
+    n_population: int,
+    max_selfish: int,
+    trust_table=None,
+    activity=None,
+    payoffs=None,
+):
+    """Factory: build an engine by name (``"reference"`` or ``"fast"``)."""
+    from repro.core.payoff import PayoffConfig
+    from repro.reputation.activity import ActivityClassifier
+    from repro.reputation.trust import TrustTable
+
+    trust_table = trust_table if trust_table is not None else TrustTable()
+    activity = activity if activity is not None else ActivityClassifier()
+    payoffs = payoffs if payoffs is not None else PayoffConfig()
+    if name == "reference":
+        return ReferenceEngine(n_population, max_selfish, trust_table, activity, payoffs)
+    if name == "fast":
+        return FastEngine(n_population, max_selfish, trust_table, activity, payoffs)
+    raise ValueError(f"unknown engine {name!r} (expected 'reference' or 'fast')")

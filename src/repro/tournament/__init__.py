@@ -1,0 +1,14 @@
+"""Tournament machinery (§4.4): environments, seating, rounds, evaluation."""
+
+from repro.tournament.environment import TournamentEnvironment
+from repro.tournament.evaluation import EvaluationResult, evaluate_generation
+from repro.tournament.runner import run_tournament
+from repro.tournament.scheduler import iter_seatings
+
+__all__ = [
+    "TournamentEnvironment",
+    "iter_seatings",
+    "run_tournament",
+    "evaluate_generation",
+    "EvaluationResult",
+]

@@ -1,0 +1,50 @@
+"""Tournament environments (§4.4, Table 1).
+
+A *tournament environment* fixes the mix of player types in a tournament of
+``tournament_size`` participants: ``n_selfish`` constantly selfish nodes plus
+``n_normal = tournament_size - n_selfish`` normal (evolving) nodes.  The four
+paper environments TE1–TE4 differ only in the CSN count (0/10/25/30 out
+of 50); presets live in :mod:`repro.config.presets`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TournamentEnvironment"]
+
+
+@dataclass(frozen=True)
+class TournamentEnvironment:
+    """One tournament environment (TE)."""
+
+    name: str
+    tournament_size: int
+    n_selfish: int
+
+    def __post_init__(self) -> None:
+        if self.tournament_size < 3:
+            raise ValueError(
+                f"tournament needs >= 3 participants, got {self.tournament_size}"
+            )
+        if not 0 <= self.n_selfish < self.tournament_size:
+            raise ValueError(
+                f"n_selfish must be in [0, {self.tournament_size}),"
+                f" got {self.n_selfish}"
+            )
+
+    @property
+    def n_normal(self) -> int:
+        """``P_i = T - S_i`` (Fig. 3): normal seats per tournament."""
+        return self.tournament_size - self.n_selfish
+
+    @property
+    def selfish_fraction(self) -> float:
+        """Fraction of tournament seats held by CSN."""
+        return self.n_selfish / self.tournament_size
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}(T={self.tournament_size}, CSN={self.n_selfish},"
+            f" NN={self.n_normal})"
+        )

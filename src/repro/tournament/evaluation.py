@@ -1,0 +1,122 @@
+"""Multi-environment strategy evaluation (§4.4, Fig. 3).
+
+One *generation* of evaluation runs the population through a series of
+tournament environments: reputation memory is cleared once up front, then for
+each environment the seating scheduler repeatedly draws ``P_i`` normal
+players (until everyone played ``L`` times) who sit together with that
+environment's ``S_i`` constantly selfish nodes; each seating is a full
+``R``-round tournament.  Payoffs accumulate across every tournament a player
+sat in; fitness is Eq. (1) over those totals.
+
+The function is engine-agnostic: any object satisfying
+:class:`SimulationEngine` works (the reference engine over ``Player``
+objects, or the flat-array fast engine).  All randomness — seating draws,
+participant shuffles, oracle draws — is consumed in an engine-independent
+order, which is what makes the two engines bit-identical under a shared seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.game.stats import TournamentStats
+from repro.paths.oracle import PathOracle
+from repro.reputation.exchange import ExchangeConfig
+from repro.tournament.environment import TournamentEnvironment
+from repro.tournament.scheduler import iter_seatings
+
+__all__ = ["SimulationEngine", "EvaluationResult", "evaluate_generation"]
+
+
+class SimulationEngine(Protocol):
+    """What :func:`evaluate_generation` needs from a simulation engine."""
+
+    @property
+    def population_ids(self) -> Sequence[int]:
+        """Ids of the normal (evolving) players."""
+        ...
+
+    def selfish_ids(self, n: int) -> list[int]:
+        """Ids of the first ``n`` constantly selfish nodes."""
+        ...
+
+    def reset_generation(self) -> None:
+        """Clear reputation memory and payoff accumulators (Step 1)."""
+        ...
+
+    def run_tournament(
+        self,
+        participants: Sequence[int],
+        rounds: int,
+        oracle: PathOracle,
+        stats: TournamentStats,
+        exchange: ExchangeConfig | None,
+        rng: np.random.Generator | None,
+    ) -> None:
+        """Run one tournament among ``participants``, updating ``stats``."""
+        ...
+
+    def fitness(self) -> np.ndarray:
+        """Eq. (1) fitness for every population member, aligned with ids."""
+        ...
+
+
+@dataclass
+class EvaluationResult:
+    """Outcome of evaluating one generation."""
+
+    fitness: np.ndarray
+    per_environment: dict[str, TournamentStats]
+    overall: TournamentStats
+
+    @property
+    def cooperation_level(self) -> float:
+        """Generation-wide cooperation level (the Fig. 4 series value)."""
+        return self.overall.cooperation_level
+
+
+def evaluate_generation(
+    engine: SimulationEngine,
+    environments: Sequence[TournamentEnvironment],
+    rounds: int,
+    plays_per_environment: int,
+    oracle: PathOracle,
+    rng: np.random.Generator,
+    exchange: ExchangeConfig | None = None,
+) -> EvaluationResult:
+    """Evaluate the engine's current population across ``environments``."""
+    if not environments:
+        raise ValueError("need at least one tournament environment")
+    engine.reset_generation()
+    population = list(engine.population_ids)
+    per_env: dict[str, TournamentStats] = {}
+    overall = TournamentStats()
+
+    for env in environments:
+        if env.n_normal > len(population):
+            raise ValueError(
+                f"{env.name} needs {env.n_normal} normal players,"
+                f" population has {len(population)}"
+            )
+        csn = engine.selfish_ids(env.n_selfish)
+        env_stats = TournamentStats()
+        for seating in iter_seatings(
+            population, env.n_normal, plays_per_environment, rng
+        ):
+            participants = seating + csn
+            # Shuffle so CSN are interleaved in the per-round source order
+            # rather than always acting last.
+            order = rng.permutation(len(participants))
+            participants = [participants[int(i)] for i in order]
+            stats = TournamentStats()
+            engine.run_tournament(participants, rounds, oracle, stats, exchange, rng)
+            env_stats.merge(stats)
+        per_env[env.name] = env_stats
+        overall.merge(env_stats)
+
+    return EvaluationResult(
+        fitness=engine.fitness(), per_environment=per_env, overall=overall
+    )

@@ -1,0 +1,78 @@
+"""Tournament runner over :class:`Player` objects (reference engine core).
+
+Implements the tournament scheme of §4.4: ``R`` rounds; in every round each
+participant originates exactly one packet (plays "its own game"), choosing
+the best-rated of the candidate paths produced by the oracle; the game is
+then played, payoffs are distributed, and reputation spreads via the
+watchdog mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.node import Player
+from repro.core.payoff import PayoffConfig
+from repro.game.engine import play_game
+from repro.game.stats import TournamentStats
+from repro.paths.oracle import PathOracle
+from repro.paths.rating import best_path_index
+from repro.reputation.activity import ActivityClassifier
+from repro.reputation.exchange import ExchangeConfig, exchange_reputation
+from repro.reputation.trust import TrustTable
+
+__all__ = ["run_tournament"]
+
+
+def run_tournament(
+    players: Mapping[int, Player],
+    participants: Sequence[int],
+    rounds: int,
+    oracle: PathOracle,
+    trust_table: TrustTable,
+    activity: ActivityClassifier,
+    payoffs: PayoffConfig,
+    stats: TournamentStats | None = None,
+    exchange: ExchangeConfig | None = None,
+    rng: np.random.Generator | None = None,
+) -> TournamentStats:
+    """Run one tournament and return its statistics.
+
+    ``participants`` fixes the source order within every round (Step 1/Step 7
+    of the scheme iterate players in a fixed order).  ``rng`` is only needed
+    when the second-hand ``exchange`` extension is enabled.
+    """
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    if stats is None:
+        stats = TournamentStats()
+    selfish = {pid for pid in participants if players[pid].is_selfish}
+    do_exchange = exchange is not None and exchange.enabled
+    if do_exchange and rng is None:
+        raise ValueError("reputation exchange requires an rng")
+
+    for round_no in range(rounds):
+        for source_id in participants:
+            setup = oracle.draw(source_id, participants)
+            source = players[source_id]
+            chosen = best_path_index(source.reputation, setup.paths)
+            path = setup.paths[chosen]
+            stats.record_path_choice(
+                source_selfish=source.is_selfish,
+                contains_csn=any(node in selfish for node in path),
+            )
+            play_game(
+                players,
+                setup,
+                chosen,
+                trust_table,
+                activity,
+                payoffs,
+                stats=stats,
+            )
+        if do_exchange and (round_no + 1) % exchange.interval == 0:
+            tables = {pid: players[pid].reputation for pid in participants}
+            exchange_reputation(tables, participants, exchange, rng)
+    return stats

@@ -1,0 +1,102 @@
+"""Bit-string helpers used by strategy genomes.
+
+Strategies in the paper are binary strings (length 13 for the ad hoc game,
+length 5 for the IPDRP baseline).  These helpers convert between the three
+representations used across the code base:
+
+* ``tuple[int, ...]`` of 0/1 — canonical in-memory form (hashable, cheap),
+* ``str`` such as ``"010 101 101 111 1"`` — the paper's display form,
+* ``int`` — compact form for serialisation and counting (bit 0 first).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = [
+    "bits_from_string",
+    "bits_to_string",
+    "bits_from_int",
+    "bits_to_int",
+    "hamming_distance",
+    "validate_bits",
+]
+
+
+def validate_bits(bits: Sequence[int], length: int | None = None) -> tuple[int, ...]:
+    """Return ``bits`` as a tuple, checking every element is 0 or 1.
+
+    ``length``, when given, additionally pins the expected number of bits.
+    """
+    out = tuple(int(b) for b in bits)
+    for b in out:
+        if b not in (0, 1):
+            raise ValueError(f"bit values must be 0 or 1, got {b!r}")
+    if length is not None and len(out) != length:
+        raise ValueError(f"expected {length} bits, got {len(out)}")
+    return out
+
+
+def bits_from_string(text: str, length: int | None = None) -> tuple[int, ...]:
+    """Parse a bit string such as ``"010 101 101 111 1"``.
+
+    Whitespace and underscores are ignored, so both the paper's grouped form
+    and a plain ``"0101011011111"`` parse identically.
+    """
+    cleaned = [ch for ch in text if ch not in " \t\n_"]
+    bad = [ch for ch in cleaned if ch not in "01"]
+    if bad:
+        raise ValueError(f"invalid characters in bit string: {bad!r}")
+    return validate_bits([int(ch) for ch in cleaned], length)
+
+
+def bits_to_string(bits: Sequence[int], group: int | Iterable[int] = 0) -> str:
+    """Render bits as a string, optionally grouped.
+
+    ``group`` may be a single group size (0 means no grouping) or an iterable
+    of group sizes, e.g. ``(3, 3, 3, 3, 1)`` for the paper's strategy layout.
+    """
+    bits = validate_bits(bits)
+    text = "".join(str(b) for b in bits)
+    if not group:
+        return text
+    if isinstance(group, int):
+        sizes = [group] * ((len(bits) + group - 1) // group)
+    else:
+        sizes = list(group)
+        if sum(sizes) != len(bits):
+            raise ValueError(
+                f"group sizes {sizes} do not cover {len(bits)} bits"
+            )
+    chunks, pos = [], 0
+    for size in sizes:
+        chunks.append(text[pos : pos + size])
+        pos += size
+    return " ".join(chunk for chunk in chunks if chunk)
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """Pack bits into an integer, bit 0 in the lowest position."""
+    bits = validate_bits(bits)
+    value = 0
+    for i, b in enumerate(bits):
+        value |= b << i
+    return value
+
+
+def bits_from_int(value: int, length: int) -> tuple[int, ...]:
+    """Unpack ``length`` bits from an integer (inverse of :func:`bits_to_int`)."""
+    if value < 0:
+        raise ValueError(f"bit-packed value must be non-negative, got {value}")
+    if value >> length:
+        raise ValueError(f"value {value} does not fit in {length} bits")
+    return tuple((value >> i) & 1 for i in range(length))
+
+
+def hamming_distance(a: Sequence[int], b: Sequence[int]) -> int:
+    """Number of positions at which two equal-length bit strings differ."""
+    a = validate_bits(a)
+    b = validate_bits(b)
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    return sum(x != y for x, y in zip(a, b))

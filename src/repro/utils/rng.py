@@ -1,0 +1,58 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic component in :mod:`repro` takes a
+:class:`numpy.random.Generator`.  Replications are made independent (and
+results reproducible regardless of execution order or worker count) by
+spawning child seeds from a single :class:`numpy.random.SeedSequence` — the
+recommended pattern for parallel Monte-Carlo work.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["as_generator", "spawn_seeds", "spawn_generators", "derive_generator"]
+
+
+def as_generator(seed: int | None | np.random.Generator) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts an existing generator (returned unchanged), an integer seed, or
+    ``None`` (OS entropy).  Centralising this makes every public API accept
+    the same flexible ``seed`` argument.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_seeds(master_seed: int | None, n: int) -> list[np.random.SeedSequence]:
+    """Spawn ``n`` statistically independent child seed sequences.
+
+    The children are a pure function of ``master_seed`` and the index, so a
+    replication's stream does not depend on how many workers execute the batch
+    or in which order.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of seeds: {n}")
+    return np.random.SeedSequence(master_seed).spawn(n)
+
+
+def spawn_generators(master_seed: int | None, n: int) -> list[np.random.Generator]:
+    """Spawn ``n`` independent generators (see :func:`spawn_seeds`)."""
+    return [np.random.default_rng(s) for s in spawn_seeds(master_seed, n)]
+
+
+def derive_generator(
+    master_seed: int | None, key: Sequence[int]
+) -> np.random.Generator:
+    """Derive a generator from ``master_seed`` and a structured ``key``.
+
+    ``key`` is a sequence of non-negative integers (e.g. ``(replication,
+    stage)``) appended to the seed sequence's spawn key, giving a stable
+    stream per logical task without pre-spawning whole lists.
+    """
+    seq = np.random.SeedSequence(master_seed, spawn_key=tuple(int(k) for k in key))
+    return np.random.default_rng(seq)

@@ -1,0 +1,127 @@
+"""ASCII rendering of tables and line plots.
+
+The benchmark harnesses print paper-style tables and an ASCII rendering of
+Fig. 4 so the reproduction output can be compared with the paper without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "ascii_lineplot"]
+
+
+def _cell(value: object, floatfmt: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Sequence[object]],
+    headers: Sequence[str] | None = None,
+    title: str | None = None,
+    floatfmt: str = ".2f",
+) -> str:
+    """Render ``rows`` as a boxed ASCII table.
+
+    ``rows`` is a sequence of equal-length sequences; floats are formatted
+    with ``floatfmt``.  Returns the table as a single string (no trailing
+    newline) ready for ``print``.
+    """
+    text_rows = [[_cell(v, floatfmt) for v in row] for row in rows]
+    ncols = max((len(r) for r in text_rows), default=0)
+    if headers is not None:
+        ncols = max(ncols, len(headers))
+    header_row = list(headers) if headers is not None else None
+    widths = [0] * ncols
+    for row in ([header_row] if header_row else []) + text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(row: Sequence[str]) -> str:
+        cells = list(row) + [""] * (ncols - len(row))
+        return "| " + " | ".join(c.ljust(widths[i]) for i, c in enumerate(cells)) + " |"
+
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    if header_row:
+        lines.append(fmt_row(header_row))
+        lines.append(sep)
+    for row in text_rows:
+        lines.append(fmt_row(row))
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def ascii_lineplot(
+    series: Mapping[str, Sequence[float]],
+    width: int = 72,
+    height: int = 18,
+    title: str | None = None,
+    ylabel: str = "",
+    ymin: float | None = None,
+    ymax: float | None = None,
+) -> str:
+    """Render one or more numeric series as an ASCII line plot.
+
+    Each series gets a distinct marker; series are downsampled/stretched onto
+    a ``width`` x ``height`` character canvas.  Used to display the Fig. 4
+    cooperation curves in terminal output.
+    """
+    if not series:
+        raise ValueError("ascii_lineplot requires at least one series")
+    markers = "ox+*#@%&"
+    all_vals = [v for vals in series.values() for v in vals]
+    if not all_vals:
+        raise ValueError("ascii_lineplot requires non-empty series")
+    lo = min(all_vals) if ymin is None else ymin
+    hi = max(all_vals) if ymax is None else ymax
+    if hi <= lo:
+        hi = lo + 1.0
+    canvas = [[" "] * width for _ in range(height)]
+
+    def x_of(i: int, n: int) -> int:
+        if n <= 1:
+            return 0
+        return round(i * (width - 1) / (n - 1))
+
+    def y_of(v: float) -> int:
+        frac = (v - lo) / (hi - lo)
+        frac = min(max(frac, 0.0), 1.0)
+        return (height - 1) - round(frac * (height - 1))
+
+    for k, (name, vals) in enumerate(series.items()):
+        marker = markers[k % len(markers)]
+        n = len(vals)
+        for i, v in enumerate(vals):
+            canvas[y_of(v)][x_of(i, n)] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{hi:.3g}"
+    bot_label = f"{lo:.3g}"
+    label_w = max(len(top_label), len(bot_label), len(ylabel)) + 1
+    for r, row in enumerate(canvas):
+        if r == 0:
+            label = top_label
+        elif r == height - 1:
+            label = bot_label
+        elif r == height // 2 and ylabel:
+            label = ylabel
+        else:
+            label = ""
+        lines.append(label.rjust(label_w) + " |" + "".join(row))
+    lines.append(" " * label_w + " +" + "-" * width)
+    legend = "   ".join(
+        f"{markers[k % len(markers)]}={name}" for k, name in enumerate(series)
+    )
+    lines.append(" " * label_w + "  " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Tiny argument-validation helpers shared by configuration dataclasses."""
+
+from __future__ import annotations
+
+__all__ = [
+    "check_probability",
+    "check_fraction",
+    "check_positive",
+    "check_non_negative",
+]
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate ``value`` lies in [0, 1]; returns it for chaining."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Validate ``value`` lies in (0, 1]; returns it for chaining."""
+    value = float(value)
+    if not 0.0 < value <= 1.0:
+        raise ValueError(f"{name} must be in (0, 1], got {value}")
+    return value
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate ``value`` is strictly positive; returns it for chaining."""
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Validate ``value`` is >= 0; returns it for chaining."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value

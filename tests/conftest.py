@@ -1,0 +1,78 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.node import AlwaysForwardPlayer, ConstantlySelfishPlayer, NormalPlayer
+from repro.core.payoff import PayoffConfig
+from repro.core.strategy import Strategy
+from repro.paths.oracle import GameSetup, ScriptedPathOracle
+from repro.reputation.activity import ActivityClassifier
+from repro.reputation.trust import TrustTable
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def trust_table() -> TrustTable:
+    return TrustTable()
+
+
+@pytest.fixture
+def activity() -> ActivityClassifier:
+    return ActivityClassifier()
+
+
+@pytest.fixture
+def payoffs() -> PayoffConfig:
+    return PayoffConfig()
+
+
+def make_players(n_forwarders: int, n_selfish: int = 0, start_id: int = 0):
+    """A player dict: ``n_forwarders`` altruists then ``n_selfish`` CSN."""
+    players = {}
+    pid = start_id
+    for _ in range(n_forwarders):
+        players[pid] = AlwaysForwardPlayer(pid)
+        pid += 1
+    for _ in range(n_selfish):
+        players[pid] = ConstantlySelfishPlayer(pid)
+        pid += 1
+    return players
+
+
+def normal_player(pid: int, strategy_text: str) -> NormalPlayer:
+    """A normal player with a strategy given in paper display form."""
+    return NormalPlayer(pid, Strategy.from_string(strategy_text))
+
+
+def scripted_tournament_oracle(
+    participants: list[int],
+    rounds: int,
+    make_setup,
+) -> ScriptedPathOracle:
+    """Build a scripted oracle covering a whole tournament.
+
+    ``make_setup(round_no, source)`` must return a :class:`GameSetup`; the
+    schedule follows the engines' iteration order (rounds outer, participants
+    inner).
+    """
+    setups: list[GameSetup] = []
+    for round_no in range(rounds):
+        for source in participants:
+            setups.append(make_setup(round_no, source))
+    return ScriptedPathOracle(setups)
+
+
+def seed_reputation(player, subject: int, forwarded: int, dropped: int) -> None:
+    """Inject ``forwarded`` positive and ``dropped`` negative observations."""
+    for _ in range(forwarded):
+        player.reputation.record(subject, True)
+    for _ in range(dropped):
+        player.reputation.record(subject, False)

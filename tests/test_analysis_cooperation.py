@@ -1,0 +1,76 @@
+"""Unit tests for cooperation-series analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.cooperation import (
+    final_mean_cooperation,
+    moving_average,
+    series_confidence_band,
+)
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self):
+        s = np.array([1.0, 2.0, 3.0])
+        assert np.array_equal(moving_average(s, 1), s)
+
+    def test_trailing_window(self):
+        s = np.array([1.0, 2.0, 3.0, 4.0])
+        out = moving_average(s, 2)
+        assert np.allclose(out, [1.0, 1.5, 2.5, 3.5])
+
+    def test_same_length(self):
+        s = np.arange(10, dtype=float)
+        assert len(moving_average(s, 4)) == 10
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            moving_average(np.array([1.0]), 0)
+
+    def test_constant_series_unchanged(self):
+        s = np.full(6, 3.3)
+        assert np.allclose(moving_average(s, 3), s)
+
+    def test_empty_series(self):
+        assert len(moving_average(np.array([]), 3)) == 0
+
+
+class TestFinalMean:
+    def test_tail_one(self):
+        m = np.array([[0.1, 0.9], [0.3, 0.7]])
+        assert final_mean_cooperation(m) == pytest.approx(0.8)
+
+    def test_tail_two(self):
+        m = np.array([[0.1, 0.9], [0.3, 0.7]])
+        assert final_mean_cooperation(m, tail=2) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            final_mean_cooperation(np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            final_mean_cooperation(np.array([[1.0]]), tail=2)
+
+
+class TestConfidenceBand:
+    def test_single_replication_degenerate(self):
+        m = np.array([[0.5, 0.6]])
+        mean, lo, hi = series_confidence_band(m)
+        assert np.array_equal(mean, lo)
+        assert np.array_equal(mean, hi)
+
+    def test_band_contains_mean(self):
+        rng = np.random.default_rng(0)
+        m = rng.random((10, 5))
+        mean, lo, hi = series_confidence_band(m)
+        assert (lo <= mean).all() and (mean <= hi).all()
+
+    def test_band_narrows_with_replications(self):
+        rng = np.random.default_rng(1)
+        few = rng.random((4, 6))
+        many = np.vstack([few] * 16)  # same variance, 16x replications
+        _, lo_few, hi_few = series_confidence_band(few)
+        _, lo_many, hi_many = series_confidence_band(many)
+        assert ((hi_many - lo_many) <= (hi_few - lo_few) + 1e-12).all()

@@ -1,0 +1,119 @@
+"""Unit and property tests for population-diversity metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.diversity import (
+    genotype_entropy,
+    mean_pairwise_hamming,
+    per_locus_entropy,
+    unique_fraction,
+)
+from repro.core.strategy import STRATEGY_LENGTH, Strategy
+
+ALL_F = Strategy.all_forward().to_int()
+ALL_D = Strategy.all_drop().to_int()
+
+populations = st.lists(st.integers(0, 2**13 - 1), min_size=0, max_size=40)
+
+
+class TestMeanPairwiseHamming:
+    def test_identical_population_zero(self):
+        assert mean_pairwise_hamming([ALL_F] * 10) == 0.0
+
+    def test_two_complements(self):
+        assert mean_pairwise_hamming([ALL_F, ALL_D]) == STRATEGY_LENGTH
+
+    def test_half_and_half(self):
+        pop = [ALL_F] * 5 + [ALL_D] * 5
+        # 25 differing pairs of distance 13 over 45 pairs
+        assert mean_pairwise_hamming(pop) == pytest.approx(13 * 25 / 45)
+
+    def test_small_populations(self):
+        assert mean_pairwise_hamming([]) == 0.0
+        assert mean_pairwise_hamming([ALL_F]) == 0.0
+
+    @given(populations)
+    @settings(max_examples=30)
+    def test_matches_naive_computation(self, pop):
+        if len(pop) < 2:
+            return
+        from repro.utils.bitstring import hamming_distance
+
+        bits = [Strategy.from_int(p).bits for p in pop]
+        total = sum(
+            hamming_distance(bits[i], bits[j])
+            for i in range(len(pop))
+            for j in range(i + 1, len(pop))
+        )
+        expected = total / (len(pop) * (len(pop) - 1) / 2)
+        assert mean_pairwise_hamming(pop) == pytest.approx(expected)
+
+    @given(populations)
+    @settings(max_examples=30)
+    def test_bounds(self, pop):
+        d = mean_pairwise_hamming(pop)
+        assert 0.0 <= d <= STRATEGY_LENGTH
+
+
+class TestPerLocusEntropy:
+    def test_uniform_locus_has_entropy_one(self):
+        pop = [ALL_F, ALL_D]
+        assert np.allclose(per_locus_entropy(pop), 1.0)
+
+    def test_fixed_locus_has_entropy_zero(self):
+        assert np.allclose(per_locus_entropy([ALL_F] * 4), 0.0)
+
+    def test_empty(self):
+        assert per_locus_entropy([]).shape == (STRATEGY_LENGTH,)
+
+    @given(populations)
+    @settings(max_examples=30)
+    def test_bounds(self, pop):
+        e = per_locus_entropy(pop)
+        assert ((0.0 <= e) & (e <= 1.0 + 1e-12)).all()
+
+
+class TestGenotypeMetrics:
+    def test_unique_fraction(self):
+        assert unique_fraction([ALL_F, ALL_F, ALL_D, 5]) == 0.75
+        assert unique_fraction([]) == 0.0
+
+    def test_genotype_entropy_uniform(self):
+        pop = [1, 2, 3, 4]
+        assert genotype_entropy(pop) == pytest.approx(2.0)
+
+    def test_genotype_entropy_degenerate(self):
+        assert genotype_entropy([7] * 12) == 0.0
+
+    @given(populations)
+    @settings(max_examples=30)
+    def test_entropy_bounded_by_log_n(self, pop):
+        if not pop:
+            return
+        assert genotype_entropy(pop) <= np.log2(len(pop)) + 1e-9
+
+
+class TestEvolutionReducesDiversity:
+    def test_selection_collapses_random_population(self):
+        """Directional: strong selection reduces all diversity metrics."""
+        rng = np.random.default_rng(0)
+        from repro.config.parameters import GAConfig
+        from repro.ga.evolution import GeneticAlgorithm
+
+        ga = GeneticAlgorithm(
+            GAConfig(population_size=40, mutation_rate=0.0, tournament_size=4)
+        )
+        pop_bits = ga.initial_population(13, rng)
+        pop = [Strategy(b).to_int() for b in pop_bits]
+        before = mean_pairwise_hamming(pop)
+        fitness = np.array([sum(b) for b in pop_bits], dtype=float)
+        for _ in range(15):
+            pop_bits = ga.next_generation(pop_bits, fitness, rng)
+            fitness = np.array([sum(b) for b in pop_bits], dtype=float)
+        after = mean_pairwise_hamming([Strategy(b).to_int() for b in pop_bits])
+        assert after < before

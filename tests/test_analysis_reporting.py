@@ -1,0 +1,82 @@
+"""Unit tests for paper-style report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import (
+    PAPER_FIG4_FINALS,
+    PAPER_TABLE5,
+    PAPER_TABLE6,
+    render_fig4,
+    render_table5,
+    render_table6,
+    render_table7,
+    render_table8_9,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+
+
+@pytest.fixture(scope="module")
+def case3_result():
+    return run_experiment(
+        ExperimentConfig.for_case("case3", scale="smoke"), processes=1
+    )
+
+
+@pytest.fixture(scope="module")
+def case4_result():
+    return run_experiment(
+        ExperimentConfig.for_case("case4", scale="smoke"), processes=1
+    )
+
+
+class TestPaperConstants:
+    def test_fig4_targets_match_table5_consistent_reading(self):
+        """DESIGN.md §2.5: case3 > case4 under the corrected reading."""
+        assert PAPER_FIG4_FINALS["case3"] > PAPER_FIG4_FINALS["case4"]
+        assert PAPER_FIG4_FINALS["case1"] == 0.97
+        assert PAPER_FIG4_FINALS["case2"] == 0.19
+
+    def test_table5_envs(self):
+        assert set(PAPER_TABLE5) == {"TE1", "TE2", "TE3", "TE4"}
+
+    def test_table6_rows(self):
+        assert ("nn", "accepted") in PAPER_TABLE6
+        assert ("csn", "rejected_by_csn") in PAPER_TABLE6
+
+
+class TestRenderers:
+    def test_fig4(self, case3_result, case4_result):
+        out = render_fig4({"case3": case3_result, "case4": case4_result})
+        assert "Fig. 4" in out
+        assert "case3" in out and "case4" in out
+        assert "paper" in out
+
+    def test_table5(self, case3_result, case4_result):
+        out = render_table5(case3_result, case4_result)
+        assert "Table 5" in out
+        for env in ("TE1", "TE2", "TE3", "TE4"):
+            assert env in out
+
+    def test_table6(self, case3_result, case4_result):
+        out = render_table6(case3_result, case4_result)
+        assert "Table 6" in out
+        assert "from NN" in out and "from CSN" in out
+        assert "Req. rejected by CSN" in out
+
+    def test_table7(self, case3_result, case4_result):
+        out = render_table7(case3_result, case4_result)
+        assert "Table 7" in out
+        assert "shorter paths" in out and "longer paths" in out
+
+    def test_table8_9(self, case3_result):
+        out = render_table8_9(case3_result, "case 3 (short paths)")
+        assert "Trust 0" in out and "Trust 3" in out
+        assert "case 3" in out
+
+    def test_table8_min_fraction_zero_shows_everything(self, case3_result):
+        full = render_table8_9(case3_result, "x", min_fraction=0.0)
+        filtered = render_table8_9(case3_result, "x", min_fraction=0.2)
+        assert len(full) >= len(filtered)

@@ -1,0 +1,27 @@
+"""Unit tests for Table 6 request-fraction extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.requests import request_fractions
+from repro.game.stats import RequestCounters
+
+
+class TestRequestFractions:
+    def test_fractions(self):
+        c = RequestCounters(
+            accepted_by_nn=70,
+            accepted_by_csn=7,
+            rejected_by_nn=3,
+            rejected_by_csn=20,
+        )
+        f = request_fractions(c)
+        assert f["accepted"] == pytest.approx(0.77)
+        assert f["rejected_by_np"] == pytest.approx(0.03)
+        assert f["rejected_by_csn"] == pytest.approx(0.20)
+        assert sum(f.values()) == pytest.approx(1.0)
+
+    def test_empty(self):
+        f = request_fractions(RequestCounters())
+        assert f == {"accepted": 0.0, "rejected_by_np": 0.0, "rejected_by_csn": 0.0}

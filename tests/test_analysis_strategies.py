@@ -1,0 +1,84 @@
+"""Unit tests for strategy censuses (Tables 7-9 machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.strategies import (
+    most_common_strategies,
+    strategy_counts,
+    substrategy_distribution,
+    unknown_bit_fraction,
+)
+from repro.core.strategy import Strategy
+
+ALL_F = Strategy.all_forward().to_int()
+ALL_D = Strategy.all_drop().to_int()
+MIXED = Strategy.from_string("010 101 101 111 1").to_int()
+
+
+class TestStrategyCounts:
+    def test_counts_across_populations(self):
+        populations = [[ALL_F, ALL_F, MIXED], [ALL_F, ALL_D]]
+        counts = strategy_counts(populations)
+        assert counts[Strategy.all_forward()] == 3
+        assert counts[Strategy.all_drop()] == 1
+        assert sum(counts.values()) == 5
+
+    def test_empty(self):
+        assert strategy_counts([]) == {}
+
+
+class TestMostCommon:
+    def test_order_and_fractions(self):
+        populations = [[ALL_F] * 6 + [MIXED] * 3 + [ALL_D]]
+        top = most_common_strategies(populations, k=2)
+        assert top[0][0] == Strategy.all_forward()
+        assert top[0][1] == pytest.approx(0.6)
+        assert top[1][0] == Strategy.from_int(MIXED)
+        assert top[1][1] == pytest.approx(0.3)
+
+    def test_k_larger_than_distinct(self):
+        top = most_common_strategies([[ALL_F]], k=5)
+        assert len(top) == 1
+
+    def test_empty(self):
+        assert most_common_strategies([], k=3) == []
+
+
+class TestSubstrategyDistribution:
+    def test_per_trust_blocks(self):
+        populations = [[MIXED, MIXED, ALL_F]]
+        dist0 = dict(substrategy_distribution(populations, 0))
+        assert dist0["010"] == pytest.approx(2 / 3)
+        assert dist0["111"] == pytest.approx(1 / 3)
+        dist3 = dict(substrategy_distribution(populations, 3))
+        assert dist3["111"] == pytest.approx(1.0)
+
+    def test_min_fraction_filter(self):
+        populations = [[MIXED] * 97 + [ALL_D] * 3]
+        dist = substrategy_distribution(populations, 0, min_fraction=0.05)
+        assert dict(dist).keys() == {"010"}
+
+    def test_sorted_descending(self):
+        populations = [[MIXED] * 2 + [ALL_F] * 8]
+        dist = substrategy_distribution(populations, 0)
+        fracs = [f for _, f in dist]
+        assert fracs == sorted(fracs, reverse=True)
+
+    def test_invalid_trust(self):
+        with pytest.raises(ValueError):
+            substrategy_distribution([[ALL_F]], 4)
+
+    def test_empty(self):
+        assert substrategy_distribution([], 0) == []
+
+
+class TestUnknownBit:
+    def test_fraction(self):
+        populations = [[ALL_F, ALL_F, ALL_D, MIXED]]
+        # ALL_F and MIXED forward unknowns; ALL_D does not
+        assert unknown_bit_fraction(populations) == pytest.approx(0.75)
+
+    def test_empty(self):
+        assert unknown_bit_fraction([]) == 0.0

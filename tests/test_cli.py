@@ -1,0 +1,84 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_reproduce_defaults(self):
+        args = build_parser().parse_args(["reproduce", "fig4"])
+        assert args.artefact == "fig4"
+        assert args.scale == "default"
+        assert args.engine == "fast"
+
+    def test_run_case_options(self):
+        args = build_parser().parse_args(
+            ["run-case", "case3", "--generations", "5", "--rounds", "9"]
+        )
+        assert args.case == "case3"
+        assert args.generations == 5
+        assert args.rounds == 9
+
+
+class TestCommands:
+    def test_list_output(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out
+        assert "case4" in out
+
+    def test_reproduce_unknown_artefact(self, capsys):
+        assert main(["reproduce", "nope"]) == 2
+        assert "unknown artefact" in capsys.readouterr().err
+
+    def test_run_case_smoke(self, capsys, tmp_path):
+        code = main(
+            [
+                "run-case",
+                "case1",
+                "--scale",
+                "smoke",
+                "--processes",
+                "1",
+                "--out",
+                str(tmp_path / "case1.json"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "final cooperation" in out
+        assert (tmp_path / "case1.json").exists()
+
+    def test_reproduce_smoke_artefact(self, capsys, tmp_path):
+        code = main(
+            [
+                "reproduce",
+                "table8",
+                "--scale",
+                "smoke",
+                "--processes",
+                "1",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "table8" in out
+        assert (tmp_path / "table8_smoke.txt").exists()

@@ -1,0 +1,60 @@
+"""Presets vs the paper's published parameter tables (Tables 1-3, §6.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import presets
+from repro.paths.distributions import LONGER_PATHS, SHORTER_PATHS
+
+
+class TestSection61Constants:
+    def test_ga_parameters(self):
+        assert presets.PAPER_CROSSOVER_RATE == 0.9
+        assert presets.PAPER_MUTATION_RATE == 0.001
+        assert presets.PAPER_ROUNDS == 300
+        assert presets.PAPER_GENERATIONS == 500
+        assert presets.PAPER_REPLICATIONS == 60
+
+    def test_population_and_tournament_size(self):
+        assert presets.PAPER_POPULATION == 100
+        assert presets.PAPER_TOURNAMENT_SIZE == 50
+
+
+class TestTable1Environments:
+    @pytest.mark.parametrize(
+        "env,csn,normal",
+        [
+            (presets.TE1, 0, 50),
+            (presets.TE2, 10, 40),
+            (presets.TE3, 25, 25),
+            (presets.TE4, 30, 20),
+        ],
+    )
+    def test_csn_and_normal_counts(self, env, csn, normal):
+        assert env.n_selfish == csn
+        assert env.n_normal == normal
+        assert env.tournament_size == 50
+
+    def test_paper_environments_order(self):
+        assert [e.name for e in presets.paper_environments()] == [
+            "TE1",
+            "TE2",
+            "TE3",
+            "TE4",
+        ]
+
+    def test_custom_environment_factory(self):
+        env = presets.environment_with_csn(30)
+        assert env.n_selfish == 30
+        assert env.tournament_size == 50
+
+
+class TestTable2Modes:
+    def test_mode_names(self):
+        assert SHORTER_PATHS.name == "shorter"
+        assert LONGER_PATHS.name == "longer"
+
+    def test_shorter_mode_dominates_short_hops(self):
+        assert SHORTER_PATHS.dist.pmf(2) > LONGER_PATHS.dist.pmf(2)
+        assert SHORTER_PATHS.dist.pmf(10) < LONGER_PATHS.dist.pmf(10)

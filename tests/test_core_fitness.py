@@ -1,0 +1,102 @@
+"""Unit and property tests for Eq. (1) fitness accounting."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.fitness import PayoffAccumulator
+
+payoff_values = st.floats(min_value=0.0, max_value=5.0, allow_nan=False)
+
+
+class TestAccumulation:
+    def test_empty_fitness_is_zero(self):
+        assert PayoffAccumulator().fitness == 0.0
+
+    def test_single_send(self):
+        acc = PayoffAccumulator()
+        acc.record_send(5.0)
+        assert acc.fitness == 5.0
+        assert acc.n_events == 1
+
+    def test_eq1_mixed_events(self):
+        acc = PayoffAccumulator()
+        acc.record_send(5.0)  # tps = 5
+        acc.record_forward(3.0)  # tpf = 3
+        acc.record_forward(1.0)  # tpf = 4
+        acc.record_discard(2.0)  # tpd = 2
+        assert acc.total_payoff == 11.0
+        assert acc.n_events == 4
+        assert acc.fitness == 11.0 / 4
+
+    def test_category_counters(self):
+        acc = PayoffAccumulator()
+        acc.record_send(0.0)
+        acc.record_forward(1.0)
+        acc.record_discard(2.0)
+        assert (acc.n_sent, acc.n_forwarded, acc.n_discarded) == (1, 1, 1)
+
+    def test_reset(self):
+        acc = PayoffAccumulator()
+        acc.record_send(5.0)
+        acc.reset()
+        assert acc.fitness == 0.0
+        assert acc.n_events == 0
+        assert acc.total_payoff == 0.0
+
+    def test_merge(self):
+        a, b = PayoffAccumulator(), PayoffAccumulator()
+        a.record_send(5.0)
+        b.record_forward(3.0)
+        b.record_discard(1.0)
+        a.merge(b)
+        assert a.n_events == 3
+        assert a.total_payoff == 9.0
+
+
+class TestProperties:
+    @given(st.lists(payoff_values, max_size=30))
+    def test_fitness_bounded_by_max_single_payoff(self, values):
+        acc = PayoffAccumulator()
+        for v in values:
+            acc.record_send(v)
+        if values:
+            assert 0.0 <= acc.fitness <= max(values) + 1e-12
+
+    @given(
+        st.lists(payoff_values, max_size=10),
+        st.lists(payoff_values, max_size=10),
+        st.lists(payoff_values, max_size=10),
+    )
+    def test_fitness_is_mean_over_all_events(self, sends, forwards, discards):
+        acc = PayoffAccumulator()
+        for v in sends:
+            acc.record_send(v)
+        for v in forwards:
+            acc.record_forward(v)
+        for v in discards:
+            acc.record_discard(v)
+        events = len(sends) + len(forwards) + len(discards)
+        if events:
+            expected = (sum(sends) + sum(forwards) + sum(discards)) / events
+            assert abs(acc.fitness - expected) < 1e-9
+
+    @given(st.lists(payoff_values, min_size=1, max_size=20))
+    def test_merge_equals_sequential(self, values):
+        merged = PayoffAccumulator()
+        sequential = PayoffAccumulator()
+        half = len(values) // 2
+        a, b = PayoffAccumulator(), PayoffAccumulator()
+        for v in values[:half]:
+            a.record_forward(v)
+            sequential.record_forward(v)
+        for v in values[half:]:
+            b.record_forward(v)
+            sequential.record_forward(v)
+        merged.merge(a)
+        merged.merge(b)
+        # merge sums partial totals, so only float-associativity differences
+        # are tolerated
+        assert merged.n_events == sequential.n_events
+        assert abs(merged.fitness - sequential.fitness) < 1e-9

@@ -1,0 +1,133 @@
+"""Unit tests for the player hierarchy (§4.3 + baselines)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.activity import Activity
+from repro.core.node import (
+    AlwaysDropPlayer,
+    AlwaysForwardPlayer,
+    ConstantlySelfishPlayer,
+    NormalPlayer,
+    RandomPlayer,
+    ThresholdPlayer,
+)
+from repro.core.strategy import Strategy
+from repro.reputation.activity import ActivityClassifier
+from repro.reputation.trust import TrustTable
+
+from tests.conftest import seed_reputation
+
+TRUST = TrustTable()
+ACTIVITY = ActivityClassifier()
+
+
+class TestNormalPlayer:
+    def test_unknown_source_uses_bit12(self):
+        forward_unknown = NormalPlayer(0, Strategy.from_string("000 000 000 000 1"))
+        drop_unknown = NormalPlayer(1, Strategy.from_string("111 111 111 111 0"))
+        d1 = forward_unknown.decide_packet(9, TRUST, ACTIVITY)
+        d2 = drop_unknown.decide_packet(9, TRUST, ACTIVITY)
+        assert d1.forward and not d1.source_known
+        assert d1.trust is None and d1.activity is None
+        assert not d2.forward
+
+    def test_known_source_resolves_trust_and_activity(self):
+        player = NormalPlayer(0, Strategy.all_forward())
+        seed_reputation(player, 5, forwarded=19, dropped=1)  # fr = 0.95
+        decision = player.decide_packet(5, TRUST, ACTIVITY)
+        assert decision.source_known
+        assert decision.trust == 3
+        assert decision.activity == Activity.MI  # only known node == average
+
+    def test_decision_follows_strategy_bit(self):
+        # forward only at (trust 3, MI) = bit 10
+        player = NormalPlayer(0, Strategy.from_string("000 000 000 010 0"))
+        seed_reputation(player, 5, forwarded=19, dropped=1)
+        assert player.decide_packet(5, TRUST, ACTIVITY).forward
+
+    def test_activity_levels_against_other_known_nodes(self):
+        player = NormalPlayer(0, Strategy.all_forward())
+        seed_reputation(player, 5, forwarded=1, dropped=0)  # source: pf=1
+        seed_reputation(player, 6, forwarded=9, dropped=0)  # other: pf=9
+        # av = (1 + 9) / 2 = 5; source pf=1 < 4 -> LO
+        decision = player.decide_packet(5, TRUST, ACTIVITY)
+        assert decision.activity == Activity.LO
+
+    def test_strategy_is_mutable_between_generations(self):
+        player = NormalPlayer(0, Strategy.all_drop())
+        player.strategy = Strategy.all_forward()
+        assert player.decide_packet(1, TRUST, ACTIVITY).forward
+
+
+class TestConstantlySelfish:
+    def test_always_drops(self):
+        csn = ConstantlySelfishPlayer(0)
+        assert not csn.decide_packet(5, TRUST, ACTIVITY).forward
+        seed_reputation(csn, 5, forwarded=10, dropped=0)
+        assert not csn.decide_packet(5, TRUST, ACTIVITY).forward
+
+    def test_is_selfish_flag(self):
+        assert ConstantlySelfishPlayer(0).is_selfish
+        assert not NormalPlayer(0, Strategy.all_forward()).is_selfish
+        assert not AlwaysForwardPlayer(0).is_selfish
+
+    def test_decision_still_reports_trust_when_known(self):
+        csn = ConstantlySelfishPlayer(0)
+        seed_reputation(csn, 5, forwarded=10, dropped=0)
+        decision = csn.decide_packet(5, TRUST, ACTIVITY)
+        assert decision.trust == 3 and decision.source_known
+
+
+class TestBaselines:
+    def test_always_forward(self):
+        p = AlwaysForwardPlayer(0)
+        assert p.decide_packet(1, TRUST, ACTIVITY).forward
+
+    def test_always_drop(self):
+        p = AlwaysDropPlayer(0)
+        assert not p.decide_packet(1, TRUST, ACTIVITY).forward
+        assert not p.is_selfish  # counted as a normal node
+
+    def test_random_player_rate(self):
+        p = RandomPlayer(0, 0.7, np.random.default_rng(0))
+        outcomes = [p.decide_packet(1, TRUST, ACTIVITY).forward for _ in range(2000)]
+        assert 0.65 < np.mean(outcomes) < 0.75
+
+    def test_random_player_validates_p(self):
+        with pytest.raises(ValueError):
+            RandomPlayer(0, 1.5, np.random.default_rng(0))
+
+    def test_threshold_player(self):
+        p = ThresholdPlayer(0, min_trust=2)
+        seed_reputation(p, 5, forwarded=19, dropped=1)  # trust 3
+        seed_reputation(p, 6, forwarded=1, dropped=1)  # trust 1
+        assert p.decide_packet(5, TRUST, ACTIVITY).forward
+        assert not p.decide_packet(6, TRUST, ACTIVITY).forward
+
+    def test_threshold_unknown_configurable(self):
+        assert ThresholdPlayer(0).decide_packet(9, TRUST, ACTIVITY).forward
+        assert not (
+            ThresholdPlayer(0, forward_unknown=False)
+            .decide_packet(9, TRUST, ACTIVITY)
+            .forward
+        )
+
+
+class TestLifecycle:
+    def test_reset_memory(self):
+        p = AlwaysForwardPlayer(0)
+        seed_reputation(p, 5, forwarded=1, dropped=0)
+        p.reset_memory()
+        assert not p.reputation.knows(5)
+
+    def test_reset_payoffs(self):
+        p = AlwaysForwardPlayer(0)
+        p.payoffs.record_send(5.0)
+        p.reset_payoffs()
+        assert p.payoffs.n_events == 0
+
+    def test_repr_contains_id(self):
+        assert "7" in repr(AlwaysForwardPlayer(7))

@@ -1,0 +1,90 @@
+"""Unit tests for the payoff tables (§4.2, Fig. 2a reconstruction)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.payoff import PayoffConfig
+
+
+class TestDefaults:
+    def test_source_payoffs(self):
+        p = PayoffConfig()
+        assert p.source_success == 5.0
+        assert p.source_failure == 0.0
+
+    def test_reconstructed_intermediate_tables(self):
+        p = PayoffConfig()
+        assert p.forward_by_trust == (0.5, 1.0, 2.0, 3.0)
+        assert p.discard_by_trust == (3.0, 2.0, 1.0, 0.5)
+
+    def test_rows_use_the_figures_multiset(self):
+        """Both rows of Fig. 2a contain exactly {0.5, 1, 2, 3}."""
+        p = PayoffConfig()
+        assert sorted(p.forward_by_trust) == [0.5, 1.0, 2.0, 3.0]
+        assert sorted(p.discard_by_trust) == [0.5, 1.0, 2.0, 3.0]
+
+    def test_forward_monotone_increasing_in_trust(self):
+        p = PayoffConfig()
+        assert list(p.forward_by_trust) == sorted(p.forward_by_trust)
+
+    def test_discard_monotone_decreasing_in_trust(self):
+        p = PayoffConfig()
+        assert list(p.discard_by_trust) == sorted(p.discard_by_trust, reverse=True)
+
+    def test_default_trust_is_1(self):
+        assert PayoffConfig().default_trust == 1
+
+
+class TestLookups:
+    def test_source_payoff(self):
+        p = PayoffConfig()
+        assert p.source_payoff(True) == 5.0
+        assert p.source_payoff(False) == 0.0
+
+    @pytest.mark.parametrize("trust", range(4))
+    def test_intermediate_forward(self, trust):
+        p = PayoffConfig()
+        assert p.intermediate_payoff(True, trust) == p.forward_by_trust[trust]
+
+    @pytest.mark.parametrize("trust", range(4))
+    def test_intermediate_discard(self, trust):
+        p = PayoffConfig()
+        assert p.intermediate_payoff(False, trust) == p.discard_by_trust[trust]
+
+    def test_unknown_source_uses_default_trust(self):
+        p = PayoffConfig()
+        assert p.intermediate_payoff(True, None) == p.forward_by_trust[1]
+        assert p.intermediate_payoff(False, None) == p.discard_by_trust[1]
+
+    def test_bad_trust_rejected(self):
+        with pytest.raises(ValueError):
+            PayoffConfig().intermediate_payoff(True, 4)
+
+    def test_max_payoff(self):
+        assert PayoffConfig().max_payoff == 5.0
+        assert PayoffConfig().max_intermediate_payoff == 3.0
+
+
+class TestValidation:
+    def test_wrong_row_length(self):
+        with pytest.raises(ValueError):
+            PayoffConfig(forward_by_trust=(1.0, 2.0))
+
+    def test_bad_default_trust(self):
+        with pytest.raises(ValueError):
+            PayoffConfig(default_trust=4)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PayoffConfig().source_success = 10  # type: ignore[misc]
+
+
+class TestWithoutReputation:
+    def test_discard_always_beats_forward(self):
+        """§4.2: without enforcement, selfishness always pays more."""
+        p = PayoffConfig.without_reputation()
+        for trust in range(4):
+            assert p.intermediate_payoff(False, trust) > p.intermediate_payoff(
+                True, trust
+            )

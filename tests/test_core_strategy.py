@@ -1,0 +1,172 @@
+"""Unit and property tests for the 13-bit strategy encoding (§3.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.activity import Activity
+from repro.core.strategy import (
+    N_ACTIVITY_LEVELS,
+    N_TRUST_LEVELS,
+    STRATEGY_LENGTH,
+    UNKNOWN_BIT,
+    Strategy,
+    gene_index,
+)
+
+strategy_bits = st.lists(st.integers(0, 1), min_size=13, max_size=13).map(tuple)
+
+
+class TestGeneIndex:
+    def test_layout_constants(self):
+        assert STRATEGY_LENGTH == 13
+        assert UNKNOWN_BIT == 12
+        assert N_TRUST_LEVELS == 4
+        assert N_ACTIVITY_LEVELS == 3
+
+    @pytest.mark.parametrize(
+        "trust,activity,expected",
+        [(0, 0, 0), (0, 2, 2), (1, 0, 3), (2, 1, 7), (3, 0, 9), (3, 2, 11)],
+    )
+    def test_index_formula(self, trust, activity, expected):
+        assert gene_index(trust, activity) == expected
+
+    def test_accepts_activity_enum(self):
+        assert gene_index(2, Activity.HI) == 8
+
+    def test_rejects_bad_trust(self):
+        with pytest.raises(ValueError):
+            gene_index(4, 0)
+        with pytest.raises(ValueError):
+            gene_index(-1, 0)
+
+    def test_rejects_bad_activity(self):
+        with pytest.raises(ValueError):
+            gene_index(0, 3)
+
+    def test_indices_are_a_bijection(self):
+        seen = {
+            gene_index(t, a)
+            for t in range(N_TRUST_LEVELS)
+            for a in range(N_ACTIVITY_LEVELS)
+        }
+        assert seen == set(range(12))
+
+
+class TestConstruction:
+    def test_requires_13_bits(self):
+        with pytest.raises(ValueError):
+            Strategy((0,) * 12)
+
+    def test_from_string_grouped(self):
+        s = Strategy.from_string("010 101 101 111 1")
+        assert s.bits == (0, 1, 0, 1, 0, 1, 1, 0, 1, 1, 1, 1, 1)
+
+    def test_all_forward_all_drop(self):
+        assert all(Strategy.all_forward().bits)
+        assert not any(Strategy.all_drop().bits)
+
+    def test_random_uses_rng(self):
+        a = Strategy.random(np.random.default_rng(1))
+        b = Strategy.random(np.random.default_rng(1))
+        assert a == b
+
+    def test_random_varies(self):
+        rng = np.random.default_rng(2)
+        assert len({Strategy.random(rng) for _ in range(50)}) > 10
+
+
+class TestDecisions:
+    def test_decide_reads_correct_bit(self):
+        bits = [0] * 13
+        bits[gene_index(2, 1)] = 1
+        s = Strategy(bits)
+        assert s.decide(2, 1) is True
+        assert s.decide(2, 0) is False
+
+    def test_decide_unknown_reads_bit12(self):
+        bits = [0] * 13
+        bits[12] = 1
+        assert Strategy(bits).decide_unknown() is True
+
+    def test_all_forward_forwards_everywhere(self):
+        s = Strategy.all_forward()
+        for t in range(4):
+            for a in range(3):
+                assert s.decide(t, a)
+        assert s.decide_unknown()
+
+
+class TestViews:
+    def test_sub_strategy_blocks(self):
+        s = Strategy.from_string("010 101 110 111 0")
+        assert s.sub_strategy(0) == "010"
+        assert s.sub_strategy(1) == "101"
+        assert s.sub_strategy(2) == "110"
+        assert s.sub_strategy(3) == "111"
+
+    def test_sub_strategy_rejects_bad_trust(self):
+        with pytest.raises(ValueError):
+            Strategy.all_forward().sub_strategy(4)
+
+    def test_forwarding_fraction(self):
+        assert Strategy.all_forward().forwarding_fraction() == 1.0
+        assert Strategy.all_drop().forwarding_fraction() == 0.0
+
+    def test_as_array(self):
+        arr = Strategy.from_string("000 111 000 111 1").as_array()
+        assert arr.dtype == np.uint8
+        assert arr.tolist() == [0, 0, 0, 1, 1, 1, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_len_iter_getitem(self):
+        s = Strategy.all_forward()
+        assert len(s) == 13
+        assert list(s) == [1] * 13
+        assert s[5] == 1
+
+
+class TestEqualityAndHashing:
+    def test_equal_strategies_hash_equal(self):
+        a = Strategy.from_string("010 101 101 111 1")
+        b = Strategy.from_string("0101011011111")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unequal(self):
+        assert Strategy.all_forward() != Strategy.all_drop()
+
+    def test_not_equal_to_other_types(self):
+        assert Strategy.all_forward() != (1,) * 13
+
+    def test_usable_in_counter(self):
+        from collections import Counter
+
+        c = Counter([Strategy.all_forward(), Strategy.all_forward()])
+        assert c[Strategy.all_forward()] == 2
+
+
+class TestRoundTrips:
+    @given(strategy_bits)
+    def test_int_roundtrip(self, bits):
+        s = Strategy(bits)
+        assert Strategy.from_int(s.to_int()) == s
+
+    @given(strategy_bits)
+    def test_string_roundtrip(self, bits):
+        s = Strategy(bits)
+        assert Strategy.from_string(s.to_string()) == s
+
+    @given(strategy_bits)
+    def test_sub_strategies_tile_the_genome(self, bits):
+        s = Strategy(bits)
+        joined = "".join(s.sub_strategy(t) for t in range(4))
+        expected = "".join(str(b) for b in bits[:12])
+        assert joined == expected
+
+    @given(strategy_bits, st.integers(0, 3), st.integers(0, 2))
+    def test_decide_matches_bits(self, bits, trust, activity):
+        s = Strategy(bits)
+        assert s.decide(trust, activity) == bool(bits[gene_index(trust, activity)])

@@ -1,0 +1,125 @@
+"""Reference vs fast engine: bit-for-bit equivalence.
+
+Both engines consume randomness exclusively through shared components (path
+oracle, seating scheduler, GA), so under identical seeds they must produce
+identical decisions, payoffs, reputation matrices, statistics, fitness and —
+through a whole GA replication — identical evolved populations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.strategy import Strategy
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.replication import run_replication
+from repro.game.stats import TournamentStats
+from repro.paths.distributions import LONGER_PATHS, SHORTER_PATHS
+from repro.paths.oracle import RandomPathOracle
+from repro.sim.fast import FastEngine
+from repro.sim.reference import ReferenceEngine
+from repro.tournament.environment import TournamentEnvironment
+from repro.tournament.evaluation import evaluate_generation
+
+
+def build_pair(n_pop=16, max_csn=5, seed=77):
+    rng = np.random.default_rng(seed)
+    strategies = [Strategy.random(rng) for _ in range(n_pop)]
+    engines = []
+    for cls in (ReferenceEngine, FastEngine):
+        engine = cls(n_pop, max_csn)
+        engine.set_strategies(strategies)
+        engines.append(engine)
+    return engines
+
+
+def run_engine(engine, participants, rounds, oracle_seed, hop_dist=SHORTER_PATHS):
+    oracle = RandomPathOracle(np.random.default_rng(oracle_seed), hop_dist)
+    stats = TournamentStats()
+    engine.reset_generation()
+    engine.run_tournament(participants, rounds, oracle, stats, None, None)
+    return stats
+
+
+class TestTournamentEquivalence:
+    @pytest.mark.parametrize("oracle_seed", [0, 1, 2, 3])
+    def test_stats_identical(self, oracle_seed):
+        ref, fast = build_pair()
+        participants = list(range(12)) + [16, 17, 18]  # 12 NN + 3 CSN
+        s_ref = run_engine(ref, participants, 15, oracle_seed)
+        s_fast = run_engine(fast, participants, 15, oracle_seed)
+        assert s_ref.to_dict() == s_fast.to_dict()
+
+    @pytest.mark.parametrize("hop_dist", [SHORTER_PATHS, LONGER_PATHS])
+    def test_reputation_matrices_identical(self, hop_dist):
+        ref, fast = build_pair()
+        participants = list(range(10)) + [16, 17]
+        run_engine(ref, participants, 12, 5, hop_dist)
+        run_engine(fast, participants, 12, 5, hop_dist)
+        assert np.array_equal(ref.payoff_matrix(), fast.payoff_matrix())
+
+    def test_fitness_identical(self):
+        ref, fast = build_pair()
+        participants = list(range(14)) + [16]
+        run_engine(ref, participants, 10, 9)
+        run_engine(fast, participants, 10, 9)
+        assert np.array_equal(ref.fitness(), fast.fitness())
+
+    def test_payoff_components_identical(self):
+        ref, fast = build_pair()
+        participants = list(range(16))
+        run_engine(ref, participants, 10, 11)
+        run_engine(fast, participants, 10, 11)
+        for pid in range(16):
+            acc = ref.player(pid).payoffs
+            assert acc.send_payoff == fast.send_pay[pid]
+            assert acc.forward_payoff == fast.fwd_pay_acc[pid]
+            assert acc.discard_payoff == fast.disc_pay_acc[pid]
+            assert acc.n_sent == fast.n_sent[pid]
+            assert acc.n_forwarded == fast.n_fwd[pid]
+            assert acc.n_discarded == fast.n_disc[pid]
+
+
+class TestGenerationEquivalence:
+    def test_full_evaluation_identical(self):
+        envs = [
+            TournamentEnvironment("A", 10, 0),
+            TournamentEnvironment("B", 10, 4),
+        ]
+        results = []
+        for engine in build_pair():
+            oracle = RandomPathOracle(np.random.default_rng(21), SHORTER_PATHS)
+            res = evaluate_generation(
+                engine,
+                envs,
+                rounds=8,
+                plays_per_environment=1,
+                oracle=oracle,
+                rng=np.random.default_rng(22),
+            )
+            results.append(res)
+        a, b = results
+        assert np.array_equal(a.fitness, b.fitness)
+        assert a.overall.to_dict() == b.overall.to_dict()
+        for env in ("A", "B"):
+            assert (
+                a.per_environment[env].to_dict() == b.per_environment[env].to_dict()
+            )
+
+
+class TestReplicationEquivalence:
+    @pytest.mark.parametrize("case", ["case1", "case3"])
+    def test_whole_replication_identical(self, case):
+        """The strongest check: an entire GA run (evaluation + evolution)."""
+        base = ExperimentConfig.for_case(case, scale="smoke", seed=31)
+        ref = run_replication(base.with_(engine="reference"), 0)
+        fast = run_replication(base.with_(engine="fast"), 0)
+        assert ref.history.to_dict() == fast.history.to_dict()
+        assert ref.final_population == fast.final_population
+        assert ref.final_overall.to_dict() == fast.final_overall.to_dict()
+        for env in ref.final_per_env:
+            assert (
+                ref.final_per_env[env].to_dict()
+                == fast.final_per_env[env].to_dict()
+            )

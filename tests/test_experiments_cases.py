@@ -1,0 +1,53 @@
+"""Unit tests for the Table 4 evaluation cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cases import CASES, EvaluationCase, get_case
+from repro.tournament.environment import TournamentEnvironment
+
+
+class TestTable4:
+    def test_all_four_cases_exist(self):
+        assert set(CASES) == {"case1", "case2", "case3", "case4"}
+
+    def test_case1_is_csn_free_shorter(self):
+        case = get_case("case1")
+        assert [e.n_selfish for e in case.environments] == [0]
+        assert case.path_mode == "shorter"
+
+    def test_case2_has_30_csn(self):
+        """DESIGN.md §2.4: case 2 uses 30 CSN (60% of 50 seats)."""
+        case = get_case("case2")
+        assert [e.n_selfish for e in case.environments] == [30]
+        assert case.environments[0].selfish_fraction == 0.6
+        assert case.path_mode == "shorter"
+
+    def test_case3_all_envs_shorter(self):
+        case = get_case("case3")
+        assert [e.n_selfish for e in case.environments] == [0, 10, 25, 30]
+        assert case.path_mode == "shorter"
+
+    def test_case4_all_envs_longer(self):
+        case = get_case("case4")
+        assert [e.name for e in case.environments] == ["TE1", "TE2", "TE3", "TE4"]
+        assert case.path_mode == "longer"
+
+    def test_max_selfish(self):
+        assert get_case("case1").max_selfish == 0
+        assert get_case("case3").max_selfish == 30
+
+    def test_unknown_case(self):
+        with pytest.raises(KeyError, match="case9"):
+            get_case("case9")
+
+
+class TestEvaluationCase:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EvaluationCase("x", "d", (), "shorter")
+        with pytest.raises(ValueError):
+            EvaluationCase(
+                "x", "d", (TournamentEnvironment("A", 10, 0),), "diagonal"
+            )

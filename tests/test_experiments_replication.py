@@ -1,0 +1,75 @@
+"""Unit tests for single-replication runs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.strategy import STRATEGY_LENGTH, Strategy
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.replication import ReplicationResult, run_replication
+
+
+def smoke_config(**overrides) -> ExperimentConfig:
+    return ExperimentConfig.for_case("case1", scale="smoke", **overrides)
+
+
+class TestRunReplication:
+    def test_history_length_matches_generations(self):
+        result = run_replication(smoke_config(), 0)
+        assert result.history.n_generations == smoke_config().generations
+
+    def test_final_population_size(self):
+        result = run_replication(smoke_config(), 0)
+        cfg = smoke_config()
+        assert len(result.final_population) == cfg.ga.population_size
+        for packed in result.final_population:
+            s = Strategy.from_int(packed)
+            assert len(s) == STRATEGY_LENGTH
+
+    def test_final_stats_cover_case_environments(self):
+        result = run_replication(smoke_config(), 0)
+        assert set(result.final_per_env) == {"TE1"}
+        assert result.final_overall.nn_originated > 0
+
+    def test_deterministic_per_index(self):
+        a = run_replication(smoke_config(), 1)
+        b = run_replication(smoke_config(), 1)
+        assert a.history.to_dict() == b.history.to_dict()
+        assert a.final_population == b.final_population
+
+    def test_indices_are_independent_streams(self):
+        a = run_replication(smoke_config(), 0)
+        b = run_replication(smoke_config(), 1)
+        assert a.history.to_dict() != b.history.to_dict()
+
+    def test_seed_changes_everything(self):
+        a = run_replication(smoke_config(seed=1), 0)
+        b = run_replication(smoke_config(seed=2), 0)
+        assert a.final_population != b.final_population
+
+    def test_cooperation_values_are_probabilities(self):
+        result = run_replication(smoke_config(), 0)
+        series = result.history.cooperation_series()
+        assert ((0.0 <= series) & (series <= 1.0)).all()
+
+    def test_final_strategies_helper(self):
+        result = run_replication(smoke_config(), 0)
+        strategies = result.final_strategies()
+        assert all(isinstance(s, Strategy) for s in strategies)
+
+
+class TestReplicationResultSerialization:
+    def test_dict_roundtrip(self):
+        result = run_replication(smoke_config(), 0)
+        restored = ReplicationResult.from_dict(result.to_dict())
+        assert restored.to_dict() == result.to_dict()
+        assert restored.history.n_generations == result.history.n_generations
+
+    def test_multi_env_case(self):
+        cfg = ExperimentConfig.for_case("case3", scale="smoke")
+        result = run_replication(cfg, 0)
+        assert set(result.final_per_env) == {"TE1", "TE2", "TE3", "TE4"}
+        # TE1 has no CSN: its csn request counter must be empty
+        assert result.final_per_env["TE1"].requests_from_csn.total == 0
+        assert result.final_per_env["TE4"].requests_from_csn.total > 0

@@ -1,0 +1,77 @@
+"""Unit tests for experiment result aggregation and persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.results import ExperimentResult
+from repro.experiments.runner import run_experiment
+
+
+@pytest.fixture(scope="module")
+def result() -> ExperimentResult:
+    cfg = ExperimentConfig.for_case("case3", scale="smoke", replications=2)
+    return run_experiment(cfg, processes=1)
+
+
+class TestAggregation:
+    def test_cooperation_matrix_shape(self, result):
+        cfg_generations = ExperimentConfig.for_case("case3", scale="smoke").generations
+        assert result.cooperation_matrix().shape == (2, cfg_generations)
+
+    def test_mean_series(self, result):
+        matrix = result.cooperation_matrix()
+        assert np.allclose(result.mean_cooperation_series(), matrix.mean(axis=0))
+
+    def test_final_cooperation(self, result):
+        mean, std = result.final_cooperation()
+        assert 0.0 <= mean <= 1.0
+        assert std >= 0.0
+
+    def test_environments(self, result):
+        assert result.environments() == ["TE1", "TE2", "TE3", "TE4"]
+
+    def test_per_env_cooperation_bounds(self, result):
+        coop = result.per_env_cooperation()
+        assert set(coop) == {"TE1", "TE2", "TE3", "TE4"}
+        assert all(0.0 <= v <= 1.0 for v in coop.values())
+
+    def test_per_env_csn_free(self, result):
+        free = result.per_env_csn_free()
+        # TE1 has no CSN, so every chosen path is CSN-free
+        assert free["TE1"] == 1.0
+
+    def test_pooled_requests(self, result):
+        from_nn, from_csn = result.pooled_requests()
+        assert from_nn.total > 0
+        assert from_csn.total > 0
+
+    def test_final_populations(self, result):
+        pops = result.final_populations()
+        assert len(pops) == 2
+        assert all(len(p) == 100 for p in pops)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, result, tmp_path):
+        path = result.save(tmp_path / "res.json")
+        restored = ExperimentResult.load(path)
+        assert restored.to_dict() == result.to_dict()
+
+    def test_merge_runs(self, result):
+        merged = ExperimentResult.merge_runs([result, result])
+        assert len(merged.replications) == 4
+
+    def test_merge_rejects_different_cases(self, result):
+        other = ExperimentResult(
+            config={**result.config, "case": "case1"},
+            replications=result.replications,
+        )
+        with pytest.raises(ValueError, match="different cases"):
+            ExperimentResult.merge_runs([result, other])
+
+    def test_empty_replications_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentResult(config={}, replications=[])

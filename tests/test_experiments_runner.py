@@ -1,0 +1,68 @@
+"""Unit tests for the experiment runner, including failure injection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import _task, run_experiment
+
+
+def smoke(**overrides) -> ExperimentConfig:
+    return ExperimentConfig.for_case("case1", scale="smoke", **overrides)
+
+
+class TestRunExperiment:
+    def test_replication_count(self):
+        result = run_experiment(smoke(replications=3), processes=1)
+        assert len(result.replications) == 3
+        assert [r.replication for r in result.replications] == [0, 1, 2]
+
+    def test_config_summary_attached(self):
+        result = run_experiment(smoke(), processes=1)
+        assert result.config["case"] == "case1"
+        assert result.config["engine"] == "fast"
+
+    def test_progress_called_per_replication(self):
+        calls = []
+        run_experiment(
+            smoke(replications=2),
+            processes=1,
+            progress=lambda d, t: calls.append((d, t)),
+        )
+        assert calls == [(1, 2), (2, 2)]
+
+    def test_task_wrapper_is_picklable(self):
+        import pickle
+
+        blob = pickle.dumps((_task, (smoke(), 0)))
+        fn, args = pickle.loads(blob)
+        result = fn(args)
+        assert result.replication == 0
+
+
+class TestFailureInjection:
+    def test_invalid_engine_fails_before_running(self):
+        with pytest.raises(ValueError):
+            smoke(engine="quantum")
+
+    def test_worker_exception_propagates(self, monkeypatch):
+        """A crash inside a replication surfaces, never a silent partial result."""
+        import repro.experiments.runner as runner_mod
+
+        def explode(args):
+            raise RuntimeError("injected replication failure")
+
+        monkeypatch.setattr(runner_mod, "_task", explode)
+        with pytest.raises(RuntimeError, match="injected"):
+            runner_mod.run_experiment(smoke(replications=2), processes=1)
+
+    def test_population_too_small_for_case(self):
+        from repro.config.parameters import GAConfig
+        from repro.experiments.cases import get_case
+
+        with pytest.raises(ValueError, match="population"):
+            ExperimentConfig(
+                case=get_case("case3"),
+                ga=GAConfig(population_size=30),  # TE1 needs 50 normals
+            )

@@ -1,0 +1,99 @@
+"""Unit tests for the generational GA step, including a onemax convergence
+check that validates the whole selection/crossover/mutation pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config.parameters import GAConfig
+from repro.ga.evolution import GeneticAlgorithm
+
+
+def onemax(population) -> np.ndarray:
+    return np.array([sum(bits) for bits in population], dtype=float)
+
+
+class TestInitialPopulation:
+    def test_size_and_length(self, rng):
+        ga = GeneticAlgorithm(GAConfig(population_size=10))
+        pop = ga.initial_population(13, rng)
+        assert len(pop) == 10
+        assert all(len(bits) == 13 for bits in pop)
+
+    def test_random_content(self, rng):
+        ga = GeneticAlgorithm(GAConfig(population_size=40))
+        pop = ga.initial_population(13, rng)
+        ones = sum(sum(bits) for bits in pop)
+        assert 0.35 < ones / (40 * 13) < 0.65
+
+
+class TestNextGeneration:
+    def test_size_preserved(self, rng):
+        ga = GeneticAlgorithm(GAConfig(population_size=12))
+        pop = ga.initial_population(8, rng)
+        nxt = ga.next_generation(pop, onemax(pop), rng)
+        assert len(nxt) == 12
+        assert all(len(bits) == 8 for bits in nxt)
+
+    def test_population_size_enforced(self, rng):
+        ga = GeneticAlgorithm(GAConfig(population_size=12))
+        with pytest.raises(ValueError):
+            ga.next_generation([(0, 1)] * 5, np.ones(5), rng)
+
+    def test_fitness_length_enforced(self, rng):
+        ga = GeneticAlgorithm(GAConfig(population_size=4))
+        pop = ga.initial_population(5, rng)
+        with pytest.raises(ValueError):
+            ga.next_generation(pop, np.ones(3), rng)
+
+    def test_no_crossover_no_mutation_clones_parents(self, rng):
+        ga = GeneticAlgorithm(
+            GAConfig(population_size=10, crossover_rate=0.0, mutation_rate=0.0)
+        )
+        pop = ga.initial_population(6, rng)
+        nxt = ga.next_generation(pop, onemax(pop), rng)
+        assert all(child in pop for child in nxt)
+
+    def test_elitism_preserves_best(self, rng):
+        ga = GeneticAlgorithm(
+            GAConfig(population_size=8, elitism=2, mutation_rate=0.5)
+        )
+        pop = [(1, 1, 1, 1)] + [(0, 0, 0, 0)] * 7
+        nxt = ga.next_generation(pop, onemax(pop), rng)
+        assert nxt[0] == (1, 1, 1, 1)
+
+    def test_deterministic_under_seed(self):
+        ga = GeneticAlgorithm(GAConfig(population_size=10))
+        pop = ga.initial_population(7, np.random.default_rng(1))
+        a = ga.next_generation(pop, onemax(pop), np.random.default_rng(2))
+        b = ga.next_generation(pop, onemax(pop), np.random.default_rng(2))
+        assert a == b
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("selection", ["tournament", "roulette"])
+    def test_onemax_improves(self, selection):
+        """Mean onemax fitness rises substantially within 30 generations."""
+        rng = np.random.default_rng(11)
+        ga = GeneticAlgorithm(
+            GAConfig(
+                population_size=40,
+                selection=selection,
+                mutation_rate=0.01,
+            )
+        )
+        pop = ga.initial_population(20, rng)
+        start = onemax(pop).mean()
+        for _ in range(30):
+            pop = ga.next_generation(pop, onemax(pop), rng)
+        end = onemax(pop).mean()
+        assert end > start + 4.0
+
+    def test_tournament_reaches_near_optimum(self):
+        rng = np.random.default_rng(13)
+        ga = GeneticAlgorithm(GAConfig(population_size=60, mutation_rate=0.005))
+        pop = ga.initial_population(16, rng)
+        for _ in range(60):
+            pop = ga.next_generation(pop, onemax(pop), rng)
+        assert onemax(pop).max() >= 15

@@ -1,0 +1,61 @@
+"""Unit tests for evolution history records."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ga.history import GenerationRecord, History
+
+
+def record(gen: int, coop: float = 0.5) -> GenerationRecord:
+    return GenerationRecord(
+        generation=gen,
+        cooperation=coop,
+        cooperation_per_env={"TE1": coop, "TE2": coop / 2},
+        mean_fitness=1.0,
+        best_fitness=2.0,
+        mean_forwarding_fraction=0.6,
+    )
+
+
+class TestHistory:
+    def test_append_and_series(self):
+        h = History()
+        h.append(record(0, 0.2))
+        h.append(record(1, 0.4))
+        assert h.n_generations == 2
+        assert np.allclose(h.cooperation_series(), [0.2, 0.4])
+
+    def test_non_contiguous_rejected(self):
+        h = History()
+        h.append(record(0))
+        with pytest.raises(ValueError, match="non-contiguous"):
+            h.append(record(2))
+
+    def test_env_series(self):
+        h = History()
+        h.append(record(0, 0.4))
+        assert np.allclose(h.cooperation_series_env("TE2"), [0.2])
+        assert h.environments() == ["TE1", "TE2"]
+
+    def test_final(self):
+        h = History()
+        h.append(record(0, 0.1))
+        h.append(record(1, 0.9))
+        assert h.final.cooperation == 0.9
+
+    def test_final_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            _ = History().final
+
+    def test_dict_roundtrip(self):
+        h = History()
+        h.append(record(0, 0.25))
+        h.append(record(1, 0.75))
+        restored = History.from_dict(h.to_dict())
+        assert restored.to_dict() == h.to_dict()
+        assert restored.final.cooperation == 0.75
+
+    def test_empty_environments(self):
+        assert History().environments() == []

@@ -1,0 +1,110 @@
+"""Unit and property tests for GA variation operators (§5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ga.operators import mutate, one_point_crossover
+
+genomes = st.lists(st.integers(0, 1), min_size=2, max_size=20).map(tuple)
+seeds = st.integers(0, 2**32 - 1)
+
+
+class TestCrossover:
+    def test_children_have_parent_material(self, rng):
+        a, b = (0,) * 8, (1,) * 8
+        c1, c2 = one_point_crossover(a, b, rng)
+        assert 0 < sum(c1) < 8  # cut in 1..7 guarantees a mix
+        assert sum(c1) + sum(c2) == 8
+
+    def test_length_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            one_point_crossover((0, 1), (0, 1, 1), rng)
+
+    def test_too_short_rejected(self, rng):
+        with pytest.raises(ValueError):
+            one_point_crossover((0,), (1,), rng)
+
+    def test_deterministic(self):
+        a, b = (0, 0, 1, 1, 0), (1, 1, 0, 0, 1)
+        r1 = one_point_crossover(a, b, np.random.default_rng(3))
+        r2 = one_point_crossover(a, b, np.random.default_rng(3))
+        assert r1 == r2
+
+    def test_cut_point_coverage(self):
+        """Over many draws every cut point 1..L-1 appears."""
+        rng = np.random.default_rng(0)
+        a, b = (0,) * 5, (1,) * 5
+        cuts = set()
+        for _ in range(200):
+            c1, _ = one_point_crossover(a, b, rng)
+            cuts.add(sum(1 for bit in c1 if bit == 0))
+        assert cuts == {1, 2, 3, 4}
+
+    @given(genomes, seeds)
+    @settings(max_examples=50)
+    def test_loci_come_from_parents(self, a, seed):
+        b = tuple(1 - bit for bit in a)
+        rng = np.random.default_rng(seed)
+        c1, c2 = one_point_crossover(a, b, rng)
+        for locus in range(len(a)):
+            assert c1[locus] in (a[locus], b[locus])
+            assert c2[locus] in (a[locus], b[locus])
+            # one-point: children are complementary recombinations
+            assert {c1[locus], c2[locus]} == {a[locus], b[locus]}
+
+    @given(genomes, seeds)
+    @settings(max_examples=50)
+    def test_children_preserve_pairwise_multiset(self, a, seed):
+        b = tuple(reversed(a))
+        rng = np.random.default_rng(seed)
+        c1, c2 = one_point_crossover(a, b, rng)
+        assert sorted((*c1, *c2)) == sorted((*a, *b))
+
+
+class TestMutation:
+    def test_rate_zero_is_identity(self, rng):
+        g = (0, 1, 0, 1, 1)
+        assert mutate(g, 0.0, rng) == g
+
+    def test_rate_one_flips_all(self, rng):
+        g = (0, 1, 0, 1, 1)
+        assert mutate(g, 1.0, rng) == (1, 0, 1, 0, 0)
+
+    def test_invalid_rate(self, rng):
+        with pytest.raises(ValueError):
+            mutate((0, 1), 1.5, rng)
+
+    def test_empirical_flip_rate(self):
+        rng = np.random.default_rng(1)
+        flips = 0
+        trials = 3000
+        g = (0,) * 10
+        for _ in range(trials):
+            flips += sum(mutate(g, 0.05, rng))
+        rate = flips / (trials * 10)
+        assert 0.04 < rate < 0.06
+
+    def test_fixed_stream_consumption(self):
+        """Mutation consumes len(bits) uniforms regardless of flips."""
+        rng1 = np.random.default_rng(5)
+        rng2 = np.random.default_rng(5)
+        mutate((0,) * 8, 0.0, rng1)
+        mutate((0,) * 8, 1.0, rng2)
+        assert rng1.random() == rng2.random()
+
+    @given(genomes, seeds, st.floats(0, 1, allow_nan=False))
+    @settings(max_examples=50)
+    def test_output_is_valid_genome(self, g, seed, rate):
+        out = mutate(g, rate, np.random.default_rng(seed))
+        assert len(out) == len(g)
+        assert all(bit in (0, 1) for bit in out)
+
+    @given(genomes, seeds)
+    @settings(max_examples=50)
+    def test_involution_at_rate_one(self, g, seed):
+        rng = np.random.default_rng(seed)
+        assert mutate(mutate(g, 1.0, rng), 1.0, rng) == g

@@ -1,0 +1,79 @@
+"""Unit and statistical tests for selection operators (§5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ga.selection import (
+    roulette_select_index,
+    select_index,
+    tournament_select_index,
+)
+
+
+class TestTournamentSelection:
+    def test_picks_fitter_of_two(self):
+        rng = np.random.default_rng(0)
+        fitness = np.array([0.0, 10.0])
+        wins = [tournament_select_index(fitness, rng) for _ in range(300)]
+        # index 1 wins every mixed tournament and (1,1) draws; it must
+        # dominate: P(pick 0) = P(both contenders are 0) = 0.25.
+        assert 0.65 < np.mean(wins) < 0.85
+
+    def test_size_one_is_uniform(self):
+        rng = np.random.default_rng(1)
+        fitness = np.array([0.0, 100.0, 1.0])
+        picks = [tournament_select_index(fitness, rng, size=1) for _ in range(3000)]
+        freq = np.bincount(picks, minlength=3) / 3000
+        assert np.allclose(freq, 1 / 3, atol=0.04)
+
+    def test_large_size_finds_best(self):
+        rng = np.random.default_rng(2)
+        fitness = np.array([1.0, 2.0, 9.0, 3.0])
+        picks = {tournament_select_index(fitness, rng, size=32) for _ in range(50)}
+        assert picks == {2}
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            tournament_select_index(np.array([]), rng)
+        with pytest.raises(ValueError):
+            tournament_select_index(np.array([1.0]), rng, size=0)
+
+
+class TestRouletteSelection:
+    def test_proportional_to_fitness(self):
+        rng = np.random.default_rng(3)
+        fitness = np.array([1.0, 3.0])
+        picks = [roulette_select_index(fitness, rng) for _ in range(4000)]
+        assert 0.70 < np.mean(picks) < 0.80  # expect 0.75
+
+    def test_zero_fitness_uniform(self):
+        rng = np.random.default_rng(4)
+        fitness = np.zeros(4)
+        picks = [roulette_select_index(fitness, rng) for _ in range(4000)]
+        freq = np.bincount(picks, minlength=4) / 4000
+        assert np.allclose(freq, 0.25, atol=0.03)
+
+    def test_zero_probability_never_picked(self):
+        rng = np.random.default_rng(5)
+        fitness = np.array([0.0, 1.0, 0.0])
+        picks = {roulette_select_index(fitness, rng) for _ in range(200)}
+        assert picks == {1}
+
+    def test_negative_fitness_rejected(self):
+        with pytest.raises(ValueError):
+            roulette_select_index(np.array([-1.0, 2.0]), np.random.default_rng(0))
+
+
+class TestDispatch:
+    def test_known_methods(self):
+        rng = np.random.default_rng(0)
+        fitness = np.array([1.0, 2.0])
+        assert select_index("tournament", fitness, rng) in (0, 1)
+        assert select_index("roulette", fitness, rng) in (0, 1)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown selection"):
+            select_index("rank", np.array([1.0]), np.random.default_rng(0))

@@ -1,0 +1,163 @@
+"""Unit tests for the single-game engine (§4.1–4.2, §3.1 semantics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.node import (
+    AlwaysDropPlayer,
+    AlwaysForwardPlayer,
+    ConstantlySelfishPlayer,
+    NormalPlayer,
+)
+from repro.core.payoff import PayoffConfig
+from repro.core.strategy import Strategy
+from repro.game.engine import play_game
+from repro.game.stats import TournamentStats
+from repro.paths.oracle import GameSetup
+
+from tests.conftest import make_players
+
+
+def run(players, path, trust_table, activity, payoffs, stats=None, source=0, dest=99):
+    players.setdefault(dest, AlwaysForwardPlayer(dest))
+    setup = GameSetup(source=source, destination=dest, paths=(tuple(path),))
+    return play_game(
+        players, setup, 0, trust_table, activity, payoffs, stats=stats
+    )
+
+
+class TestSuccessfulGame:
+    def test_all_forward_succeeds(self, trust_table, activity, payoffs):
+        players = make_players(4)
+        result = run(players, (1, 2, 3), trust_table, activity, payoffs)
+        assert result.success
+        assert result.drop_index is None
+        assert result.dropper is None
+        assert len(result.decisions) == 3
+
+    def test_source_paid_success(self, trust_table, activity, payoffs):
+        players = make_players(2)
+        run(players, (1,), trust_table, activity, payoffs)
+        assert players[0].payoffs.send_payoff == 5.0
+        assert players[0].payoffs.n_sent == 1
+
+    def test_everyone_updates_about_all_intermediates(
+        self, trust_table, activity, payoffs
+    ):
+        players = make_players(4)
+        run(players, (1, 2, 3), trust_table, activity, payoffs)
+        # source knows all three intermediates
+        assert players[0].reputation.snapshot() == {
+            1: (1, 1),
+            2: (1, 1),
+            3: (1, 1),
+        }
+        # each intermediate knows the two others, never itself or the source
+        assert players[1].reputation.snapshot() == {2: (1, 1), 3: (1, 1)}
+        assert players[2].reputation.snapshot() == {1: (1, 1), 3: (1, 1)}
+        assert players[3].reputation.snapshot() == {1: (1, 1), 2: (1, 1)}
+
+    def test_unknown_source_payoff_uses_default_trust(
+        self, trust_table, activity, payoffs
+    ):
+        players = make_players(2)
+        run(players, (1,), trust_table, activity, payoffs)
+        assert players[1].payoffs.forward_payoff == payoffs.forward_by_trust[1]
+
+
+class TestFailedGame:
+    def test_first_hop_drop(self, trust_table, activity, payoffs):
+        players = {0: AlwaysForwardPlayer(0), 1: AlwaysDropPlayer(1), 2: AlwaysForwardPlayer(2)}
+        result = run(players, (1, 2), trust_table, activity, payoffs)
+        assert not result.success
+        assert result.drop_index == 0
+        assert result.dropper == 1
+        assert len(result.decisions) == 1  # node 2 never received the packet
+
+    def test_nodes_after_drop_get_nothing(self, trust_table, activity, payoffs):
+        players = {0: AlwaysForwardPlayer(0), 1: AlwaysDropPlayer(1), 2: AlwaysForwardPlayer(2)}
+        run(players, (1, 2), trust_table, activity, payoffs)
+        assert players[2].payoffs.n_events == 0
+        assert players[2].reputation.snapshot() == {}
+
+    def test_source_paid_failure(self, trust_table, activity, payoffs):
+        players = {0: AlwaysForwardPlayer(0), 1: AlwaysDropPlayer(1)}
+        run(players, (1,), trust_table, activity, payoffs)
+        assert players[0].payoffs.send_payoff == 0.0
+        assert players[0].payoffs.n_sent == 1
+
+    def test_dropper_paid_for_discard(self, trust_table, activity, payoffs):
+        players = {0: AlwaysForwardPlayer(0), 1: AlwaysDropPlayer(1)}
+        run(players, (1,), trust_table, activity, payoffs)
+        assert players[1].payoffs.discard_payoff == payoffs.discard_by_trust[1]
+        assert players[1].payoffs.n_discarded == 1
+
+    def test_mid_path_drop_update_pattern(self, trust_table, activity, payoffs):
+        """Fig. 1a generalised: only source + upstream forwarders update."""
+        players = {
+            0: AlwaysForwardPlayer(0),
+            1: AlwaysForwardPlayer(1),
+            2: AlwaysDropPlayer(2),
+            3: AlwaysForwardPlayer(3),
+        }
+        run(players, (1, 2, 3), trust_table, activity, payoffs)
+        assert players[0].reputation.snapshot() == {1: (1, 1), 2: (1, 0)}
+        assert players[1].reputation.snapshot() == {2: (1, 0)}
+        assert players[2].reputation.snapshot() == {}  # the dropper
+        assert players[3].reputation.snapshot() == {}  # downstream
+
+
+class TestStats:
+    def test_requests_counted_until_drop(self, trust_table, activity, payoffs):
+        players = {
+            0: AlwaysForwardPlayer(0),
+            1: AlwaysForwardPlayer(1),
+            2: ConstantlySelfishPlayer(2),
+            3: AlwaysForwardPlayer(3),
+        }
+        stats = TournamentStats()
+        run(players, (1, 2, 3), trust_table, activity, payoffs, stats=stats)
+        c = stats.requests_from_nn
+        assert c.total == 2  # node 3 was never asked
+        assert c.accepted_by_nn == 1
+        assert c.rejected_by_csn == 1
+
+    def test_requests_from_selfish_source(self, trust_table, activity, payoffs):
+        players = {0: ConstantlySelfishPlayer(0), 1: AlwaysForwardPlayer(1)}
+        stats = TournamentStats()
+        run(players, (1,), trust_table, activity, payoffs, stats=stats)
+        assert stats.requests_from_csn.accepted_by_nn == 1
+        assert stats.csn_originated == 1
+        assert stats.csn_delivered == 1
+
+    def test_game_outcome_counted(self, trust_table, activity, payoffs):
+        players = make_players(2)
+        stats = TournamentStats()
+        run(players, (1,), trust_table, activity, payoffs, stats=stats)
+        assert stats.nn_originated == 1
+        assert stats.nn_delivered == 1
+
+
+class TestDecisionDrivenByReputation:
+    def test_trust_gates_forwarding(self, trust_table, activity, payoffs):
+        """A strategy forwarding only at trust >= 2 drops a low-trust source."""
+        strategy = Strategy.from_string("000 000 111 111 1")
+        decider = NormalPlayer(1, strategy)
+        # source 0 has forwarding rate 0.2 -> trust 0
+        decider.reputation.record(0, True)
+        for _ in range(4):
+            decider.reputation.record(0, False)
+        players = {0: AlwaysForwardPlayer(0), 1: decider}
+        result = run(players, (1,), trust_table, activity, payoffs)
+        assert not result.success
+        assert result.decisions[0].trust == 0
+
+    def test_reputation_can_be_frozen(self, trust_table, activity, payoffs):
+        players = make_players(3)
+        setup = GameSetup(source=0, destination=9, paths=((1, 2),))
+        players[9] = AlwaysForwardPlayer(9)
+        play_game(
+            players, setup, 0, trust_table, activity, payoffs, update_reputation=False
+        )
+        assert players[0].reputation.snapshot() == {}

@@ -1,0 +1,56 @@
+"""Unit tests for GameResult integrity checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.node import Decision
+from repro.game.result import GameResult
+from repro.paths.oracle import GameSetup
+
+
+def decision(forward: bool) -> Decision:
+    return Decision(forward=forward, trust=None, activity=None, source_known=False)
+
+
+SETUP = GameSetup(source=0, destination=9, paths=((1, 2, 3), (4, 5)))
+
+
+class TestGameResult:
+    def test_success_needs_full_decisions(self):
+        with pytest.raises(ValueError, match="decision per hop"):
+            GameResult(
+                setup=SETUP,
+                chosen_path_index=0,
+                decisions=(decision(True),),
+                success=True,
+            )
+
+    def test_too_many_decisions_rejected(self):
+        with pytest.raises(ValueError, match="more decisions"):
+            GameResult(
+                setup=SETUP,
+                chosen_path_index=1,
+                decisions=tuple(decision(True) for _ in range(3)),
+                success=False,
+            )
+
+    def test_chosen_path(self):
+        r = GameResult(
+            setup=SETUP,
+            chosen_path_index=1,
+            decisions=(decision(True), decision(True)),
+            success=True,
+        )
+        assert r.chosen_path == (4, 5)
+        assert r.drop_index is None
+
+    def test_dropper_resolution(self):
+        r = GameResult(
+            setup=SETUP,
+            chosen_path_index=0,
+            decisions=(decision(True), decision(False)),
+            success=False,
+        )
+        assert r.drop_index == 1
+        assert r.dropper == 2

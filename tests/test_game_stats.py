@@ -1,0 +1,113 @@
+"""Unit tests for the tournament statistics counters."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.game.stats import RequestCounters, TournamentStats
+
+
+class TestRequestCounters:
+    def test_record_all_categories(self):
+        c = RequestCounters()
+        c.record(responder_selfish=False, forwarded=True)
+        c.record(responder_selfish=False, forwarded=False)
+        c.record(responder_selfish=True, forwarded=False)
+        assert c.accepted_by_nn == 1
+        assert c.rejected_by_nn == 1
+        assert c.rejected_by_csn == 1
+        assert c.total == 3
+
+    def test_fractions_sum_to_one(self):
+        c = RequestCounters(accepted_by_nn=7, rejected_by_nn=2, rejected_by_csn=1)
+        total = (
+            c.fraction_accepted()
+            + c.fraction_rejected_by_nn()
+            + c.fraction_rejected_by_csn()
+        )
+        assert abs(total - 1.0) < 1e-12
+
+    def test_empty_fractions_are_zero(self):
+        c = RequestCounters()
+        assert c.fraction_accepted() == 0.0
+
+    def test_merge(self):
+        a = RequestCounters(accepted_by_nn=1)
+        b = RequestCounters(accepted_by_nn=2, rejected_by_csn=3)
+        a.merge(b)
+        assert a.accepted_by_nn == 3
+        assert a.rejected_by_csn == 3
+
+    def test_dict_roundtrip(self):
+        c = RequestCounters(accepted_by_nn=1, rejected_by_nn=2)
+        assert RequestCounters.from_dict(c.to_dict()) == c
+
+
+class TestTournamentStats:
+    def test_cooperation_level(self):
+        s = TournamentStats()
+        for success in (True, True, False, True):
+            s.record_game(source_selfish=False, success=success)
+        s.record_game(source_selfish=True, success=False)
+        assert s.cooperation_level == 0.75
+        assert s.csn_delivery_level == 0.0
+
+    def test_cooperation_empty_is_zero(self):
+        assert TournamentStats().cooperation_level == 0.0
+
+    def test_path_choice_tracking(self):
+        s = TournamentStats()
+        s.record_path_choice(source_selfish=False, contains_csn=False)
+        s.record_path_choice(source_selfish=False, contains_csn=True)
+        s.record_path_choice(source_selfish=True, contains_csn=True)
+        assert s.nn_paths_chosen == 2
+        assert s.nn_csn_free_paths == 1
+        assert s.nn_csn_free_fraction == 0.5
+        assert s.csn_paths_chosen == 1
+
+    def test_requests_split_by_source(self):
+        s = TournamentStats()
+        s.record_request(source_selfish=False, responder_selfish=True, forwarded=False)
+        s.record_request(source_selfish=True, responder_selfish=False, forwarded=True)
+        assert s.requests_from_nn.rejected_by_csn == 1
+        assert s.requests_from_csn.accepted_by_nn == 1
+
+    def test_merge_all_fields(self):
+        a, b = TournamentStats(), TournamentStats()
+        a.record_game(False, True)
+        b.record_game(False, False)
+        b.record_game(True, True)
+        b.record_path_choice(False, False)
+        b.record_request(False, False, True)
+        a.merge(b)
+        assert a.nn_originated == 2
+        assert a.nn_delivered == 1
+        assert a.csn_delivered == 1
+        assert a.nn_paths_chosen == 1
+        assert a.requests_from_nn.accepted_by_nn == 1
+
+    def test_dict_roundtrip(self):
+        s = TournamentStats()
+        s.record_game(False, True)
+        s.record_request(True, False, False)
+        s.record_path_choice(False, True)
+        restored = TournamentStats.from_dict(s.to_dict())
+        assert restored.to_dict() == s.to_dict()
+
+    @given(st.lists(st.tuples(st.booleans(), st.booleans()), max_size=60))
+    def test_merge_equals_sequential_recording(self, games):
+        merged_a, merged_b, sequential = (
+            TournamentStats(),
+            TournamentStats(),
+            TournamentStats(),
+        )
+        half = len(games) // 2
+        for selfish, success in games[:half]:
+            merged_a.record_game(selfish, success)
+            sequential.record_game(selfish, success)
+        for selfish, success in games[half:]:
+            merged_b.record_game(selfish, success)
+            sequential.record_game(selfish, success)
+        merged_a.merge(merged_b)
+        assert merged_a.to_dict() == sequential.to_dict()

@@ -1,0 +1,130 @@
+"""End-to-end directional tests: does evolution move the way the paper says?
+
+These run miniature but complete experiments (population, tournaments, GA)
+and assert *qualitative* paper findings — cooperation emerges without CSN,
+CSN sources get frozen out, selfish payoffs without reputation kill
+cooperation.  Absolute numbers are asserted loosely; the full quantitative
+comparison lives in EXPERIMENTS.md at the documented scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config.parameters import GAConfig, SimulationConfig
+from repro.core.payoff import PayoffConfig
+from repro.experiments.cases import EvaluationCase
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.replication import run_replication
+from repro.tournament.environment import TournamentEnvironment
+
+# a miniature world: 24 evolving players, tournaments of 12
+MINI_GA = GAConfig(population_size=24)
+
+
+def mini_case(n_csn: int, path_mode: str = "shorter") -> EvaluationCase:
+    return EvaluationCase(
+        name=f"mini{n_csn}",
+        description="miniature test case",
+        environments=(TournamentEnvironment("MINI", 12, n_csn),),
+        path_mode=path_mode,
+    )
+
+
+def mini_config(n_csn=0, generations=25, rounds=60, payoffs=None, seed=11):
+    sim = SimulationConfig(
+        rounds=rounds, payoffs=payoffs or PayoffConfig(), path_mode="shorter"
+    )
+    return ExperimentConfig(
+        case=mini_case(n_csn),
+        generations=generations,
+        replications=1,
+        seed=seed,
+        engine="fast",
+        ga=MINI_GA,
+        sim=sim,
+    )
+
+
+@pytest.mark.slow
+class TestCooperationEmerges:
+    def test_csn_free_world_evolves_high_cooperation(self):
+        """Paper §6.2 case 1: cooperation is the only way to send packets."""
+        result = run_replication(mini_config(n_csn=0), 0)
+        series = result.history.cooperation_series()
+        assert series[-5:].mean() > 0.8
+        assert series[-5:].mean() > series[:3].mean()
+
+    def test_unknown_bit_evolves_to_forward(self):
+        """Paper §6.3: the evolved decision against unknown nodes is F."""
+        from repro.analysis.strategies import unknown_bit_fraction
+
+        result = run_replication(mini_config(n_csn=0), 0)
+        assert unknown_bit_fraction([result.final_population]) > 0.5
+
+    def test_csn_heavy_world_suppresses_cooperation(self):
+        """Paper §6.2 case 2: 60% CSN collapse delivery."""
+        clean = run_replication(mini_config(n_csn=0), 0)
+        dirty = run_replication(mini_config(n_csn=7), 0)  # ~58% of 12 seats
+        clean_final = clean.history.cooperation_series()[-5:].mean()
+        dirty_final = dirty.history.cooperation_series()[-5:].mean()
+        assert dirty_final < clean_final - 0.3
+
+    def test_csn_sources_frozen_out(self):
+        """Paper §6.3: CSN packets only pass while CSN are still unknown."""
+        result = run_replication(mini_config(n_csn=4, generations=20), 0)
+        stats = result.final_overall
+        assert stats.csn_delivery_level < stats.cooperation_level
+        # requests from CSN are mostly rejected in the final generation
+        assert stats.requests_from_csn.fraction_accepted() < 0.5
+
+
+@pytest.mark.slow
+class TestReputationIsTheMechanism:
+    def test_without_reputation_payoffs_defection_wins(self):
+        """§4.2: remove the reputation-shaped payoffs and discarding pays
+        strictly more, so evolution abandons forwarding."""
+        result = run_replication(
+            mini_config(n_csn=0, payoffs=PayoffConfig.without_reputation()), 0
+        )
+        final_fwd = result.history.records[-1].mean_forwarding_fraction
+        coop = result.history.cooperation_series()[-5:].mean()
+        assert coop < 0.2
+        assert final_fwd < 0.45
+
+    def test_with_reputation_high_trust_block_converges_to_forward(self):
+        """Paper Tables 8-9: the trust-3 sub-strategy converges to '111'
+        (always forward); loci for trust levels that never occur at the
+        cooperative equilibrium drift and need not converge."""
+        from repro.analysis.strategies import substrategy_distribution
+
+        result = run_replication(mini_config(n_csn=0), 0)
+        dist3 = dict(substrategy_distribution([result.final_population], 3))
+        assert dist3.get("111", 0.0) > 0.5
+
+
+@pytest.mark.slow
+class TestPathModeEffect:
+    def test_longer_paths_hurt_with_csn(self):
+        """Paper Table 5: with CSN, longer paths make avoidance harder."""
+
+        def run(mode):
+            case = mini_case(4, path_mode=mode)
+            cfg = ExperimentConfig(
+                case=case,
+                generations=15,
+                replications=1,
+                seed=21,
+                engine="fast",
+                ga=MINI_GA,
+                sim=SimulationConfig(rounds=60, path_mode=mode),
+            )
+            rep = run_replication(cfg, 0)
+            return rep.final_overall
+
+        short_stats = run("shorter")
+        long_stats = run("longer")
+        assert (
+            long_stats.nn_csn_free_fraction <= short_stats.nn_csn_free_fraction
+        )

@@ -1,0 +1,124 @@
+"""Unit tests for the IPDRP baseline (paper ref [12])."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config.parameters import GAConfig
+from repro.ipdrp.evolution import evolve_ipdrp
+from repro.ipdrp.game import PDPayoffs, play_random_pairing_tournament
+from repro.ipdrp.strategy import IPDRP_STRATEGY_LENGTH, IpdrpStrategy
+
+
+class TestStrategy:
+    def test_length(self):
+        assert IPDRP_STRATEGY_LENGTH == 5
+
+    def test_first_move(self):
+        assert IpdrpStrategy.always_cooperate().first_move()
+        assert not IpdrpStrategy.always_defect().first_move()
+
+    def test_memory_indexing(self):
+        # bits: first, (C,C), (C,D), (D,C), (D,D)
+        s = IpdrpStrategy((1, 1, 0, 0, 1))
+        assert s.move(True, True) is True
+        assert s.move(True, False) is False
+        assert s.move(False, True) is False
+        assert s.move(False, False) is True
+
+    def test_tft_like_reacts_to_opponent(self):
+        tft = IpdrpStrategy.tit_for_tat_like()
+        assert tft.move(True, True) and tft.move(False, True)
+        assert not tft.move(True, False) and not tft.move(False, False)
+
+    def test_string_roundtrip(self):
+        s = IpdrpStrategy.from_string("10110")
+        assert s.to_string() == "10110"
+
+    def test_hashable(self):
+        assert IpdrpStrategy((1, 0, 1, 0, 1)) == IpdrpStrategy((1, 0, 1, 0, 1))
+        assert len({IpdrpStrategy.always_cooperate(), IpdrpStrategy.always_cooperate()}) == 1
+
+
+class TestPDPayoffs:
+    def test_classic_values(self):
+        p = PDPayoffs()
+        assert p.payoff(True, True) == 3.0
+        assert p.payoff(True, False) == 0.0
+        assert p.payoff(False, True) == 5.0
+        assert p.payoff(False, False) == 1.0
+
+    def test_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            PDPayoffs(temptation=1.0)
+
+    def test_2r_constraint(self):
+        with pytest.raises(ValueError, match="2R"):
+            PDPayoffs(temptation=7.0, reward=3.0, punishment=1.0, sucker=0.0)
+
+
+class TestTournament:
+    def test_all_cooperators_earn_reward(self, rng):
+        strategies = [IpdrpStrategy.always_cooperate()] * 10
+        payoffs, coop = play_random_pairing_tournament(strategies, 20, rng)
+        assert coop == 1.0
+        assert np.allclose(payoffs, 3.0)
+
+    def test_all_defectors_earn_punishment(self, rng):
+        strategies = [IpdrpStrategy.always_defect()] * 10
+        payoffs, coop = play_random_pairing_tournament(strategies, 20, rng)
+        assert coop == 0.0
+        assert np.allclose(payoffs, 1.0)
+
+    def test_defector_exploits_cooperators(self, rng):
+        strategies = [IpdrpStrategy.always_cooperate()] * 9 + [
+            IpdrpStrategy.always_defect()
+        ]
+        payoffs, _ = play_random_pairing_tournament(strategies, 50, rng)
+        assert payoffs[-1] > payoffs[:-1].mean()
+
+    def test_odd_population_rejected(self, rng):
+        with pytest.raises(ValueError):
+            play_random_pairing_tournament([IpdrpStrategy.always_defect()] * 3, 5, rng)
+
+    def test_deterministic(self):
+        strategies = [
+            IpdrpStrategy.random(np.random.default_rng(0)) for _ in range(8)
+        ]
+        a = play_random_pairing_tournament(strategies, 10, np.random.default_rng(1))
+        b = play_random_pairing_tournament(strategies, 10, np.random.default_rng(1))
+        assert np.array_equal(a[0], b[0]) and a[1] == b[1]
+
+
+class TestEvolution:
+    def test_history_shape(self):
+        h = evolve_ipdrp(generations=4, rounds=20, seed=5)
+        assert h.n_generations == 4
+        assert len(h.mean_fitness) == 4
+        assert len(h.final_population) == 50
+
+    def test_defection_pressure(self):
+        """Memory-one IPDRP under selection drifts toward defection —
+        the well-known baseline result our model's reputation system exists
+        to counter."""
+        h = evolve_ipdrp(
+            generations=25,
+            rounds=50,
+            ga_config=GAConfig(population_size=30, mutation_rate=0.01),
+            seed=7,
+        )
+        assert h.cooperation[-1] < 0.35
+
+    def test_custom_ga_config(self):
+        h = evolve_ipdrp(
+            generations=2,
+            rounds=10,
+            ga_config=GAConfig(population_size=10, selection="roulette"),
+            seed=3,
+        )
+        assert len(h.final_population) == 10
+
+    def test_bad_generations(self):
+        with pytest.raises(ValueError):
+            evolve_ipdrp(generations=0)

@@ -1,0 +1,97 @@
+"""Unit tests for the geometric-topology extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.strategy import Strategy
+from repro.game.stats import TournamentStats
+from repro.network.topology import GeometricTopology, TopologyPathOracle
+from repro.sim.reference import ReferenceEngine
+
+
+def topology(n=25, radio=0.4, seed=0, **kwargs):
+    return GeometricTopology(
+        list(range(n)), radio, np.random.default_rng(seed), **kwargs
+    )
+
+
+class TestGeometricTopology:
+    def test_connected_by_construction(self):
+        import networkx as nx
+
+        topo = topology()
+        assert nx.is_connected(topo.graph)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            GeometricTopology([0, 1, 2], 0.0, rng)
+        with pytest.raises(ValueError):
+            GeometricTopology([0, 1], 0.5, rng)
+
+    def test_sparse_placement_fails_loudly(self):
+        with pytest.raises(RuntimeError, match="radio_range"):
+            GeometricTopology(
+                list(range(40)),
+                0.02,
+                np.random.default_rng(1),
+                max_placement_attempts=3,
+            )
+
+    def test_edges_respect_radio_range(self):
+        topo = topology()
+        for a, b in topo.graph.edges:
+            (xa, ya), (xb, yb) = topo.positions[a], topo.positions[b]
+            assert (xa - xb) ** 2 + (ya - yb) ** 2 <= topo.radio_range**2 + 1e-12
+
+    def test_degree_stats(self):
+        mean, lo, hi = topology().degree_stats()
+        assert lo >= 1 and hi >= mean >= lo
+
+    def test_candidate_paths_exclude_endpoints(self):
+        topo = topology()
+        paths = topo.candidate_paths(0, 5, max_paths=3, max_hops=10)
+        for p in paths:
+            assert 0 not in p and 5 not in p
+
+    def test_direct_neighbours_skipped(self):
+        topo = topology(radio=1.414)  # (nearly) complete graph
+        # every pair is adjacent; only >= 2-hop simple routes qualify
+        paths = topo.candidate_paths(0, 1, max_paths=2, max_hops=10)
+        for p in paths:
+            assert len(p) >= 1
+
+    def test_max_paths_respected(self):
+        topo = topology()
+        assert len(topo.candidate_paths(0, 10, max_paths=2, max_hops=10)) <= 2
+
+
+class TestTopologyPathOracle:
+    def test_draw_produces_valid_setup(self):
+        topo = topology()
+        oracle = TopologyPathOracle(topo, np.random.default_rng(2))
+        setup = oracle.draw(0, list(range(25)))
+        assert setup.source == 0
+        assert setup.destination != 0
+        assert setup.paths
+
+    def test_paths_filtered_to_active_participants(self):
+        topo = topology()
+        oracle = TopologyPathOracle(topo, np.random.default_rng(3))
+        active = list(range(0, 25, 1))
+        setup = oracle.draw(0, active)
+        for path in setup.paths:
+            assert all(node in active for node in path)
+
+    def test_engine_runs_on_topology_oracle(self):
+        """The extension plugs into the standard engine unchanged."""
+        topo = topology()
+        oracle = TopologyPathOracle(topo, np.random.default_rng(4))
+        engine = ReferenceEngine(25, 0)
+        engine.set_strategies([Strategy.all_forward() for _ in range(25)])
+        stats = TournamentStats()
+        engine.run_tournament(list(range(25)), 3, oracle, stats, None, None)
+        assert stats.nn_originated == 75
+        assert stats.cooperation_level == 1.0

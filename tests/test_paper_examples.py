@@ -1,0 +1,179 @@
+"""The paper's worked examples (Figs. 1 and 2) as executable assertions.
+
+These tests pin the implementation to the exact micro-scenarios the paper
+illustrates: the watchdog update pattern of Fig. 1a, the trust lookup of
+Fig. 1b, the strategy coding of Fig. 1c, and the example game of Fig. 2b.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.node import (
+    AlwaysForwardPlayer,
+    ConstantlySelfishPlayer,
+    NormalPlayer,
+    ThresholdPlayer,
+)
+from repro.core.payoff import PayoffConfig
+from repro.core.strategy import Strategy
+from repro.game.engine import play_game
+from repro.game.stats import TournamentStats
+from repro.paths.oracle import GameSetup
+from repro.reputation.activity import ActivityClassifier
+from repro.reputation.trust import TrustTable
+
+from tests.conftest import seed_reputation
+
+A, B, C, D, E = range(5)
+
+
+class TestFig1aWatchdogExample:
+    """A sends to E via B, C, D; D discards (Fig. 1a)."""
+
+    @pytest.fixture
+    def game(self, trust_table, activity, payoffs):
+        players = {
+            A: AlwaysForwardPlayer(A),
+            B: AlwaysForwardPlayer(B),
+            C: AlwaysForwardPlayer(C),
+            D: ConstantlySelfishPlayer(D),
+            E: AlwaysForwardPlayer(E),
+        }
+        setup = GameSetup(source=A, destination=E, paths=((B, C, D),))
+        result = play_game(
+            players, setup, 0, trust_table, activity, payoffs, TournamentStats()
+        )
+        return players, result
+
+    def test_transmission_fails_at_d(self, game):
+        _, result = game
+        assert not result.success
+        assert result.dropper == D
+
+    def test_source_updates_about_b_c_d(self, game):
+        players, _ = game
+        table = players[A].reputation
+        assert table.snapshot() == {B: (1, 1), C: (1, 1), D: (1, 0)}
+
+    def test_b_updates_about_c_d(self, game):
+        players, _ = game
+        assert players[B].reputation.snapshot() == {C: (1, 1), D: (1, 0)}
+
+    def test_c_updates_about_b_d(self, game):
+        players, _ = game
+        assert players[C].reputation.snapshot() == {B: (1, 1), D: (1, 0)}
+
+    def test_dropper_records_nothing(self, game):
+        players, _ = game
+        assert players[D].reputation.snapshot() == {}
+
+    def test_destination_not_involved(self, game):
+        players, _ = game
+        assert players[E].reputation.snapshot() == {}
+        assert players[E].payoffs.n_events == 0
+
+    def test_nobody_records_about_the_source(self, game):
+        players, _ = game
+        for pid in (B, C, D, E):
+            assert A not in players[pid].reputation.snapshot()
+
+
+class TestFig1bTrustLookup:
+    """The trust lookup table of Fig. 1b."""
+
+    def test_worked_example_095_gives_trust3(self):
+        assert TrustTable().level(0.95) == 3
+
+    @pytest.mark.parametrize(
+        "rate,expected",
+        [
+            (1.0, 3),
+            (0.91, 3),
+            (0.9, 2),
+            (0.61, 2),
+            (0.6, 1),
+            (0.31, 1),
+            (0.3, 0),
+            (0.0, 0),
+            (0.5, 1),  # the unknown-node default rate maps to trust 1
+        ],
+    )
+    def test_bins(self, rate, expected):
+        assert TrustTable().level(rate) == expected
+
+
+class TestFig1cStrategyCoding:
+    """The example strategy 'DDD FFF DDD FDD F' of Fig. 1c."""
+
+    # D=0 (discard), F=1 (forward)
+    EXAMPLE = Strategy.from_string("000 111 000 100 1")
+
+    def test_bit9_trust3_lo_forwards(self):
+        # "assuming trust level 3 and activity LO ... forward (F, bit no. 9)"
+        assert self.EXAMPLE.decide(trust=3, activity=0) is True
+
+    def test_trust0_always_discards(self):
+        for act in range(3):
+            assert self.EXAMPLE.decide(trust=0, activity=act) is False
+
+    def test_trust1_always_forwards(self):
+        for act in range(3):
+            assert self.EXAMPLE.decide(trust=1, activity=act) is True
+
+    def test_trust3_mi_hi_discard(self):
+        assert self.EXAMPLE.decide(trust=3, activity=1) is False
+        assert self.EXAMPLE.decide(trust=3, activity=2) is False
+
+    def test_unknown_bit_forwards(self):
+        assert self.EXAMPLE.decide_unknown() is True
+
+    def test_display_roundtrip(self):
+        assert self.EXAMPLE.to_string() == "000 111 000 100 1"
+
+
+class TestFig2bExampleGame:
+    """A -> D via B, C; B forwards (trust 3), C discards (trust 1)."""
+
+    @pytest.fixture
+    def game(self, trust_table, activity):
+        payoffs = PayoffConfig()
+        players = {
+            A: AlwaysForwardPlayer(A),
+            B: ThresholdPlayer(B, min_trust=3),
+            C: ThresholdPlayer(C, min_trust=2),
+            D: AlwaysForwardPlayer(D),
+        }
+        # B trusts A at level 3 (fr = 19/20 = 0.95), C at level 1 (fr = 0.5).
+        seed_reputation(players[B], A, forwarded=19, dropped=1)
+        seed_reputation(players[C], A, forwarded=1, dropped=1)
+        setup = GameSetup(source=A, destination=D, paths=((B, C),))
+        stats = TournamentStats()
+        result = play_game(players, setup, 0, trust_table, activity, payoffs, stats)
+        return players, result, stats
+
+    def test_b_forwards_c_discards(self, game):
+        _, result, _ = game
+        assert [d.forward for d in result.decisions] == [True, False]
+        assert [d.trust for d in result.decisions] == [3, 1]
+
+    def test_transmission_fails(self, game):
+        _, result, _ = game
+        assert not result.success
+
+    def test_source_gets_failure_payoff(self, game):
+        players, _, _ = game
+        assert players[A].payoffs.send_payoff == 0.0
+        assert players[A].payoffs.n_sent == 1
+
+    def test_intermediate_payoffs_follow_trust(self, game):
+        players, _, _ = game
+        payoffs = PayoffConfig()
+        # forwarding for a trust-3 source pays the top forward payoff
+        assert players[B].payoffs.forward_payoff == payoffs.forward_by_trust[3]
+        # discarding a trust-1 source pays the trust-1 discard payoff
+        assert players[C].payoffs.discard_payoff == payoffs.discard_by_trust[1]
+
+    def test_success_payoff_is_5(self):
+        assert PayoffConfig().source_payoff(True) == 5.0
+        assert PayoffConfig().source_payoff(False) == 0.0

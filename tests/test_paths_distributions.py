@@ -1,0 +1,139 @@
+"""Unit and statistical tests for the Table 2/3 distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paths.distributions import (
+    DEFAULT_PATH_COUNTS,
+    LONGER_PATHS,
+    SHORTER_PATHS,
+    DiscreteDistribution,
+    PathCountDistribution,
+)
+
+
+class TestDiscreteDistribution:
+    def test_requires_unit_mass(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            DiscreteDistribution({1: 0.5, 2: 0.4})
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution({1: -0.5, 2: 1.5})
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution({})
+
+    def test_pmf_lookup(self):
+        d = DiscreteDistribution({1: 0.25, 2: 0.75})
+        assert d.pmf(1) == 0.25
+        assert d.pmf(3) == 0.0
+
+    def test_mean(self):
+        d = DiscreteDistribution({1: 0.5, 3: 0.5})
+        assert d.mean() == 2.0
+
+    def test_sample_support(self, rng):
+        d = DiscreteDistribution({2: 0.3, 5: 0.7})
+        draws = {d.sample(rng) for _ in range(200)}
+        assert draws <= {2, 5}
+        assert draws == {2, 5}
+
+    def test_sample_many_matches_support(self, rng):
+        d = DiscreteDistribution({1: 0.2, 2: 0.8})
+        draws = d.sample_many(rng, 500)
+        assert set(np.unique(draws)) <= {1, 2}
+
+    def test_degenerate_distribution(self, rng):
+        d = DiscreteDistribution({4: 1.0})
+        assert all(d.sample(rng) == 4 for _ in range(10))
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=25)
+    def test_sample_always_in_support(self, seed):
+        d = DiscreteDistribution({1: 0.1, 2: 0.2, 7: 0.7})
+        rng = np.random.default_rng(seed)
+        assert d.sample(rng) in (1, 2, 7)
+
+
+class TestTable2HopDistributions:
+    def test_shorter_paths_pmf(self):
+        """Table 2, shorter-paths column, per-hop-count reading."""
+        d = SHORTER_PATHS.dist
+        assert d.pmf(2) == pytest.approx(0.2)
+        assert d.pmf(3) == pytest.approx(0.3)
+        assert d.pmf(4) == pytest.approx(0.3)
+        for h in (5, 6, 7, 8):
+            assert d.pmf(h) == pytest.approx(0.05)
+        assert d.pmf(9) == 0.0 and d.pmf(10) == 0.0
+
+    def test_longer_paths_pmf(self):
+        d = LONGER_PATHS.dist
+        assert d.pmf(2) == pytest.approx(0.1)
+        for h in (3, 4, 5, 6, 7, 8):
+            assert d.pmf(h) == pytest.approx(0.1)
+        assert d.pmf(9) == pytest.approx(0.15)
+        assert d.pmf(10) == pytest.approx(0.15)
+
+    def test_both_sum_to_one(self):
+        assert SHORTER_PATHS.dist.probabilities.sum() == pytest.approx(1.0)
+        assert LONGER_PATHS.dist.probabilities.sum() == pytest.approx(1.0)
+
+    def test_longer_mode_has_longer_mean(self):
+        assert LONGER_PATHS.dist.mean() > SHORTER_PATHS.dist.mean()
+
+    def test_hop_range(self):
+        assert SHORTER_PATHS.min_hops == 2
+        assert SHORTER_PATHS.max_hops == 10
+
+    def test_empirical_frequencies(self, rng):
+        """Sampled frequencies match Table 2 within Monte-Carlo tolerance."""
+        draws = SHORTER_PATHS.sample_many(rng, 40_000)
+        freq2 = np.mean(draws == 2)
+        freq34 = np.mean((draws == 3) | (draws == 4))
+        assert freq2 == pytest.approx(0.2, abs=0.01)
+        assert freq34 == pytest.approx(0.6, abs=0.012)
+        assert not np.any(draws >= 9)
+
+
+class TestTable3PathCounts:
+    def test_short_hops_row(self):
+        d = DEFAULT_PATH_COUNTS.distribution_for(2)
+        assert d.pmf(1) == 0.5 and d.pmf(2) == 0.3 and d.pmf(3) == 0.2
+
+    def test_mid_hops_row(self):
+        d = DEFAULT_PATH_COUNTS.distribution_for(5)
+        assert d.pmf(1) == 0.6 and d.pmf(2) == 0.25 and d.pmf(3) == 0.15
+
+    def test_long_hops_row(self):
+        d = DEFAULT_PATH_COUNTS.distribution_for(8)
+        assert d.pmf(1) == 0.8 and d.pmf(2) == 0.15 and d.pmf(3) == 0.05
+
+    def test_nine_ten_hop_extension_uses_last_row(self):
+        """DESIGN.md §2.3: hops 9-10 reuse the 7-8 row."""
+        for hops in (9, 10, 15):
+            d = DEFAULT_PATH_COUNTS.distribution_for(hops)
+            assert d.pmf(1) == 0.8
+
+    def test_below_range_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_PATH_COUNTS.distribution_for(1)
+
+    def test_max_count(self):
+        assert DEFAULT_PATH_COUNTS.max_count() == 3
+
+    def test_non_contiguous_rows_rejected(self):
+        with pytest.raises(ValueError, match="contiguous"):
+            PathCountDistribution({(2, 3): {1: 1.0}, (5, 6): {1: 1.0}})
+
+    def test_longer_paths_have_fewer_alternatives(self):
+        """The paper's qualitative claim about Table 3."""
+        m_short = DEFAULT_PATH_COUNTS.distribution_for(2).mean()
+        m_mid = DEFAULT_PATH_COUNTS.distribution_for(5).mean()
+        m_long = DEFAULT_PATH_COUNTS.distribution_for(8).mean()
+        assert m_short > m_mid > m_long

@@ -1,0 +1,97 @@
+"""Unit and property tests for random path-set generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paths.distributions import LONGER_PATHS, SHORTER_PATHS
+from repro.paths.generator import PathSetGenerator, sample_distinct
+
+
+class TestSampleDistinct:
+    def test_draws_k_distinct(self, rng):
+        pool = list(range(20))
+        out = sample_distinct(pool, 5, rng)
+        assert len(out) == 5
+        assert len(set(out)) == 5
+        assert set(out) <= set(range(20))
+
+    def test_pool_preserved_as_multiset(self, rng):
+        pool = list(range(10))
+        sample_distinct(pool, 4, rng)
+        assert sorted(pool) == list(range(10))
+
+    def test_k_equals_pool(self, rng):
+        pool = [3, 1, 2]
+        assert set(sample_distinct(pool, 3, rng)) == {1, 2, 3}
+
+    def test_k_zero(self, rng):
+        assert sample_distinct([1, 2], 0, rng) == ()
+
+    def test_k_too_large(self, rng):
+        with pytest.raises(ValueError):
+            sample_distinct([1, 2], 3, rng)
+
+    def test_uniformity(self):
+        """Every element appears ~k/n of the time in the sample."""
+        rng = np.random.default_rng(0)
+        counts = np.zeros(10)
+        pool = list(range(10))
+        trials = 6000
+        for _ in range(trials):
+            for v in sample_distinct(pool, 3, rng):
+                counts[v] += 1
+        freq = counts / trials
+        assert np.allclose(freq, 0.3, atol=0.03)
+
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 9))
+    @settings(max_examples=30)
+    def test_distinctness_property(self, seed, k):
+        rng = np.random.default_rng(seed)
+        out = sample_distinct(list(range(12)), k, rng)
+        assert len(set(out)) == k
+
+
+class TestPathSetGenerator:
+    def test_paths_have_hops_minus_one_intermediates(self, rng):
+        gen = PathSetGenerator(SHORTER_PATHS)
+        pool = list(range(48))
+        for _ in range(50):
+            paths = gen.generate(rng, pool)
+            assert 1 <= len(paths) <= 3
+            length = len(paths[0])
+            assert 1 <= length <= 9  # hops 2..10 -> intermediates 1..9
+            for p in paths:
+                assert len(p) == length  # all alternates share the hop draw
+                assert len(set(p)) == len(p)
+                assert set(p) <= set(pool)
+
+    def test_hop_count_clamped_to_pool(self, rng):
+        gen = PathSetGenerator(LONGER_PATHS)
+        pool = list(range(4))  # can never host 9 intermediates
+        for _ in range(30):
+            for p in gen.generate(rng, pool):
+                assert len(p) <= 4
+
+    def test_tiny_pool_rejected(self, rng):
+        gen = PathSetGenerator(SHORTER_PATHS)
+        with pytest.raises(ValueError):
+            gen.generate(rng, [])
+
+    def test_shorter_mode_mean_shorter(self, rng):
+        pool = list(range(48))
+        short_gen = PathSetGenerator(SHORTER_PATHS)
+        long_gen = PathSetGenerator(LONGER_PATHS)
+        short_lengths = [len(short_gen.generate(rng, pool)[0]) for _ in range(800)]
+        long_lengths = [len(long_gen.generate(rng, pool)[0]) for _ in range(800)]
+        assert np.mean(short_lengths) < np.mean(long_lengths)
+
+    def test_deterministic_under_seed(self):
+        gen = PathSetGenerator(SHORTER_PATHS)
+        pool = list(range(48))
+        a = PathSetGenerator(SHORTER_PATHS).generate(np.random.default_rng(5), list(pool))
+        b = gen.generate(np.random.default_rng(5), list(pool))
+        assert a == b

@@ -1,0 +1,93 @@
+"""Unit tests for the path oracles (the engines' single randomness source)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.paths.distributions import SHORTER_PATHS
+from repro.paths.oracle import GameSetup, RandomPathOracle, ScriptedPathOracle
+
+
+class TestGameSetup:
+    def test_valid_setup(self):
+        s = GameSetup(source=0, destination=1, paths=((2, 3),))
+        assert s.paths == ((2, 3),)
+
+    def test_rejects_empty_paths(self):
+        with pytest.raises(ValueError):
+            GameSetup(source=0, destination=1, paths=())
+
+    def test_rejects_source_on_path(self):
+        with pytest.raises(ValueError):
+            GameSetup(source=0, destination=1, paths=((0, 2),))
+
+    def test_rejects_destination_on_path(self):
+        with pytest.raises(ValueError):
+            GameSetup(source=0, destination=1, paths=((2, 1),))
+
+    def test_rejects_repeated_intermediate(self):
+        with pytest.raises(ValueError):
+            GameSetup(source=0, destination=1, paths=((2, 2),))
+
+
+class TestRandomPathOracle:
+    def participants(self):
+        return list(range(12))
+
+    def test_destination_and_paths_valid(self, rng):
+        oracle = RandomPathOracle(rng, SHORTER_PATHS)
+        for _ in range(100):
+            setup = oracle.draw(3, self.participants())
+            assert setup.source == 3
+            assert setup.destination != 3
+            assert setup.destination in self.participants()
+            for path in setup.paths:
+                assert 3 not in path
+                assert setup.destination not in path
+
+    def test_needs_three_participants(self, rng):
+        oracle = RandomPathOracle(rng, SHORTER_PATHS)
+        with pytest.raises(ValueError):
+            oracle.draw(0, [0, 1])
+
+    def test_deterministic_under_seed(self):
+        a = RandomPathOracle(np.random.default_rng(3), SHORTER_PATHS)
+        b = RandomPathOracle(np.random.default_rng(3), SHORTER_PATHS)
+        setups_a = [a.draw(0, self.participants()) for _ in range(20)]
+        setups_b = [b.draw(0, self.participants()) for _ in range(20)]
+        assert setups_a == setups_b
+
+    def test_destination_roughly_uniform(self, rng):
+        oracle = RandomPathOracle(rng, SHORTER_PATHS)
+        counts = np.zeros(12)
+        for _ in range(4000):
+            counts[oracle.draw(0, self.participants()).destination] += 1
+        assert counts[0] == 0
+        freq = counts[1:] / 4000
+        assert np.allclose(freq, 1 / 11, atol=0.02)
+
+
+class TestScriptedPathOracle:
+    def test_replays_in_order(self):
+        setups = [
+            GameSetup(source=0, destination=1, paths=((2,),)),
+            GameSetup(source=1, destination=0, paths=((3,),)),
+        ]
+        oracle = ScriptedPathOracle(setups)
+        assert oracle.remaining == 2
+        assert oracle.draw(0, [0, 1, 2, 3]) is setups[0]
+        assert oracle.draw(1, [0, 1, 2, 3]) is setups[1]
+        assert oracle.remaining == 0
+
+    def test_exhaustion_raises(self):
+        oracle = ScriptedPathOracle([])
+        with pytest.raises(IndexError):
+            oracle.draw(0, [0, 1, 2])
+
+    def test_source_mismatch_detected(self):
+        oracle = ScriptedPathOracle(
+            [GameSetup(source=0, destination=1, paths=((2,),))]
+        )
+        with pytest.raises(AssertionError, match="source 0"):
+            oracle.draw(5, [0, 1, 2, 5])

@@ -1,0 +1,112 @@
+"""Unit and property tests for path rating and best-path selection (§3.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.paths.rating import best_path_index, rate_path
+from repro.reputation.records import ReputationTable
+
+
+def table_with_rates(rates: dict[int, tuple[int, int]]) -> ReputationTable:
+    """Build a table from {subject: (forwarded, dropped)} observations."""
+    t = ReputationTable()
+    for subject, (forwarded, dropped) in rates.items():
+        for _ in range(forwarded):
+            t.record(subject, True)
+        for _ in range(dropped):
+            t.record(subject, False)
+    return t
+
+
+class TestRatePath:
+    def test_product_of_known_rates(self):
+        t = table_with_rates({1: (1, 1), 2: (3, 1)})  # rates 0.5 and 0.75
+        assert rate_path(t, (1, 2)) == pytest.approx(0.375)
+
+    def test_unknown_nodes_rate_half(self):
+        t = ReputationTable()
+        assert rate_path(t, (7, 8)) == pytest.approx(0.25)
+
+    def test_empty_path_rates_one(self):
+        assert rate_path(ReputationTable(), ()) == 1.0
+
+    def test_mixed_known_unknown(self):
+        t = table_with_rates({1: (4, 0)})  # rate 1.0
+        assert rate_path(t, (1, 99)) == pytest.approx(0.5)
+
+    def test_custom_unknown_rate(self):
+        assert rate_path(ReputationTable(), (5,), unknown_rate=0.9) == 0.9
+
+    def test_zero_rate_zeroes_path(self):
+        t = table_with_rates({1: (0, 3)})
+        assert rate_path(t, (1, 2, 3)) == 0.0
+
+
+class TestBestPathIndex:
+    def test_prefers_known_good_over_unknown(self):
+        t = table_with_rates({1: (9, 1)})  # 0.9 > 0.5 (unknown)
+        assert best_path_index(t, [(99,), (1,)]) == 1
+
+    def test_prefers_unknown_over_known_bad(self):
+        t = table_with_rates({1: (1, 9)})  # 0.1 < 0.5
+        assert best_path_index(t, [(1,), (99,)]) == 1
+
+    def test_tie_takes_first(self):
+        t = ReputationTable()
+        assert best_path_index(t, [(7, 8), (9, 10)]) == 0
+
+    def test_single_path(self):
+        assert best_path_index(ReputationTable(), [(1, 2, 3)]) == 0
+
+    def test_no_paths_rejected(self):
+        with pytest.raises(ValueError):
+            best_path_index(ReputationTable(), [])
+
+    def test_avoids_known_dropper(self):
+        """The Table 5 mechanism: sources route around CSN when possible."""
+        t = table_with_rates({50: (0, 10), 1: (5, 5), 2: (5, 5)})
+        # path through CSN node 50 rates 0; alternative rates 0.25
+        assert best_path_index(t, [(50, 1), (1, 2)]) == 1
+
+    def test_shorter_unknown_path_beats_longer(self):
+        t = ReputationTable()
+        # 0.5 vs 0.25: fewer unknown hops rate higher
+        assert best_path_index(t, [(7, 8), (9,)]) == 1
+
+
+observations = st.dictionaries(
+    st.integers(0, 5),
+    st.tuples(st.integers(0, 5), st.integers(0, 5)),
+    max_size=6,
+)
+paths = st.lists(
+    st.lists(st.integers(0, 9), min_size=1, max_size=4, unique=True).map(tuple),
+    min_size=1,
+    max_size=4,
+)
+
+
+class TestProperties:
+    @given(observations, paths)
+    def test_rating_in_unit_interval(self, obs, path_list):
+        t = table_with_rates(obs)
+        for p in path_list:
+            assert 0.0 <= rate_path(t, p) <= 1.0
+
+    @given(observations, paths)
+    def test_best_index_is_argmax(self, obs, path_list):
+        t = table_with_rates(obs)
+        idx = best_path_index(t, path_list)
+        ratings = [rate_path(t, p) for p in path_list]
+        assert ratings[idx] == max(ratings)
+        # first-wins tie-break
+        assert idx == ratings.index(max(ratings))
+
+    @given(observations, st.lists(st.integers(0, 9), min_size=1, max_size=5, unique=True))
+    def test_extending_a_path_never_raises_rating(self, obs, path):
+        t = table_with_rates(obs)
+        for cut in range(1, len(path)):
+            assert rate_path(t, path[: cut + 1]) <= rate_path(t, path[:cut]) + 1e-12

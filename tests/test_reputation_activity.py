@@ -1,0 +1,101 @@
+"""Unit and property tests for activity classification (§3.2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.activity import Activity
+from repro.reputation.activity import ActivityClassifier
+from repro.reputation.records import ReputationTable
+
+
+def table_with(pf_by_subject: dict[int, int]) -> ReputationTable:
+    t = ReputationTable()
+    for subject, pf in pf_by_subject.items():
+        if pf == 0:
+            t.record(subject, False)  # known, nothing forwarded
+        for _ in range(pf):
+            t.record(subject, True)
+    return t
+
+
+class TestClassifyValue:
+    CLS = ActivityClassifier()
+
+    @pytest.mark.parametrize(
+        "forwarded,average,expected",
+        [
+            (10, 10, Activity.MI),
+            (8, 10, Activity.MI),  # exactly on the lower edge (inclusive)
+            (12, 10, Activity.MI),  # exactly on the upper edge (inclusive)
+            (7.9, 10, Activity.LO),
+            (12.1, 10, Activity.HI),
+            (0, 0, Activity.MI),
+            (1, 0, Activity.HI),
+        ],
+    )
+    def test_band(self, forwarded, average, expected):
+        assert self.CLS.classify_value(forwarded, average) == expected
+
+    def test_custom_band(self):
+        wide = ActivityClassifier(band=0.5)
+        assert wide.classify_value(6, 10) == Activity.MI
+        assert wide.classify_value(4.9, 10) == Activity.LO
+
+    def test_negative_band_rejected(self):
+        with pytest.raises(ValueError):
+            ActivityClassifier(band=-0.1)
+
+
+class TestClassifyFromTable:
+    CLS = ActivityClassifier()
+
+    def test_average_over_known_nodes(self):
+        # pf: {1: 2, 2: 10, 3: 6} -> av = 6
+        t = table_with({1: 2, 2: 10, 3: 6})
+        assert self.CLS.classify(t, 1) == Activity.LO  # 2 < 4.8
+        assert self.CLS.classify(t, 2) == Activity.HI  # 10 > 7.2
+        assert self.CLS.classify(t, 3) == Activity.MI  # within [4.8, 7.2]
+
+    def test_single_known_node_is_medium(self):
+        t = table_with({1: 5})
+        assert self.CLS.classify(t, 1) == Activity.MI
+
+    def test_unknown_source_raises(self):
+        with pytest.raises(KeyError):
+            self.CLS.classify(ReputationTable(), 9)
+
+    def test_source_included_in_average(self):
+        """§3.2 says "all known nodes" — the source itself counts."""
+        t = table_with({1: 0, 2: 12})
+        # av = 6; source 1 has pf 0 -> LO; source 2 has 12 > 7.2 -> HI
+        assert self.CLS.classify(t, 1) == Activity.LO
+        assert self.CLS.classify(t, 2) == Activity.HI
+
+
+class TestProperties:
+    @given(
+        st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        st.floats(min_value=0, max_value=1e6, allow_nan=False),
+    )
+    def test_always_returns_a_level(self, forwarded, average):
+        level = ActivityClassifier().classify_value(forwarded, average)
+        assert level in (Activity.LO, Activity.MI, Activity.HI)
+
+    @given(
+        st.floats(min_value=0.01, max_value=1e6, allow_nan=False),
+        st.floats(min_value=0, max_value=2.0, allow_nan=False),
+    )
+    def test_monotone_in_forwarded(self, average, band):
+        """More forwarding never lowers the activity level."""
+        cls = ActivityClassifier(band=band)
+        lo = cls.classify_value(average * 0.5, average)
+        mid = cls.classify_value(average, average)
+        hi = cls.classify_value(average * 2.0, average)
+        assert lo <= mid <= hi
+
+    @given(st.floats(min_value=0, max_value=1e6, allow_nan=False))
+    def test_average_itself_is_always_medium(self, average):
+        assert ActivityClassifier().classify_value(average, average) == Activity.MI

@@ -1,0 +1,106 @@
+"""Unit tests for the second-hand reputation exchange extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.reputation.exchange import ExchangeConfig, exchange_reputation
+from repro.reputation.records import ReputationTable
+
+
+def tables_for(ids):
+    return {pid: ReputationTable() for pid in ids}
+
+
+class TestConfig:
+    def test_defaults_disabled(self):
+        assert not ExchangeConfig().enabled
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"interval": 0},
+            {"fanout": -1},
+            {"weight": 1.5},
+            {"weight": -0.1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ExchangeConfig(**kwargs)
+
+
+class TestExchange:
+    def test_disabled_is_noop(self, rng):
+        tables = tables_for([0, 1])
+        tables[0].record(2, True)
+        n = exchange_reputation(tables, [0, 1], ExchangeConfig(enabled=False), rng)
+        assert n == 0
+        assert not tables[1].knows(2)
+
+    def test_positive_only_spreads_good_news(self, rng):
+        tables = tables_for([0, 1])
+        for _ in range(10):
+            tables[0].record(2, True)
+        cfg = ExchangeConfig(enabled=True, fanout=1, weight=1.0, positive_only=True)
+        exchange_reputation(tables, [0, 1], cfg, rng)
+        assert tables[1].knows(2)
+        assert tables[1].forwarding_rate(2) == 1.0
+
+    def test_positive_only_never_lowers_rate(self, rng):
+        tables = tables_for([0, 1])
+        for _ in range(10):
+            tables[0].record(2, False)  # sender saw only drops
+        tables[1].record(2, True)  # receiver saw a forward
+        cfg = ExchangeConfig(enabled=True, fanout=1, weight=1.0, positive_only=True)
+        exchange_reputation(tables, [0, 1], cfg, rng)
+        # CORE-style: the all-negative evidence is not transmitted
+        assert tables[1].forwarding_rate(2) == 1.0
+
+    def test_full_exchange_transmits_negatives(self, rng):
+        tables = tables_for([0, 1])
+        for _ in range(10):
+            tables[0].record(2, False)
+        cfg = ExchangeConfig(enabled=True, fanout=1, weight=1.0, positive_only=False)
+        exchange_reputation(tables, [0, 1], cfg, rng)
+        assert tables[1].knows(2)
+        assert tables[1].forwarding_rate(2) == 0.0
+
+    def test_weight_scales_counts(self, rng):
+        tables = tables_for([0, 1])
+        for _ in range(10):
+            tables[0].record(2, True)
+        cfg = ExchangeConfig(enabled=True, fanout=1, weight=0.5, positive_only=True)
+        exchange_reputation(tables, [0, 1], cfg, rng)
+        assert tables[1].get(2).pf == 5
+
+    def test_no_gossip_about_receiver_or_sender(self, rng):
+        tables = tables_for([0, 1])
+        tables[0].record(1, False)  # sender's opinion about the receiver
+        cfg = ExchangeConfig(enabled=True, fanout=1, weight=1.0, positive_only=False)
+        exchange_reputation(tables, [0, 1], cfg, rng)
+        assert not tables[1].knows(1)  # receiver never told about itself
+
+    def test_no_same_step_amplification(self, rng):
+        """Gossip reflects pre-step snapshots, not gossip received this step."""
+        tables = tables_for([0, 1, 2])
+        for _ in range(4):
+            tables[0].record(9, True)
+        cfg = ExchangeConfig(enabled=True, fanout=2, weight=1.0, positive_only=True)
+        exchange_reputation(tables, [0, 1, 2], cfg, rng)
+        # 1 and 2 each got the 4 observations exactly once (from 0), never a
+        # relayed copy of each other's fresh knowledge.
+        assert tables[1].get(9).pf == 4
+        assert tables[2].get(9).pf == 4
+
+    def test_message_count(self, rng):
+        tables = tables_for([0, 1, 2, 3])
+        cfg = ExchangeConfig(enabled=True, fanout=2)
+        n = exchange_reputation(tables, [0, 1, 2, 3], cfg, rng)
+        assert n == 8  # 4 senders x fanout 2
+
+    def test_single_participant_noop(self, rng):
+        tables = tables_for([0])
+        cfg = ExchangeConfig(enabled=True, fanout=2)
+        assert exchange_reputation(tables, [0], cfg, rng) == 0

@@ -1,0 +1,151 @@
+"""Unit and property tests for first-hand reputation records (§3.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.reputation.records import DEFAULT_UNKNOWN_RATE, ReputationRecord, ReputationTable
+
+
+class TestReputationRecord:
+    def test_rate(self):
+        assert ReputationRecord(ps=4, pf=3).rate == 0.75
+
+    def test_rate_undefined_without_observations(self):
+        with pytest.raises(ValueError):
+            _ = ReputationRecord().rate
+
+
+class TestRecording:
+    def test_forwarded_observation(self):
+        t = ReputationTable()
+        t.record(5, True)
+        assert t.get(5).ps == 1 and t.get(5).pf == 1
+
+    def test_dropped_observation(self):
+        t = ReputationTable()
+        t.record(5, False)
+        assert t.get(5).ps == 1 and t.get(5).pf == 0
+
+    def test_forwarding_rate(self):
+        t = ReputationTable()
+        t.record(5, True)
+        t.record(5, True)
+        t.record(5, False)
+        assert t.forwarding_rate(5) == pytest.approx(2 / 3)
+
+    def test_unknown_subject_default(self):
+        t = ReputationTable()
+        assert t.forwarding_rate(9, default=DEFAULT_UNKNOWN_RATE) == 0.5
+
+    def test_unknown_subject_raises_without_default(self):
+        with pytest.raises(KeyError):
+            ReputationTable().forwarding_rate(9)
+
+    def test_knows(self):
+        t = ReputationTable()
+        assert not t.knows(1)
+        t.record(1, False)
+        assert t.knows(1)
+
+    def test_clear(self):
+        t = ReputationTable()
+        t.record(1, True)
+        t.clear()
+        assert not t.knows(1)
+        assert t.n_known == 0
+        assert t.pf_total == 0
+
+
+class TestAggregates:
+    def test_average_forwarded(self):
+        t = ReputationTable()
+        for _ in range(3):
+            t.record(1, True)
+        t.record(2, True)
+        t.record(2, False)
+        # pf: node1 = 3, node2 = 1 -> av = 2
+        assert t.average_forwarded() == 2.0
+
+    def test_average_empty_table(self):
+        assert ReputationTable().average_forwarded() == 0.0
+
+    def test_forwarded_count_unknown_is_zero(self):
+        assert ReputationTable().forwarded_count(7) == 0
+
+    def test_n_known_and_subjects(self):
+        t = ReputationTable()
+        t.record(1, True)
+        t.record(2, False)
+        assert t.n_known == 2
+        assert set(t.subjects()) == {1, 2}
+
+    def test_snapshot(self):
+        t = ReputationTable()
+        t.record(1, True)
+        t.record(1, False)
+        assert t.snapshot() == {1: (2, 1)}
+
+
+class TestMergeCounts:
+    def test_merges_external_evidence(self):
+        t = ReputationTable()
+        t.merge_counts(3, ps=4, pf=2)
+        assert t.forwarding_rate(3) == 0.5
+        assert t.pf_total == 2
+
+    def test_zero_ps_noop(self):
+        t = ReputationTable()
+        t.merge_counts(3, ps=0, pf=0)
+        assert not t.knows(3)
+
+    @pytest.mark.parametrize("ps,pf", [(-1, 0), (1, -1), (1, 2)])
+    def test_invalid_counts_rejected(self, ps, pf):
+        with pytest.raises(ValueError):
+            ReputationTable().merge_counts(3, ps=ps, pf=pf)
+
+
+@st.composite
+def observation_streams(draw):
+    """Random streams of (subject, forwarded) observations."""
+    n = draw(st.integers(0, 80))
+    return [
+        (draw(st.integers(0, 6)), draw(st.booleans())) for _ in range(n)
+    ]
+
+
+class TestInvariants:
+    @given(observation_streams())
+    def test_pf_never_exceeds_ps(self, stream):
+        t = ReputationTable()
+        for subject, forwarded in stream:
+            t.record(subject, forwarded)
+        for _, (ps, pf) in t.snapshot().items():
+            assert 0 <= pf <= ps
+
+    @given(observation_streams())
+    def test_pf_total_consistent(self, stream):
+        t = ReputationTable()
+        for subject, forwarded in stream:
+            t.record(subject, forwarded)
+        assert t.pf_total == sum(pf for _, pf in t.snapshot().values())
+
+    @given(observation_streams())
+    def test_average_is_mean_of_pf(self, stream):
+        t = ReputationTable()
+        for subject, forwarded in stream:
+            t.record(subject, forwarded)
+        snap = t.snapshot()
+        if snap:
+            expected = sum(pf for _, pf in snap.values()) / len(snap)
+            assert t.average_forwarded() == pytest.approx(expected)
+
+    @given(observation_streams())
+    def test_rate_in_unit_interval(self, stream):
+        t = ReputationTable()
+        for subject, forwarded in stream:
+            t.record(subject, forwarded)
+        for subject in t.subjects():
+            assert 0.0 <= t.forwarding_rate(subject) <= 1.0

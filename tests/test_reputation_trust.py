@@ -1,0 +1,77 @@
+"""Unit and property tests for the trust lookup table (§3.1, Fig. 1b)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.reputation.trust import TrustTable
+
+rates = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestDefaults:
+    def test_four_levels(self):
+        t = TrustTable()
+        assert t.n_levels == 4
+        assert t.max_level == 3
+
+    def test_bounds(self):
+        assert TrustTable().bounds == (0.3, 0.6, 0.9)
+
+
+class TestValidation:
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError, match="increasing"):
+            TrustTable(bounds=(0.6, 0.3))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            TrustTable(bounds=(0.0, 0.5))
+        with pytest.raises(ValueError):
+            TrustTable(bounds=(0.5, 1.0))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            TrustTable(bounds=())
+
+    def test_rate_out_of_range(self):
+        with pytest.raises(ValueError):
+            TrustTable().level(1.5)
+        with pytest.raises(ValueError):
+            TrustTable().level(-0.1)
+
+
+class TestCustomTables:
+    def test_two_level_table(self):
+        t = TrustTable(bounds=(0.5,))
+        assert t.n_levels == 2
+        assert t.level(0.5) == 0
+        assert t.level(0.51) == 1
+
+
+class TestProperties:
+    @given(rates)
+    def test_level_in_range(self, rate):
+        level = TrustTable().level(rate)
+        assert 0 <= level <= 3
+
+    @given(rates, rates)
+    def test_monotone_in_rate(self, a, b):
+        t = TrustTable()
+        if a <= b:
+            assert t.level(a) <= t.level(b)
+
+    @given(rates)
+    def test_bins_match_figure(self, rate):
+        """Cross-check against a direct transcription of Fig. 1b."""
+        if rate > 0.9:
+            expected = 3
+        elif rate > 0.6:
+            expected = 2
+        elif rate > 0.3:
+            expected = 1
+        else:
+            expected = 0
+        assert TrustTable().level(rate) == expected

@@ -1,0 +1,83 @@
+"""Unit tests specific to the reference engine wrapper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.node import ConstantlySelfishPlayer, NormalPlayer
+from repro.core.strategy import Strategy
+from repro.game.stats import TournamentStats
+from repro.paths.distributions import SHORTER_PATHS
+from repro.paths.oracle import RandomPathOracle
+from repro.sim.reference import ReferenceEngine
+
+
+class TestConstruction:
+    def test_player_types(self):
+        engine = ReferenceEngine(6, 2)
+        assert all(
+            isinstance(engine.player(pid), NormalPlayer) for pid in range(6)
+        )
+        assert all(
+            isinstance(engine.player(pid), ConstantlySelfishPlayer)
+            for pid in (6, 7)
+        )
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            ReferenceEngine(0, 0)
+        with pytest.raises(ValueError):
+            ReferenceEngine(4, -1)
+
+    def test_selfish_ids(self):
+        engine = ReferenceEngine(6, 2)
+        assert engine.selfish_ids(2) == [6, 7]
+        with pytest.raises(ValueError):
+            engine.selfish_ids(3)
+
+    def test_set_strategies_validates_count(self):
+        engine = ReferenceEngine(4, 0)
+        with pytest.raises(ValueError):
+            engine.set_strategies([Strategy.all_forward()] * 3)
+
+    def test_set_strategies_installs(self):
+        engine = ReferenceEngine(2, 0)
+        engine.set_strategies([Strategy.all_drop(), Strategy.all_forward()])
+        assert engine.player(0).strategy == Strategy.all_drop()
+        assert engine.player(1).strategy == Strategy.all_forward()
+
+
+class TestLifecycle:
+    def run_once(self, engine):
+        oracle = RandomPathOracle(np.random.default_rng(0), SHORTER_PATHS)
+        engine.run_tournament(
+            list(engine.population_ids), 4, oracle, TournamentStats(), None, None
+        )
+
+    def test_reset_generation(self):
+        engine = ReferenceEngine(8, 0)
+        engine.set_strategies([Strategy.all_forward()] * 8)
+        self.run_once(engine)
+        assert engine.fitness().sum() > 0
+        engine.reset_generation()
+        assert engine.fitness().sum() == 0
+        assert engine.payoff_matrix().sum() == 0
+
+    def test_payoff_matrix_layout(self):
+        engine = ReferenceEngine(8, 0)
+        engine.set_strategies([Strategy.all_forward()] * 8)
+        self.run_once(engine)
+        matrix = engine.payoff_matrix()
+        assert matrix.shape == (8, 8, 2)
+        # all-forward: every observation is a forward (ps == pf)
+        assert np.array_equal(matrix[:, :, 0], matrix[:, :, 1])
+        assert (np.diag(matrix[:, :, 0]) == 0).all()
+
+    def test_fitness_aligned_with_ids(self):
+        engine = ReferenceEngine(8, 0)
+        engine.set_strategies([Strategy.all_forward()] * 8)
+        self.run_once(engine)
+        fitness = engine.fitness()
+        for pid in range(8):
+            assert fitness[pid] == engine.player(pid).payoffs.fitness

@@ -1,0 +1,39 @@
+"""Unit tests for tournament environments (Table 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tournament.environment import TournamentEnvironment
+
+
+class TestEnvironment:
+    def test_n_normal(self):
+        env = TournamentEnvironment("TEx", 50, 10)
+        assert env.n_normal == 40
+        assert env.selfish_fraction == 0.2
+
+    def test_csn_free(self):
+        env = TournamentEnvironment("TE1", 50, 0)
+        assert env.n_normal == 50
+        assert env.selfish_fraction == 0.0
+
+    def test_rejects_all_selfish(self):
+        with pytest.raises(ValueError):
+            TournamentEnvironment("bad", 50, 50)
+
+    def test_rejects_negative_selfish(self):
+        with pytest.raises(ValueError):
+            TournamentEnvironment("bad", 50, -1)
+
+    def test_rejects_tiny_tournament(self):
+        with pytest.raises(ValueError):
+            TournamentEnvironment("bad", 2, 0)
+
+    def test_str(self):
+        assert "CSN=10" in str(TournamentEnvironment("TE2", 50, 10))
+
+    def test_frozen(self):
+        env = TournamentEnvironment("TE1", 50, 0)
+        with pytest.raises(Exception):
+            env.n_selfish = 5  # type: ignore[misc]

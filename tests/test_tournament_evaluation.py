@@ -1,0 +1,116 @@
+"""Unit tests for the multi-environment evaluation scheme (§4.4, Fig. 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.strategy import Strategy
+from repro.paths.distributions import SHORTER_PATHS
+from repro.paths.oracle import RandomPathOracle
+from repro.sim.reference import ReferenceEngine
+from repro.tournament.environment import TournamentEnvironment
+from repro.tournament.evaluation import evaluate_generation
+
+
+def make_engine(n_pop=12, max_csn=4):
+    engine = ReferenceEngine(n_pop, max_csn)
+    engine.set_strategies([Strategy.all_forward() for _ in range(n_pop)])
+    return engine
+
+
+def run_eval(engine, envs, rounds=5, L=1, seed=0, oracle_seed=1):
+    oracle = RandomPathOracle(np.random.default_rng(oracle_seed), SHORTER_PATHS)
+    return evaluate_generation(
+        engine,
+        envs,
+        rounds=rounds,
+        plays_per_environment=L,
+        oracle=oracle,
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestStructure:
+    def test_per_environment_stats_keys(self):
+        envs = [
+            TournamentEnvironment("A", 8, 0),
+            TournamentEnvironment("B", 8, 2),
+        ]
+        result = run_eval(make_engine(), envs)
+        assert set(result.per_environment) == {"A", "B"}
+
+    def test_overall_is_merge_of_envs(self):
+        envs = [
+            TournamentEnvironment("A", 8, 0),
+            TournamentEnvironment("B", 8, 2),
+        ]
+        result = run_eval(make_engine(), envs)
+        total = sum(s.nn_originated for s in result.per_environment.values())
+        assert result.overall.nn_originated == total
+
+    def test_game_counts_follow_seatings(self):
+        """12 players, 6 normal seats, L=1 -> 2 seatings x rounds x size games."""
+        env = TournamentEnvironment("A", 8, 2)  # 6 normal + 2 CSN
+        result = run_eval(make_engine(), [env], rounds=5)
+        stats = result.per_environment["A"]
+        assert stats.nn_originated == 2 * 5 * 6
+        assert stats.csn_originated == 2 * 5 * 2
+
+    def test_fitness_vector_covers_population(self):
+        result = run_eval(make_engine(12), [TournamentEnvironment("A", 8, 2)])
+        assert result.fitness.shape == (12,)
+        assert (result.fitness > 0).all()  # everyone played and earned payoffs
+
+    def test_memory_cleared_between_generations(self):
+        engine = make_engine()
+        env = TournamentEnvironment("A", 8, 0)
+        run_eval(engine, [env])
+        first = engine.player(0).payoffs.n_events
+        run_eval(engine, [env])
+        # payoffs were reset, so event counts do not accumulate
+        assert engine.player(0).payoffs.n_events == first
+
+    def test_no_environment_rejected(self):
+        with pytest.raises(ValueError):
+            run_eval(make_engine(), [])
+
+    def test_oversized_environment_rejected(self):
+        env = TournamentEnvironment("huge", 20, 2)  # needs 18 normals, have 12
+        with pytest.raises(ValueError, match="needs 18"):
+            run_eval(make_engine(12), [env])
+
+    def test_cooperation_level_property(self):
+        result = run_eval(make_engine(), [TournamentEnvironment("A", 8, 0)])
+        assert result.cooperation_level == result.overall.cooperation_level
+        assert result.cooperation_level == 1.0  # all-forward population
+
+
+class TestCsnEffects:
+    def test_csn_lower_cooperation(self):
+        clean = run_eval(make_engine(), [TournamentEnvironment("A", 8, 0)], rounds=10)
+        dirty = run_eval(
+            make_engine(), [TournamentEnvironment("B", 8, 4)], rounds=10
+        )
+        assert dirty.overall.cooperation_level < clean.overall.cooperation_level
+
+    def test_csn_requests_tracked(self):
+        result = run_eval(make_engine(), [TournamentEnvironment("B", 8, 4)], rounds=10)
+        stats = result.per_environment["B"]
+        assert stats.requests_from_csn.total > 0
+        assert stats.requests_from_nn.rejected_by_csn > 0
+
+
+class TestDeterminism:
+    def test_same_seeds_same_result(self):
+        envs = [TournamentEnvironment("A", 8, 2)]
+        r1 = run_eval(make_engine(), envs, seed=7, oracle_seed=8)
+        r2 = run_eval(make_engine(), envs, seed=7, oracle_seed=8)
+        assert np.array_equal(r1.fitness, r2.fitness)
+        assert r1.overall.to_dict() == r2.overall.to_dict()
+
+    def test_different_seeds_differ(self):
+        envs = [TournamentEnvironment("A", 8, 2)]
+        r1 = run_eval(make_engine(), envs, seed=7, oracle_seed=8)
+        r2 = run_eval(make_engine(), envs, seed=9, oracle_seed=10)
+        assert r1.overall.to_dict() != r2.overall.to_dict()

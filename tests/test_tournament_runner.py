@@ -1,0 +1,140 @@
+"""Unit tests for the tournament runner (§4.4 tournament scheme)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.node import AlwaysForwardPlayer, ConstantlySelfishPlayer
+from repro.game.stats import TournamentStats
+from repro.paths.distributions import SHORTER_PATHS
+from repro.paths.oracle import GameSetup, RandomPathOracle
+from repro.reputation.exchange import ExchangeConfig
+from repro.tournament.runner import run_tournament
+
+from tests.conftest import make_players, scripted_tournament_oracle
+
+
+class TestStructure:
+    def test_every_player_sources_once_per_round(
+        self, trust_table, activity, payoffs
+    ):
+        players = make_players(6)
+        participants = list(range(6))
+        rounds = 4
+        seen: list[int] = []
+
+        def make_setup(round_no, source):
+            seen.append(source)
+            others = [p for p in participants if p != source]
+            return GameSetup(
+                source=source,
+                destination=others[0],
+                paths=((others[1],),),
+            )
+
+        oracle = scripted_tournament_oracle(participants, rounds, make_setup)
+        stats = run_tournament(
+            players, participants, rounds, oracle, trust_table, activity, payoffs
+        )
+        assert seen == participants * rounds
+        assert stats.nn_originated == 6 * rounds
+        assert oracle.remaining == 0
+
+    def test_rounds_validated(self, trust_table, activity, payoffs, rng):
+        players = make_players(5)
+        oracle = RandomPathOracle(rng, SHORTER_PATHS)
+        with pytest.raises(ValueError):
+            run_tournament(
+                players, list(range(5)), 0, oracle, trust_table, activity, payoffs
+            )
+
+    def test_all_forward_population_fully_cooperates(
+        self, trust_table, activity, payoffs, rng
+    ):
+        players = make_players(10)
+        oracle = RandomPathOracle(rng, SHORTER_PATHS)
+        stats = run_tournament(
+            players, list(range(10)), 20, oracle, trust_table, activity, payoffs
+        )
+        assert stats.cooperation_level == 1.0
+        assert stats.nn_csn_free_fraction == 1.0
+
+    def test_all_selfish_intermediates_kill_everything(
+        self, trust_table, activity, payoffs, rng
+    ):
+        players = {0: AlwaysForwardPlayer(0)}
+        for pid in range(1, 8):
+            players[pid] = ConstantlySelfishPlayer(pid)
+        oracle = RandomPathOracle(rng, SHORTER_PATHS)
+        stats = run_tournament(
+            players, list(range(8)), 10, oracle, trust_table, activity, payoffs
+        )
+        assert stats.nn_delivered == 0
+
+
+class TestPathChoiceStats:
+    def test_csn_free_fraction_counts_chosen_paths(
+        self, trust_table, activity, payoffs
+    ):
+        players = make_players(4, n_selfish=1)  # ids 0-3 altruists, 4 CSN
+        participants = list(range(5))
+
+        def make_setup(round_no, source):
+            others = [p for p in participants if p != source and p != 4]
+            dest = others[0]
+            vias = others[1:]
+            # Two candidate paths: a clean one first, then one through the
+            # CSN (or a second clean one when the CSN itself is the source).
+            second = (4,) if source != 4 else (vias[1],)
+            return GameSetup(
+                source=source,
+                destination=dest,
+                paths=((vias[0],), second),
+            )
+
+        oracle = scripted_tournament_oracle(participants, 1, make_setup)
+        stats = run_tournament(
+            players, participants, 1, oracle, trust_table, activity, payoffs
+        )
+        # All sources initially rate both paths 0.5; first (clean) path wins
+        # the tie, so every chosen path is CSN-free.
+        assert stats.nn_paths_chosen == 4
+        assert stats.csn_paths_chosen == 1
+        assert stats.nn_csn_free_fraction == 1.0
+
+
+class TestExchangeIntegration:
+    def test_exchange_requires_rng(self, trust_table, activity, payoffs, rng):
+        players = make_players(6)
+        oracle = RandomPathOracle(rng, SHORTER_PATHS)
+        with pytest.raises(ValueError, match="requires an rng"):
+            run_tournament(
+                players,
+                list(range(6)),
+                2,
+                oracle,
+                trust_table,
+                activity,
+                payoffs,
+                exchange=ExchangeConfig(enabled=True),
+            )
+
+    def test_exchange_spreads_reputation(self, trust_table, activity, payoffs):
+        rng = np.random.default_rng(0)
+        players = make_players(8)
+        oracle = RandomPathOracle(np.random.default_rng(1), SHORTER_PATHS)
+        run_tournament(
+            players,
+            list(range(8)),
+            6,
+            oracle,
+            trust_table,
+            activity,
+            payoffs,
+            exchange=ExchangeConfig(enabled=True, interval=2, fanout=3),
+            rng=rng,
+        )
+        # after gossip, players know far more than first-hand contact allows
+        known = sum(players[p].reputation.n_known for p in range(8))
+        assert known >= 8 * 5

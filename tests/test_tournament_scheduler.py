@@ -1,0 +1,88 @@
+"""Unit and property tests for the seating scheduler (§4.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tournament.scheduler import iter_seatings
+
+
+class TestBasicScheme:
+    def test_paper_shape_two_seatings(self, rng):
+        """N=100, P=50, L=1: exactly two disjoint seatings of 50."""
+        seatings = list(iter_seatings(range(100), 50, 1, rng))
+        assert len(seatings) == 2
+        assert all(len(s) == 50 for s in seatings)
+        assert set(seatings[0]) | set(seatings[1]) == set(range(100))
+        assert set(seatings[0]) & set(seatings[1]) == set()
+
+    def test_l_twice(self, rng):
+        seatings = list(iter_seatings(range(10), 5, 2, rng))
+        plays = {pid: 0 for pid in range(10)}
+        for s in seatings:
+            for pid in s:
+                plays[pid] += 1
+        # Everyone reaches L; uneven random progress may force top-up
+        # seatings in which already-complete players fill the empty seats,
+        # so individual counts can exceed L (fitness is per-event, so extra
+        # plays do not bias Eq. (1)).
+        assert all(count >= 2 for count in plays.values())
+        assert len(seatings) >= 4  # ceil(N*L / seats)
+
+    def test_no_player_twice_in_one_seating(self, rng):
+        for seating in iter_seatings(range(20), 7, 3, rng):
+            assert len(set(seating)) == len(seating)
+
+    def test_top_up_when_not_divisible(self, rng):
+        """N*L not divisible by seats: everyone reaches L, fillers exceed it."""
+        seatings = list(iter_seatings(range(10), 4, 1, rng))
+        plays = {pid: 0 for pid in range(10)}
+        for s in seatings:
+            assert len(s) == 4
+            for pid in s:
+                plays[pid] += 1
+        assert all(count >= 1 for count in plays.values())
+        assert sum(plays.values()) == 4 * len(seatings)
+
+    def test_seats_larger_than_population_rejected(self, rng):
+        with pytest.raises(ValueError):
+            list(iter_seatings(range(3), 5, 1, rng))
+
+    def test_plays_required_validated(self, rng):
+        with pytest.raises(ValueError):
+            list(iter_seatings(range(5), 2, 0, rng))
+
+    def test_deterministic_under_seed(self):
+        a = list(iter_seatings(range(30), 10, 2, np.random.default_rng(4)))
+        b = list(iter_seatings(range(30), 10, 2, np.random.default_rng(4)))
+        assert a == b
+
+
+class TestProperties:
+    @given(
+        st.integers(4, 40),  # population
+        st.integers(2, 10),  # seats
+        st.integers(1, 3),  # L
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=40)
+    def test_everyone_plays_at_least_l(self, n, seats, plays_required, seed):
+        if seats > n:
+            return
+        rng = np.random.default_rng(seed)
+        plays = {pid: 0 for pid in range(n)}
+        for seating in iter_seatings(range(n), seats, plays_required, rng):
+            assert len(seating) == seats
+            assert len(set(seating)) == seats
+            for pid in seating:
+                plays[pid] += 1
+        assert all(count >= plays_required for count in plays.values())
+
+    def test_seatings_are_random(self):
+        """Different seeds give different partitions (statistically certain)."""
+        a = list(iter_seatings(range(100), 50, 1, np.random.default_rng(1)))
+        b = list(iter_seatings(range(100), 50, 1, np.random.default_rng(2)))
+        assert set(a[0]) != set(b[0])

@@ -1,0 +1,116 @@
+"""Unit and property tests for repro.utils.bitstring."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitstring import (
+    bits_from_int,
+    bits_from_string,
+    bits_to_int,
+    bits_to_string,
+    hamming_distance,
+    validate_bits,
+)
+
+bit_lists = st.lists(st.integers(0, 1), min_size=0, max_size=32)
+
+
+class TestValidateBits:
+    def test_accepts_zeros_and_ones(self):
+        assert validate_bits([0, 1, 1, 0]) == (0, 1, 1, 0)
+
+    def test_rejects_other_values(self):
+        with pytest.raises(ValueError, match="0 or 1"):
+            validate_bits([0, 2])
+
+    def test_length_check(self):
+        with pytest.raises(ValueError, match="expected 3 bits"):
+            validate_bits([0, 1], length=3)
+
+    def test_accepts_numpy_like_ints(self):
+        assert validate_bits([True, False]) == (1, 0)
+
+
+class TestStringConversion:
+    def test_parses_grouped_form(self):
+        assert bits_from_string("010 101 1") == (0, 1, 0, 1, 0, 1, 1)
+
+    def test_parses_underscores(self):
+        assert bits_from_string("01_10") == (0, 1, 1, 0)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError, match="invalid characters"):
+            bits_from_string("01x0")
+
+    def test_length_enforced(self):
+        with pytest.raises(ValueError):
+            bits_from_string("0101", length=5)
+
+    def test_to_string_plain(self):
+        assert bits_to_string((1, 0, 1)) == "101"
+
+    def test_to_string_uniform_groups(self):
+        assert bits_to_string((1, 0, 1, 1), group=2) == "10 11"
+
+    def test_to_string_custom_groups(self):
+        assert bits_to_string((1, 0, 1, 1, 0), group=(3, 2)) == "101 10"
+
+    def test_to_string_group_mismatch(self):
+        with pytest.raises(ValueError, match="do not cover"):
+            bits_to_string((1, 0, 1), group=(2, 2))
+
+    @given(bit_lists)
+    def test_string_roundtrip(self, bits):
+        assert bits_from_string(bits_to_string(tuple(bits))) == tuple(bits)
+
+
+class TestIntConversion:
+    def test_bit0_is_lowest(self):
+        assert bits_to_int((1, 0, 0)) == 1
+        assert bits_to_int((0, 0, 1)) == 4
+
+    def test_from_int(self):
+        assert bits_from_int(5, 4) == (1, 0, 1, 0)
+
+    def test_from_int_rejects_overflow(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            bits_from_int(8, 3)
+
+    def test_from_int_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            bits_from_int(-1, 3)
+
+    @given(bit_lists.filter(lambda b: len(b) > 0))
+    def test_int_roundtrip(self, bits):
+        bits = tuple(bits)
+        assert bits_from_int(bits_to_int(bits), len(bits)) == bits
+
+    @given(st.integers(0, 2**20 - 1))
+    def test_int_roundtrip_from_value(self, value):
+        assert bits_to_int(bits_from_int(value, 20)) == value
+
+
+class TestHammingDistance:
+    def test_zero_for_equal(self):
+        assert hamming_distance((1, 0, 1), (1, 0, 1)) == 0
+
+    def test_counts_differences(self):
+        assert hamming_distance((1, 0, 1, 0), (0, 0, 1, 1)) == 2
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            hamming_distance((1,), (1, 0))
+
+    @given(bit_lists, bit_lists)
+    def test_symmetric(self, a, b):
+        if len(a) != len(b):
+            return
+        assert hamming_distance(a, b) == hamming_distance(b, a)
+
+    @given(bit_lists)
+    def test_distance_to_complement_is_length(self, bits):
+        flipped = [1 - b for b in bits]
+        assert hamming_distance(bits, flipped) == len(bits)

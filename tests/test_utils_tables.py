@@ -1,0 +1,68 @@
+"""Unit tests for the ASCII table/plot renderers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.tables import ascii_lineplot, format_table
+
+
+class TestFormatTable:
+    def test_basic_shape(self):
+        out = format_table([[1, "a"], [22, "bb"]], headers=["n", "s"])
+        lines = out.splitlines()
+        assert lines[0].startswith("+")
+        assert "| n" in lines[1]
+        assert lines[-1].startswith("+")
+
+    def test_title_line(self):
+        out = format_table([[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        out = format_table([[0.123456]], floatfmt=".3f")
+        assert "0.123" in out
+        assert "0.1234" not in out
+
+    def test_column_alignment(self):
+        out = format_table([["a", 1], ["longer", 2]])
+        widths = {len(line) for line in out.splitlines()}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_ragged_rows_padded(self):
+        out = format_table([["a", "b"], ["c"]])
+        assert out.count("|") > 0  # renders without raising
+
+    def test_empty_rows_ok(self):
+        out = format_table([], headers=["x"])
+        assert "x" in out
+
+
+class TestAsciiLineplot:
+    def test_contains_markers_and_legend(self):
+        out = ascii_lineplot({"up": [0, 1, 2, 3], "down": [3, 2, 1, 0]})
+        assert "o=up" in out
+        assert "x=down" in out
+
+    def test_respects_bounds(self):
+        out = ascii_lineplot({"s": [0.5]}, ymin=0.0, ymax=1.0)
+        assert "1" in out.splitlines()[0]
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_lineplot({})
+        with pytest.raises(ValueError):
+            ascii_lineplot({"s": []})
+
+    def test_title(self):
+        out = ascii_lineplot({"s": [1, 2]}, title="Figure")
+        assert out.splitlines()[0] == "Figure"
+
+    def test_flat_series_does_not_crash(self):
+        out = ascii_lineplot({"s": [1.0, 1.0, 1.0]})
+        assert "o" in out
+
+    def test_canvas_width(self):
+        out = ascii_lineplot({"s": [0, 1]}, width=40, ymin=0, ymax=1)
+        plot_rows = [l for l in out.splitlines() if "|" in l]
+        assert max(len(r) for r in plot_rows) <= 40 + 12  # width + label margin

@@ -1,0 +1,52 @@
+"""Unit tests for the validation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+@pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+def test_probability_accepts_unit_interval(value):
+    assert check_probability(value, "p") == value
+
+
+@pytest.mark.parametrize("value", [-0.01, 1.01, 2])
+def test_probability_rejects_outside(value):
+    with pytest.raises(ValueError, match="p must be"):
+        check_probability(value, "p")
+
+
+def test_fraction_rejects_zero():
+    with pytest.raises(ValueError):
+        check_fraction(0.0, "f")
+
+
+def test_fraction_accepts_one():
+    assert check_fraction(1.0, "f") == 1.0
+
+
+@pytest.mark.parametrize("value", [1e-9, 1, 100])
+def test_positive_accepts(value):
+    assert check_positive(value, "x") == value
+
+
+@pytest.mark.parametrize("value", [0, -1])
+def test_positive_rejects(value):
+    with pytest.raises(ValueError):
+        check_positive(value, "x")
+
+
+def test_non_negative_accepts_zero():
+    assert check_non_negative(0, "x") == 0
+
+
+def test_non_negative_rejects_negative():
+    with pytest.raises(ValueError):
+        check_non_negative(-0.5, "x")
