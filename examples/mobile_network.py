@@ -1,0 +1,126 @@
+"""Scenario: a mobile ad hoc network with selfish relays.
+
+Nodes wander the unit square under random-waypoint mobility while a few
+constantly selfish relays refuse to forward.  Because neighbourhoods change,
+reputation about any specific relay goes stale; the faster the network
+moves, the longer selfish relays survive undetected.  The same game is run
+at three speeds plus the paper's random-pairing limit for comparison, and a
+Gauss-Markov variant shows the effect of inertial (smoother) movement.
+
+Run:
+    python examples/mobile_network.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    AlwaysForwardPlayer,
+    ConstantlySelfishPlayer,
+    MobilityConfig,
+    PayoffConfig,
+    RandomPathOracle,
+    SHORTER_PATHS,
+    TrustTable,
+)
+from repro.game.stats import TournamentStats
+from repro.mobility import build_oracle
+from repro.reputation.activity import ActivityClassifier
+from repro.tournament.runner import run_tournament
+from repro.utils.tables import format_table
+
+N_NODES = 30
+N_CSN = 6
+ROUNDS = 40
+RADIO_RANGE = 0.45
+
+
+def build_players():
+    players = {pid: AlwaysForwardPlayer(pid) for pid in range(N_NODES - N_CSN)}
+    for pid in range(N_NODES - N_CSN, N_NODES):
+        players[pid] = ConstantlySelfishPlayer(pid)
+    return players
+
+
+def play(oracle) -> TournamentStats:
+    return run_tournament(
+        build_players(),
+        list(range(N_NODES)),
+        ROUNDS,
+        oracle,
+        TrustTable(),
+        ActivityClassifier(),
+        PayoffConfig(),
+    )
+
+
+def mobile_oracle(config: MobilityConfig, seed: int):
+    return build_oracle(config, list(range(N_NODES)), np.random.default_rng(seed))
+
+
+def main() -> None:
+    rows = []
+    for label, speed in (("slow", 0.005), ("moderate", 0.02), ("fast", 0.08)):
+        config = MobilityConfig(
+            model="waypoint",
+            speed_min=0.5 * speed,
+            speed_max=1.5 * speed,
+            pause_time=1.0,
+            radio_range=RADIO_RANGE,
+        )
+        oracle = mobile_oracle(config, seed=7)
+        stats = play(oracle)
+        mean_deg, min_deg, max_deg = oracle.topology.degree_stats()
+        rows.append(
+            [
+                f"waypoint {label} ({speed:g}/round)",
+                f"{stats.cooperation_level * 100:.1f}%",
+                f"{stats.nn_csn_free_fraction * 100:.1f}%",
+                f"{oracle.topology.epoch}",
+                f"{mean_deg:.1f}",
+            ]
+        )
+
+    gauss = MobilityConfig(
+        model="gauss-markov", mean_speed=0.02, radio_range=RADIO_RANGE
+    )
+    stats = play(mobile_oracle(gauss, seed=7))
+    rows.append(
+        [
+            "gauss-markov (0.02/round)",
+            f"{stats.cooperation_level * 100:.1f}%",
+            f"{stats.nn_csn_free_fraction * 100:.1f}%",
+            "-",
+            "-",
+        ]
+    )
+
+    rand_stats = play(RandomPathOracle(np.random.default_rng(9), SHORTER_PATHS))
+    rows.append(
+        [
+            "random pairing (paper)",
+            f"{rand_stats.cooperation_level * 100:.1f}%",
+            f"{rand_stats.nn_csn_free_fraction * 100:.1f}%",
+            "-",
+            "-",
+        ]
+    )
+
+    print(
+        format_table(
+            rows,
+            headers=[
+                "mobility regime",
+                "NN delivery",
+                "CSN-free paths",
+                "topology epochs",
+                "mean degree",
+            ],
+            title=f"Altruists + {N_CSN} selfish relays, {ROUNDS} rounds, mobile network",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

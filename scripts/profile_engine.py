@@ -2,34 +2,55 @@
 
 Runs one paper-sized tournament under cProfile for each engine and prints
 the top functions by cumulative time.  Use this before attempting any
-optimisation of the engines.
+optimisation of the engines.  ``--oracle`` selects the path oracle so the
+route-computation cost of the topology extensions can be measured too
+(``--no-path-cache`` disables the per-(source, destination) route caches to
+quantify what they save).
 
 Run:
-    python scripts/profile_engine.py [rounds]
+    python scripts/profile_engine.py [rounds] [--oracle random|topology|mobile]
+        [--no-path-cache]
 """
 
 from __future__ import annotations
 
+import argparse
 import cProfile
 import pstats
-import sys
 from io import StringIO
 
 import numpy as np
 
 from repro.core.strategy import Strategy
 from repro.game.stats import TournamentStats
+from repro.mobility import MobilityConfig, build_oracle
+from repro.network.topology import GeometricTopology, TopologyPathOracle
 from repro.paths.distributions import SHORTER_PATHS
 from repro.paths.oracle import RandomPathOracle
 from repro.sim import make_engine
 
+N_NORMAL, N_CSN = 40, 10
 
-def profile_engine(name: str, rounds: int) -> None:
+
+def make_oracle(kind: str, cache: bool):
+    ids = list(range(N_NORMAL + N_CSN))
+    if kind == "random":
+        return RandomPathOracle(np.random.default_rng(1), SHORTER_PATHS)
+    if kind == "topology":
+        topo = GeometricTopology(ids, 0.35, np.random.default_rng(5))
+        return TopologyPathOracle(topo, np.random.default_rng(1), cache=cache)
+    if kind == "mobile":
+        config = MobilityConfig(model="waypoint", radio_range=0.35)
+        return build_oracle(config, ids, np.random.default_rng(5))
+    raise ValueError(f"unknown oracle kind {kind!r}")
+
+
+def profile_engine(name: str, rounds: int, oracle_kind: str, cache: bool) -> None:
     rng = np.random.default_rng(0)
-    engine = make_engine(name, 40, 10)
-    engine.set_strategies([Strategy.random(rng) for _ in range(40)])
-    participants = list(range(40)) + engine.selfish_ids(10)
-    oracle = RandomPathOracle(np.random.default_rng(1), SHORTER_PATHS)
+    engine = make_engine(name, N_NORMAL, N_CSN)
+    engine.set_strategies([Strategy.random(rng) for _ in range(N_NORMAL)])
+    participants = list(range(N_NORMAL)) + engine.selfish_ids(N_CSN)
+    oracle = make_oracle(oracle_kind, cache)
     stats = TournamentStats()
 
     profiler = cProfile.Profile()
@@ -40,14 +61,31 @@ def profile_engine(name: str, rounds: int) -> None:
     out = StringIO()
     ps = pstats.Stats(profiler, stream=out).sort_stats("cumulative")
     ps.print_stats(12)
-    print(f"\n===== {name} engine, {rounds} rounds, {rounds * 50} games =====")
+    print(
+        f"\n===== {name} engine, {oracle_kind} oracle"
+        f"{'' if cache else ' (path cache off)'},"
+        f" {rounds} rounds, {rounds * (N_NORMAL + N_CSN)} games ====="
+    )
     print("\n".join(out.getvalue().splitlines()[:22]))
+    info = getattr(oracle, "cache_info", None)
+    if info is not None:
+        print(f"route cache: {info[0]} hits / {info[1]} misses")
 
 
 def main() -> None:
-    rounds = int(sys.argv[1]) if len(sys.argv) > 1 else 60
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("rounds", nargs="?", type=int, default=60)
+    parser.add_argument(
+        "--oracle", default="random", choices=("random", "topology", "mobile")
+    )
+    parser.add_argument(
+        "--no-path-cache",
+        action="store_true",
+        help="disable the per-(source, destination) route cache (topology oracle)",
+    )
+    args = parser.parse_args()
     for name in ("reference", "fast"):
-        profile_engine(name, rounds)
+        profile_engine(name, args.rounds, args.oracle, not args.no_path_cache)
 
 
 if __name__ == "__main__":

@@ -8,7 +8,9 @@ The package implements, from scratch:
 * the genetic algorithm evolving 13-bit forwarding strategies (§5),
 * the full experiment harness reproducing every figure and table of §6,
 * the IPDRP baseline the model derives from (ref [12]),
-* a geometric-topology extension for low-mobility networks.
+* a geometric-topology extension for low-mobility networks,
+* a mobility subsystem (random waypoint, Gauss-Markov, node churn) running
+  the game on time-varying topologies through a caching path oracle.
 
 Quickstart
 ----------
@@ -43,6 +45,14 @@ from repro.experiments.results import ExperimentResult
 from repro.experiments.runner import run_experiment
 from repro.game.stats import TournamentStats
 from repro.ga.evolution import GeneticAlgorithm
+from repro.mobility import (
+    DynamicTopology,
+    GaussMarkov,
+    MobilePathOracle,
+    MobilityConfig,
+    NodeChurn,
+    RandomWaypoint,
+)
 from repro.paths.distributions import LONGER_PATHS, SHORTER_PATHS
 from repro.paths.oracle import GameSetup, RandomPathOracle, ScriptedPathOracle
 from repro.reputation.activity import ActivityClassifier
@@ -75,6 +85,13 @@ __all__ = [
     "GameSetup",
     "RandomPathOracle",
     "ScriptedPathOracle",
+    # mobility
+    "MobilityConfig",
+    "RandomWaypoint",
+    "GaussMarkov",
+    "NodeChurn",
+    "DynamicTopology",
+    "MobilePathOracle",
     # simulation
     "ReferenceEngine",
     "FastEngine",

@@ -20,6 +20,7 @@ __all__ = [
     "render_table6",
     "render_table7",
     "render_table8_9",
+    "render_mobility",
     "PAPER_FIG4_FINALS",
     "PAPER_TABLE5",
     "PAPER_TABLE6",
@@ -85,6 +86,37 @@ def render_fig4(results: Mapping[str, ExperimentResult], width: int = 72) -> str
         rows,
         headers=["case", "final coop (measured)", "std", "paper"],
         title="Final cooperation levels",
+    )
+    return plot + "\n\n" + table
+
+
+def render_mobility(results: Mapping[str, ExperimentResult], width: int = 72) -> str:
+    """Extension: cooperation evolution across network mobility regimes.
+
+    ``results`` maps a regime label (e.g. ``case1`` for the paper's random
+    pairing, ``mobile_waypoint``, ``mobile_gauss``) to its experiment result;
+    all regimes share the game, GA and environments, differing only in how
+    candidate routes arise.
+    """
+    series = {
+        name: list(res.mean_cooperation_series()) for name, res in results.items()
+    }
+    plot = ascii_lineplot(
+        series,
+        width=width,
+        title="Extension - cooperation under node mobility (mean over replications)",
+        ylabel="coop",
+        ymin=0.0,
+        ymax=1.0,
+    )
+    rows = []
+    for name, res in results.items():
+        mean, std = res.final_cooperation()
+        rows.append([name, f"{mean * 100:.1f}%", f"{std * 100:.1f}%"])
+    table = format_table(
+        rows,
+        headers=["mobility regime", "final coop", "std"],
+        title="Final cooperation levels by network mobility regime",
     )
     return plot + "\n\n" + table
 

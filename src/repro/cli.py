@@ -63,7 +63,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.set_defaults(func=_cmd_reproduce)
 
     p_case = sub.add_parser("run-case", help="run one evaluation case")
-    p_case.add_argument("case", help="case1 .. case4")
+    p_case.add_argument("case", help="case1 .. case4, or an extension case")
     p_case.add_argument("--generations", type=int, default=None)
     p_case.add_argument("--rounds", type=int, default=None)
     p_case.add_argument("--replications", type=int, default=None)
@@ -72,13 +72,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_case.add_argument("--engine", default="fast", choices=("fast", "reference"))
     p_case.add_argument("--processes", type=int, default=None)
     p_case.add_argument("--out", type=Path, default=None, help="JSON output path")
+    p_case.add_argument(
+        "--mobility",
+        default=None,
+        choices=("waypoint", "gauss-markov", "none"),
+        help="run the case on a mobile topology (overrides the case's preset)",
+    )
+    p_case.add_argument(
+        "--speed",
+        type=float,
+        default=None,
+        help=(
+            "mean node speed in unit-square lengths per topology step"
+            " (waypoint legs span 0.5x-1.5x of it; requires --mobility)"
+        ),
+    )
+    p_case.add_argument(
+        "--pause",
+        type=float,
+        default=None,
+        help="waypoint pause time in steps on arrival (requires --mobility)",
+    )
     p_case.set_defaults(func=_cmd_run_case)
 
     return parser
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
-    from repro.experiments.cases import CASES
+    from repro.experiments.cases import CASES, EXTENSION_CASES
     from repro.experiments.registry import ARTEFACTS
 
     print("Artefacts:")
@@ -89,6 +110,10 @@ def _cmd_list(args: argparse.Namespace) -> int:
         envs = ", ".join(f"{e.name}({e.n_selfish} CSN)" for e in case.environments)
         print(f"  {case.name}: {case.description}")
         print(f"      environments: {envs}; paths: {case.path_mode}")
+    print("\nExtension cases (mobile topologies):")
+    for case in EXTENSION_CASES.values():
+        print(f"  {case.name}: {case.description}")
+        print(f"      mobility preset: {case.mobility}")
     return 0
 
 
@@ -130,6 +155,35 @@ def _cmd_run_case(args: argparse.Namespace) -> int:
     config = ExperimentConfig.for_case(args.case, scale=args.scale, **overrides)
     if args.rounds is not None:
         config = config.with_(sim=config.sim.with_(rounds=args.rounds))
+    if (args.speed is not None or args.pause is not None) and args.mobility is None:
+        print("--speed/--pause require --mobility", file=sys.stderr)
+        return 2
+    if args.speed is not None and args.speed < 0:
+        print(f"--speed must be >= 0, got {args.speed}", file=sys.stderr)
+        return 2
+    if args.pause is not None and args.pause < 0:
+        print(f"--pause must be >= 0, got {args.pause}", file=sys.stderr)
+        return 2
+    if args.mobility is not None:
+        from dataclasses import replace
+
+        from repro.config.presets import mobility_preset
+
+        mobility = mobility_preset(args.mobility)
+        if args.speed is not None:
+            mobility = mobility.with_(
+                speed_min=0.5 * args.speed,
+                speed_max=1.5 * args.speed,
+                mean_speed=args.speed,
+            )
+        if args.pause is not None:
+            mobility = mobility.with_(pause_time=args.pause)
+        # keep the case's preset name and the sim config in lockstep so the
+        # flag also turns mobility *off* for the mobile_* extension cases
+        config = config.with_(
+            case=replace(config.case, mobility=args.mobility),
+            sim=config.sim.with_(mobility=mobility),
+        )
     result = run_experiment(
         config,
         processes=args.processes,

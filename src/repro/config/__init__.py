@@ -1,7 +1,9 @@
 """Configuration: dataclasses for every tunable, plus the paper's presets."""
 
+from repro.config.mobility import MobilityConfig
 from repro.config.parameters import GAConfig, SimulationConfig
 from repro.config.presets import (
+    MOBILITY_PRESETS,
     PAPER_GENERATIONS,
     PAPER_POPULATION,
     PAPER_REPLICATIONS,
@@ -12,12 +14,16 @@ from repro.config.presets import (
     TE3,
     TE4,
     environment_with_csn,
+    mobility_preset,
     paper_environments,
 )
 
 __all__ = [
     "GAConfig",
     "SimulationConfig",
+    "MobilityConfig",
+    "MOBILITY_PRESETS",
+    "mobility_preset",
     "TE1",
     "TE2",
     "TE3",

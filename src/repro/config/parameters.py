@@ -15,6 +15,7 @@ from repro.config.presets import (
     PAPER_POPULATION,
     PAPER_ROUNDS,
 )
+from repro.config.mobility import MobilityConfig
 from repro.core.payoff import PayoffConfig
 from repro.reputation.exchange import ExchangeConfig
 from repro.utils.validation import check_probability
@@ -74,7 +75,15 @@ class GAConfig:
 
 @dataclass(frozen=True)
 class SimulationConfig:
-    """Everything about how one generation is evaluated in the network game."""
+    """Everything about how one generation is evaluated in the network game.
+
+    ``mobility`` selects the network substrate: with ``model="none"`` (the
+    default, the paper's setting) games run on the random path oracle; any
+    other model runs them on a :class:`repro.mobility.DynamicTopology`
+    through the caching :class:`repro.mobility.MobilePathOracle`, in which
+    case ``path_mode`` only matters for bookkeeping (routes come from the
+    topology, not from the hop distributions).
+    """
 
     rounds: int = PAPER_ROUNDS
     plays_per_environment: int = 1  # the paper's unspecified L (DESIGN.md §2.10)
@@ -83,6 +92,7 @@ class SimulationConfig:
     activity_band: float = 0.2
     payoffs: PayoffConfig = field(default_factory=PayoffConfig)
     exchange: ExchangeConfig = field(default_factory=ExchangeConfig)
+    mobility: MobilityConfig = field(default_factory=MobilityConfig)
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -120,6 +130,8 @@ class SimulationConfig:
             data["payoffs"] = PayoffConfig(**payoffs)
         if isinstance(data.get("exchange"), dict):
             data["exchange"] = ExchangeConfig(**data["exchange"])
+        if isinstance(data.get("mobility"), dict):
+            data["mobility"] = MobilityConfig(**data["mobility"])
         if "trust_bounds" in data:
             data["trust_bounds"] = tuple(data["trust_bounds"])
         return cls(**data)

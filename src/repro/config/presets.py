@@ -8,10 +8,17 @@
 
 ``tests/test_config_presets.py`` asserts these presets against the paper's
 published numbers, so any drift fails loudly.
+
+The mobility preset group is an *extension* (the paper has no explicit
+topology): named :class:`repro.mobility.MobilityConfig` bundles whose
+densities are sized for the paper's 100-node population (radio range 0.3 is
+~2.5x the unit-square connectivity threshold at n=100, so transient
+partitions are vanishingly rare).
 """
 
 from __future__ import annotations
 
+from repro.config.mobility import MobilityConfig
 from repro.tournament.environment import TournamentEnvironment
 
 __all__ = [
@@ -28,6 +35,8 @@ __all__ = [
     "TE4",
     "paper_environments",
     "environment_with_csn",
+    "MOBILITY_PRESETS",
+    "mobility_preset",
 ]
 
 #: §6.1: players per tournament (both NN and CSN).
@@ -64,3 +73,24 @@ def environment_with_csn(
     return TournamentEnvironment(
         f"TE(csn={n_selfish})", tournament_size, n_selfish
     )
+
+
+#: Named mobility scenarios (extension).  "none" is the paper's random
+#: oracle; the others drive a DynamicTopology through a MobilePathOracle.
+MOBILITY_PRESETS: dict[str, MobilityConfig] = {
+    "none": MobilityConfig(),
+    "waypoint": MobilityConfig(model="waypoint"),
+    "gauss-markov": MobilityConfig(model="gauss-markov"),
+    "churn": MobilityConfig(model="waypoint", churn_leave=0.01, churn_return=0.5),
+}
+
+
+def mobility_preset(name: str) -> MobilityConfig:
+    """Look up a mobility preset by name (``"none"``, ``"waypoint"``, ...)."""
+    try:
+        return MOBILITY_PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown mobility preset {name!r};"
+            f" available: {sorted(MOBILITY_PRESETS)}"
+        ) from None

@@ -13,32 +13,47 @@ Note on case 2: Table 4 labels the environment "3 (30 CSN)" while Table 1
 gives TE3 = 25 CSN and TE4 = 30 CSN; §6.2 describes case 2 as "most of the
 population (60%) is composed of CSN", i.e. 30 of 50 seats.  We therefore use
 a single environment with 30 CSN (DESIGN.md §2.4).
+
+Beyond Table 4, ``EXTENSION_CASES`` adds mobile-topology variants (the
+``mobility`` field names a :data:`repro.config.presets.MOBILITY_PRESETS`
+entry): the same game and GA, but candidate routes come from a moving
+unit-disk network instead of the paper's random draw.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.config.presets import environment_with_csn, paper_environments
+from repro.config.presets import (
+    MOBILITY_PRESETS,
+    environment_with_csn,
+    paper_environments,
+)
 from repro.tournament.environment import TournamentEnvironment
 
-__all__ = ["EvaluationCase", "CASES", "get_case"]
+__all__ = ["EvaluationCase", "CASES", "EXTENSION_CASES", "ALL_CASES", "get_case"]
 
 
 @dataclass(frozen=True)
 class EvaluationCase:
-    """One evaluation case: which environments, which path mode."""
+    """One evaluation case: environments, path mode, network substrate."""
 
     name: str
     description: str
     environments: tuple[TournamentEnvironment, ...]
     path_mode: str  # "shorter" or "longer"
+    mobility: str = "none"  # a MOBILITY_PRESETS name
 
     def __post_init__(self) -> None:
         if not self.environments:
             raise ValueError("a case needs at least one environment")
         if self.path_mode not in ("shorter", "longer"):
             raise ValueError(f"unknown path mode {self.path_mode!r}")
+        if self.mobility not in MOBILITY_PRESETS:
+            raise ValueError(
+                f"unknown mobility preset {self.mobility!r};"
+                f" available: {sorted(MOBILITY_PRESETS)}"
+            )
 
     @property
     def max_selfish(self) -> int:
@@ -77,15 +92,47 @@ def _build_cases() -> dict[str, EvaluationCase]:
     }
 
 
+def _build_extension_cases() -> dict[str, EvaluationCase]:
+    te1, _, _, _ = paper_environments()
+    return {
+        "mobile_waypoint": EvaluationCase(
+            name="mobile_waypoint",
+            description=(
+                "CSN-free tournament (TE1) on a random-waypoint mobile"
+                " topology, shorter paths"
+            ),
+            environments=(te1,),
+            path_mode="shorter",
+            mobility="waypoint",
+        ),
+        "mobile_gauss": EvaluationCase(
+            name="mobile_gauss",
+            description=(
+                "CSN-free tournament (TE1) on a Gauss-Markov mobile"
+                " topology, shorter paths"
+            ),
+            environments=(te1,),
+            path_mode="shorter",
+            mobility="gauss-markov",
+        ),
+    }
+
+
 #: Table 4, by case name.
 CASES: dict[str, EvaluationCase] = _build_cases()
 
+#: Mobility extension cases (not in the paper), by case name.
+EXTENSION_CASES: dict[str, EvaluationCase] = _build_extension_cases()
+
+#: Every runnable case: the paper's Table 4 plus the extensions.
+ALL_CASES: dict[str, EvaluationCase] = {**CASES, **EXTENSION_CASES}
+
 
 def get_case(name: str) -> EvaluationCase:
-    """Look up a paper case by name (``"case1"`` .. ``"case4"``)."""
+    """Look up a case by name (``"case1"`` .. ``"case4"``, or an extension)."""
     try:
-        return CASES[name]
+        return ALL_CASES[name]
     except KeyError:
         raise KeyError(
-            f"unknown case {name!r}; available: {sorted(CASES)}"
+            f"unknown case {name!r}; available: {sorted(ALL_CASES)}"
         ) from None

@@ -60,6 +60,15 @@ class ExperimentConfig:
             object.__setattr__(
                 self, "sim", self.sim.with_(path_mode=self.case.path_mode)
             )
+        if self.case.mobility != "none" and not self.sim.mobility.enabled:
+            # the case names a mobility preset and the sim does not override
+            from repro.config.presets import mobility_preset
+
+            object.__setattr__(
+                self,
+                "sim",
+                self.sim.with_(mobility=mobility_preset(self.case.mobility)),
+            )
         for env in self.case.environments:
             if env.n_normal > self.ga.population_size:
                 raise ValueError(

@@ -146,6 +146,14 @@ def _render_table9(session: ReproductionSession) -> str:
     )
 
 
+def _render_mobility(session: ReproductionSession) -> str:
+    results = {
+        name: session.result_for(name)
+        for name in ("case1", "mobile_waypoint", "mobile_gauss")
+    }
+    return reporting.render_mobility(results)
+
+
 #: Every reproducible artefact, keyed by id.
 ARTEFACTS: dict[str, ArtefactSpec] = {
     "fig4": ArtefactSpec(
@@ -183,5 +191,11 @@ ARTEFACTS: dict[str, ArtefactSpec] = {
         "Evolved sub-strategies, case 4 (long paths)",
         ("case4",),
         _render_table9,
+    ),
+    "mobility": ArtefactSpec(
+        "mobility",
+        "Extension: cooperation under node mobility (waypoint, Gauss-Markov)",
+        ("case1", "mobile_waypoint", "mobile_gauss"),
+        _render_mobility,
     ),
 }

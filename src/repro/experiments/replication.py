@@ -18,8 +18,9 @@ from repro.experiments.config import ExperimentConfig
 from repro.game.stats import TournamentStats
 from repro.ga.evolution import GeneticAlgorithm
 from repro.ga.history import GenerationRecord, History
+from repro.mobility import build_oracle
 from repro.paths.distributions import HOP_MODES
-from repro.paths.oracle import RandomPathOracle
+from repro.paths.oracle import PathOracle, RandomPathOracle
 from repro.reputation.activity import ActivityClassifier
 from repro.reputation.trust import TrustTable
 from repro.sim import make_engine
@@ -88,7 +89,12 @@ def run_replication(config: ExperimentConfig, replication: int) -> ReplicationRe
         activity=activity,
         payoffs=sim.payoffs,
     )
-    oracle = RandomPathOracle(rng, HOP_MODES[sim.path_mode])
+    if sim.mobility.enabled:
+        # a moving unit-disk network over every node that can ever play
+        node_ids = list(range(config.ga.population_size + config.case.max_selfish))
+        oracle: PathOracle = build_oracle(sim.mobility, node_ids, rng)
+    else:
+        oracle = RandomPathOracle(rng, HOP_MODES[sim.path_mode])
     ga = GeneticAlgorithm(config.ga)
     population = ga.initial_population(STRATEGY_LENGTH, rng)
 

@@ -1,0 +1,72 @@
+"""Build mobility models, topologies and oracles from a :class:`MobilityConfig`."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.config.mobility import MobilityConfig
+from repro.mobility.dynamic import DynamicTopology
+from repro.mobility.models import GaussMarkov, MobilityModel, NodeChurn, RandomWaypoint
+from repro.mobility.oracle import MobilePathOracle
+
+__all__ = ["build_model", "build_topology", "build_oracle"]
+
+
+def build_model(config: MobilityConfig) -> MobilityModel:
+    """The configured mobility model, churn-wrapped when churn is enabled."""
+    if config.model == "waypoint":
+        model: MobilityModel = RandomWaypoint(
+            config.speed_min, config.speed_max, config.pause_time
+        )
+    elif config.model == "gauss-markov":
+        model = GaussMarkov(
+            config.mean_speed,
+            config.alpha,
+            config.speed_sigma,
+            config.direction_sigma,
+        )
+    else:
+        raise ValueError(
+            f"no mobility model for config.model={config.model!r}"
+            " (use RandomPathOracle when mobility is 'none')"
+        )
+    if config.churn_leave > 0.0:
+        model = NodeChurn(model, config.churn_leave, config.churn_return)
+    return model
+
+
+def build_topology(
+    config: MobilityConfig, node_ids: Sequence[int], rng: np.random.Generator
+) -> DynamicTopology:
+    """A :class:`DynamicTopology` over ``node_ids`` per the config."""
+    return build_topology_with_model(config, node_ids, build_model(config), rng)
+
+
+def build_topology_with_model(
+    config: MobilityConfig,
+    node_ids: Sequence[int],
+    model: MobilityModel,
+    rng: np.random.Generator,
+) -> DynamicTopology:
+    return DynamicTopology(
+        node_ids,
+        config.radio_range,
+        model,
+        rng,
+        tolerance=config.tolerance,
+    )
+
+
+def build_oracle(
+    config: MobilityConfig, node_ids: Sequence[int], rng: np.random.Generator
+) -> MobilePathOracle:
+    """A fully wired :class:`MobilePathOracle` for the given node ids."""
+    return MobilePathOracle(
+        build_topology(config, node_ids, rng),
+        rng,
+        max_paths=config.max_paths,
+        max_hops=config.max_hops,
+        step_every=config.step_every,
+    )

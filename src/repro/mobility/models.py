@@ -1,0 +1,220 @@
+"""Mobility models: how node positions evolve between topology steps.
+
+A :class:`MobilityModel` owns the per-node kinematic state (waypoints,
+velocities, pause timers) and advances a position array one step at a time;
+:class:`repro.mobility.dynamic.DynamicTopology` owns the authoritative
+positions and the derived unit-disk graph.  All randomness flows through the
+``np.random.Generator`` passed to ``reset``/``step``, and every step consumes
+the stream in a fixed, state-determined order — two instances driven by
+identically-seeded generators trace identical trajectories (asserted by
+``tests/test_mobility_models.py``).
+
+Models:
+
+* :class:`RandomWaypoint` — the classic MANET benchmark: pick a uniform
+  destination, travel at a uniform speed, pause, repeat.
+* :class:`GaussMarkov` — temporally correlated speed/heading with memory
+  ``alpha``; boundaries reflect both position and heading.
+* :class:`NodeChurn` — wraps any model; nodes leave the network (radio off)
+  and rejoin with per-step probabilities, exposed via ``active_mask``.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["MobilityModel", "RandomWaypoint", "GaussMarkov", "NodeChurn"]
+
+
+@runtime_checkable
+class MobilityModel(Protocol):
+    """Protocol implemented by all mobility models."""
+
+    def reset(self, n_nodes: int, rng: np.random.Generator) -> np.ndarray:
+        """(Re)initialise per-node state; return initial positions (n, 2)."""
+        ...
+
+    def step(
+        self, positions: np.ndarray, dt: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Advance ``positions`` by one step of ``dt``; return new positions."""
+        ...
+
+
+class RandomWaypoint:
+    """Random waypoint mobility in the unit square.
+
+    Each node travels in a straight line toward a uniformly drawn waypoint at
+    a per-leg speed uniform in ``[speed_min, speed_max]``; on arrival it
+    pauses for ``pause_time`` before starting the next leg (zero speed for
+    all nodes yields a stationary network, handy for cache tests).
+    """
+
+    def __init__(self, speed_min: float, speed_max: float, pause_time: float = 0.0):
+        if not 0.0 <= speed_min <= speed_max:
+            raise ValueError(
+                f"need 0 <= speed_min <= speed_max, got {speed_min}/{speed_max}"
+            )
+        if pause_time < 0.0:
+            raise ValueError(f"pause_time must be >= 0, got {pause_time}")
+        self.speed_min = float(speed_min)
+        self.speed_max = float(speed_max)
+        self.pause_time = float(pause_time)
+        self._targets: np.ndarray | None = None
+        self._speeds: np.ndarray | None = None
+        self._pause_left: np.ndarray | None = None
+
+    def reset(self, n_nodes: int, rng: np.random.Generator) -> np.ndarray:
+        positions = rng.random((n_nodes, 2))
+        self._targets = rng.random((n_nodes, 2))
+        self._speeds = rng.uniform(self.speed_min, self.speed_max, n_nodes)
+        self._pause_left = np.zeros(n_nodes)
+        return positions
+
+    def step(
+        self, positions: np.ndarray, dt: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        if self._targets is None:
+            raise RuntimeError("call reset() before step()")
+        pos = np.array(positions, dtype=float, copy=True)
+        paused = self._pause_left > 0.0
+        self._pause_left[paused] -= dt
+        idx = np.flatnonzero(~paused)
+        if idx.size:
+            delta = self._targets[idx] - pos[idx]
+            dist = np.hypot(delta[:, 0], delta[:, 1])
+            step_len = self._speeds[idx] * dt
+            arrive = dist <= step_len
+            go = ~arrive
+            if go.any():
+                pos[idx[go]] += delta[go] * (step_len[go] / dist[go])[:, None]
+            arrived = idx[arrive]
+            if arrived.size:
+                # snap to the waypoint, start the pause, draw the next leg
+                pos[arrived] = self._targets[arrived]
+                self._pause_left[arrived] = self.pause_time
+                self._targets[arrived] = rng.random((arrived.size, 2))
+                self._speeds[arrived] = rng.uniform(
+                    self.speed_min, self.speed_max, arrived.size
+                )
+        return pos
+
+
+class GaussMarkov:
+    """Gauss–Markov mobility: speed and heading with temporal correlation.
+
+    ``s_t = a*s_{t-1} + (1-a)*mean + sqrt(1-a^2)*sigma*N(0,1)`` for both the
+    scalar speed and the heading angle; ``alpha`` near 1 gives smooth inertial
+    motion, near 0 a memoryless random walk.  Positions reflect off the unit
+    square, flipping both the heading and its long-term mean so nodes head
+    back inside.
+    """
+
+    def __init__(
+        self,
+        mean_speed: float,
+        alpha: float = 0.85,
+        speed_sigma: float = 0.005,
+        direction_sigma: float = 0.4,
+    ):
+        if mean_speed < 0.0 or speed_sigma < 0.0 or direction_sigma < 0.0:
+            raise ValueError("mean_speed and sigmas must be >= 0")
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+        self.mean_speed = float(mean_speed)
+        self.alpha = float(alpha)
+        self.speed_sigma = float(speed_sigma)
+        self.direction_sigma = float(direction_sigma)
+        self._speed: np.ndarray | None = None
+        self._dir: np.ndarray | None = None
+        self._mean_dir: np.ndarray | None = None
+
+    def reset(self, n_nodes: int, rng: np.random.Generator) -> np.ndarray:
+        positions = rng.random((n_nodes, 2))
+        self._speed = np.full(n_nodes, self.mean_speed)
+        self._dir = rng.uniform(0.0, 2.0 * np.pi, n_nodes)
+        self._mean_dir = self._dir.copy()
+        return positions
+
+    def step(
+        self, positions: np.ndarray, dt: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        if self._speed is None:
+            raise RuntimeError("call reset() before step()")
+        n = len(self._speed)
+        a = self.alpha
+        noise = np.sqrt(1.0 - a * a)
+        self._speed = (
+            a * self._speed
+            + (1.0 - a) * self.mean_speed
+            + noise * self.speed_sigma * rng.standard_normal(n)
+        )
+        np.clip(self._speed, 0.0, None, out=self._speed)
+        self._dir = (
+            a * self._dir
+            + (1.0 - a) * self._mean_dir
+            + noise * self.direction_sigma * rng.standard_normal(n)
+        )
+        pos = np.array(positions, dtype=float, copy=True)
+        pos[:, 0] += dt * self._speed * np.cos(self._dir)
+        pos[:, 1] += dt * self._speed * np.sin(self._dir)
+        self._reflect(pos)
+        return pos
+
+    def _reflect(self, pos: np.ndarray) -> None:
+        for axis in (0, 1):
+            low = pos[:, axis] < 0.0
+            high = pos[:, axis] > 1.0
+            pos[low, axis] = -pos[low, axis]
+            pos[high, axis] = 2.0 - pos[high, axis]
+            hit = low | high
+            if hit.any():
+                if axis == 0:
+                    self._dir[hit] = np.pi - self._dir[hit]
+                else:
+                    self._dir[hit] = -self._dir[hit]
+                self._mean_dir[hit] = self._dir[hit]
+        # one reflection suffices for realistic speeds; clamp pathological ones
+        np.clip(pos, 0.0, 1.0, out=pos)
+
+
+class NodeChurn:
+    """Wrapper adding leave/rejoin churn to any mobility model.
+
+    Each step, every present node leaves the network with probability
+    ``leave_prob`` and every absent node rejoins with probability
+    ``return_prob``.  Absent nodes keep moving (their position state lives in
+    the wrapped model) but their radio is off: ``active_mask`` reports them
+    inactive and :class:`DynamicTopology` drops their edges.
+    """
+
+    def __init__(self, model: MobilityModel, leave_prob: float, return_prob: float):
+        for name, value in (("leave_prob", leave_prob), ("return_prob", return_prob)):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        self.model = model
+        self.leave_prob = float(leave_prob)
+        self.return_prob = float(return_prob)
+        self._away: np.ndarray | None = None
+
+    def reset(self, n_nodes: int, rng: np.random.Generator) -> np.ndarray:
+        self._away = np.zeros(n_nodes, dtype=bool)
+        return self.model.reset(n_nodes, rng)
+
+    def step(
+        self, positions: np.ndarray, dt: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        if self._away is None:
+            raise RuntimeError("call reset() before step()")
+        pos = self.model.step(positions, dt, rng)
+        u = rng.random(len(self._away))
+        self._away = np.where(self._away, u >= self.return_prob, u < self.leave_prob)
+        return pos
+
+    def active_mask(self) -> np.ndarray:
+        """Boolean mask of nodes currently present in the network."""
+        if self._away is None:
+            raise RuntimeError("call reset() before active_mask()")
+        return ~self._away

@@ -1,0 +1,155 @@
+"""Path oracle over a :class:`DynamicTopology` — caching, epoch-invalidated.
+
+:class:`MobilePathOracle` keeps the :class:`repro.paths.oracle.PathOracle`
+contract, so both simulation engines run on a moving network unmodified.
+Routes are computed on the subgraph induced by the current participants
+(routing only discovers nodes that are actually in the network), cached per
+(source, destination) pair, and the cache is flushed only when the
+topology's ``epoch`` changes (i.e. the edge set really changed) or a new
+tournament brings a different participant set — static phases pay zero
+route recomputation.
+
+Topology stepping is clocked in one of three ways (``step_every``):
+
+* ``"round"``  — once per tournament round, detected from the draw count
+  (each participant draws exactly once per round, and both engines call
+  ``draw`` in the same order, so the step schedule is engine-independent);
+* ``"tournament"`` — once per tournament, via the ``on_tournament_end`` hook
+  called by :func:`repro.tournament.evaluation.evaluate_generation`;
+* an integer ``n`` — once every ``n`` draws.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.mobility.dynamic import DynamicTopology
+from repro.paths.oracle import GameSetup
+
+__all__ = ["MobilePathOracle"]
+
+
+class MobilePathOracle:
+    """Path oracle backed by a time-varying :class:`DynamicTopology`."""
+
+    def __init__(
+        self,
+        topology: DynamicTopology,
+        rng: np.random.Generator,
+        max_paths: int = 3,
+        max_hops: int = 10,
+        max_draws: int = 64,
+        step_every: str | int = "round",
+    ):
+        if isinstance(step_every, str):
+            if step_every not in ("round", "tournament"):
+                raise ValueError(
+                    f"step_every must be an int, 'round' or 'tournament',"
+                    f" got {step_every!r}"
+                )
+        elif step_every < 1:
+            raise ValueError(f"step_every must be >= 1, got {step_every}")
+        self.topology = topology
+        self.rng = rng
+        self.max_paths = max_paths
+        self.max_hops = max_hops
+        self.max_draws = max_draws
+        self.step_every = step_every
+        self._cache: dict[tuple[int, int], list[tuple[int, ...]]] = {}
+        self._cache_epoch = topology.epoch
+        self._draws_since_step = 0
+        self._scope_obj: Sequence[int] | None = None  # identity of last seen
+        self._scope: frozenset[int] = frozenset()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- PathOracle contract ---------------------------------------------------
+
+    def draw(self, source: int, participants: Sequence[int]) -> GameSetup:
+        others = [p for p in participants if p != source]
+        if not others:
+            raise ValueError("need at least one potential destination")
+        threshold = (
+            len(participants) if self.step_every == "round" else self.step_every
+        )
+        if isinstance(threshold, int) and self._draws_since_step >= threshold:
+            self.topology.step()
+            self._draws_since_step = 0
+        self._draws_since_step += 1
+        self._rescope(participants)
+        self._validate_cache()
+        for _ in range(self.max_draws):
+            destination = others[int(self.rng.integers(len(others)))]
+            paths = self._candidate_paths(source, destination)
+            if paths:
+                return GameSetup(
+                    source=source, destination=destination, paths=tuple(paths)
+                )
+        raise RuntimeError(
+            f"no routable destination found for source {source} after"
+            f" {self.max_draws} draws; topology too sparse for this game"
+        )
+
+    # -- topology clocking -----------------------------------------------------
+
+    def on_tournament_end(self) -> None:
+        """Hook called by the evaluation loop after every tournament."""
+        if self.step_every == "tournament":
+            self.advance_epoch()
+
+    def advance_epoch(self) -> None:
+        """Step the topology once, explicitly (external/manual clocking)."""
+        self.topology.step()
+        self._draws_since_step = 0
+
+    # -- caching ---------------------------------------------------------------
+
+    def _rescope(self, participants: Sequence[int]) -> None:
+        """Track the participant set routes are restricted to.
+
+        The identity check makes the common case free: both engines pass the
+        same sequence object for every draw of a tournament.
+        """
+        if participants is self._scope_obj:
+            return
+        self._scope_obj = participants
+        scope = frozenset(participants)
+        if scope != self._scope:
+            self._scope = scope
+            self._cache.clear()
+
+    def _validate_cache(self) -> None:
+        if self.topology.epoch != self._cache_epoch:
+            self._cache.clear()
+            self._cache_epoch = self.topology.epoch
+
+    def _candidate_paths(self, source: int, destination: int) -> list[tuple[int, ...]]:
+        if not self.topology.is_active(source):
+            # a churned-out source routes over position-dependent virtual
+            # edges that can drift without an epoch change: never cache
+            self.cache_misses += 1
+            return self.topology.candidate_paths(
+                source, destination, self.max_paths, self.max_hops, self._scope
+            )
+        key = (source, destination)
+        paths = self._cache.get(key)
+        if paths is not None:
+            self.cache_hits += 1
+            return paths
+        self.cache_misses += 1
+        boosts_before = self.topology.boost_count
+        paths = self.topology.candidate_paths(
+            source, destination, self.max_paths, self.max_hops, self._scope
+        )
+        if self.topology.boost_count == boosts_before:
+            # boosted routes ride on a position-dependent nearest-peer link
+            # that can drift without an epoch change: only cache unboosted ones
+            self._cache[key] = paths
+        return paths
+
+    @property
+    def cache_info(self) -> tuple[int, int]:
+        """(hits, misses) of the per-pair route cache."""
+        return self.cache_hits, self.cache_misses

@@ -13,7 +13,6 @@ unmodified on a static topology.
 
 from __future__ import annotations
 
-from itertools import islice
 from typing import Sequence
 
 import networkx as nx
@@ -21,7 +20,40 @@ import numpy as np
 
 from repro.paths.oracle import GameSetup
 
-__all__ = ["GeometricTopology", "TopologyPathOracle"]
+__all__ = [
+    "GeometricTopology",
+    "TopologyPathOracle",
+    "shortest_intermediate_paths",
+]
+
+
+def shortest_intermediate_paths(
+    graph: nx.Graph, source: int, destination: int, max_paths: int, max_hops: int
+) -> list[tuple[int, ...]]:
+    """Up to ``max_paths`` shortest simple routes as intermediate tuples.
+
+    Routes longer than ``max_hops`` hops are discarded; direct neighbour
+    routes (no intermediate) are skipped since the game needs at least one
+    forwarding decision.  Shared by the static :class:`GeometricTopology` and
+    the mobility subsystem's ``DynamicTopology``.
+    """
+    paths: list[tuple[int, ...]] = []
+    if max_paths < 1:
+        return paths
+    try:
+        # NetworkXNoPath/NodeNotFound surface lazily, on first iteration
+        for node_path in nx.shortest_simple_paths(graph, source, destination):
+            hops = len(node_path) - 1
+            if hops > max_hops:
+                break  # generator yields by increasing length
+            if hops < 2:
+                continue  # destination in direct range: no game to play
+            paths.append(tuple(node_path[1:-1]))
+            if len(paths) == max_paths:
+                break
+    except (nx.NetworkXNoPath, nx.NodeNotFound):
+        return paths
+    return paths
 
 
 class GeometricTopology:
@@ -44,7 +76,7 @@ class GeometricTopology:
             raise ValueError("a topology needs at least 3 nodes")
         self.radio_range = float(radio_range)
         self.node_ids = ids
-        for attempt in range(max_placement_attempts):
+        for _ in range(max_placement_attempts):
             positions = {nid: tuple(rng.random(2)) for nid in ids}
             graph = self._build_graph(positions)
             if not require_connected or nx.is_connected(graph):
@@ -78,27 +110,10 @@ class GeometricTopology:
     def candidate_paths(
         self, source: int, destination: int, max_paths: int, max_hops: int
     ) -> list[tuple[int, ...]]:
-        """Up to ``max_paths`` shortest simple routes as intermediate tuples.
-
-        Routes longer than ``max_hops`` hops are discarded; direct neighbour
-        routes (no intermediate) are skipped since the game needs at least
-        one forwarding decision.
-        """
-        paths: list[tuple[int, ...]] = []
-        try:
-            generator = nx.shortest_simple_paths(self.graph, source, destination)
-        except (nx.NetworkXNoPath, nx.NodeNotFound):
-            return paths
-        for node_path in islice(generator, max_paths * 4):
-            hops = len(node_path) - 1
-            if hops > max_hops:
-                break  # generator yields by increasing length
-            if hops < 2:
-                continue  # destination in direct range: no game to play
-            paths.append(tuple(node_path[1:-1]))
-            if len(paths) == max_paths:
-                break
-        return paths
+        """Up to ``max_paths`` shortest simple routes as intermediate tuples."""
+        return shortest_intermediate_paths(
+            self.graph, source, destination, max_paths, max_hops
+        )
 
 
 class TopologyPathOracle:
@@ -108,6 +123,10 @@ class TopologyPathOracle:
     with at least one valid route; if a drawn destination offers no route
     (e.g. only direct-neighbour connectivity), it is rejected and redrawn, up
     to ``max_draws`` before giving up with a descriptive error.
+
+    Since the topology never changes, candidate routes per (source,
+    destination) pair are computed once and cached (``cache=False`` disables
+    this, for benchmarking the recomputation cost).
     """
 
     def __init__(
@@ -117,25 +136,52 @@ class TopologyPathOracle:
         max_paths: int = 3,
         max_hops: int = 10,
         max_draws: int = 64,
+        cache: bool = True,
     ):
         self.topology = topology
         self.rng = rng
         self.max_paths = max_paths
         self.max_hops = max_hops
         self.max_draws = max_draws
+        self._cache: dict[tuple[int, int], list[tuple[int, ...]]] | None = (
+            {} if cache else None
+        )
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def _candidate_paths(self, source: int, destination: int) -> list[tuple[int, ...]]:
+        if self._cache is None:
+            self.cache_misses += 1
+            return self.topology.candidate_paths(
+                source, destination, self.max_paths, self.max_hops
+            )
+        key = (source, destination)
+        paths = self._cache.get(key)
+        if paths is None:
+            self.cache_misses += 1
+            paths = self.topology.candidate_paths(
+                source, destination, self.max_paths, self.max_hops
+            )
+            self._cache[key] = paths
+        else:
+            self.cache_hits += 1
+        return paths
+
+    @property
+    def cache_info(self) -> tuple[int, int]:
+        """(hits, misses) of the per-pair route cache."""
+        return self.cache_hits, self.cache_misses
 
     def draw(self, source: int, participants: Sequence[int]) -> GameSetup:
         others = [p for p in participants if p != source]
         if not others:
             raise ValueError("need at least one potential destination")
+        active = set(participants)
         for _ in range(self.max_draws):
             destination = others[int(self.rng.integers(len(others)))]
-            active = set(participants)
             paths = [
                 p
-                for p in self.topology.candidate_paths(
-                    source, destination, self.max_paths, self.max_hops
-                )
+                for p in self._candidate_paths(source, destination)
                 if all(node in active for node in p)
             ]
             if paths:

@@ -94,6 +94,9 @@ def evaluate_generation(
     population = list(engine.population_ids)
     per_env: dict[str, TournamentStats] = {}
     overall = TournamentStats()
+    # mobility-aware oracles advance the topology between tournaments when
+    # clocked per-tournament; oracles without the hook are left alone
+    on_tournament_end = getattr(oracle, "on_tournament_end", None)
 
     for env in environments:
         if env.n_normal > len(population):
@@ -114,6 +117,8 @@ def evaluate_generation(
             stats = TournamentStats()
             engine.run_tournament(participants, rounds, oracle, stats, exchange, rng)
             env_stats.merge(stats)
+            if on_tournament_end is not None:
+                on_tournament_end()
         per_env[env.name] = env_stats
         overall.merge(env_stats)
 

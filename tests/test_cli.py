@@ -82,3 +82,46 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "table8" in out
         assert (tmp_path / "table8_smoke.txt").exists()
+
+
+class TestMobilityFlags:
+    def test_parser_accepts_mobility_options(self):
+        args = build_parser().parse_args(
+            ["run-case", "mobile_waypoint", "--mobility", "gauss-markov",
+             "--speed", "0.05", "--pause", "2"]
+        )
+        assert args.mobility == "gauss-markov"
+        assert args.speed == 0.05
+        assert args.pause == 2.0
+
+    def test_parser_rejects_unknown_mobility(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run-case", "case1", "--mobility", "warp"])
+
+    def test_speed_requires_mobility(self, capsys):
+        assert main(["run-case", "case1", "--scale", "smoke", "--speed", "0.1"]) == 2
+        assert "--speed/--pause require --mobility" in capsys.readouterr().err
+
+    def test_list_shows_extension_cases(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "mobile_waypoint" in out
+        assert "mobility" in out
+
+    def test_run_case_with_mobility_smoke(self, capsys):
+        code = main(
+            ["run-case", "case1", "--scale", "smoke", "--processes", "1",
+             "--generations", "1", "--rounds", "2",
+             "--mobility", "waypoint", "--speed", "0.03", "--pause", "1"]
+        )
+        assert code == 0
+        assert "final cooperation" in capsys.readouterr().out
+
+    def test_run_case_mobility_none_disables_mobile_case(self, capsys):
+        """--mobility none runs a mobile_* case on the paper's random oracle."""
+        code = main(
+            ["run-case", "mobile_waypoint", "--scale", "smoke", "--processes", "1",
+             "--generations", "1", "--rounds", "2", "--mobility", "none"]
+        )
+        assert code == 0
+        assert "final cooperation" in capsys.readouterr().out

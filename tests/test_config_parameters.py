@@ -80,3 +80,56 @@ class TestSimulationConfig:
         cfg = SimulationConfig().with_(rounds=42)
         assert cfg.rounds == 42
         assert cfg.path_mode == "shorter"
+
+
+class TestMobilityConfig:
+    def test_default_is_disabled(self):
+        from repro.config.mobility import MobilityConfig
+
+        cfg = MobilityConfig()
+        assert cfg.model == "none"
+        assert not cfg.enabled
+
+    def test_embedded_dict_roundtrip(self):
+        from repro.config.mobility import MobilityConfig
+
+        cfg = SimulationConfig(
+            mobility=MobilityConfig(
+                model="waypoint", speed_max=0.08, churn_leave=0.05, step_every=10
+            )
+        )
+        restored = SimulationConfig.from_dict(cfg.to_dict())
+        assert restored == cfg
+        assert restored.mobility.enabled
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"model": "teleport"},
+            {"speed_min": 0.5, "speed_max": 0.1},
+            {"pause_time": -1.0},
+            {"alpha": 2.0},
+            {"churn_leave": 1.5},
+            {"tolerance": -0.1},
+            {"max_paths": 0},
+            {"step_every": "sometimes"},
+            {"step_every": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        from repro.config.mobility import MobilityConfig
+
+        with pytest.raises(ValueError):
+            MobilityConfig(**kwargs)
+
+    def test_presets_are_consistent(self):
+        from repro.config.mobility import MOBILITY_MODELS
+        from repro.config.presets import MOBILITY_PRESETS, mobility_preset
+
+        assert set(MOBILITY_PRESETS) >= {"none", "waypoint", "gauss-markov"}
+        for name, preset in MOBILITY_PRESETS.items():
+            assert preset.model in MOBILITY_MODELS
+            assert mobility_preset(name) is preset
+        assert MOBILITY_PRESETS["churn"].churn_leave > 0
+        with pytest.raises(KeyError, match="unknown mobility preset"):
+            mobility_preset("warp")

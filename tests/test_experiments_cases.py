@@ -51,3 +51,37 @@ class TestEvaluationCase:
             EvaluationCase(
                 "x", "d", (TournamentEnvironment("A", 10, 0),), "diagonal"
             )
+
+
+class TestExtensionCases:
+    def test_mobile_cases_registered(self):
+        from repro.experiments.cases import ALL_CASES, EXTENSION_CASES
+
+        assert {"mobile_waypoint", "mobile_gauss"} <= set(EXTENSION_CASES)
+        assert set(ALL_CASES) == set(CASES) | set(EXTENSION_CASES)
+        # the paper's Table 4 set stays pristine
+        assert not any(name in CASES for name in EXTENSION_CASES)
+
+    def test_mobile_cases_name_valid_presets(self):
+        from repro.config.presets import MOBILITY_PRESETS
+        from repro.experiments.cases import EXTENSION_CASES
+
+        for case in EXTENSION_CASES.values():
+            assert case.mobility in MOBILITY_PRESETS
+            assert case.mobility != "none"
+
+    def test_get_case_resolves_extensions(self):
+        case = get_case("mobile_waypoint")
+        assert case.mobility == "waypoint"
+        assert case.max_selfish == 0
+
+    def test_paper_cases_have_no_mobility(self):
+        for case in CASES.values():
+            assert case.mobility == "none"
+
+    def test_unknown_mobility_preset_rejected(self):
+        with pytest.raises(ValueError, match="mobility preset"):
+            EvaluationCase(
+                "x", "d", (TournamentEnvironment("A", 10, 0),), "shorter",
+                mobility="warp",
+            )

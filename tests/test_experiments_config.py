@@ -86,3 +86,30 @@ class TestDescribe:
     def test_with_(self):
         cfg = ExperimentConfig.for_case("case1", scale="smoke")
         assert cfg.with_(seed=5).seed == 5
+
+
+class TestMobilitySync:
+    def test_mobile_case_pulls_preset_into_sim(self):
+        cfg = ExperimentConfig.for_case("mobile_waypoint", scale="smoke")
+        assert cfg.sim.mobility.model == "waypoint"
+        cfg = ExperimentConfig.for_case("mobile_gauss", scale="smoke")
+        assert cfg.sim.mobility.model == "gauss-markov"
+
+    def test_explicit_sim_mobility_wins_over_case_preset(self):
+        from repro.config.mobility import MobilityConfig
+        from repro.config.parameters import SimulationConfig
+
+        custom = MobilityConfig(model="gauss-markov", mean_speed=0.2)
+        cfg = ExperimentConfig.for_case(
+            "mobile_waypoint", scale="smoke", sim=SimulationConfig(mobility=custom)
+        )
+        assert cfg.sim.mobility == custom
+
+    def test_paper_cases_stay_on_random_oracle(self):
+        cfg = ExperimentConfig.for_case("case1", scale="smoke")
+        assert not cfg.sim.mobility.enabled
+
+    def test_describe_records_mobility(self):
+        cfg = ExperimentConfig.for_case("mobile_waypoint", scale="smoke")
+        desc = cfg.describe()
+        assert desc["sim"]["mobility"]["model"] == "waypoint"

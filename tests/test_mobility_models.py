@@ -1,0 +1,182 @@
+"""Unit tests for the mobility models (trajectories, determinism, churn)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mobility import GaussMarkov, MobilityModel, NodeChurn, RandomWaypoint
+
+N = 12
+STEPS = 60
+
+
+def trajectory(model, seed, steps=STEPS, n=N):
+    rng = np.random.default_rng(seed)
+    pos = model.reset(n, rng)
+    out = [pos.copy()]
+    for _ in range(steps):
+        pos = model.step(pos, 1.0, rng)
+        out.append(pos.copy())
+    return np.stack(out)
+
+
+MODEL_FACTORIES = {
+    "waypoint": lambda: RandomWaypoint(0.01, 0.05, pause_time=1.0),
+    "gauss-markov": lambda: GaussMarkov(0.03),
+    "churn": lambda: NodeChurn(RandomWaypoint(0.01, 0.05), 0.1, 0.5),
+}
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(MODEL_FACTORIES))
+    def test_same_seed_identical_trajectories(self, name):
+        """Two instances driven by identically-seeded generators must trace
+        bit-identical trajectories (satellite: determinism)."""
+        a = trajectory(MODEL_FACTORIES[name](), seed=42)
+        b = trajectory(MODEL_FACTORIES[name](), seed=42)
+        np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("name", sorted(MODEL_FACTORIES))
+    def test_different_seed_different_trajectories(self, name):
+        a = trajectory(MODEL_FACTORIES[name](), seed=1)
+        b = trajectory(MODEL_FACTORIES[name](), seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_churn_mask_deterministic(self):
+        masks = []
+        for _ in range(2):
+            model = NodeChurn(RandomWaypoint(0.01, 0.05), 0.2, 0.5)
+            rng = np.random.default_rng(5)
+            pos = model.reset(N, rng)
+            seen = []
+            for _ in range(STEPS):
+                pos = model.step(pos, 1.0, rng)
+                seen.append(model.active_mask().copy())
+            masks.append(np.stack(seen))
+        np.testing.assert_array_equal(masks[0], masks[1])
+
+
+class TestBounds:
+    @pytest.mark.parametrize("name", sorted(MODEL_FACTORIES))
+    def test_positions_stay_in_unit_square(self, name):
+        traj = trajectory(MODEL_FACTORIES[name](), seed=3)
+        assert traj.min() >= 0.0 and traj.max() <= 1.0
+
+    def test_gauss_markov_fast_nodes_reflect(self):
+        traj = trajectory(GaussMarkov(0.2, alpha=0.5, direction_sigma=1.0), seed=4)
+        assert traj.min() >= 0.0 and traj.max() <= 1.0
+
+
+class TestRandomWaypoint:
+    def test_zero_speed_is_stationary(self):
+        traj = trajectory(RandomWaypoint(0.0, 0.0), seed=6, steps=10)
+        for step in traj[1:]:
+            np.testing.assert_array_equal(step, traj[0])
+
+    def test_nodes_move_toward_targets(self):
+        model = RandomWaypoint(0.02, 0.02, pause_time=0.0)
+        rng = np.random.default_rng(7)
+        pos = model.reset(N, rng)
+        targets = model._targets.copy()
+        new = model.step(pos, 1.0, rng)
+        before = np.hypot(*(targets - pos).T)
+        after_targets = np.hypot(*(targets - new).T)
+        # every node got closer to (or reached) its waypoint
+        assert (after_targets <= before + 1e-12).all()
+
+    def test_pause_on_arrival(self):
+        model = RandomWaypoint(0.5, 0.5, pause_time=3.0)
+        rng = np.random.default_rng(8)
+        pos = model.reset(3, rng)
+        # with speed 0.5 every node reaches its target within a few steps
+        for _ in range(4):
+            pos = model.step(pos, 1.0, rng)
+        assert (model._pause_left > 0).any()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomWaypoint(0.5, 0.1)
+        with pytest.raises(ValueError):
+            RandomWaypoint(0.1, 0.5, pause_time=-1.0)
+
+    def test_step_before_reset_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomWaypoint(0.0, 0.1).step(np.zeros((3, 2)), 1.0, np.random.default_rng(0))
+
+
+class TestGaussMarkov:
+    def test_speed_stays_nonnegative(self):
+        model = GaussMarkov(0.001, alpha=0.1, speed_sigma=0.05)
+        rng = np.random.default_rng(9)
+        pos = model.reset(N, rng)
+        for _ in range(STEPS):
+            pos = model.step(pos, 1.0, rng)
+            assert (model._speed >= 0.0).all()
+
+    def test_high_alpha_smoother_than_low_alpha(self):
+        """With alpha near 1 headings barely change step to step."""
+
+        def heading_change(alpha):
+            model = GaussMarkov(0.05, alpha=alpha, direction_sigma=1.0)
+            rng = np.random.default_rng(10)
+            pos = model.reset(N, rng)
+            model.step(pos, 1.0, rng)
+            before = model._dir.copy()
+            model.step(pos, 1.0, rng)
+            return np.abs(model._dir - before).mean()
+
+        assert heading_change(0.99) < heading_change(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussMarkov(-0.1)
+        with pytest.raises(ValueError):
+            GaussMarkov(0.1, alpha=1.5)
+
+
+class TestNodeChurn:
+    def test_all_present_initially(self):
+        model = NodeChurn(RandomWaypoint(0.0, 0.0), 0.5, 0.5)
+        model.reset(N, np.random.default_rng(11))
+        assert model.active_mask().all()
+
+    def test_no_churn_without_leave_probability(self):
+        model = NodeChurn(RandomWaypoint(0.01, 0.05), 0.0, 0.5)
+        rng = np.random.default_rng(12)
+        pos = model.reset(N, rng)
+        for _ in range(STEPS):
+            pos = model.step(pos, 1.0, rng)
+            assert model.active_mask().all()
+
+    def test_certain_leave_and_return_alternate(self):
+        model = NodeChurn(RandomWaypoint(0.0, 0.0), 1.0, 1.0)
+        rng = np.random.default_rng(13)
+        pos = model.reset(N, rng)
+        pos = model.step(pos, 1.0, rng)
+        assert not model.active_mask().any()
+        pos = model.step(pos, 1.0, rng)
+        assert model.active_mask().all()
+
+    def test_nodes_leave_and_rejoin_eventually(self):
+        model = NodeChurn(RandomWaypoint(0.01, 0.05), 0.2, 0.5)
+        rng = np.random.default_rng(14)
+        pos = model.reset(N, rng)
+        ever_away = np.zeros(N, dtype=bool)
+        came_back = np.zeros(N, dtype=bool)
+        for _ in range(STEPS):
+            pos = model.step(pos, 1.0, rng)
+            away = ~model.active_mask()
+            came_back |= ever_away & ~away
+            ever_away |= away
+        assert ever_away.any() and came_back.any()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeChurn(RandomWaypoint(0.0, 0.1), 1.5, 0.5)
+
+
+class TestProtocol:
+    @pytest.mark.parametrize("name", sorted(MODEL_FACTORIES))
+    def test_models_satisfy_protocol(self, name):
+        assert isinstance(MODEL_FACTORIES[name](), MobilityModel)

@@ -1,0 +1,275 @@
+"""Tests for MobilePathOracle: caching, clocking, engine integration.
+
+The acceptance-critical properties live here: both engines complete a
+smoke-scale GA run through the mobile oracle with bit-identical results,
+and identical seeds give identical experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config.mobility import MobilityConfig
+from repro.config.presets import environment_with_csn
+from repro.core.strategy import Strategy
+from repro.experiments.cases import EvaluationCase
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.replication import run_replication
+from repro.game.stats import TournamentStats
+from repro.mobility import (
+    DynamicTopology,
+    MobilePathOracle,
+    RandomWaypoint,
+    build_oracle,
+)
+from repro.sim import make_engine
+from repro.tournament.evaluation import evaluate_generation
+
+N = 20
+RADIO = 0.45
+IDS = list(range(N))
+
+
+def make_oracle(speed=(0.01, 0.06), seed=0, **kwargs) -> MobilePathOracle:
+    model = RandomWaypoint(*speed, pause_time=1.0)
+    topo = DynamicTopology(IDS, RADIO, model, np.random.default_rng(seed))
+    return MobilePathOracle(topo, np.random.default_rng(seed + 1), **kwargs)
+
+
+class TestDraw:
+    def test_valid_setup(self):
+        oracle = make_oracle()
+        setup = oracle.draw(0, IDS)
+        assert setup.source == 0
+        assert setup.destination in IDS and setup.destination != 0
+        assert setup.paths
+
+    def test_paths_restricted_to_participants(self):
+        oracle = make_oracle()
+        scope = IDS[::2]
+        for _ in range(30):
+            setup = oracle.draw(0, scope)
+            assert setup.destination in scope
+            for path in setup.paths:
+                assert set(path) <= set(scope)
+
+    def test_unroutable_raises_descriptively(self):
+        oracle = make_oracle()
+        # two adjacent participants only: every route needs an intermediate,
+        # none is in scope, and the emergency boost cannot mint one either
+        neighbour = next(iter(oracle.topology.graph[0]))
+        with pytest.raises(RuntimeError, match="no routable destination"):
+            oracle.draw(0, [0, neighbour])
+
+    def test_step_every_validation(self):
+        with pytest.raises(ValueError):
+            make_oracle(step_every="sometimes")
+        with pytest.raises(ValueError):
+            make_oracle(step_every=0)
+
+
+class TestCaching:
+    def test_static_phase_serves_from_cache(self):
+        oracle = make_oracle(speed=(0.0, 0.0), step_every=10**9)
+        oracle.draw(0, IDS)
+        # repeat queries for a pair computed in the first draw: all hits
+        source, destination = next(iter(oracle._cache))
+        _, misses = oracle.cache_info
+        first = oracle._candidate_paths(source, destination)
+        assert oracle._candidate_paths(source, destination) == first
+        hits2, misses2 = oracle.cache_info
+        assert misses2 == misses
+        assert hits2 >= 2
+
+    def test_static_phase_misses_bounded_by_pair_count(self):
+        oracle = make_oracle(speed=(0.0, 0.0), step_every=10**9)
+        for _ in range(40):
+            for source in IDS:
+                oracle.draw(source, IDS)
+        hits, misses = oracle.cache_info
+        assert misses <= N * (N - 1)
+        assert hits > misses  # the static network is overwhelmingly cached
+
+    def test_epoch_change_invalidates(self):
+        oracle = make_oracle(speed=(0.05, 0.1), step_every=10**9)
+        for source in IDS:
+            oracle.draw(source, IDS)
+        _, misses1 = oracle.cache_info
+        epoch = oracle.topology.epoch
+        oracle.advance_epoch()
+        assert oracle.topology.epoch > epoch
+        for source in IDS:
+            oracle.draw(source, IDS)
+        _, misses2 = oracle.cache_info
+        assert misses2 > misses1
+
+    def test_participant_change_invalidates(self):
+        oracle = make_oracle(speed=(0.0, 0.0), step_every=10**9)
+        oracle.draw(0, IDS)
+        _, misses1 = oracle.cache_info
+        oracle.draw(0, IDS[:15])  # smaller scope: cached routes unusable
+        _, misses2 = oracle.cache_info
+        assert misses2 > misses1
+
+    def test_boosted_routes_are_not_cached(self):
+        """Routes minted through the emergency nearest-peer attach depend on
+        positions that can drift without an epoch change: never cache them."""
+        oracle = make_oracle(speed=(0.0, 0.0), step_every=10**9)
+        topo = oracle.topology
+        neighbours = set(topo.graph[0])
+        scope = [n for n in IDS if n not in neighbours]
+        assert 0 in scope
+        oracle._rescope(scope)
+        destination = next(d for d in scope if d != 0)
+        first = oracle._candidate_paths(0, destination)
+        if not first:  # isolated destination: pick one the boost can reach
+            destination = next(
+                d for d in scope if d != 0 and oracle._candidate_paths(0, d)
+            )
+        assert topo.boost_count > 0
+        assert (0, destination) not in oracle._cache
+
+    def test_same_participant_object_is_free(self):
+        oracle = make_oracle(speed=(0.0, 0.0), step_every=10**9)
+        participants = list(IDS)
+        oracle.draw(0, participants)
+        scope = oracle._scope
+        oracle.draw(1, participants)
+        assert oracle._scope is scope
+
+
+class TestClocking:
+    def test_round_mode_steps_once_per_round(self):
+        oracle = make_oracle(step_every="round")
+        calls = []
+        original = oracle.topology.step
+        oracle.topology.step = lambda: calls.append(1) or original()
+        for _ in range(3):  # three "rounds" of one draw per participant
+            for source in IDS:
+                oracle.draw(source, IDS)
+        assert len(calls) == 2  # steps happen *between* rounds
+
+    def test_integer_mode_steps_every_n_draws(self):
+        oracle = make_oracle(step_every=7)
+        calls = []
+        original = oracle.topology.step
+        oracle.topology.step = lambda: calls.append(1) or original()
+        for i in range(22):
+            oracle.draw(i % N, IDS)
+        assert len(calls) == 3  # after draws 7, 14 and 21
+
+    def test_tournament_mode_only_steps_via_hook(self):
+        oracle = make_oracle(step_every="tournament")
+        calls = []
+        original = oracle.topology.step
+        oracle.topology.step = lambda: calls.append(1) or original()
+        for source in IDS:
+            oracle.draw(source, IDS)
+        assert not calls
+        oracle.on_tournament_end()
+        assert len(calls) == 1
+
+    def test_round_mode_hook_is_inert(self):
+        oracle = make_oracle(step_every="round")
+        epoch = oracle.topology.epoch
+        oracle.on_tournament_end()
+        assert oracle.topology.epoch == epoch
+
+    def test_evaluation_loop_drives_tournament_clock(self):
+        oracle = make_oracle(step_every="tournament")
+        calls = []
+        original = oracle.topology.step
+        oracle.topology.step = lambda: calls.append(1) or original()
+        engine = make_engine("fast", N, 0)
+        engine.set_strategies([Strategy.all_forward() for _ in range(N)])
+        env = environment_with_csn(0, tournament_size=10)
+        evaluate_generation(
+            engine,
+            (env,),
+            rounds=2,
+            plays_per_environment=1,
+            oracle=oracle,
+            rng=np.random.default_rng(0),
+        )
+        assert len(calls) == 2  # N=20 players, 10 seats -> two tournaments
+
+
+class TestEngineIntegration:
+    def test_engines_bit_identical_on_mobile_oracle(self):
+        stats = {}
+        for engine_name in ("fast", "reference"):
+            oracle = make_oracle(seed=9)
+            engine = make_engine(engine_name, N, 0)
+            rng = np.random.default_rng(13)
+            engine.set_strategies([Strategy.random(rng) for _ in range(N)])
+            s = TournamentStats()
+            engine.run_tournament(IDS, 10, oracle, s, None, None)
+            stats[engine_name] = (s.to_dict(), engine.fitness().tolist())
+        assert stats["fast"] == stats["reference"]
+
+
+SMALL_CASE = EvaluationCase(
+    name="mobile_small",
+    description="small mobile case for fast GA tests",
+    environments=(environment_with_csn(3, tournament_size=12),),
+    path_mode="shorter",
+    mobility="waypoint",
+)
+
+
+def small_config(engine: str) -> ExperimentConfig:
+    from repro.config.parameters import GAConfig, SimulationConfig
+
+    return ExperimentConfig(
+        case=SMALL_CASE,
+        generations=2,
+        replications=1,
+        engine=engine,
+        ga=GAConfig(population_size=24),
+        sim=SimulationConfig(
+            rounds=4,
+            mobility=MobilityConfig(model="waypoint", radio_range=0.45),
+        ),
+    )
+
+
+class TestGARuns:
+    def test_replication_deterministic_for_identical_seeds(self):
+        a = run_replication(small_config("fast"), 0)
+        b = run_replication(small_config("fast"), 0)
+        assert a.final_population == b.final_population
+        assert a.history.to_dict() == b.history.to_dict()
+        assert a.final_overall.to_dict() == b.final_overall.to_dict()
+
+    def test_small_ga_run_engines_equivalent(self):
+        results = {e: run_replication(small_config(e), 0) for e in ("fast", "reference")}
+        f, r = results["fast"], results["reference"]
+        assert f.final_population == r.final_population
+        assert f.history.to_dict() == r.history.to_dict()
+
+    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    def test_smoke_scale_mobile_case_completes(self, engine):
+        """Acceptance: a full smoke-scale GA run with RandomWaypoint mobility
+        completes on both engines through MobilePathOracle."""
+        config = ExperimentConfig.for_case("mobile_waypoint", scale="smoke", engine=engine)
+        assert config.sim.mobility.model == "waypoint"
+        result = run_replication(config, 0)
+        assert len(result.final_population) == config.ga.population_size
+        assert 0.0 <= result.final_overall.cooperation_level <= 1.0
+
+
+class TestFactory:
+    def test_build_oracle_wires_config(self):
+        config = MobilityConfig(
+            model="waypoint", radio_range=0.5, max_paths=2, max_hops=6, step_every=5
+        )
+        oracle = build_oracle(config, IDS, np.random.default_rng(0))
+        assert oracle.max_paths == 2
+        assert oracle.max_hops == 6
+        assert oracle.step_every == 5
+        assert oracle.topology.radio_range == 0.5
+
+    def test_build_oracle_rejects_none_model(self):
+        with pytest.raises(ValueError, match="RandomPathOracle"):
+            build_oracle(MobilityConfig(), IDS, np.random.default_rng(0))

@@ -2,12 +2,17 @@
 
 from __future__ import annotations
 
+import networkx as nx
 import numpy as np
 import pytest
 
 from repro.core.strategy import Strategy
 from repro.game.stats import TournamentStats
-from repro.network.topology import GeometricTopology, TopologyPathOracle
+from repro.network.topology import (
+    GeometricTopology,
+    TopologyPathOracle,
+    shortest_intermediate_paths,
+)
 from repro.sim.reference import ReferenceEngine
 
 
@@ -67,6 +72,46 @@ class TestGeometricTopology:
         topo = topology()
         assert len(topo.candidate_paths(0, 10, max_paths=2, max_hops=10)) <= 2
 
+    def test_disconnected_topology_allowed_when_not_required(self):
+        """require_connected=False accepts whatever placement comes out."""
+        topo = topology(n=40, radio=0.08, seed=1, require_connected=False)
+        assert not nx.is_connected(topo.graph)
+
+    def test_no_route_between_components(self):
+        topo = topology(n=40, radio=0.08, seed=1, require_connected=False)
+        components = list(nx.connected_components(topo.graph))
+        assert len(components) >= 2
+        a = next(iter(components[0]))
+        b = next(iter(components[1]))
+        assert topo.candidate_paths(a, b, max_paths=3, max_hops=10) == []
+
+
+class TestShortestIntermediatePaths:
+    def test_collects_max_paths_despite_skipped_candidates(self):
+        """The generator is consumed until enough valid routes are found —
+        no fixed slice can truncate the collection early."""
+        graph = nx.complete_graph(10)
+        # 8 two-hop routes exist between any pair; the 1-hop direct route is
+        # skipped; ask for more than the old islice cap would have visited
+        paths = shortest_intermediate_paths(graph, 0, 1, max_paths=8, max_hops=2)
+        assert len(paths) == 8
+        assert all(len(p) == 1 for p in paths)
+
+    def test_max_hops_bounds_route_length(self):
+        graph = nx.path_graph(8)  # 0-1-2-...-7
+        assert shortest_intermediate_paths(graph, 0, 7, 3, max_hops=6) == []
+        assert shortest_intermediate_paths(graph, 0, 7, 3, max_hops=7) == [
+            (1, 2, 3, 4, 5, 6)
+        ]
+
+    def test_missing_node_yields_no_paths(self):
+        graph = nx.path_graph(4)
+        assert shortest_intermediate_paths(graph, 0, 99, 3, 10) == []
+
+    def test_nonpositive_max_paths(self):
+        graph = nx.complete_graph(4)
+        assert shortest_intermediate_paths(graph, 0, 1, 0, 10) == []
+
 
 class TestTopologyPathOracle:
     def test_draw_produces_valid_setup(self):
@@ -76,6 +121,58 @@ class TestTopologyPathOracle:
         assert setup.source == 0
         assert setup.destination != 0
         assert setup.paths
+
+    def test_draw_exhausts_max_draws_on_unroutable_source(self):
+        """Two adjacent participants leave no >=2-hop route: every candidate
+        path is filtered out and the oracle fails loudly after max_draws."""
+        topo = topology()
+        oracle = TopologyPathOracle(topo, np.random.default_rng(5), max_draws=8)
+        neighbour = next(iter(topo.graph[0]))
+        with pytest.raises(RuntimeError, match="after 8 draws"):
+            oracle.draw(0, [0, neighbour])
+
+    def test_draw_fails_across_disconnected_components(self):
+        topo = topology(n=40, radio=0.08, seed=1, require_connected=False)
+        components = sorted(nx.connected_components(topo.graph), key=len)
+        source = next(iter(components[0]))  # smallest (often isolated) node
+        others = [n for n in topo.node_ids if n not in components[0]]
+        oracle = TopologyPathOracle(topo, np.random.default_rng(6), max_draws=16)
+        with pytest.raises(RuntimeError, match="no routable destination"):
+            oracle.draw(source, [source] + others[:5])
+
+    def test_cache_avoids_recomputation(self):
+        topo = topology()
+        calls = []
+        original = topo.candidate_paths
+        topo.candidate_paths = lambda *a, **k: calls.append(a) or original(*a, **k)
+        oracle = TopologyPathOracle(topo, np.random.default_rng(7))
+        participants = list(range(25))
+        for _ in range(50):
+            oracle.draw(0, participants)
+        # at most one topology computation per (source, destination) pair
+        assert len(calls) == len(set(calls))
+
+    def test_cache_disabled_recomputes(self):
+        topo = topology()
+        calls = []
+        original = topo.candidate_paths
+        topo.candidate_paths = lambda *a, **k: calls.append(a) or original(*a, **k)
+        oracle = TopologyPathOracle(topo, np.random.default_rng(7), cache=False)
+        participants = list(range(25))
+        for _ in range(50):
+            oracle.draw(0, participants)
+        assert len(calls) > len(set(calls))
+
+    def test_cached_and_uncached_draws_identical(self):
+        setups = []
+        for cache in (True, False):
+            topo = topology()
+            oracle = TopologyPathOracle(topo, np.random.default_rng(8), cache=cache)
+            participants = list(range(25))
+            setups.append(
+                [oracle.draw(s, participants) for s in range(25) for _ in range(4)]
+            )
+        assert setups[0] == setups[1]
 
     def test_paths_filtered_to_active_participants(self):
         topo = topology()

@@ -18,6 +18,7 @@ SUBPACKAGES = [
     "repro.sim",
     "repro.ipdrp",
     "repro.network",
+    "repro.mobility",
     "repro.analysis",
     "repro.experiments",
     "repro.parallel",
@@ -43,7 +44,8 @@ class TestImports:
         "module",
         ["repro.core", "repro.reputation", "repro.paths", "repro.game",
          "repro.tournament", "repro.ga", "repro.experiments", "repro.analysis",
-         "repro.parallel", "repro.ipdrp", "repro.network", "repro.utils"],
+         "repro.parallel", "repro.ipdrp", "repro.network", "repro.mobility",
+         "repro.utils"],
     )
     def test_subpackage_all_resolve(self, module):
         mod = importlib.import_module(module)
