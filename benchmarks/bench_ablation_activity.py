@@ -58,7 +58,15 @@ def test_activity_ablation_report(session):
         headers=["strategy space", "final cooperation (mini world)"],
         title="Ablation: activity dimension of the strategy (§3.2)",
     )
-    emit_report("ablation_activity", session, report)
+    emit_report(
+        "ablation_activity",
+        session,
+        report,
+        metrics={
+            "final_coop_with_activity": with_activity,
+            "final_coop_trust_only": trust_only,
+        },
+    )
     # both regimes sustain cooperation; the claim tested is that the activity
     # dimension does not *break* evolution (the paper never isolates it).
     assert with_activity > 0.3

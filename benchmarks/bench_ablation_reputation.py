@@ -63,7 +63,15 @@ def test_reputation_ablation_report(session):
         headers=["payoff regime", "final cooperation (mini world)"],
         title="Ablation: reputation enforcement in the payoff table (§4.2)",
     )
-    emit_report("ablation_reputation", session, report)
+    emit_report(
+        "ablation_reputation",
+        session,
+        report,
+        metrics={
+            "final_coop_with_reputation": with_rep,
+            "final_coop_without_reputation": without_rep,
+        },
+    )
     assert with_rep > 0.5
     assert without_rep < 0.25
     assert with_rep - without_rep > 0.4

@@ -64,7 +64,12 @@ def test_selection_ablation_report(session):
             " with tournament)"
         ),
     )
-    emit_report("ablation_selection", session, report)
+    emit_report(
+        "ablation_selection",
+        session,
+        report,
+        metrics={f"final_coop_{k}": v for k, v in finals.items()},
+    )
     # The finding that motivates the paper's §5 deviation from ref [12]:
     # tournament selection sustains cooperation where roulette's weak
     # pressure (payoff differences are small relative to the mean) lets

@@ -94,7 +94,15 @@ def test_static_baseline_report(session):
             f" ({ROUNDS} rounds)"
         ),
     )
-    emit_report("baseline_static", session, report)
+    emit_report(
+        "baseline_static",
+        session,
+        report,
+        metrics={
+            f"nn_delivery[{name}]": stats.cooperation_level
+            for name, stats in results.items()
+        },
+    )
     # sanity shape: nobody beats the altruists on NN delivery (the threshold
     # reciprocator ties them, since NN sources quickly earn trust); defectors
     # deliver nothing; the reciprocator freezes CSN sources out while the

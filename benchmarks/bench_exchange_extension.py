@@ -103,7 +103,19 @@ def test_exchange_extension_report(session):
             " saturates first)"
         ),
     )
-    emit_report("exchange_extension", session, report)
+    emit_report(
+        "exchange_extension",
+        session,
+        report,
+        metrics={
+            "nn_delivery_off": off.cooperation_level,
+            "nn_delivery_full": on.cooperation_level,
+            "nn_delivery_core": core_style.cooperation_level,
+            "known_entries_off": known_off,
+            "known_entries_full": known_on,
+            "known_entries_core": known_core,
+        },
+    )
     # gossip must widen knowledge ...
     assert known_on > known_off
     # ... while delivery stays within noise of first-hand-only collection

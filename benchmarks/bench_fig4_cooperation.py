@@ -26,7 +26,15 @@ def test_fig4_report(session):
     results = {name: session.result_for(name) for name in
                ("case1", "case2", "case3", "case4")}
     report = render_fig4(results)
-    emit_report("fig4", session, report)
+    emit_report(
+        "fig4",
+        session,
+        report,
+        metrics={
+            f"final_coop_{name}": res.final_cooperation()[0]
+            for name, res in results.items()
+        },
+    )
     # shape assertions (loose at smoke scale, tight at default scale)
     finals = {name: res.final_cooperation()[0] for name, res in results.items()}
     if session.scale != "smoke":

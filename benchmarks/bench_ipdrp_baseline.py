@@ -45,6 +45,15 @@ def test_ipdrp_baseline_report(session):
         headers=["metric", "value"],
         title="Baseline: IPDRP (ref [12]) - defection wins without reputation",
     )
-    emit_report("ipdrp_baseline", session, report)
+    emit_report(
+        "ipdrp_baseline",
+        session,
+        report,
+        metrics={
+            "initial_coop": float(history.cooperation[0]),
+            "final_coop": float(history.cooperation[-1]),
+            "final_mean_fitness": float(history.mean_fitness[-1]),
+        },
+    )
     assert history.cooperation[-1] < history.cooperation[0]
     assert history.cooperation[-1] < 0.35

@@ -121,7 +121,19 @@ def test_mobility_extension_report(session):
         ],
         title="Extension: cooperation vs node speed (random waypoint)",
     )
-    emit_report("mobility_extension", session, report)
+    emit_report(
+        "mobility_extension",
+        session,
+        report,
+        metrics={
+            "nn_delivery_static": static_stats.cooperation_level,
+            "nn_delivery_random": random_stats.cooperation_level,
+            **{
+                f"nn_delivery_speed_{speed:g}": coop
+                for speed, coop in zip(SPEEDS, speed_coops)
+            },
+        },
+    )
     assert len(speed_coops) >= 3
     assert all(0.0 <= c <= 1.0 for c in speed_coops)
     assert static_stats.nn_originated == random_stats.nn_originated

@@ -4,10 +4,15 @@ results are worker-count invariant)."""
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_experiment
+from repro.utils.tables import format_table
+
+from benchmarks.conftest import emit_report
 
 CONFIG = ExperimentConfig.for_case(
     "case1", scale="smoke", replications=4, generations=4
@@ -32,3 +37,26 @@ def test_worker_count_invariance():
     serial = run_experiment(CONFIG, processes=1)
     parallel = run_experiment(CONFIG, processes=2)
     assert serial.to_dict() == parallel.to_dict()
+
+
+def test_parallel_scaling_report(session):
+    walls = {}
+    for processes in (1, 2):
+        start = time.perf_counter()
+        run_experiment(CONFIG, processes=processes)
+        walls[processes] = time.perf_counter() - start
+    rows = [
+        [str(p), f"{wall:.2f}s", f"{walls[1] / wall:.2f}x"]
+        for p, wall in walls.items()
+    ]
+    report = format_table(
+        rows,
+        headers=["workers", "wall time", "speedup vs serial"],
+        title="Replication throughput vs worker count (4 smoke replications)",
+    )
+    emit_report(
+        "parallel_scaling",
+        session,
+        report,
+        metrics={f"wall_s_workers_{p}": wall for p, wall in walls.items()},
+    )

@@ -46,7 +46,15 @@ def test_table5_report(session):
     case3 = session.result_for("case3")
     case4 = session.result_for("case4")
     report = render_table5(case3, case4)
-    emit_report("table5", session, report)
+    emit_report(
+        "table5",
+        session,
+        report,
+        metrics={
+            "case3_final_coop": case3.final_cooperation()[0],
+            "case4_final_coop": case4.final_cooperation()[0],
+        },
+    )
     if session.scale != "smoke":
         coop3 = case3.per_env_cooperation()
         coop4 = case4.per_env_cooperation()

@@ -38,7 +38,15 @@ def test_table6_report(session):
     case3 = session.result_for("case3")
     case4 = session.result_for("case4")
     report = render_table6(case3, case4)
-    emit_report("table6", session, report)
+    emit_report(
+        "table6",
+        session,
+        report,
+        metrics={
+            "case3_final_coop": case3.final_cooperation()[0],
+            "case4_final_coop": case4.final_cooperation()[0],
+        },
+    )
     if session.scale != "smoke":
         nn3, csn3 = case3.pooled_requests()
         f_nn = request_fractions(nn3)

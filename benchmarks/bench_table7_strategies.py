@@ -31,7 +31,15 @@ def test_table7_report(session):
     case3 = session.result_for("case3")
     case4 = session.result_for("case4")
     report = render_table7(case3, case4)
-    emit_report("table7", session, report)
+    emit_report(
+        "table7",
+        session,
+        report,
+        metrics={
+            "case3_final_coop": case3.final_cooperation()[0],
+            "case4_final_coop": case4.final_cooperation()[0],
+        },
+    )
     if session.scale != "smoke":
         # paper §6.3: the evolved decision against unknown nodes is forward,
         # "as a result, new nodes can easily join the network".

@@ -31,7 +31,12 @@ def test_table8_report(session):
     report = render_table8_9(
         case3, "case 3 (short paths) - Table 8", min_fraction=0.03
     )
-    emit_report("table8", session, report)
+    emit_report(
+        "table8",
+        session,
+        report,
+        metrics={"case3_final_coop": case3.final_cooperation()[0]},
+    )
     if session.scale != "smoke":
         # paper Table 8: trust level 3 is dominated by '111 - always forward'
         dist3 = dict(substrategy_distribution(case3.final_populations(), 3))

@@ -18,7 +18,12 @@ def test_table9_report_kernel(benchmark, session):
         iterations=1,
         warmup_rounds=0,
     )
-    emit_report("table9", session, report)
+    emit_report(
+        "table9",
+        session,
+        report,
+        metrics={"case4_final_coop": case4.final_cooperation()[0]},
+    )
     if session.scale != "smoke":
         populations = case4.final_populations()
         dist3 = dict(substrategy_distribution(populations, 3))

@@ -81,5 +81,13 @@ def test_topology_extension_report(session):
         headers=["network model", "NN delivery", "CSN-free chosen paths"],
         title="Extension: static unit-disk topology vs random pairing (§4.1)",
     )
-    emit_report("topology_extension", session, report)
+    emit_report(
+        "topology_extension",
+        session,
+        report,
+        metrics={
+            "nn_delivery_random": random_stats.cooperation_level,
+            "nn_delivery_topology": topo_stats.cooperation_level,
+        },
+    )
     assert random_stats.nn_originated == topo_stats.nn_originated

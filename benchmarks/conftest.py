@@ -13,7 +13,10 @@ standalone.  The scale actually used is printed in every report header.
 
 from __future__ import annotations
 
+import json
 import os
+import subprocess
+import time
 from pathlib import Path
 
 import pytest
@@ -23,6 +26,35 @@ from repro.experiments.registry import ReproductionSession
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 REPORT_DIR = RESULTS_DIR / "bench_reports"
 SEED = 2007
+
+#: perf_counter at the start of the current bench test (autouse fixture);
+#: ``emit_report`` derives its ``wall_s`` from this.
+_test_started_at: float | None = None
+
+
+def git_sha() -> str:
+    """Short commit id for provenance in the JSON reports."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        sha = out.stdout.strip()
+        return sha if out.returncode == 0 and sha else "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+@pytest.fixture(autouse=True)
+def _bench_wall_clock():
+    """Stamp each bench test's start so reports carry honest wall times."""
+    global _test_started_at
+    _test_started_at = time.perf_counter()
+    yield
+    _test_started_at = None
 
 
 def _pick_scale() -> str:
@@ -48,10 +80,39 @@ def session() -> ReproductionSession:
     )
 
 
-def emit_report(name: str, session: ReproductionSession, text: str) -> None:
-    """Print a report and persist it under results/bench_reports/."""
+def emit_report(
+    name: str,
+    session: ReproductionSession,
+    text: str,
+    metrics: dict | None = None,
+    wall_s: float | None = None,
+) -> None:
+    """Print a report and persist it under results/bench_reports/.
+
+    Every report is written twice: the human-readable ``<name>.txt`` and a
+    machine-readable ``<name>.json`` sidecar with the schema
+
+        {"bench": ..., "scale": ..., "wall_s": ..., "metrics": {...},
+         "git_sha": ...}
+
+    so CI can archive the perf/accuracy trajectory without scraping tables.
+    ``metrics`` holds the bench's headline numbers; ``wall_s`` defaults to
+    the elapsed wall time of the calling test.
+    """
     header = f"[{name}] reproduction scale = {session.scale}"
     body = header + "\n" + text
     print("\n" + body)
+    if wall_s is None and _test_started_at is not None:
+        wall_s = time.perf_counter() - _test_started_at
     REPORT_DIR.mkdir(parents=True, exist_ok=True)
     (REPORT_DIR / f"{name}.txt").write_text(body + "\n")
+    payload = {
+        "bench": name,
+        "scale": session.scale,
+        "wall_s": round(wall_s, 6) if wall_s is not None else None,
+        "metrics": metrics or {},
+        "git_sha": git_sha(),
+    }
+    (REPORT_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )

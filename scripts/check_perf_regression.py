@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Fail CI when engine throughput regresses against the committed baseline.
+
+Compares a freshly generated ``BENCH_ENGINE.json`` (written by
+``benchmarks/bench_engine_perf.py``) with the baseline committed in the repo,
+on the stable ``random`` oracle.
+
+Two gates, because the baseline and the fresh run usually come from
+*different machines* (dev box vs CI runner):
+
+* **normalized** (primary, default 2.5x): each engine's wall-time ratio
+  fresh/baseline is divided by the *reference* engine's ratio, which acts as
+  a machine-speed canary — a runner that is uniformly 3x slower cancels out,
+  while a de-vectorized batch loop does not;
+* **absolute** (failsafe, default 6x): the raw fresh/baseline ratio, loose
+  enough to absorb runner spread but still catching regressions in shared
+  components (oracle, stats) that slow every engine together and therefore
+  hide from the normalized gate.
+
+Override with ``--factor`` / ``--absolute-factor`` or the
+``REPRO_PERF_FACTOR`` / ``REPRO_PERF_ABS_FACTOR`` environment variables.
+
+Usage::
+
+    cp BENCH_ENGINE.json /tmp/baseline.json
+    REPRO_BENCH_SCALE=smoke pytest benchmarks/bench_engine_perf.py -q
+    python scripts/check_perf_regression.py \
+        --baseline /tmp/baseline.json --fresh BENCH_ENGINE.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+#: Oracles whose wall times gate CI.  topology/mobile are dominated by
+#: networkx route-search noise and are reported but not gated.
+GATED_ORACLES = ("random",)
+#: The machine-speed canary for the normalized gate.
+CANARY_ENGINE = "reference"
+
+
+def load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        sys.exit(f"error: {path} not found")
+    except json.JSONDecodeError as exc:
+        sys.exit(f"error: {path} is not valid JSON: {exc}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=REPO_ROOT / "BENCH_ENGINE.json",
+        help="committed perf ledger (default: BENCH_ENGINE.json)",
+    )
+    parser.add_argument(
+        "--fresh",
+        type=Path,
+        default=REPO_ROOT / "BENCH_ENGINE.json",
+        help="freshly generated ledger to validate",
+    )
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=float(os.environ.get("REPRO_PERF_FACTOR", "2.5")),
+        help="max allowed machine-normalized wall-time ratio (default 2.5)",
+    )
+    parser.add_argument(
+        "--absolute-factor",
+        type=float,
+        default=float(os.environ.get("REPRO_PERF_ABS_FACTOR", "6.0")),
+        help="max allowed raw fresh/baseline wall-time ratio (default 6.0)",
+    )
+    args = parser.parse_args(argv)
+    if args.factor <= 0 or args.absolute_factor <= 0:
+        sys.exit("error: factors must be > 0")
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+    failures: list[str] = []
+    compared = 0
+    for oracle in GATED_ORACLES:
+        base_walls = baseline.get("wall_s", {}).get(oracle, {})
+        fresh_walls = fresh.get("wall_s", {}).get(oracle, {})
+        canary = None
+        if (
+            base_walls.get(CANARY_ENGINE, 0) > 0
+            and fresh_walls.get(CANARY_ENGINE, 0) > 0
+        ):
+            canary = fresh_walls[CANARY_ENGINE] / base_walls[CANARY_ENGINE]
+            print(
+                f"machine-speed canary ({CANARY_ENGINE}/{oracle}):"
+                f" {canary:.2f}x the baseline machine"
+            )
+        for engine, base_wall in sorted(base_walls.items()):
+            fresh_wall = fresh_walls.get(engine)
+            if fresh_wall is None or base_wall <= 0:
+                continue
+            compared += 1
+            raw = fresh_wall / base_wall
+            checks = [("absolute", raw, args.absolute_factor)]
+            if canary is not None and engine != CANARY_ENGINE:
+                checks.append(("normalized", raw / canary, args.factor))
+            for kind, ratio, limit in checks:
+                status = "FAIL" if ratio > limit else "ok"
+                print(
+                    f"[{status}] {engine}/{oracle} {kind}:"
+                    f" {fresh_wall * 1e3:.1f} ms vs baseline"
+                    f" {base_wall * 1e3:.1f} ms ({ratio:.2f}x,"
+                    f" limit {limit:.2f}x)"
+                )
+                if ratio > limit:
+                    failures.append(f"{engine}/{oracle} {kind} ({ratio:.2f}x)")
+    if compared == 0:
+        sys.exit("error: no comparable wall_s entries between the two ledgers")
+    if failures:
+        print(f"\nperf regression: {', '.join(failures)}")
+        return 1
+    print(f"\nall {compared} gated engine timings within limits")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

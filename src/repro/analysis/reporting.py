@@ -7,7 +7,7 @@ figure, with the paper's published values alongside for direct comparison.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Mapping
 
 from repro.analysis.requests import request_fractions
 from repro.analysis.strategies import most_common_strategies, substrategy_distribution
@@ -21,6 +21,7 @@ __all__ = [
     "render_table7",
     "render_table8_9",
     "render_mobility",
+    "render_exchange",
     "PAPER_FIG4_FINALS",
     "PAPER_TABLE5",
     "PAPER_TABLE6",
@@ -117,6 +118,48 @@ def render_mobility(results: Mapping[str, ExperimentResult], width: int = 72) ->
         rows,
         headers=["mobility regime", "final coop", "std"],
         title="Final cooperation levels by network mobility regime",
+    )
+    return plot + "\n\n" + table
+
+
+def render_exchange(results: Mapping[str, ExperimentResult], width: int = 72) -> str:
+    """Extension: cooperation under second-hand reputation exchange regimes.
+
+    ``results`` maps a regime label (``exchange_off`` for the paper's
+    first-hand-only collection, ``exchange_core`` for CORE-style
+    positive-only gossip, ``exchange_full`` for CONFIDANT-style full gossip)
+    to its experiment result; all regimes share the environments, game and
+    GA, differing only in what reputation information spreads between nodes.
+    """
+    series = {
+        name: list(res.mean_cooperation_series()) for name, res in results.items()
+    }
+    plot = ascii_lineplot(
+        series,
+        width=width,
+        title=(
+            "Extension - cooperation under second-hand reputation exchange"
+            " (mean over replications)"
+        ),
+        ylabel="coop",
+        ymin=0.0,
+        ymax=1.0,
+    )
+    rows = []
+    for name, res in results.items():
+        mean, std = res.final_cooperation()
+        csn_free = res.per_env_csn_free()
+        free = sum(csn_free.values()) / len(csn_free) if csn_free else 0.0
+        rows.append(
+            [name, f"{mean * 100:.1f}%", f"{std * 100:.1f}%", f"{free * 100:.1f}%"]
+        )
+    table = format_table(
+        rows,
+        headers=["exchange regime", "final coop", "std", "CSN-free paths"],
+        title=(
+            "Final cooperation by exchange regime (refs [1][10]: second-hand"
+            " gossip vs the paper's first-hand watchdog)"
+        ),
     )
     return plot + "\n\n" + table
 

@@ -32,6 +32,10 @@ __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    # deferred so `import repro.cli` stays light; the registry is the single
+    # source of engine names shared with make_engine and ExperimentConfig
+    from repro.sim import ENGINES
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -52,7 +56,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_rep.add_argument("--scale", default="default", help="paper|default|smoke")
     p_rep.add_argument("--seed", type=int, default=2007)
-    p_rep.add_argument("--engine", default="fast", choices=("fast", "reference"))
+    p_rep.add_argument("--engine", default="fast", choices=tuple(ENGINES))
     p_rep.add_argument("--processes", type=int, default=None)
     p_rep.add_argument(
         "--out",
@@ -69,7 +73,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_case.add_argument("--replications", type=int, default=None)
     p_case.add_argument("--scale", default="default")
     p_case.add_argument("--seed", type=int, default=2007)
-    p_case.add_argument("--engine", default="fast", choices=("fast", "reference"))
+    p_case.add_argument("--engine", default="fast", choices=tuple(ENGINES))
     p_case.add_argument("--processes", type=int, default=None)
     p_case.add_argument("--out", type=Path, default=None, help="JSON output path")
     p_case.add_argument(
@@ -110,10 +114,15 @@ def _cmd_list(args: argparse.Namespace) -> int:
         envs = ", ".join(f"{e.name}({e.n_selfish} CSN)" for e in case.environments)
         print(f"  {case.name}: {case.description}")
         print(f"      environments: {envs}; paths: {case.path_mode}")
-    print("\nExtension cases (mobile topologies):")
+    print("\nExtension cases (mobile topologies, reputation exchange):")
     for case in EXTENSION_CASES.values():
         print(f"  {case.name}: {case.description}")
-        print(f"      mobility preset: {case.mobility}")
+        presets = []
+        if case.mobility != "none":
+            presets.append(f"mobility preset: {case.mobility}")
+        if case.exchange != "none":
+            presets.append(f"exchange preset: {case.exchange}")
+        print(f"      {'; '.join(presets) or 'paper substrate'}")
     return 0
 
 

@@ -19,6 +19,7 @@ partitions are vanishingly rare).
 from __future__ import annotations
 
 from repro.config.mobility import MobilityConfig
+from repro.reputation.exchange import ExchangeConfig
 from repro.tournament.environment import TournamentEnvironment
 
 __all__ = [
@@ -37,6 +38,8 @@ __all__ = [
     "environment_with_csn",
     "MOBILITY_PRESETS",
     "mobility_preset",
+    "EXCHANGE_PRESETS",
+    "exchange_preset",
 ]
 
 #: §6.1: players per tournament (both NN and CSN).
@@ -93,4 +96,26 @@ def mobility_preset(name: str) -> MobilityConfig:
         raise KeyError(
             f"unknown mobility preset {name!r};"
             f" available: {sorted(MOBILITY_PRESETS)}"
+        ) from None
+
+
+#: Named second-hand reputation exchange regimes (extension, refs [1][10]).
+#: "none" is the paper's first-hand-only collection; "core" reproduces
+#: CORE's positive-observations-only gossip; "full" also spreads negative
+#: second-hand reports, CONFIDANT-style.
+EXCHANGE_PRESETS: dict[str, ExchangeConfig] = {
+    "none": ExchangeConfig(),
+    "core": ExchangeConfig(enabled=True, interval=5, fanout=2, positive_only=True),
+    "full": ExchangeConfig(enabled=True, interval=5, fanout=2, positive_only=False),
+}
+
+
+def exchange_preset(name: str) -> ExchangeConfig:
+    """Look up an exchange preset by name (``"none"``, ``"core"``, ``"full"``)."""
+    try:
+        return EXCHANGE_PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown exchange preset {name!r};"
+            f" available: {sorted(EXCHANGE_PRESETS)}"
         ) from None

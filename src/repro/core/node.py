@@ -15,16 +15,18 @@ intermediate payoff lookup).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from repro.core.activity import Activity
 from repro.core.fitness import PayoffAccumulator
 from repro.core.strategy import Strategy
-from repro.reputation.activity import ActivityClassifier
 from repro.reputation.records import ReputationTable
-from repro.reputation.trust import TrustTable
+
+if TYPE_CHECKING:  # annotation-only: keeps core importable before reputation
+    from repro.reputation.activity import ActivityClassifier
+    from repro.reputation.trust import TrustTable
 
 __all__ = [
     "Decision",

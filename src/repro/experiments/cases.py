@@ -17,7 +17,10 @@ a single environment with 30 CSN (DESIGN.md §2.4).
 Beyond Table 4, ``EXTENSION_CASES`` adds mobile-topology variants (the
 ``mobility`` field names a :data:`repro.config.presets.MOBILITY_PRESETS`
 entry): the same game and GA, but candidate routes come from a moving
-unit-disk network instead of the paper's random draw.
+unit-disk network instead of the paper's random draw.  The ``exchange_*``
+variants (the ``exchange`` field names an
+:data:`repro.config.presets.EXCHANGE_PRESETS` entry) enable second-hand
+reputation gossip on top of the paper's first-hand watchdog.
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.config.presets import (
+    EXCHANGE_PRESETS,
     MOBILITY_PRESETS,
     environment_with_csn,
     paper_environments,
@@ -43,6 +47,7 @@ class EvaluationCase:
     environments: tuple[TournamentEnvironment, ...]
     path_mode: str  # "shorter" or "longer"
     mobility: str = "none"  # a MOBILITY_PRESETS name
+    exchange: str = "none"  # an EXCHANGE_PRESETS name
 
     def __post_init__(self) -> None:
         if not self.environments:
@@ -53,6 +58,11 @@ class EvaluationCase:
             raise ValueError(
                 f"unknown mobility preset {self.mobility!r};"
                 f" available: {sorted(MOBILITY_PRESETS)}"
+            )
+        if self.exchange not in EXCHANGE_PRESETS:
+            raise ValueError(
+                f"unknown exchange preset {self.exchange!r};"
+                f" available: {sorted(EXCHANGE_PRESETS)}"
             )
 
     @property
@@ -93,8 +103,38 @@ def _build_cases() -> dict[str, EvaluationCase]:
 
 
 def _build_extension_cases() -> dict[str, EvaluationCase]:
-    te1, _, _, _ = paper_environments()
+    te1, te2, _, _ = paper_environments()
+    exchange_env = (te2,)  # 10 CSN of 50 seats: gossip has something to say
     return {
+        "exchange_off": EvaluationCase(
+            name="exchange_off",
+            description=(
+                "baseline for the exchange artefact: TE2 (10 CSN),"
+                " first-hand reputation only, shorter paths"
+            ),
+            environments=exchange_env,
+            path_mode="shorter",
+        ),
+        "exchange_core": EvaluationCase(
+            name="exchange_core",
+            description=(
+                "TE2 (10 CSN) with CORE-style positive-only second-hand"
+                " reputation exchange, shorter paths"
+            ),
+            environments=exchange_env,
+            path_mode="shorter",
+            exchange="core",
+        ),
+        "exchange_full": EvaluationCase(
+            name="exchange_full",
+            description=(
+                "TE2 (10 CSN) with CONFIDANT-style full second-hand"
+                " reputation exchange, shorter paths"
+            ),
+            environments=exchange_env,
+            path_mode="shorter",
+            exchange="full",
+        ),
         "mobile_waypoint": EvaluationCase(
             name="mobile_waypoint",
             description=(

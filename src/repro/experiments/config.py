@@ -51,9 +51,11 @@ class ExperimentConfig:
             raise ValueError(f"generations must be >= 1, got {self.generations}")
         if self.replications < 1:
             raise ValueError(f"replications must be >= 1, got {self.replications}")
-        if self.engine not in ("fast", "reference"):
+        from repro.sim import ENGINES
+
+        if self.engine not in ENGINES:
             raise ValueError(
-                f"engine must be 'fast' or 'reference', got {self.engine!r}"
+                f"engine must be one of {sorted(ENGINES)}, got {self.engine!r}"
             )
         if self.sim.path_mode != self.case.path_mode:
             # keep sim in line with the case definition
@@ -68,6 +70,15 @@ class ExperimentConfig:
                 self,
                 "sim",
                 self.sim.with_(mobility=mobility_preset(self.case.mobility)),
+            )
+        if self.case.exchange != "none" and not self.sim.exchange.enabled:
+            # the case names an exchange preset and the sim does not override
+            from repro.config.presets import exchange_preset
+
+            object.__setattr__(
+                self,
+                "sim",
+                self.sim.with_(exchange=exchange_preset(self.case.exchange)),
             )
         for env in self.case.environments:
             if env.n_normal > self.ga.population_size:

@@ -154,6 +154,14 @@ def _render_mobility(session: ReproductionSession) -> str:
     return reporting.render_mobility(results)
 
 
+def _render_exchange(session: ReproductionSession) -> str:
+    results = {
+        name: session.result_for(name)
+        for name in ("exchange_off", "exchange_core", "exchange_full")
+    }
+    return reporting.render_exchange(results)
+
+
 #: Every reproducible artefact, keyed by id.
 ARTEFACTS: dict[str, ArtefactSpec] = {
     "fig4": ArtefactSpec(
@@ -197,5 +205,11 @@ ARTEFACTS: dict[str, ArtefactSpec] = {
         "Extension: cooperation under node mobility (waypoint, Gauss-Markov)",
         ("case1", "mobile_waypoint", "mobile_gauss"),
         _render_mobility,
+    ),
+    "exchange": ArtefactSpec(
+        "exchange",
+        "Extension: second-hand reputation exchange (off, CORE, CONFIDANT)",
+        ("exchange_off", "exchange_core", "exchange_full"),
+        _render_exchange,
     ),
 }

@@ -70,6 +70,16 @@ class DiscreteDistribution:
         """Probability of each outcome (aligned with :attr:`values`)."""
         return self._probs.copy()
 
+    @property
+    def cumulative(self) -> tuple[float, ...]:
+        """The inverse-CDF lookup table (aligned with :attr:`values`).
+
+        Exposed so batched samplers (``RandomPathOracle.draw_tournament``) can
+        reproduce :meth:`sample` exactly — same uniform draw, same
+        right-bisection — without the per-call numpy dispatch overhead.
+        """
+        return tuple(float(c) for c in self._cum)
+
     def pmf(self, value: int) -> float:
         """P(X = value); 0.0 for outcomes not in the support."""
         try:

@@ -9,7 +9,12 @@ destination).  Alternate paths are sampled independently and may overlap.
 Sampling-without-replacement uses a partial Fisher–Yates shuffle over a
 scratch list, which is both exact and O(m) per path — measurably faster in
 the hot loop than ``Generator.choice(..., replace=False)``, which builds a
-full permutation internally for small pools.
+full permutation internally for small pools.  The swap indices are derived
+from a single ``Generator.random(k)`` call: profiling showed the bounded
+``Generator.integers(0, array_of_bounds)`` path carries ~10x the fixed
+overhead of a uniform batch (bounds broadcasting plus per-element rejection
+sampling), and mapping ``u -> i + floor(u * (n - i))`` is exact up to float
+quantisation (pools are tens of nodes, so the bias is ~2^-47 per draw).
 """
 
 from __future__ import annotations
@@ -38,13 +43,13 @@ def sample_distinct(
     n = len(pool)
     if k > n:
         raise ValueError(f"cannot draw {k} distinct nodes from a pool of {n}")
-    # Draw all k random indices in one call: one RNG invocation per path
+    # Draw all k random uniforms in one call: one RNG invocation per path
     # instead of one per hop (profiling showed per-call overhead dominates).
     if k == 0:
         return ()
-    js = rng.integers(0, n - np.arange(k))
+    us = rng.random(k).tolist()
     for i in range(k):
-        j = i + int(js[i])
+        j = i + int(us[i] * (n - i))
         pool[i], pool[j] = pool[j], pool[i]
     return tuple(pool[:k])
 

@@ -15,15 +15,29 @@ oracle as a low-mobility extension.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Iterable, Protocol, Sequence
 
 import numpy as np
 
 from repro.paths.distributions import HopDistribution, PathCountDistribution
-from repro.paths.generator import PathSetGenerator
+from repro.paths.generator import PathSetGenerator, sample_distinct
 
-__all__ = ["GameSetup", "PathOracle", "RandomPathOracle", "ScriptedPathOracle"]
+__all__ = [
+    "GameSetup",
+    "PathOracle",
+    "PlannedGame",
+    "RandomPathOracle",
+    "ScriptedPathOracle",
+    "plan_games",
+]
+
+#: One pre-drawn game in struct-of-arrays-friendly raw form:
+#: ``(source, destination, candidate_paths)``.  Carries exactly the fields of
+#: :class:`GameSetup` without object construction/validation cost — the batch
+#: engine consumes thousands per tournament.
+PlannedGame = tuple[int, int, list[list[int]]]
 
 
 @dataclass(frozen=True)
@@ -70,6 +84,7 @@ class RandomPathOracle:
     ):
         self.rng = rng
         self.generator = PathSetGenerator(hop_distribution, count_distribution)
+        self._plan_tables: tuple | None = None
 
     def draw(self, source: int, participants: Sequence[int]) -> GameSetup:
         others = [p for p in participants if p != source]
@@ -83,6 +98,85 @@ class RandomPathOracle:
         return GameSetup(
             source=source, destination=destination, paths=tuple(paths)
         )
+
+    # -- batched drawing (struct-of-arrays engines) --------------------------
+
+    def _tables(self):
+        """Plain-Python inverse-CDF tables for the batched draw path."""
+        if self._plan_tables is None:
+            hop_dist = self.generator.hop_distribution.dist
+            hop_values = hop_dist.values
+            hop_cum = list(hop_dist.cumulative)
+            counts = self.generator.count_distribution
+            count_lut = {
+                h: (d.values, list(d.cumulative))
+                for h in hop_values
+                for d in (counts.distribution_for(h),)
+            }
+            self._plan_tables = (hop_values, hop_cum, count_lut)
+        return self._plan_tables
+
+    def draw_tournament(
+        self, sources: Sequence[int], participants: Sequence[int]
+    ) -> list[PlannedGame]:
+        """Draw the games of a whole round (or tournament) in one batch.
+
+        Returns one :data:`PlannedGame` per entry of ``sources``, in order.
+        **Stream-identical** to calling :meth:`draw` once per source: the same
+        RNG methods are invoked with the same arguments in the same order
+        (destination ``integers``, hop/count uniform + right-bisection, one
+        ``random(k)`` per path), so interleaving batched and per-game drawing
+        across engines cannot change a trajectory — the property the
+        engine-equivalence suite relies on.  The speedup is pure Python
+        overhead: cached ``others`` pools, bisect instead of numpy
+        ``searchsorted`` dispatch, and no per-game ``GameSetup``
+        construction/validation.
+        """
+        hop_values, hop_cum, count_lut = self._tables()
+        rng = self.rng
+        integers, random = rng.integers, rng.random
+        participants = list(participants)
+        others_cache: dict[int, list[int]] = {}
+        cache_get = others_cache.get
+        plan: list[PlannedGame] = []
+        append = plan.append
+        for source in sources:
+            others = cache_get(source)
+            if others is None:
+                others = [p for p in participants if p != source]
+                others_cache[source] = others
+            # sized per source: a source outside ``participants`` leaves all
+            # of them in ``others``, exactly as draw() sees it
+            n_others = len(others)
+            if n_others < 2:
+                raise ValueError(
+                    "need at least 3 participants"
+                    " (source, destination, 1 intermediate)"
+                )
+            n = n_others - 1  # pool size once the destination is removed
+            destination = others[int(integers(n_others))]
+            pool = others.copy()
+            pool.remove(destination)
+            # One batched uniform for the hop and count draws: numpy
+            # generators fill arrays element-by-element off the same bit
+            # stream, so random(2) yields exactly the two scalars draw()
+            # consumes.  (On the pool-too-small *error* path the count
+            # uniform is consumed a moment earlier than draw() would —
+            # irrelevant, the exception kills the tournament either way.)
+            u_hop, u_count = random(2).tolist()
+            hops = hop_values[bisect_right(hop_cum, u_hop)]
+            k = hops - 1 if hops - 1 < n else n
+            if k < 1:
+                raise ValueError("participant pool too small for any path")
+            cvalues, ccum = count_lut[hops]
+            n_paths = cvalues[bisect_right(ccum, u_count)]
+            # the one shared definition of the partial Fisher-Yates draw:
+            # calling it keeps this batched path and generate() stream-locked
+            paths = [
+                list(sample_distinct(pool, k, rng)) for _ in range(n_paths)
+            ]
+            append((source, destination, paths))
+        return plan
 
 
 class ScriptedPathOracle:
@@ -113,3 +207,29 @@ class ScriptedPathOracle:
     def remaining(self) -> int:
         """Number of scripted games not yet consumed."""
         return len(self._setups) - self._next
+
+
+def plan_games(
+    oracle: PathOracle, sources: Sequence[int], participants: Sequence[int]
+) -> list[PlannedGame]:
+    """Pre-draw one round's games from any oracle, in source order.
+
+    Uses the oracle's batched :meth:`RandomPathOracle.draw_tournament` when it
+    has one, otherwise falls back to per-game :meth:`draw` calls in the same
+    order.  Both are stream- and state-identical to an engine drawing each
+    game just before playing it, because games consume no randomness
+    themselves and no oracle mutates per-draw state based on game outcomes —
+    so pre-drawing only moves the *timing* of the draws, never their values.
+
+    Callers that interleave other consumers of the oracle's generator between
+    games (none exist today; the reputation exchange runs between *rounds*)
+    must not pre-draw across those boundaries — which is why the batch engine
+    plans one round at a time when the exchange extension is enabled.
+    """
+    batched = getattr(oracle, "draw_tournament", None)
+    if batched is not None:
+        return batched(sources, participants)
+    return [
+        (setup.source, setup.destination, [list(p) for p in setup.paths])
+        for setup in (oracle.draw(source, participants) for source in sources)
+    ]

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.reputation.records import ReputationTable
 
-__all__ = ["ExchangeConfig", "exchange_reputation"]
+__all__ = ["ExchangeConfig", "exchange_reputation", "exchange_reputation_flat"]
 
 
 @dataclass(frozen=True)
@@ -49,6 +49,24 @@ class ExchangeConfig:
 
 def _scaled(count: int, weight: float) -> int:
     return int(round(count * weight))
+
+
+def _message_counts(
+    ps: int, pf: int, weight: float, positive_only: bool
+) -> tuple[int, int]:
+    """The ``(add_ps, add_pf)`` a receiver folds in for one gossiped subject.
+
+    The single definition of the exchange's scaling/clamping rule, shared by
+    the table-backed and flat implementations so they cannot drift apart:
+    CORE-style positive-only gossip transmits the forwarded count as both
+    counters (a message can never worsen a subject's rate); full gossip
+    scales both and clamps ``pf <= ps`` against rounding skew.
+    """
+    if positive_only:
+        add_pf = _scaled(pf, weight)
+        return add_pf, add_pf  # only positive evidence is transmitted
+    add_ps = _scaled(ps, weight)
+    return add_ps, min(_scaled(pf, weight), add_ps)
 
 
 def exchange_reputation(
@@ -86,13 +104,70 @@ def exchange_reputation(
             for subject, (ps, pf) in snapshots[sender].items():
                 if subject == receiver or subject == sender:
                     continue
-                if config.positive_only:
-                    add_pf = _scaled(pf, config.weight)
-                    add_ps = add_pf  # only positive evidence is transmitted
-                else:
-                    add_ps = _scaled(ps, config.weight)
-                    add_pf = min(_scaled(pf, config.weight), add_ps)
+                add_ps, add_pf = _message_counts(
+                    ps, pf, config.weight, config.positive_only
+                )
                 if add_ps:
                     table.merge_counts(subject, add_ps, add_pf)
+            messages += 1
+    return messages
+
+
+def exchange_reputation_flat(
+    ps: Sequence[list[int]],
+    pf: Sequence[list[int]],
+    known: list[int],
+    pf_sum: list[int],
+    participants: Sequence[int],
+    config: ExchangeConfig,
+    rng: np.random.Generator,
+) -> int:
+    """One gossip step over flat reputation state (fast/batch engines).
+
+    Semantically and stream-identically equivalent to
+    :func:`exchange_reputation` over :class:`ReputationTable` objects: the
+    same ``rng.choice`` calls in the same order, the same scaling/clamping
+    per message, and the same receiver-side folding — only the storage
+    differs (row-per-observer count lists plus the running ``known`` /
+    ``pf_sum`` aggregates the flat engines maintain for O(1) activity
+    averages).  The engine-equivalence suite pins the two implementations
+    together.
+    """
+    if not config.enabled or config.fanout == 0:
+        return 0
+    ids = list(participants)
+    if len(ids) < 2:
+        return 0
+    weight = config.weight
+    positive_only = config.positive_only
+    # Snapshots up-front, as in the reference: a message reflects the
+    # sender's state at the start of the step.
+    snapshots: dict[int, list[tuple[int, int, int]]] = {}
+    for pid in ids:
+        ps_row, pf_row = ps[pid], pf[pid]
+        snapshots[pid] = [
+            (subject, ps_row[subject], pf_row[subject])
+            for subject in range(len(ps_row))
+            if ps_row[subject] > 0
+        ]
+    messages = 0
+    for sender in ids:
+        peers_pool = [p for p in ids if p != sender]
+        k = min(config.fanout, len(peers_pool))
+        chosen = rng.choice(len(peers_pool), size=k, replace=False)
+        snapshot = snapshots[sender]
+        for idx in chosen:
+            receiver = peers_pool[int(idx)]
+            ps_row, pf_row = ps[receiver], pf[receiver]
+            for subject, s_ps, s_pf in snapshot:
+                if subject == receiver or subject == sender:
+                    continue
+                add_ps, add_pf = _message_counts(s_ps, s_pf, weight, positive_only)
+                if add_ps:
+                    if ps_row[subject] == 0:
+                        known[receiver] += 1
+                    ps_row[subject] += add_ps
+                    pf_row[subject] += add_pf
+                    pf_sum[receiver] += add_pf
             messages += 1
     return messages

@@ -1,22 +1,34 @@
 """Simulation engines.
 
-Two interchangeable implementations of the tournament semantics:
+Three interchangeable implementations of the tournament semantics:
 
 * :class:`repro.sim.reference.ReferenceEngine` — object-oriented, built from
   the auditable :mod:`repro.game` / :mod:`repro.core` pieces, supports event
-  observation and the reputation-exchange extension;
+  observation;
 * :class:`repro.sim.fast.FastEngine` — flat-array hot loop for large
-  reproduction sweeps.
+  reproduction sweeps;
+* :class:`repro.sim.batch.BatchEngine` — struct-of-arrays numpy state with
+  batched tournament-schedule drawing, the fastest engine for generation
+  sweeps.
 
-Both consume randomness through the shared path oracle and scheduler only, so
-identical seeds give bit-identical trajectories (see
-``tests/test_engine_equivalence.py``).
+All engines support every path oracle (random/topology/mobile) and the
+second-hand reputation-exchange extension, consume randomness through the
+shared path oracle and scheduler only, and produce bit-identical trajectories
+under identical seeds (see ``tests/test_engine_equivalence.py``).
 """
 
+from repro.sim.batch import BatchEngine
 from repro.sim.fast import FastEngine
 from repro.sim.reference import ReferenceEngine
 
-__all__ = ["ReferenceEngine", "FastEngine", "make_engine"]
+__all__ = ["ReferenceEngine", "FastEngine", "BatchEngine", "ENGINES", "make_engine"]
+
+#: Engine registry, keyed by the ``--engine`` selector name.
+ENGINES = {
+    "reference": ReferenceEngine,
+    "fast": FastEngine,
+    "batch": BatchEngine,
+}
 
 
 def make_engine(
@@ -27,7 +39,8 @@ def make_engine(
     activity=None,
     payoffs=None,
 ):
-    """Factory: build an engine by name (``"reference"`` or ``"fast"``)."""
+    """Factory: build an engine by name (``"reference"``, ``"fast"`` or
+    ``"batch"``)."""
     from repro.core.payoff import PayoffConfig
     from repro.reputation.activity import ActivityClassifier
     from repro.reputation.trust import TrustTable
@@ -35,8 +48,9 @@ def make_engine(
     trust_table = trust_table if trust_table is not None else TrustTable()
     activity = activity if activity is not None else ActivityClassifier()
     payoffs = payoffs if payoffs is not None else PayoffConfig()
-    if name == "reference":
-        return ReferenceEngine(n_population, max_selfish, trust_table, activity, payoffs)
-    if name == "fast":
-        return FastEngine(n_population, max_selfish, trust_table, activity, payoffs)
-    raise ValueError(f"unknown engine {name!r} (expected 'reference' or 'fast')")
+    cls = ENGINES.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown engine {name!r} (expected one of {sorted(ENGINES)})"
+        )
+    return cls(n_population, max_selfish, trust_table, activity, payoffs)

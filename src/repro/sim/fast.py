@@ -18,11 +18,11 @@ suite in ``tests/test_engine_equivalence.py``):
 
 * identical floating-point expression order in ratings, payoffs and fitness,
 * identical tie-breaking in best-path selection (first index wins),
-* identical consumption of the shared random stream (none — all randomness
-  lives in the oracle and the scheduler).
-
-Limitation: the second-hand reputation exchange extension is only available
-on the reference engine; enabling it here raises ``NotImplementedError``.
+* identical consumption of the shared random stream (none in the game loop —
+  all randomness lives in the oracle and the scheduler; the optional
+  second-hand exchange consumes the caller's ``rng`` exactly as the
+  reference engine does, via
+  :func:`repro.reputation.exchange.exchange_reputation_flat`).
 """
 
 from __future__ import annotations
@@ -36,7 +36,7 @@ from repro.core.strategy import STRATEGY_LENGTH, UNKNOWN_BIT, Strategy
 from repro.game.stats import TournamentStats
 from repro.paths.oracle import PathOracle
 from repro.reputation.activity import ActivityClassifier
-from repro.reputation.exchange import ExchangeConfig
+from repro.reputation.exchange import ExchangeConfig, exchange_reputation_flat
 from repro.reputation.trust import TrustTable
 
 __all__ = ["FastEngine"]
@@ -127,10 +127,9 @@ class FastEngine:
         exchange: ExchangeConfig | None = None,
         rng: np.random.Generator | None = None,
     ) -> None:
-        if exchange is not None and exchange.enabled:
-            raise NotImplementedError(
-                "reputation exchange is only supported by the reference engine"
-            )
+        do_exchange = exchange is not None and exchange.enabled
+        if do_exchange and rng is None:
+            raise ValueError("reputation exchange requires an rng")
         if rounds < 1:
             raise ValueError(f"rounds must be >= 1, got {rounds}")
         # hot-loop local aliases
@@ -152,7 +151,7 @@ class FastEngine:
         participants = list(participants)
         selfish_set = frozenset(p for p in participants if p >= n_pop)
 
-        for _ in range(rounds):
+        for round_no in range(rounds):
             for source in participants:
                 setup = oracle.draw(source, participants)
                 paths = setup.paths
@@ -250,6 +249,11 @@ class FastEngine:
                     known[u], pf_sum[u] = ku, su
 
                 record_game(source_selfish, success)
+
+            if do_exchange and (round_no + 1) % exchange.interval == 0:
+                exchange_reputation_flat(
+                    ps, pf, known, pf_sum, participants, exchange, rng
+                )
 
     def fitness(self) -> np.ndarray:
         out = np.empty(self.n_population, dtype=float)

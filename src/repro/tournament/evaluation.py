@@ -10,9 +10,10 @@ sat in; fitness is Eq. (1) over those totals.
 
 The function is engine-agnostic: any object satisfying
 :class:`SimulationEngine` works (the reference engine over ``Player``
-objects, or the flat-array fast engine).  All randomness — seating draws,
-participant shuffles, oracle draws — is consumed in an engine-independent
-order, which is what makes the two engines bit-identical under a shared seed.
+objects, the flat-array fast engine, or the struct-of-arrays batch engine).
+All randomness — seating draws, participant shuffles, oracle draws — is
+consumed in an engine-independent order, which is what makes the engines
+bit-identical under a shared seed.
 """
 
 from __future__ import annotations

@@ -54,30 +54,58 @@ class TestEvaluationCase:
 
 
 class TestExtensionCases:
-    def test_mobile_cases_registered(self):
+    def test_extension_cases_registered(self):
         from repro.experiments.cases import ALL_CASES, EXTENSION_CASES
 
         assert {"mobile_waypoint", "mobile_gauss"} <= set(EXTENSION_CASES)
+        assert {
+            "exchange_off",
+            "exchange_core",
+            "exchange_full",
+        } <= set(EXTENSION_CASES)
         assert set(ALL_CASES) == set(CASES) | set(EXTENSION_CASES)
         # the paper's Table 4 set stays pristine
         assert not any(name in CASES for name in EXTENSION_CASES)
 
-    def test_mobile_cases_name_valid_presets(self):
-        from repro.config.presets import MOBILITY_PRESETS
+    def test_extension_cases_name_valid_presets(self):
+        from repro.config.presets import EXCHANGE_PRESETS, MOBILITY_PRESETS
         from repro.experiments.cases import EXTENSION_CASES
 
         for case in EXTENSION_CASES.values():
             assert case.mobility in MOBILITY_PRESETS
-            assert case.mobility != "none"
+            assert case.exchange in EXCHANGE_PRESETS
+        for name in ("mobile_waypoint", "mobile_gauss"):
+            assert EXTENSION_CASES[name].mobility != "none"
+        for name in ("exchange_core", "exchange_full"):
+            assert EXTENSION_CASES[name].exchange != "none"
 
     def test_get_case_resolves_extensions(self):
         case = get_case("mobile_waypoint")
         assert case.mobility == "waypoint"
         assert case.max_selfish == 0
 
-    def test_paper_cases_have_no_mobility(self):
+    def test_exchange_cases_share_environments(self):
+        envs = {
+            name: get_case(name).environments
+            for name in ("exchange_off", "exchange_core", "exchange_full")
+        }
+        assert len(set(envs.values())) == 1  # apples-to-apples comparison
+        assert get_case("exchange_off").exchange == "none"
+
+    def test_paper_cases_have_no_extensions(self):
         for case in CASES.values():
             assert case.mobility == "none"
+            assert case.exchange == "none"
+
+    def test_unknown_exchange_preset_rejected(self):
+        with pytest.raises(ValueError, match="exchange preset"):
+            EvaluationCase(
+                "x",
+                "d",
+                (TournamentEnvironment("A", 10, 0),),
+                "shorter",
+                exchange="bogus",
+            )
 
     def test_unknown_mobility_preset_rejected(self):
         with pytest.raises(ValueError, match="mobility preset"):

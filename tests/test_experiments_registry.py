@@ -21,6 +21,7 @@ class TestRegistryCompleteness:
             "table8",
             "table9",
             "mobility",
+            "exchange",
         }
 
     def test_specs_are_well_formed(self):

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import io
 import time
+from pathlib import Path
 
 import pytest
 
@@ -25,6 +26,21 @@ def boom(x: int) -> int:
     if x == 2:
         raise RuntimeError("task 2 exploded")
     return x
+
+
+def boom_or_mark(args: tuple[str, int]) -> int:
+    """Fail instantly on task 0; otherwise sleep briefly and leave a marker."""
+    directory, x = args
+    if x == 0:
+        raise RuntimeError("task 0 exploded")
+    time.sleep(0.3)
+    Path(directory, f"ran-{x}").touch()
+    return x
+
+
+def sleepy_square(x: int) -> int:
+    time.sleep(0.05 * (4 - x))  # later items finish first
+    return x * x
 
 
 class TestParallelMap:
@@ -51,6 +67,35 @@ class TestParallelMap:
     def test_exception_propagates_parallel(self):
         with pytest.raises(RuntimeError, match="task 2"):
             parallel_map(boom, [1, 2, 3], processes=2)
+
+    def test_worker_exception_cancels_outstanding_futures(self, tmp_path):
+        """A failing task aborts the run without draining the queue.
+
+        Task 0 fails the moment a worker picks it up; the other tasks sleep
+        and then drop a marker file.  Only tasks already in flight when the
+        failure is observed may still run (running futures cannot be
+        cancelled) — the long tail of queued tasks must never start.
+        """
+        items = [(str(tmp_path), x) for x in range(12)]
+        with pytest.raises(RuntimeError, match="task 0"):
+            parallel_map(boom_or_mark, items, processes=2)
+        ran = list(tmp_path.glob("ran-*"))
+        assert len(ran) < 11  # queue not drained: some futures were cancelled
+
+    def test_original_exception_type_and_args_preserved(self):
+        with pytest.raises(RuntimeError) as excinfo:
+            parallel_map(boom, [2], processes=1)
+        assert excinfo.value.args == ("task 2 exploded",)
+
+    def test_order_preserved_under_out_of_order_completion(self):
+        """Items that complete last-to-first still come back in input order."""
+        items = [0, 1, 2, 3]
+        assert parallel_map(sleepy_square, items, processes=4) == [
+            0,
+            1,
+            4,
+            9,
+        ]
 
     def test_invalid_processes(self):
         with pytest.raises(ValueError):
@@ -83,6 +128,31 @@ class TestProgressPrinter:
         assert "caseX: 1/4" in out
         assert "caseX: 2/4" in out
         assert printer.finish() >= 0.0
+
+    def test_one_line_per_completion_with_elapsed(self):
+        stream = io.StringIO()
+        printer = ProgressPrinter("sweep", stream=stream)
+        for done in range(1, 4):
+            printer(done, 3)
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 3
+        for line in lines:
+            assert line.startswith("sweep: ")
+            assert "replications (" in line and "s elapsed)" in line
+
+    def test_finish_monotonic(self):
+        printer = ProgressPrinter("x", stream=io.StringIO())
+        first = printer.finish()
+        time.sleep(0.01)
+        assert printer.finish() >= first
+
+    def test_usable_as_parallel_map_progress(self):
+        stream = io.StringIO()
+        printer = ProgressPrinter("map", stream=stream)
+        parallel_map(square, [1, 2], processes=1, progress=printer)
+        out = stream.getvalue()
+        assert "map: 1/2" in out
+        assert "map: 2/2" in out
 
 
 class TestExperimentDeterminismAcrossWorkers:

@@ -5,8 +5,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.paths.distributions import SHORTER_PATHS
-from repro.paths.oracle import GameSetup, RandomPathOracle, ScriptedPathOracle
+from repro.paths.distributions import LONGER_PATHS, SHORTER_PATHS
+from repro.paths.oracle import (
+    GameSetup,
+    RandomPathOracle,
+    ScriptedPathOracle,
+    plan_games,
+)
 
 
 class TestGameSetup:
@@ -91,3 +96,81 @@ class TestScriptedPathOracle:
         )
         with pytest.raises(AssertionError, match="source 0"):
             oracle.draw(5, [0, 1, 2, 5])
+
+
+class TestDrawTournament:
+    """The batched draw path must be stream-identical to per-game draws."""
+
+    @pytest.mark.parametrize("hop_dist", [SHORTER_PATHS, LONGER_PATHS])
+    @pytest.mark.parametrize("seed", [0, 7, 42])
+    def test_stream_identical_to_sequential_draws(self, hop_dist, seed):
+        participants = list(range(20))
+        sources = participants * 3  # three rounds
+        batched = RandomPathOracle(np.random.default_rng(seed), hop_dist)
+        sequential = RandomPathOracle(np.random.default_rng(seed), hop_dist)
+        plan = batched.draw_tournament(sources, participants)
+        assert len(plan) == len(sources)
+        for game, source in zip(plan, sources):
+            setup = sequential.draw(source, participants)
+            got_source, got_dest, got_paths = game
+            assert got_source == setup.source == source
+            assert got_dest == setup.destination
+            assert tuple(tuple(p) for p in got_paths) == setup.paths
+        # including the generator state: interleaving the two modes across
+        # engines can never skew a shared stream
+        assert (
+            batched.rng.bit_generator.state == sequential.rng.bit_generator.state
+        )
+
+    def test_small_tournament_clamps_like_draw(self):
+        """Hop draws above the pool size clamp identically in both modes."""
+        participants = [0, 1, 2, 3]
+        a = RandomPathOracle(np.random.default_rng(3), LONGER_PATHS)
+        b = RandomPathOracle(np.random.default_rng(3), LONGER_PATHS)
+        plan = a.draw_tournament(participants * 5, participants)
+        for game, source in zip(plan, participants * 5):
+            setup = b.draw(source, participants)
+            assert tuple(tuple(p) for p in game[2]) == setup.paths
+
+    def test_needs_three_participants(self):
+        oracle = RandomPathOracle(np.random.default_rng(0), SHORTER_PATHS)
+        with pytest.raises(ValueError, match="at least 3 participants"):
+            oracle.draw_tournament([0, 1], [0, 1])
+
+    def test_source_outside_participants_matches_draw(self):
+        """A non-participant source leaves every participant drawable, just
+        like draw(): the pool is sized per source, not per participant
+        count."""
+        participants = list(range(6))
+        a = RandomPathOracle(np.random.default_rng(11), SHORTER_PATHS)
+        b = RandomPathOracle(np.random.default_rng(11), SHORTER_PATHS)
+        plan = a.draw_tournament([99] * 40, participants)
+        destinations = set()
+        for game in plan:
+            setup = b.draw(99, participants)
+            assert game[1] == setup.destination
+            assert tuple(tuple(p) for p in game[2]) == setup.paths
+            destinations.add(game[1])
+        # every participant is reachable as a destination
+        assert destinations == set(participants)
+        assert a.rng.bit_generator.state == b.rng.bit_generator.state
+
+
+class TestPlanGames:
+    def test_uses_batched_path_for_random_oracle(self):
+        participants = list(range(8))
+        a = RandomPathOracle(np.random.default_rng(5), SHORTER_PATHS)
+        b = RandomPathOracle(np.random.default_rng(5), SHORTER_PATHS)
+        plan = plan_games(a, participants, participants)
+        expected = b.draw_tournament(participants, participants)
+        assert plan == expected
+
+    def test_falls_back_to_per_game_draws(self):
+        setups = [
+            GameSetup(source=0, destination=1, paths=((2,), (3,))),
+            GameSetup(source=1, destination=2, paths=((0,),)),
+        ]
+        oracle = ScriptedPathOracle(setups)
+        plan = plan_games(oracle, [0, 1], [0, 1, 2, 3])
+        assert plan == [(0, 1, [[2], [3]]), (1, 2, [[0]])]
+        assert oracle.remaining == 0

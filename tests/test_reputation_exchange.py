@@ -5,7 +5,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.reputation.exchange import ExchangeConfig, exchange_reputation
+from repro.reputation.exchange import (
+    ExchangeConfig,
+    exchange_reputation,
+    exchange_reputation_flat,
+)
 from repro.reputation.records import ReputationTable
 
 
@@ -104,3 +108,88 @@ class TestExchange:
         tables = tables_for([0])
         cfg = ExchangeConfig(enabled=True, fanout=2)
         assert exchange_reputation(tables, [0], cfg, rng) == 0
+
+
+class TestFlatExchangeEquivalence:
+    """``exchange_reputation_flat`` mirrors the table implementation exactly:
+    same rng consumption, same folded counts, same aggregates."""
+
+    CONFIGS = [
+        ExchangeConfig(enabled=True, fanout=2, positive_only=True),
+        ExchangeConfig(enabled=True, fanout=2, positive_only=False),
+        ExchangeConfig(enabled=True, fanout=3, weight=1.0, positive_only=False),
+        ExchangeConfig(enabled=True, fanout=1, weight=0.3, positive_only=True),
+    ]
+
+    @staticmethod
+    def seeded_state(m=8, seed=4):
+        """Random-but-valid reputation counts in both representations."""
+        counts_rng = np.random.default_rng(seed)
+        ps_mat = counts_rng.integers(0, 6, size=(m, m))
+        np.fill_diagonal(ps_mat, 0)
+        pf_mat = np.minimum(counts_rng.integers(0, 6, size=(m, m)), ps_mat)
+        tables = tables_for(range(m))
+        for observer in range(m):
+            for subject in range(m):
+                if ps_mat[observer, subject]:
+                    tables[observer].merge_counts(
+                        subject,
+                        int(ps_mat[observer, subject]),
+                        int(pf_mat[observer, subject]),
+                    )
+        ps = ps_mat.tolist()
+        pf = pf_mat.tolist()
+        known = (ps_mat > 0).sum(axis=1).tolist()
+        pf_sum = pf_mat.sum(axis=1).tolist()
+        return tables, ps, pf, known, pf_sum
+
+    @pytest.mark.parametrize("config", CONFIGS)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_flat_matches_tables(self, config, seed):
+        m = 8
+        tables, ps, pf, known, pf_sum = self.seeded_state(m)
+        participants = list(range(m))
+        ref_msgs = exchange_reputation(
+            tables, participants, config, np.random.default_rng(seed)
+        )
+        flat_msgs = exchange_reputation_flat(
+            ps, pf, known, pf_sum, participants, config, np.random.default_rng(seed)
+        )
+        assert flat_msgs == ref_msgs
+        for observer in range(m):
+            snapshot = tables[observer].snapshot()
+            for subject in range(m):
+                expected_ps, expected_pf = snapshot.get(subject, (0, 0))
+                assert ps[observer][subject] == expected_ps
+                assert pf[observer][subject] == expected_pf
+            assert known[observer] == tables[observer].n_known
+            assert pf_sum[observer] == tables[observer].pf_total
+
+    def test_flat_disabled_is_noop(self, rng):
+        _, ps, pf, known, pf_sum = self.seeded_state()
+        before = [row[:] for row in ps]
+        assert (
+            exchange_reputation_flat(
+                ps, pf, known, pf_sum, list(range(8)), ExchangeConfig(), rng
+            )
+            == 0
+        )
+        assert ps == before
+
+    def test_flat_subset_of_participants(self):
+        """Gossip among a seating subset leaves outsiders' rows untouched."""
+        cfg = ExchangeConfig(enabled=True, fanout=2, positive_only=False)
+        tables, ps, pf, known, pf_sum = self.seeded_state()
+        participants = [0, 2, 5, 7]
+        outsiders = [1, 3, 4, 6]
+        before = {pid: ps[pid][:] for pid in outsiders}
+        exchange_reputation(tables, participants, cfg, np.random.default_rng(9))
+        exchange_reputation_flat(
+            ps, pf, known, pf_sum, participants, cfg, np.random.default_rng(9)
+        )
+        for pid in outsiders:
+            assert ps[pid] == before[pid]
+        for pid in participants:
+            assert ps[pid] == [
+                tables[pid].snapshot().get(s, (0, 0))[0] for s in range(8)
+            ]

@@ -46,19 +46,41 @@ class TestConstruction:
 
 
 class TestGuards:
-    def test_exchange_not_supported(self, rng):
+    def test_exchange_requires_rng(self, rng):
         engine = FastEngine(6, 0)
         engine.set_strategies([Strategy.all_forward()] * 6)
         oracle = RandomPathOracle(rng, SHORTER_PATHS)
-        with pytest.raises(NotImplementedError):
+        with pytest.raises(ValueError, match="requires an rng"):
             engine.run_tournament(
                 list(range(6)),
                 2,
                 oracle,
                 TournamentStats(),
                 ExchangeConfig(enabled=True),
-                rng,
+                None,
             )
+
+    def test_exchange_enabled_widens_knowledge(self, rng):
+        """Gossip must reach the flat state: more known pairs than without."""
+
+        def known_pairs(exchange, rng_seed=3):
+            engine = FastEngine(10, 0)
+            engine.set_strategies([Strategy.all_forward()] * 10)
+            oracle = RandomPathOracle(np.random.default_rng(rng_seed), SHORTER_PATHS)
+            engine.run_tournament(
+                list(range(10)),
+                1,
+                oracle,
+                TournamentStats(),
+                exchange,
+                np.random.default_rng(rng_seed + 1),
+            )
+            return int((np.asarray(engine.ps) > 0).sum())
+
+        gossip = ExchangeConfig(
+            enabled=True, interval=1, fanout=3, positive_only=False
+        )
+        assert known_pairs(gossip) > known_pairs(None)
 
     def test_disabled_exchange_is_fine(self, rng):
         engine = FastEngine(6, 0)
