@@ -90,9 +90,24 @@ def test_exchange_extension_report(session):
         ExchangeConfig(enabled=True, interval=5, fanout=2, positive_only=True)
     )
     rows = [
-        ["no exchange (paper)", f"{off.cooperation_level*100:.1f}%", f"{off.nn_csn_free_fraction*100:.1f}%", known_off],
-        ["full exchange", f"{on.cooperation_level*100:.1f}%", f"{on.nn_csn_free_fraction*100:.1f}%", known_on],
-        ["positive-only (CORE-style)", f"{core_style.cooperation_level*100:.1f}%", f"{core_style.nn_csn_free_fraction*100:.1f}%", known_core],
+        [
+            "no exchange (paper)",
+            f"{off.cooperation_level * 100:.1f}%",
+            f"{off.nn_csn_free_fraction * 100:.1f}%",
+            known_off,
+        ],
+        [
+            "full exchange",
+            f"{on.cooperation_level * 100:.1f}%",
+            f"{on.nn_csn_free_fraction * 100:.1f}%",
+            known_on,
+        ],
+        [
+            "positive-only (CORE-style)",
+            f"{core_style.cooperation_level * 100:.1f}%",
+            f"{core_style.nn_csn_free_fraction * 100:.1f}%",
+            known_core,
+        ],
     ]
     report = format_table(
         rows,

@@ -117,7 +117,10 @@ def main() -> None:
                 "topology epochs",
                 "mean degree",
             ],
-            title=f"Altruists + {N_CSN} selfish relays, {ROUNDS} rounds, mobile network",
+            title=(
+                f"Altruists + {N_CSN} selfish relays,"
+                f" {ROUNDS} rounds, mobile network"
+            ),
         )
     )
 

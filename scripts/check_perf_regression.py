@@ -3,7 +3,7 @@
 
 Compares a freshly generated ``BENCH_ENGINE.json`` (written by
 ``benchmarks/bench_engine_perf.py``) with the baseline committed in the repo,
-on the stable ``random`` oracle.
+on every oracle row (random, topology, mobile).
 
 Two gates, because the baseline and the fresh run usually come from
 *different machines* (dev box vs CI runner):
@@ -37,9 +37,11 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-#: Oracles whose wall times gate CI.  topology/mobile are dominated by
-#: networkx route-search noise and are reported but not gated.
-GATED_ORACLES = ("random",)
+#: Oracles whose wall times gate CI.  Since route search went native
+#: (``repro.network.ksp``) the topology and mobile rows are deterministic
+#: enough to gate alongside random — previously they were networkx-noise
+#: dominated and report-only.
+GATED_ORACLES = ("random", "topology", "mobile")
 #: The machine-speed canary for the normalized gate.
 CANARY_ENGINE = "reference"
 

@@ -237,8 +237,16 @@ def render_table7(
     top4 = most_common_strategies(case4.final_populations(), k)
     rows = []
     for i in range(max(len(top3), len(top4))):
-        s3 = f"{top3[i][0].to_string()}  ({top3[i][1] * 100:.1f}%)" if i < len(top3) else ""
-        s4 = f"{top4[i][0].to_string()}  ({top4[i][1] * 100:.1f}%)" if i < len(top4) else ""
+        s3 = (
+            f"{top3[i][0].to_string()}  ({top3[i][1] * 100:.1f}%)"
+            if i < len(top3)
+            else ""
+        )
+        s4 = (
+            f"{top4[i][0].to_string()}  ({top4[i][1] * 100:.1f}%)"
+            if i < len(top4)
+            else ""
+        )
         rows.append([i + 1, s3, s4])
     return format_table(
         rows,

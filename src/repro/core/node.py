@@ -200,7 +200,9 @@ class ThresholdPlayer(Player):
     ``True`` this resembles a generous tit-for-tat over the trust metric.
     """
 
-    def __init__(self, player_id: int, min_trust: int = 2, forward_unknown: bool = True):
+    def __init__(
+        self, player_id: int, min_trust: int = 2, forward_unknown: bool = True
+    ):
         super().__init__(player_id)
         self.min_trust = int(min_trust)
         self.forward_unknown = bool(forward_unknown)

@@ -51,7 +51,11 @@ def roulette_select_index(fitness: np.ndarray, rng: np.random.Generator) -> int:
     if total <= 0.0:
         return int(rng.integers(0, len(fitness)))
     u = rng.random() * total
-    return int(np.searchsorted(np.cumsum(fitness), u, side="right").clip(0, len(fitness) - 1))
+    return int(
+        np.searchsorted(np.cumsum(fitness), u, side="right").clip(
+            0, len(fitness) - 1
+        )
+    )
 
 
 def select_index(

@@ -45,7 +45,9 @@ class IpdrpStrategy:
 
     @classmethod
     def random(cls, rng: np.random.Generator) -> "IpdrpStrategy":
-        return cls(tuple(int(b) for b in rng.integers(0, 2, size=IPDRP_STRATEGY_LENGTH)))
+        return cls(
+            tuple(int(b) for b in rng.integers(0, 2, size=IPDRP_STRATEGY_LENGTH))
+        )
 
     @classmethod
     def always_cooperate(cls) -> "IpdrpStrategy":

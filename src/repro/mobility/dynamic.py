@@ -23,7 +23,7 @@ import networkx as nx
 import numpy as np
 
 from repro.mobility.models import MobilityModel
-from repro.network.topology import shortest_intermediate_paths
+from repro.network.ksp import PathSearch
 
 __all__ = ["DynamicTopology"]
 
@@ -78,6 +78,21 @@ class DynamicTopology:
         # positions/activity at the last per-node edge computation
         self._anchor = self._pos.copy()
         self._anchor_active = self._active.copy()
+        self._search: PathSearch | None = None
+        self._search_epoch = -1
+
+    def path_search(self) -> PathSearch:
+        """The native route-search snapshot of the current epoch's graph.
+
+        Rebuilt only when ``epoch`` changes (the edge set really moved);
+        queries never mutate the graph, so the snapshot stays valid for the
+        whole epoch — including around virtual-edge and power-boost queries,
+        which ride in as query-time extra edges instead of graph edits.
+        """
+        if self._search is None or self._search_epoch != self.epoch:
+            self._search = PathSearch(self.graph)
+            self._search_epoch = self.epoch
+        return self._search
 
     # -- state access ----------------------------------------------------------
 
@@ -104,6 +119,8 @@ class DynamicTopology:
 
     def is_active(self, node_id: int) -> bool:
         """Whether the node is currently present (always True without churn)."""
+        if self._all_active:
+            return True
         return bool(self._active[self._index[node_id]])
 
     def candidate_paths(
@@ -126,47 +143,39 @@ class DynamicTopology:
         intermediates stay unreachable.
         """
         i = self._index[source]
-        if self._active[i]:
-            return self._paths_on(
-                source, destination, max_paths, max_hops, restrict_to
-            )
-        virtual = self._virtual_edges(i)
-        self.graph.add_edges_from(virtual)
-        try:
-            return self._paths_on(
-                source, destination, max_paths, max_hops, restrict_to
-            )
-        finally:
-            self.graph.remove_edges_from(virtual)
+        extras: list[tuple[int, int]] = (
+            [] if self._active[i] else self._virtual_edges(i)
+        )
+        search = self.path_search()
+        if restrict_to is not None and search.covers_all(restrict_to):
+            restrict_to = None  # scope covers the graph: restriction no-op
+        if self._scoped_degree(source, extras, restrict_to) == 0:
+            # emergency power boost: a source with no reachable peer in
+            # scope raises transmit power until its nearest participating
+            # node hears it
+            attach = self._nearest_peer(i, restrict_to)
+            if attach is None:
+                return []
+            self.boost_count += 1
+            extras = extras + [(source, attach)]
+        return search.intermediate_paths(
+            source, destination, max_paths, max_hops, restrict_to, extras
+        )
 
-    def _paths_on(
+    def _scoped_degree(
         self,
         source: int,
-        destination: int,
-        max_paths: int,
-        max_hops: int,
+        extras: Sequence[tuple[int, int]],
         restrict_to: frozenset[int] | None,
-    ) -> list[tuple[int, ...]]:
-        graph = (
-            self.graph if restrict_to is None else self.graph.subgraph(restrict_to)
-        )
-        if graph.degree(source) > 0:
-            return shortest_intermediate_paths(
-                graph, source, destination, max_paths, max_hops
-            )
-        # emergency power boost: a source with no reachable peer in scope
-        # raises transmit power until its nearest participating node hears it
-        attach = self._nearest_peer(self._index[source], restrict_to)
-        if attach is None:
-            return []
-        self.boost_count += 1
-        self.graph.add_edge(source, attach)
-        try:
-            return shortest_intermediate_paths(
-                graph, source, destination, max_paths, max_hops
-            )
-        finally:
-            self.graph.remove_edge(source, attach)
+    ) -> int:
+        """Degree of ``source`` within scope, extra edges included — what
+        ``graph.subgraph(restrict_to).degree(source)`` saw when virtual
+        edges were temporarily materialised."""
+        if restrict_to is None:
+            return len(self.graph.adj[source]) + len(extras)
+        degree = sum(1 for w in self.graph.adj[source] if w in restrict_to)
+        degree += sum(1 for _, b in extras if b in restrict_to)
+        return degree
 
     def _nearest_peer(
         self, i: int, restrict_to: frozenset[int] | None
@@ -217,8 +226,13 @@ class DynamicTopology:
     def _current_active(self) -> np.ndarray:
         mask_fn = getattr(self.model, "active_mask", None)
         if mask_fn is None:
-            return np.ones(len(self.node_ids), dtype=bool)
-        return np.array(mask_fn(), dtype=bool)
+            active = np.ones(len(self.node_ids), dtype=bool)
+        else:
+            active = np.array(mask_fn(), dtype=bool)
+        # hot-path flag: lets is_active() skip numpy scalar indexing when
+        # every node is present (always, unless churn is configured)
+        self._all_active = bool(active.all())
+        return active
 
     def _full_build(self) -> nx.Graph:
         graph = nx.Graph()
@@ -237,13 +251,18 @@ class DynamicTopology:
     def _rebuild_edges(self, dirty: np.ndarray) -> bool:
         """Recompute the incident edges of the ``dirty`` node indices.
 
-        Returns whether the graph's edge set changed.
+        Returns whether the graph's edge set changed.  The ``new_edges``
+        insertion sequence is load-bearing: edge-addition order sets the
+        graph's adjacency iteration order, which is the route-search tie
+        order — so it is kept exactly as the distance scan emits it.
         """
         ids = self.node_ids
+        adj = self.graph.adj
         old_edges = {
-            (min(a, b), max(a, b))
-            for i in dirty
-            for a, b in self.graph.edges(ids[int(i)])
+            (a, b) if a < b else (b, a)
+            for i in dirty.tolist()
+            for a in (ids[i],)
+            for b in adj[a]
         }
         d2 = np.sum(
             (self._pos[dirty, None, :] - self._pos[None, :, :]) ** 2, axis=-1
@@ -254,12 +273,13 @@ class DynamicTopology:
             & self._active[None, :]
         )
         new_edges = set()
-        for row, i in enumerate(dirty):
-            a = ids[int(i)]
-            for j in np.flatnonzero(within[row]):
-                if int(j) != int(i):
-                    b = ids[int(j)]
-                    new_edges.add((min(a, b), max(a, b)))
+        add_edge = new_edges.add
+        for row, i in enumerate(dirty.tolist()):
+            a = ids[i]
+            for j in np.flatnonzero(within[row]).tolist():
+                if j != i:
+                    b = ids[j]
+                    add_edge((a, b) if a < b else (b, a))
         if new_edges == old_edges:
             return False
         self.graph.remove_edges_from(old_edges - new_edges)

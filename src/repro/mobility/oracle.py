@@ -26,7 +26,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.mobility.dynamic import DynamicTopology
-from repro.paths.oracle import GameSetup
+from repro.paths.oracle import GameSetup, PlannedGame
 
 __all__ = ["MobilePathOracle"]
 
@@ -61,6 +61,7 @@ class MobilePathOracle:
         self._cache_epoch = topology.epoch
         self._draws_since_step = 0
         self._scope_obj: Sequence[int] | None = None  # identity of last seen
+        self._scope_snapshot: list[int] = []  # its contents at that time
         self._scope: frozenset[int] = frozenset()
         self.cache_hits = 0
         self.cache_misses = 0
@@ -92,6 +93,65 @@ class MobilePathOracle:
             f" {self.max_draws} draws; topology too sparse for this game"
         )
 
+    # -- batched drawing (struct-of-arrays engines) ----------------------------
+
+    def draw_tournament(
+        self, sources: Sequence[int], participants: Sequence[int]
+    ) -> list[PlannedGame]:
+        """Draw a whole round's (or tournament's) games in one batch.
+
+        **Stream-identical** to calling :meth:`draw` once per source: the
+        per-draw sequence — destination ``integers`` draws, rejection
+        redraws, and crucially the draw-count-clocked ``topology.step()``
+        calls (which may consume the same generator) — is replicated
+        exactly, so pre-drawing moves only the timing of the draws, never
+        their values or the topology's trajectory.  The speedup is per-game
+        overhead removal: cached ``others`` pools and no ``GameSetup``
+        construction/validation.
+        """
+        rng = self.rng
+        integers = rng.integers
+        max_draws = self.max_draws
+        step_every = self.step_every
+        candidate_paths = self._candidate_paths
+        topology = self.topology
+        # hoisted per-draw invariants: participants cannot change while this
+        # call runs, so one rescope serves the whole plan, the step threshold
+        # is constant, and the cache only needs re-validation after a step
+        threshold = len(participants) if step_every == "round" else step_every
+        clocked = isinstance(threshold, int)
+        self._rescope(participants)
+        self._validate_cache()
+        others_cache: dict[int, list[int]] = {}
+        cache_get = others_cache.get
+        plan: list[PlannedGame] = []
+        append = plan.append
+        for source in sources:
+            others = cache_get(source)
+            if others is None:
+                others = [p for p in participants if p != source]
+                others_cache[source] = others
+            if not others:
+                raise ValueError("need at least one potential destination")
+            if clocked and self._draws_since_step >= threshold:
+                topology.step()
+                self._draws_since_step = 0
+                self._validate_cache()
+            self._draws_since_step += 1
+            n_others = len(others)
+            for _ in range(max_draws):
+                destination = others[int(integers(n_others))]
+                paths = candidate_paths(source, destination)
+                if paths:
+                    append((source, destination, paths))
+                    break
+            else:
+                raise RuntimeError(
+                    f"no routable destination found for source {source} after"
+                    f" {max_draws} draws; topology too sparse for this game"
+                )
+        return plan
+
     # -- topology clocking -----------------------------------------------------
 
     def on_tournament_end(self) -> None:
@@ -109,13 +169,26 @@ class MobilePathOracle:
     def _rescope(self, participants: Sequence[int]) -> None:
         """Track the participant set routes are restricted to.
 
-        The identity check makes the common case free: both engines pass the
-        same sequence object for every draw of a tournament.
+        The identity check makes the common case cheap: both engines pass
+        the same sequence object for every draw of a tournament.  Identity
+        alone is not trusted — a caller that mutates the same list in place
+        (node churn between rounds) would otherwise keep being served stale
+        routes for departed nodes — so it is backed by an exact elementwise
+        comparison against a snapshot of the last-seen contents (a C-level
+        list compare, O(n) and collision-proof, unlike a hash or sum
+        fingerprint).
         """
         if participants is self._scope_obj:
-            return
+            # allocation-free fast path: engines pass the same list object
+            # every draw, so a C-level elementwise compare settles it
+            if isinstance(participants, list):
+                if self._scope_snapshot == participants:
+                    return
+            elif self._scope_snapshot == list(participants):
+                return
         self._scope_obj = participants
-        scope = frozenset(participants)
+        self._scope_snapshot = list(participants)
+        scope = frozenset(self._scope_snapshot)
         if scope != self._scope:
             self._scope = scope
             self._cache.clear()

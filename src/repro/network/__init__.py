@@ -4,12 +4,18 @@ The paper chooses intermediates uniformly at random, explicitly to simulate
 "a network with a high mobility level, in which topology changes very fast"
 (§4.1).  This package provides the complementary regime: nodes placed in the
 unit square with a fixed radio range, candidate routes extracted from the
-resulting unit-disk graph via networkx shortest simple paths.  Plugging the
-:class:`TopologyPathOracle` into either engine turns the paper's abstract
-game into a static-topology simulation — an extension ablated in
-``benchmarks/bench_topology_extension.py``.
+resulting unit-disk graph as the first ``max_paths`` shortest simple paths.
+
+Route search runs on :class:`repro.network.ksp.PathSearch`, a native
+K-shortest-paths engine over int adjacency arrays whose output (path sets
+*and* order) is pinned identical to ``networkx.shortest_simple_paths`` by
+``tests/test_ksp.py`` — networkx stays as the reference implementation, out
+of the hot loop.  Plugging the :class:`TopologyPathOracle` into any engine
+turns the paper's abstract game into a static-topology simulation — an
+extension ablated in ``benchmarks/bench_topology_extension.py``.
 """
 
+from repro.network.ksp import PathSearch
 from repro.network.topology import GeometricTopology, TopologyPathOracle
 
-__all__ = ["GeometricTopology", "TopologyPathOracle"]
+__all__ = ["GeometricTopology", "PathSearch", "TopologyPathOracle"]

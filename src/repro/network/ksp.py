@@ -1,0 +1,550 @@
+"""Native K-shortest-paths engine — no networkx in the route hot loop.
+
+:class:`PathSearch` is a frozen snapshot of a :mod:`networkx` graph compiled
+to int-indexed adjacency arrays (CSR layout: ``indptr``/``indices``, plus the
+per-node neighbour lists materialised once for the scalar loops).  On top of
+it sit
+
+* all-pairs BFS hop-distance fields (one vectorised numpy level-sweep for
+  every destination at once), used to reject unreachable/too-far queries in
+  O(1) and to prune Yen spur searches that cannot fit under ``max_hops``, and
+* a Yen/deviation-style enumeration of shortest simple paths that replicates
+  ``networkx.shortest_simple_paths`` **exactly** — same path sets, same
+  order, including ties.
+
+Order fidelity is a hard requirement, not a nicety: the path oracles feed
+these routes into tournaments whose trajectories are pinned bit-for-bit
+across three engines, and the equivalence suite (``tests/test_ksp.py``) pins
+the native enumeration against networkx on randomised geometric graphs.
+Networkx breaks ties by (path length, heap insertion order), and insertion
+order flows from its bidirectional-BFS meet order, which in turn flows from
+adjacency *iteration* order.  The snapshot therefore records neighbours in
+``graph.adj`` iteration order, and :meth:`_shortest` is a faithful port of
+``networkx.algorithms.simple_paths._bidirectional_pred_succ`` for undirected
+graphs (alternating smallest-fringe level expansion, first meet wins).
+
+Two query-time features mirror how the mobility subsystem uses subgraphs:
+
+* ``scope`` — restrict the search to a node subset, like
+  ``graph.subgraph(scope)`` (scoped adjacency keeps the base iteration
+  order);
+* ``extra_edges`` — edges appended for this query only, like temporarily
+  ``add_edges_from``-ing them (appended neighbours iterate *after* the base
+  ones, exactly as a dict-backed networkx graph would).  Hop-field pruning
+  is disabled when extra edges are present, since they can shorten routes
+  and would invalidate the lower bound.
+
+The truncation contract matches
+:func:`repro.network.topology.shortest_intermediate_paths`: enumeration in
+increasing length, stop past ``max_hops``, optionally skip direct-neighbour
+routes, cap at ``max_paths``.  Candidates that cannot fit under ``max_hops``
+are never buffered — they could only pop after every eligible path, where
+the consumer stops anyway.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Collection, Iterable, Sequence
+
+import networkx as nx
+import numpy as np
+
+__all__ = ["PathSearch", "UNREACHABLE"]
+
+#: Hop-field sentinel for "no route": larger than any real hop count, small
+#: enough that ``(i - 1) + UNREACHABLE`` never overflows anything.
+UNREACHABLE = 1 << 30
+
+
+class PathSearch:
+    """K-shortest simple paths over a frozen int-indexed graph snapshot.
+
+    Build one per topology epoch (the snapshot does not track later graph
+    mutations); queries are read-only and never touch the source graph.
+    """
+
+    __slots__ = (
+        "node_ids",
+        "index",
+        "indptr",
+        "indices",
+        "neighbors",
+        "neighbor_sets",
+        "identity_ids",
+        "_dist_rows",
+        "_dist_bound",
+        "_dist_complete",
+        "_mask_scope",
+        "_mask",
+    )
+
+    def __init__(self, graph: nx.Graph):
+        ids = list(graph)
+        self.node_ids = ids
+        self.index = {nid: i for i, nid in enumerate(ids)}
+        index = self.index
+        # CSR adjacency in graph.adj iteration order (the order networkx's
+        # own BFS would visit neighbours in — load-bearing for tie order)
+        indptr = [0]
+        indices: list[int] = []
+        for nid in ids:
+            indices.extend(index[w] for w in graph.adj[nid])
+            indptr.append(len(indices))
+        self.indptr = indptr
+        self.indices = indices
+        self.neighbors = [
+            indices[indptr[i] : indptr[i + 1]] for i in range(len(ids))
+        ]
+        self.neighbor_sets = [set(nbrs) for nbrs in self.neighbors]
+        #: ids == indices (nodes are 0..n-1 in order) — true for every
+        #: topology this repo builds; lets queries skip id translation
+        self.identity_ids = ids == list(range(len(ids)))
+        self._dist_rows: list[list[int]] | None = None
+        self._dist_bound = -1
+        self._dist_complete = False
+        self._mask_scope: Collection[int] | None = None
+        self._mask: bytearray | None = None
+
+    def __len__(self) -> int:
+        return len(self.node_ids)
+
+    # -- hop-distance fields ---------------------------------------------------
+
+    def hop_fields(self, bound: int | None = None) -> list[list[int]]:
+        """All-pairs BFS hop distances, ``rows[target][source]``.
+
+        Computed per snapshot as a vectorised level sweep: one boolean
+        frontier matrix advanced by adjacency matmul until no node is newly
+        reached — or until ``bound`` levels, since consumers pruning against
+        ``max_hops`` treat every distance beyond it as unreachable anyway.
+        Pairs beyond the sweep hold :data:`UNREACHABLE`.  The field is
+        cached; a later call with a larger bound extends it.  The graph is
+        undirected, so rows double as distance fields *from* every source.
+        """
+        if self._dist_rows is None or (
+            not self._dist_complete
+            and (bound is None or bound > self._dist_bound)
+        ):
+            n = len(self.node_ids)
+            adj = np.zeros((n, n), dtype=bool)
+            for i, nbrs in enumerate(self.neighbors):
+                if nbrs:
+                    adj[i, nbrs] = True
+            dist = np.full((n, n), UNREACHABLE, dtype=np.int64)
+            np.fill_diagonal(dist, 0)
+            reached = np.eye(n, dtype=bool)
+            frontier = reached
+            hops = 0
+            while frontier.any():
+                if bound is not None and hops >= bound:
+                    break
+                hops += 1
+                frontier = (frontier @ adj) & ~reached
+                dist[frontier] = hops
+                reached |= frontier
+            else:
+                self._dist_complete = True
+            self._dist_bound = hops
+            self._dist_rows = dist.tolist()
+        return self._dist_rows
+
+    def hop_distance(self, source: int, target: int) -> int:
+        """BFS hop distance between two node ids (:data:`UNREACHABLE` if none)."""
+        return self.hop_fields()[self.index[target]][self.index[source]]
+
+    # -- public queries --------------------------------------------------------
+
+    def intermediate_paths(
+        self,
+        source: int,
+        destination: int,
+        max_paths: int,
+        max_hops: int,
+        scope: Collection[int] | None = None,
+        extra_edges: Sequence[tuple[int, int]] = (),
+    ) -> list[tuple[int, ...]]:
+        """Up to ``max_paths`` shortest simple routes as intermediate tuples.
+
+        Drop-in equivalent of
+        :func:`repro.network.topology.shortest_intermediate_paths` run over
+        this snapshot (optionally scoped / with query-time extra edges):
+        direct-neighbour routes are skipped, enumeration stops past
+        ``max_hops``, and unknown endpoints yield ``[]``.
+        """
+        if max_paths < 1:
+            return []
+        paths = self._simple_paths(
+            source,
+            destination,
+            max_hops,
+            scope,
+            extra_edges,
+            max_paths,
+            collect_short=False,
+        )
+        if self.identity_ids:
+            return [tuple(p[1:-1]) for p in paths]
+        ids = self.node_ids
+        return [tuple(ids[i] for i in p[1:-1]) for p in paths]
+
+    def simple_paths(
+        self,
+        source: int,
+        destination: int,
+        max_hops: int,
+        limit: int | None = None,
+        scope: Collection[int] | None = None,
+        extra_edges: Sequence[tuple[int, int]] = (),
+    ) -> list[list[int]]:
+        """Full node-id paths in ``nx.shortest_simple_paths`` order.
+
+        The raw enumeration (used by the equivalence suite): every simple
+        path of at most ``max_hops`` hops, shortest first, networkx tie
+        order, truncated to ``limit`` when given.
+        """
+        want = (1 << 30) if limit is None else limit
+        if want < 1:
+            return []
+        paths = self._simple_paths(
+            source, destination, max_hops, scope, extra_edges, want, True
+        )
+        ids = self.node_ids
+        return [[ids[i] for i in p] for p in paths]
+
+    def covers_all(self, scope: Collection[int]) -> bool:
+        """Whether ``scope`` includes every node (restriction is a no-op).
+
+        Shares the memoised scope mask, so for a stable scope object the
+        check is two identity comparisons.
+        """
+        return self._scope_mask(scope) is None
+
+    # -- core ------------------------------------------------------------------
+
+    def _scope_mask(self, scope: Collection[int]) -> bytearray | None:
+        """``scope`` as a per-index byte mask; ``None`` when unrestricted.
+
+        Memoises the last scope *object*: oracles pass the same frozenset
+        for every draw of a tournament, making the common case free.
+        """
+        if scope is self._mask_scope:
+            return self._mask
+        index = self.index
+        mask: bytearray | None = bytearray(len(self.node_ids))
+        covered = 0
+        for nid in scope:
+            i = index.get(nid)
+            if i is not None:
+                mask[i] = 1  # type: ignore[index]
+                covered += 1
+        if covered == len(self.node_ids):
+            mask = None  # scope covers the whole graph: skip the filter
+        self._mask_scope = scope
+        self._mask = mask
+        return mask
+
+    def _simple_paths(
+        self,
+        source: int,
+        destination: int,
+        max_hops: int,
+        scope: Collection[int] | None,
+        extra_edges: Sequence[tuple[int, int]],
+        want: int,
+        collect_short: bool,
+    ) -> list[list[int]]:
+        out: list[list[int]] = []
+        n = len(self.node_ids)
+        if self.identity_ids:
+            if not (0 <= source < n and 0 <= destination < n):
+                return out
+            s, t = source, destination
+        else:
+            index = self.index
+            if source not in index or destination not in index:
+                return out
+            s, t = index[source], index[destination]
+        mask = self._scope_mask(scope) if scope is not None else None
+        if mask is not None and not (mask[s] and mask[t]):
+            return out
+        xadj: dict[int, list[int]] | None = None
+        if extra_edges:
+            index = self.index
+            xadj = {}
+            for a_id, b_id in extra_edges:
+                a, b = index[a_id], index[b_id]
+                xadj.setdefault(a, []).append(b)
+                xadj.setdefault(b, []).append(a)
+        max_len = max_hops + 1  # node count of a max_hops-hop path
+        dist_to_t: list[int] | None = None
+        if xadj is None:
+            # sound lower bound: scoping/ignoring only lengthens routes
+            dist_to_t = self.hop_fields(max_hops)[t]
+            if dist_to_t[s] > max_hops:
+                return out
+        shortest = self._shortest
+        list_a: list[list[int]] = []
+        # heap entries: (cost, tiebreak counter, path, dedupe key, deviation
+        # index) — cost and counter replicate networkx's PathBuffer ordering
+        heap: list[tuple[int, int, list[int], tuple[int, ...], int]] = []
+        buffered: set[tuple[int, ...]] = set()
+        counter = 0
+        prev: list[int] | None = None
+        prev_dev = 1
+        neighbors = self.neighbors
+        nbr_sets = self.neighbor_sets
+        while True:
+            if prev is None:
+                # closed-form distance-1/2 shortcuts: with no filters the
+                # bidirectional search provably returns the direct edge /
+                # first common neighbour in adjacency order — skip the BFS
+                d0 = dist_to_t[s] if (dist_to_t is not None and mask is None) else 0
+                if d0 == 1:
+                    path = [s, t]
+                elif d0 == 2:
+                    s_nbrs = nbr_sets[s]
+                    path = None
+                    for w in neighbors[t]:
+                        if w in s_nbrs:
+                            path = [s, w, t]
+                            break
+                else:
+                    path = shortest(s, t, mask, xadj, None, None, n)
+                if path is not None and len(path) <= max_len:
+                    key = tuple(path)
+                    heappush(heap, (len(path), counter, path, key, 1))
+                    buffered.add(key)
+                    counter += 1
+            else:
+                blocked = bytearray(n)  # the round's ignored spur heads
+                ig_edges: set[int] = set()
+                sharers = list_a  # paths sharing the current root prefix
+                # cost such that `need` buffered candidates pop at or before
+                # it: a spur whose best possible cost is no better can never
+                # surface within the remaining pops (see skip rule below)
+                need = want - len(out)
+                beat = -1  # recomputed lazily; pushes only strengthen it
+                beat_stale = True
+                for i in range(1, len(prev)):
+                    if beat_stale:
+                        if need <= len(heap):
+                            beat = sorted(e[0] for e in heap)[need - 1]
+                        else:
+                            beat = -1
+                        beat_stale = False
+                    if -1 < beat <= i + 2:
+                        # every remaining floor is at least i + 2 (spur heads
+                        # are never the target, so dist >= 1): the whole rest
+                        # of the round is unobservable — drop it, ignore
+                        # bookkeeping included, since nothing reads it now
+                        break
+                    head = prev[i - 1]
+                    sharers = [p for p in sharers if p[i - 1] == head]
+                    for p in sharers:
+                        a, b = p[i - 1], p[i]
+                        ig_edges.add(a * n + b)
+                        ig_edges.add(b * n + a)
+                    # Three output-identical reasons to skip the spur search
+                    # (the ignore bookkeeping always proceeds):
+                    # * Lawler's rule — positions before prev's own
+                    #   deviation point re-run a search an earlier pop of
+                    #   the same prefix class already ran; its result is
+                    #   still buffered, so the duplicate push would be
+                    #   dropped without even consuming a tiebreak counter.
+                    # * hop-field bound — no spur from here finishes within
+                    #   max_hops, so any result would be discarded unpushed.
+                    # * beat bound — the spur's result costs at least
+                    #   i + dist(head, t) + 1; if `need` buffered candidates
+                    #   already cost no more, enumeration ends before the
+                    #   result could ever pop (pushed-earlier entries win
+                    #   cost ties), so the candidate is unobservable.
+                    if i >= prev_dev:
+                        if dist_to_t is None:
+                            floor = -1  # extra edges: no sound lower bound
+                            d = 0
+                        else:
+                            d = dist_to_t[head]
+                            floor = i + d + 1
+                            if floor > max_len + 1:
+                                blocked[head] = 1
+                                continue
+                        if -1 < beat <= floor:
+                            blocked[head] = 1
+                            continue
+                        # the distance-1/2 closed forms, filter-aware: fall
+                        # through to the real search when an ignored edge
+                        # (or blocked node) breaks the shortcut's premise
+                        spur = None
+                        direct = False
+                        if mask is None and d == 1:
+                            if head * n + t not in ig_edges:
+                                spur = [head, t]
+                                direct = True
+                        elif mask is None and d == 2:
+                            hn = head * n
+                            tn = t * n
+                            level = {
+                                w
+                                for w in neighbors[head]
+                                if not blocked[w] and hn + w not in ig_edges
+                            }
+                            for w in neighbors[t]:
+                                if (
+                                    w in level
+                                    and not blocked[w]
+                                    and tn + w not in ig_edges
+                                ):
+                                    spur = [head, w, t]
+                                    direct = True
+                                    break
+                        if not direct:
+                            spur = shortest(
+                                head, t, mask, xadj, blocked, ig_edges, n
+                            )
+                        if spur is not None:
+                            full = prev[: i - 1] + spur
+                            if len(full) <= max_len:
+                                key = tuple(full)
+                                if key not in buffered:
+                                    heappush(
+                                        heap,
+                                        (i + len(spur), counter, full, key, i),
+                                    )
+                                    buffered.add(key)
+                                    counter += 1
+                                    beat_stale = True
+                    blocked[head] = 1
+            if not heap:
+                break
+            _, _, path, key, prev_dev = heappop(heap)
+            buffered.discard(key)
+            list_a.append(path)
+            prev = path
+            if collect_short or len(path) >= 3:
+                out.append(path)
+                if len(out) == want:
+                    break
+        return out
+
+    def _shortest(
+        self,
+        s: int,
+        t: int,
+        mask: bytearray | None,
+        xadj: dict[int, list[int]] | None,
+        blocked: bytearray | None,
+        ig_edges: set[int] | None,
+        n: int,
+    ) -> list[int] | None:
+        """Shortest path as int indices — port of networkx's
+        ``_bidirectional_pred_succ`` (undirected), ``None`` when no path.
+
+        The alternating smallest-fringe expansion, in-loop meet check and
+        filter stack (scope, then ignored nodes, then ignored edges — all
+        order-preserving predicates over the recorded adjacency order) are
+        kept exactly, so the returned path matches networkx even among
+        equal-length alternatives.  ``blocked`` is the ignored-node set as a
+        byte mask; ``ig_edges`` holds both orientations of every ignored
+        edge encoded ``u * n + v``, so one membership test replaces two.
+        """
+        if blocked is not None and (blocked[s] or blocked[t]):
+            return None
+        if s == t:
+            return [s]
+        neighbors = self.neighbors
+        # the filter set is constant for the whole search: pick one of three
+        # specialised discovery loops (plain / ignores-only / fully general)
+        # once, instead of re-testing per neighbour
+        plain = mask is None and xadj is None
+        # -2 unseen, -1 chain terminator, else predecessor/successor index
+        pred = [-2] * n
+        succ = [-2] * n
+        pred[s] = -1
+        succ[t] = -1
+        forward = [s]
+        reverse = [t]
+        meet = -1
+        while forward and reverse:
+            if len(forward) <= len(reverse):
+                this_level, forward = forward, []
+                fringe, seen, other = forward, pred, succ
+            else:
+                this_level, reverse = reverse, []
+                fringe, seen, other = reverse, succ, pred
+            for v in this_level:
+                if plain:
+                    nbrs = neighbors[v]
+                    if ig_edges is None:  # the unfiltered initial search
+                        for w in nbrs:
+                            if seen[w] == -2:
+                                fringe.append(w)
+                                seen[w] = v
+                            if other[w] != -2:
+                                meet = w
+                                break
+                    else:  # spur search: ignored spur heads + root edges
+                        vn = v * n
+                        for w in nbrs:
+                            if blocked[w] or vn + w in ig_edges:
+                                continue
+                            if seen[w] == -2:
+                                fringe.append(w)
+                                seen[w] = v
+                            if other[w] != -2:
+                                meet = w
+                                break
+                else:  # scoped subgraph and/or query-time extra edges
+                    nbrs = neighbors[v]
+                    if xadj is not None and v in xadj:
+                        nbrs = nbrs + xadj[v]
+                    vn = v * n
+                    for w in nbrs:
+                        if mask is not None and not mask[w]:
+                            continue
+                        if blocked is not None and blocked[w]:
+                            continue
+                        if ig_edges is not None and vn + w in ig_edges:
+                            continue
+                        if seen[w] == -2:
+                            fringe.append(w)
+                            seen[w] = v
+                        if other[w] != -2:
+                            meet = w
+                            break
+                if meet >= 0:
+                    break
+            if meet >= 0:
+                break
+        if meet < 0:
+            return None
+        # stitch the two half-paths together at the meet node
+        path = []
+        w = meet
+        while w != -1:
+            path.append(w)
+            w = succ[w]
+        head = []
+        w = pred[meet]
+        while w != -1:
+            head.append(w)
+            w = pred[w]
+        head.reverse()
+        return head + path
+
+
+def reference_simple_paths(
+    graph: nx.Graph, source: int, destination: int, max_hops: int
+) -> Iterable[list[int]]:
+    """Networkx ground truth for :meth:`PathSearch.simple_paths` (tests).
+
+    Yields ``nx.shortest_simple_paths`` output truncated at ``max_hops`` the
+    way the repo's consumers truncate it: stop at the first too-long path.
+    """
+    try:
+        for path in nx.shortest_simple_paths(graph, source, destination):
+            if len(path) - 1 > max_hops:
+                break
+            yield path
+    except (nx.NetworkXNoPath, nx.NodeNotFound):
+        return

@@ -6,9 +6,17 @@ omni-directional antenna with the same range, as §3.1 assumes).  Candidate
 routes between a source and a destination are the first ``max_paths``
 shortest simple paths in hop count, capped at ``max_hops``.
 
+Route search runs on the native :class:`repro.network.ksp.PathSearch` engine
+(path sets and order pinned identical to ``nx.shortest_simple_paths`` by
+``tests/test_ksp.py``); :func:`shortest_intermediate_paths` remains the
+networkx reference implementation that suite compares against.
+
 The oracle keeps the engine contract of :class:`repro.paths.oracle.PathOracle`
-(destination + candidate paths per game), so either simulation engine can run
-unmodified on a static topology.
+(destination + candidate paths per game), so every simulation engine can run
+unmodified on a static topology; its batched
+:meth:`TopologyPathOracle.draw_tournament` additionally serves the batch
+engine a whole tournament of pre-drawn games off a scope-filtered route
+table, stream-identical to per-game :meth:`TopologyPathOracle.draw` calls.
 """
 
 from __future__ import annotations
@@ -18,7 +26,8 @@ from typing import Sequence
 import networkx as nx
 import numpy as np
 
-from repro.paths.oracle import GameSetup
+from repro.network.ksp import PathSearch
+from repro.paths.oracle import GameSetup, PlannedGame
 
 __all__ = [
     "GeometricTopology",
@@ -88,6 +97,28 @@ class GeometricTopology:
             )
         self.positions = positions
         self.graph = graph
+        self._search: PathSearch | None = None
+        self._search_edges = -1
+
+    def path_search(self) -> PathSearch:
+        """The native route-search snapshot of the current graph.
+
+        Built lazily; the graph is static by design, so the snapshot lives
+        for the topology's lifetime.  An edge-count guard catches the
+        common accidental rewire, but an *equal-count* rewire is invisible
+        to it — code that mutates ``self.graph`` must call
+        :meth:`invalidate_routes` afterwards.
+        """
+        n_edges = self.graph.number_of_edges()
+        if self._search is None or self._search_edges != n_edges:
+            self._search = PathSearch(self.graph)
+            self._search_edges = n_edges
+        return self._search
+
+    def invalidate_routes(self) -> None:
+        """Drop the route-search snapshot after an external graph edit."""
+        self._search = None
+        self._search_edges = -1
 
     def _build_graph(self, positions: dict[int, tuple[float, float]]) -> nx.Graph:
         graph = nx.Graph()
@@ -111,8 +142,8 @@ class GeometricTopology:
         self, source: int, destination: int, max_paths: int, max_hops: int
     ) -> list[tuple[int, ...]]:
         """Up to ``max_paths`` shortest simple routes as intermediate tuples."""
-        return shortest_intermediate_paths(
-            self.graph, source, destination, max_paths, max_hops
+        return self.path_search().intermediate_paths(
+            source, destination, max_paths, max_hops
         )
 
 
@@ -146,6 +177,10 @@ class TopologyPathOracle:
         self._cache: dict[tuple[int, int], list[tuple[int, ...]]] | None = (
             {} if cache else None
         )
+        # scope-filtered route table for the batched draw path, keyed by the
+        # participant set it was filtered against
+        self._scoped_scope: frozenset[int] | None = None
+        self._scoped_routes: dict[tuple[int, int], list[tuple[int, ...]]] = {}
         self.cache_hits = 0
         self.cache_misses = 0
 
@@ -192,3 +227,79 @@ class TopologyPathOracle:
             f"no routable destination found for source {source} after"
             f" {self.max_draws} draws; topology too sparse for this game"
         )
+
+    # -- batched drawing (struct-of-arrays engines) ----------------------------
+
+    def _route_table(
+        self, active: frozenset[int]
+    ) -> dict[tuple[int, int], list[tuple[int, ...]]]:
+        """The per-pair routes of :meth:`draw`, pre-filtered to ``active``.
+
+        Filled lazily per (source, destination) as the batched draw touches
+        pairs — an all-pairs table for the pairs the tournament actually
+        routes, which for a static topology is reusable across every round
+        and tournament with the same participant set.
+        """
+        if self._scoped_scope != active:
+            self._scoped_scope = active
+            self._scoped_routes = {}
+        return self._scoped_routes
+
+    def draw_tournament(
+        self, sources: Sequence[int], participants: Sequence[int]
+    ) -> list[PlannedGame]:
+        """Draw a whole round's (or tournament's) games in one batch.
+
+        **Stream-identical** to calling :meth:`draw` once per source — one
+        ``integers`` draw per destination attempt, same rejection/redraw
+        sequence — so engines interleaving batched and per-game drawing stay
+        bit-identical.  The speedup is pure overhead removal: the
+        scope-filtered route table replaces the per-draw path filter, and no
+        ``GameSetup`` is constructed or validated per game.
+        """
+        participants = list(participants)
+        active = frozenset(participants)
+        # cache=False disables the scoped route table too, so benchmarking
+        # the recomputation cost covers the batched path as well
+        caching = self._cache is not None
+        table = self._route_table(active) if caching else {}
+        rng = self.rng
+        integers = rng.integers
+        max_draws = self.max_draws
+        candidate_paths = self._candidate_paths
+        others_cache: dict[int, list[int]] = {}
+        cache_get = others_cache.get
+        plan: list[PlannedGame] = []
+        append = plan.append
+        for source in sources:
+            others = cache_get(source)
+            if others is None:
+                others = [p for p in participants if p != source]
+                others_cache[source] = others
+            if not others:
+                raise ValueError("need at least one potential destination")
+            n_others = len(others)
+            for _ in range(max_draws):
+                destination = others[int(integers(n_others))]
+                key = (source, destination)
+                paths = table.get(key)
+                if paths is None:
+                    paths = [
+                        p
+                        for p in candidate_paths(source, destination)
+                        if all(node in active for node in p)
+                    ]
+                    if caching:
+                        table[key] = paths
+                else:
+                    # keep cache_info meaningful for the batched path too
+                    self.cache_hits += 1
+                if paths:
+                    append((source, destination, paths))
+                    break
+            else:
+                raise RuntimeError(
+                    f"no routable destination found for source {source} after"
+                    f" {max_draws} draws; topology too sparse for this game"
+                )
+        return plan

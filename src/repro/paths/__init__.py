@@ -14,7 +14,12 @@ from repro.paths.distributions import (
     PathCountDistribution,
 )
 from repro.paths.generator import PathSetGenerator
-from repro.paths.oracle import GameSetup, PathOracle, RandomPathOracle, ScriptedPathOracle
+from repro.paths.oracle import (
+    GameSetup,
+    PathOracle,
+    RandomPathOracle,
+    ScriptedPathOracle,
+)
 from repro.paths.rating import best_path_index, rate_path
 
 __all__ = [

@@ -179,7 +179,9 @@ HOP_MODES: dict[str, HopDistribution] = {
 class PathCountDistribution:
     """Number of alternate paths available, conditioned on path length (Table 3)."""
 
-    def __init__(self, rows: Mapping[tuple[int, int], Mapping[int, float]] | None = None):
+    def __init__(
+        self, rows: Mapping[tuple[int, int], Mapping[int, float]] | None = None
+    ):
         """``rows`` maps inclusive hop ranges ``(lo, hi)`` to count pmfs."""
         if rows is None:
             rows = _DEFAULT_COUNT_ROWS

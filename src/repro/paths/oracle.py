@@ -36,8 +36,9 @@ __all__ = [
 #: One pre-drawn game in struct-of-arrays-friendly raw form:
 #: ``(source, destination, candidate_paths)``.  Carries exactly the fields of
 #: :class:`GameSetup` without object construction/validation cost — the batch
-#: engine consumes thousands per tournament.
-PlannedGame = tuple[int, int, list[list[int]]]
+#: engine consumes thousands per tournament, read-only, so the path sequences
+#: may be lists or (cached) tuples.
+PlannedGame = tuple[int, int, Sequence[Sequence[int]]]
 
 
 @dataclass(frozen=True)
@@ -49,6 +50,13 @@ class GameSetup:
     paths: tuple[tuple[int, ...], ...]
 
     def __post_init__(self) -> None:
+        if self.source == self.destination:
+            # a self-addressed game has no forwarding decision to score and
+            # would silently corrupt fitness accounting downstream
+            raise ValueError(
+                f"source and destination are both {self.source};"
+                " a game needs two distinct endpoints"
+            )
         if not self.paths:
             raise ValueError("a game needs at least one candidate path")
         for path in self.paths:
@@ -214,9 +222,12 @@ def plan_games(
 ) -> list[PlannedGame]:
     """Pre-draw one round's games from any oracle, in source order.
 
-    Uses the oracle's batched :meth:`RandomPathOracle.draw_tournament` when it
-    has one, otherwise falls back to per-game :meth:`draw` calls in the same
-    order.  Both are stream- and state-identical to an engine drawing each
+    Uses the oracle's batched ``draw_tournament`` when it has one (all
+    production oracles do: :class:`RandomPathOracle`,
+    ``TopologyPathOracle``, ``MobilePathOracle`` — each pinned
+    stream-identical to its per-game ``draw``), otherwise falls back to
+    per-game :meth:`draw` calls in the same order.  Both modes are stream-
+    and state-identical to an engine drawing each
     game just before playing it, because games consume no randomness
     themselves and no oracle mutates per-draw state based on game outcomes —
     so pre-drawing only moves the *timing* of the draws, never their values.
@@ -230,6 +241,6 @@ def plan_games(
     if batched is not None:
         return batched(sources, participants)
     return [
-        (setup.source, setup.destination, [list(p) for p in setup.paths])
+        (setup.source, setup.destination, setup.paths)
         for setup in (oracle.draw(source, participants) for source in sources)
     ]

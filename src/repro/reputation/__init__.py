@@ -7,7 +7,11 @@ Implements §3.1 (reputation collection and trust evaluation) and §3.2
 
 from repro.reputation.activity import ActivityClassifier
 from repro.reputation.exchange import ExchangeConfig, exchange_reputation
-from repro.reputation.records import DEFAULT_UNKNOWN_RATE, ReputationRecord, ReputationTable
+from repro.reputation.records import (
+    DEFAULT_UNKNOWN_RATE,
+    ReputationRecord,
+    ReputationTable,
+)
 from repro.reputation.trust import TrustTable
 
 __all__ = [

@@ -193,7 +193,13 @@ class FastEngine:
                     else:
                         rate = pf[j][source] / c
                         trust = (
-                            3 if rate > b2 else 2 if rate > b1 else 1 if rate > b0 else 0
+                            3
+                            if rate > b2
+                            else 2
+                            if rate > b1
+                            else 1
+                            if rate > b0
+                            else 0
                         )
                         if j >= n_pop:
                             forward = False

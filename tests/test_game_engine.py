@@ -68,7 +68,11 @@ class TestSuccessfulGame:
 
 class TestFailedGame:
     def test_first_hop_drop(self, trust_table, activity, payoffs):
-        players = {0: AlwaysForwardPlayer(0), 1: AlwaysDropPlayer(1), 2: AlwaysForwardPlayer(2)}
+        players = {
+            0: AlwaysForwardPlayer(0),
+            1: AlwaysDropPlayer(1),
+            2: AlwaysForwardPlayer(2),
+        }
         result = run(players, (1, 2), trust_table, activity, payoffs)
         assert not result.success
         assert result.drop_index == 0
@@ -76,7 +80,11 @@ class TestFailedGame:
         assert len(result.decisions) == 1  # node 2 never received the packet
 
     def test_nodes_after_drop_get_nothing(self, trust_table, activity, payoffs):
-        players = {0: AlwaysForwardPlayer(0), 1: AlwaysDropPlayer(1), 2: AlwaysForwardPlayer(2)}
+        players = {
+            0: AlwaysForwardPlayer(0),
+            1: AlwaysDropPlayer(1),
+            2: AlwaysForwardPlayer(2),
+        }
         run(players, (1, 2), trust_table, activity, payoffs)
         assert players[2].payoffs.n_events == 0
         assert players[2].reputation.snapshot() == {}

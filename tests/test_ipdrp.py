@@ -38,7 +38,10 @@ class TestStrategy:
 
     def test_hashable(self):
         assert IpdrpStrategy((1, 0, 1, 0, 1)) == IpdrpStrategy((1, 0, 1, 0, 1))
-        assert len({IpdrpStrategy.always_cooperate(), IpdrpStrategy.always_cooperate()}) == 1
+        assert (
+            len({IpdrpStrategy.always_cooperate(), IpdrpStrategy.always_cooperate()})
+            == 1
+        )
 
 
 class TestPDPayoffs:

@@ -1,0 +1,190 @@
+"""Native K-shortest-paths vs networkx: the order-exact equivalence suite.
+
+:class:`repro.network.ksp.PathSearch` replaces ``nx.shortest_simple_paths``
+in every route hot loop, so its output must match networkx *exactly* — same
+path sets, same order (ties included), same ``max_hops``/``max_paths``
+truncation — across randomized geometric graphs and the edge cases the
+oracles hit (disconnected components, direct-neighbour-only connectivity,
+empty results, scoped subgraphs, query-time virtual edges).
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.network.ksp import UNREACHABLE, PathSearch, reference_simple_paths
+from repro.network.topology import shortest_intermediate_paths
+
+
+def geometric_graph(seed: int, n: int | None = None, radius: float | None = None):
+    rng = np.random.default_rng(seed)
+    if n is None:
+        n = int(rng.integers(8, 40))
+    if radius is None:
+        radius = float(rng.uniform(0.18, 0.45))
+    positions = rng.random((n, 2))
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if np.sum((positions[i] - positions[j]) ** 2) <= radius * radius:
+                graph.add_edge(i, j)
+    return graph, rng
+
+
+class TestRandomizedEquivalence:
+    """~100 seeded random geometric graphs, native vs networkx."""
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_simple_paths_match_networkx_order(self, seed):
+        graph, rng = geometric_graph(seed)
+        search = PathSearch(graph)
+        n = graph.number_of_nodes()
+        for _ in range(6):
+            s, t = (int(x) for x in rng.choice(n, size=2, replace=False))
+            for limit, max_hops in ((12, 4), (6, 10), (25, 3), (1, 10)):
+                expected = list(
+                    islice(reference_simple_paths(graph, s, t, max_hops), limit)
+                )
+                assert search.simple_paths(s, t, max_hops, limit=limit) == (
+                    expected
+                ), f"simple_paths({s}, {t}, {max_hops})[:{limit}] diverged"
+
+    @pytest.mark.parametrize("seed", range(50, 100))
+    def test_intermediate_paths_match_reference(self, seed):
+        """Same truncation semantics as shortest_intermediate_paths."""
+        graph, rng = geometric_graph(seed)
+        search = PathSearch(graph)
+        n = graph.number_of_nodes()
+        for _ in range(6):
+            s, t = (int(x) for x in rng.choice(n, size=2, replace=False))
+            for max_paths, max_hops in ((3, 10), (1, 5), (8, 3), (2, 4)):
+                expected = [
+                    tuple(p)
+                    for p in shortest_intermediate_paths(
+                        graph, s, t, max_paths, max_hops
+                    )
+                ]
+                got = search.intermediate_paths(s, t, max_paths, max_hops)
+                assert got == expected
+
+    @pytest.mark.parametrize("seed", [3, 17, 29])
+    def test_scoped_and_virtual_edges_match_networkx(self, seed):
+        """Scope == nx subgraph; extra_edges == temporary add_edges_from."""
+        graph, rng = geometric_graph(seed, n=25)
+        search = PathSearch(graph)
+        nodes = list(graph)
+        for trial in range(8):
+            scope = frozenset(
+                int(x) for x in rng.choice(25, size=18, replace=False)
+            )
+            s, t = sorted(scope)[0], sorted(scope)[-1]
+            extra = [(s, sorted(scope)[len(scope) // 2])]
+            extra = [(a, b) for a, b in extra if not graph.has_edge(a, b)]
+            graph.add_edges_from(extra)
+            try:
+                expected = [
+                    tuple(p)
+                    for p in shortest_intermediate_paths(
+                        graph.subgraph(scope), s, t, 4, 8
+                    )
+                ]
+            finally:
+                graph.remove_edges_from(extra)
+            got = search.intermediate_paths(
+                s, t, 4, 8, scope=scope, extra_edges=extra
+            )
+            assert got == expected
+        assert nodes == list(graph)  # the emulation restored the graph
+
+
+class TestEdgeCases:
+    def test_disconnected_components_yield_nothing(self):
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (1, 2), (3, 4), (4, 5)])
+        search = PathSearch(graph)
+        assert search.intermediate_paths(0, 4, 3, 10) == []
+        assert search.simple_paths(0, 4, 10) == []
+        assert search.hop_distance(0, 4) == UNREACHABLE
+
+    def test_direct_neighbour_only_is_empty(self):
+        """Two nodes joined only by the direct edge: no game to play."""
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (1, 2)])
+        search = PathSearch(graph)
+        assert search.intermediate_paths(0, 1, 3, 10) == []
+        # but the raw enumeration still reports the direct route
+        assert search.simple_paths(0, 1, 10) == [[0, 1]]
+
+    def test_unknown_endpoints_are_empty(self):
+        graph = nx.path_graph(4)
+        search = PathSearch(graph)
+        assert search.intermediate_paths(0, 99, 3, 10) == []
+        assert search.intermediate_paths(99, 0, 3, 10) == []
+
+    def test_nonpositive_max_paths_is_empty(self):
+        graph = nx.cycle_graph(5)
+        search = PathSearch(graph)
+        assert search.intermediate_paths(0, 2, 0, 10) == []
+
+    def test_max_hops_truncation_matches_break_semantics(self):
+        """A long detour past max_hops stops the enumeration, as the
+        consumer's ``break`` on the first too-long path always did."""
+        graph = nx.Graph()
+        nx.add_path(graph, [0, 1, 2])
+        nx.add_path(graph, [0, 3, 4, 5, 6, 2])
+        search = PathSearch(graph)
+        assert search.intermediate_paths(0, 2, 5, max_hops=2) == [(1,)]
+        assert search.intermediate_paths(0, 2, 5, max_hops=5) == [
+            (1,),
+            (3, 4, 5, 6),
+        ]
+
+    def test_source_equals_target_matches_networkx(self):
+        graph = nx.cycle_graph(6)
+        search = PathSearch(graph)
+        assert search.simple_paths(2, 2, 10) == [[2]]
+        assert search.intermediate_paths(2, 2, 3, 10) == []
+
+    def test_cycle_graph_two_routes(self):
+        graph = nx.cycle_graph(7)
+        search = PathSearch(graph)
+        assert search.simple_paths(0, 3, 10) == [
+            [0, 1, 2, 3],
+            [0, 6, 5, 4, 3],
+        ]
+
+
+class TestHopFields:
+    def test_distances_match_networkx_bfs(self):
+        graph, _ = geometric_graph(11, n=30)
+        search = PathSearch(graph)
+        lengths = dict(nx.all_pairs_shortest_path_length(graph))
+        for s in graph:
+            for t in graph:
+                expected = lengths[s].get(t)
+                got = search.hop_distance(s, t)
+                if expected is None:
+                    assert got == UNREACHABLE
+                else:
+                    assert got == expected
+
+    def test_bounded_field_extends_on_demand(self):
+        graph = nx.path_graph(9)
+        search = PathSearch(graph)
+        rows = search.hop_fields(bound=3)
+        assert rows[0][3] == 3
+        assert rows[0][8] == UNREACHABLE  # beyond the sweep bound
+        rows = search.hop_fields(bound=8)
+        assert rows[0][8] == 8
+
+    def test_covers_all_detects_full_scope(self):
+        graph = nx.cycle_graph(5)
+        search = PathSearch(graph)
+        assert search.covers_all(frozenset(range(5)))
+        assert search.covers_all(frozenset(range(9)))  # supersets count
+        assert not search.covers_all(frozenset(range(4)))

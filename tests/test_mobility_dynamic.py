@@ -187,7 +187,9 @@ class TestDeterminism:
             history = []
             for _ in range(30):
                 topo.step()
-                history.append((topo.epoch, tuple(sorted(map(tuple, topo.graph.edges)))))
+                history.append(
+                    (topo.epoch, tuple(sorted(map(tuple, topo.graph.edges))))
+                )
             return history
 
         assert evolve(5) == evolve(5)

@@ -102,7 +102,9 @@ class TestRandomWaypoint:
 
     def test_step_before_reset_raises(self):
         with pytest.raises(RuntimeError):
-            RandomWaypoint(0.0, 0.1).step(np.zeros((3, 2)), 1.0, np.random.default_rng(0))
+            RandomWaypoint(0.0, 0.1).step(
+                np.zeros((3, 2)), 1.0, np.random.default_rng(0)
+            )
 
 
 class TestGaussMarkov:

@@ -138,6 +138,92 @@ class TestCaching:
         oracle.draw(1, participants)
         assert oracle._scope is scope
 
+    def test_in_place_churn_of_same_list_is_detected(self):
+        """Regression: mutating the *same* participants list in place (node
+        churn between rounds) used to slip past the identity check, serving
+        stale cached routes for departed nodes."""
+        oracle = make_oracle(speed=(0.0, 0.0), step_every=10**9)
+        participants = list(IDS)
+        oracle.draw(0, participants)
+        cached_pairs = set(oracle._cache)
+        assert cached_pairs  # the draw populated the cache
+        departed = participants[-1]
+        participants.remove(departed)  # same list object, node churned out
+        for _ in range(60):
+            setup = oracle.draw(0, participants)
+            assert setup.destination != departed
+            for path in setup.paths:
+                assert departed not in path
+        assert departed not in oracle._scope
+
+    def test_in_place_swap_same_length_and_sum_is_detected(self):
+        """The detection is an exact contents comparison, so even a
+        sum- and length-preserving in-place swap (the case a hash or sum
+        fingerprint would miss) rescopes."""
+        oracle = make_oracle(speed=(0.0, 0.0), step_every=10**9)
+        participants = list(IDS[:15])
+        oracle.draw(0, participants)
+        scope_before = oracle._scope
+        # replace the pair (13, 14) with (11, 16): same list length, same
+        # id sum — undetectable by a (len, sum) fingerprint
+        participants.remove(13)
+        participants.remove(14)
+        participants.extend([11, 16])
+        oracle.draw(0, participants)
+        assert oracle._scope != scope_before
+        assert 16 in oracle._scope
+        assert 14 not in oracle._scope
+
+
+class TestDrawTournament:
+    """The batched draw path must be stream-identical to per-game draws —
+    including the draw-count-clocked topology stepping, which shares the
+    random stream with the draws themselves."""
+
+    @pytest.mark.parametrize("step_every", ["round", "tournament", 7])
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_stream_identical_to_sequential_draws(self, step_every, seed):
+        batched = make_oracle(seed=seed, step_every=step_every)
+        sequential = make_oracle(seed=seed, step_every=step_every)
+        participants = list(IDS)
+        sources = participants * 3  # three rounds
+        plan = batched.draw_tournament(sources, participants)
+        assert len(plan) == len(sources)
+        for game, source in zip(plan, sources):
+            setup = sequential.draw(source, participants)
+            got_source, got_dest, got_paths = game
+            assert got_source == setup.source == source
+            assert got_dest == setup.destination
+            assert tuple(tuple(p) for p in got_paths) == setup.paths
+        # the topology trajectory and the shared generator both match: the
+        # batched plan stepped the network at exactly the same draw counts
+        assert batched.topology.epoch == sequential.topology.epoch
+        assert np.array_equal(
+            batched.topology.position_array(),
+            sequential.topology.position_array(),
+        )
+        assert (
+            batched.rng.bit_generator.state
+            == sequential.rng.bit_generator.state
+        )
+
+    def test_round_clock_steps_between_planned_rounds(self):
+        oracle = make_oracle(step_every="round")
+        calls = []
+        original = oracle.topology.step
+        oracle.topology.step = lambda: calls.append(1) or original()
+        oracle.draw_tournament(list(IDS) * 3, IDS)
+        assert len(calls) == 2  # steps happen *between* rounds
+
+    def test_plan_games_uses_batched_path(self):
+        from repro.paths.oracle import plan_games
+
+        a = make_oracle(seed=3)
+        b = make_oracle(seed=3)
+        plan = plan_games(a, IDS, IDS)
+        expected = b.draw_tournament(IDS, IDS)
+        assert plan == expected
+
 
 class TestClocking:
     def test_round_mode_steps_once_per_round(self):
@@ -243,7 +329,9 @@ class TestGARuns:
         assert a.final_overall.to_dict() == b.final_overall.to_dict()
 
     def test_small_ga_run_engines_equivalent(self):
-        results = {e: run_replication(small_config(e), 0) for e in ("fast", "reference")}
+        results = {
+            e: run_replication(small_config(e), 0) for e in ("fast", "reference")
+        }
         f, r = results["fast"], results["reference"]
         assert f.final_population == r.final_population
         assert f.history.to_dict() == r.history.to_dict()
@@ -252,7 +340,9 @@ class TestGARuns:
     def test_smoke_scale_mobile_case_completes(self, engine):
         """Acceptance: a full smoke-scale GA run with RandomWaypoint mobility
         completes on both engines through MobilePathOracle."""
-        config = ExperimentConfig.for_case("mobile_waypoint", scale="smoke", engine=engine)
+        config = ExperimentConfig.for_case(
+            "mobile_waypoint", scale="smoke", engine=engine
+        )
         assert config.sim.mobility.model == "waypoint"
         result = run_replication(config, 0)
         assert len(result.final_population) == config.ga.population_size

@@ -192,3 +192,77 @@ class TestTopologyPathOracle:
         engine.run_tournament(list(range(25)), 3, oracle, stats, None, None)
         assert stats.nn_originated == 75
         assert stats.cooperation_level == 1.0
+
+
+class TestTopologyDrawTournament:
+    """The batched draw path must be stream-identical to per-game draws."""
+
+    @pytest.mark.parametrize("seed", [0, 4, 9])
+    def test_stream_identical_to_sequential_draws(self, seed):
+        participants = list(range(25))
+        sources = participants * 3  # three rounds
+        batched = TopologyPathOracle(topology(), np.random.default_rng(seed))
+        sequential = TopologyPathOracle(topology(), np.random.default_rng(seed))
+        plan = batched.draw_tournament(sources, participants)
+        assert len(plan) == len(sources)
+        for game, source in zip(plan, sources):
+            setup = sequential.draw(source, participants)
+            got_source, got_dest, got_paths = game
+            assert got_source == setup.source == source
+            assert got_dest == setup.destination
+            assert tuple(tuple(p) for p in got_paths) == setup.paths
+        # including the generator state: interleaving the two modes across
+        # engines can never skew a shared stream
+        assert (
+            batched.rng.bit_generator.state
+            == sequential.rng.bit_generator.state
+        )
+
+    def test_rejection_redraws_consume_identically(self):
+        """Restricted scopes force redraws; both modes must burn the same
+        number of destination draws on them."""
+        scope = list(range(0, 25, 2))  # sparse scope: rejections likely
+        a = TopologyPathOracle(topology(), np.random.default_rng(3))
+        b = TopologyPathOracle(topology(), np.random.default_rng(3))
+        plan = a.draw_tournament(scope * 4, scope)
+        for game, source in zip(plan, scope * 4):
+            setup = b.draw(source, scope)
+            assert (game[0], game[1]) == (setup.source, setup.destination)
+        assert a.rng.bit_generator.state == b.rng.bit_generator.state
+
+    def test_cache_disabled_bypasses_route_table(self):
+        """cache=False keeps benchmarking semantics on the batched path:
+        every draw recomputes, nothing is served from the scoped table."""
+        topo = topology()
+        calls = []
+        original = topo.candidate_paths
+        topo.candidate_paths = lambda *a, **k: calls.append(a) or original(*a, **k)
+        oracle = TopologyPathOracle(topo, np.random.default_rng(7), cache=False)
+        participants = list(range(25))
+        oracle.draw_tournament(participants * 4, participants)
+        assert len(calls) > len(set(calls))  # repeated pairs recompute
+
+    def test_scope_change_refilters_route_table(self):
+        oracle = TopologyPathOracle(topology(), np.random.default_rng(11))
+        full = list(range(25))
+        plan_full = oracle.draw_tournament(full, full)
+        narrow = full[:13]
+        plan_narrow = oracle.draw_tournament(narrow, narrow)
+        active = set(narrow)
+        for _, destination, paths in plan_narrow:
+            assert destination in active
+            for path in paths:
+                assert all(node in active for node in path)
+        assert len(plan_full) == 25 and len(plan_narrow) == 13
+
+    def test_batch_engine_runs_on_topology_oracle(self):
+        from repro.sim import make_engine
+
+        topo = topology()
+        oracle = TopologyPathOracle(topo, np.random.default_rng(4))
+        engine = make_engine("batch", 25, 0)
+        engine.set_strategies([Strategy.all_forward() for _ in range(25)])
+        stats = TournamentStats()
+        engine.run_tournament(list(range(25)), 3, oracle, stats, None, None)
+        assert stats.nn_originated == 75
+        assert stats.cooperation_level == 1.0

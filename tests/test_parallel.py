@@ -103,12 +103,19 @@ class TestParallelMap:
 
     def test_progress_callback_serial(self):
         calls = []
-        parallel_map(square, [1, 2, 3], processes=1, progress=lambda d, t: calls.append((d, t)))
+        parallel_map(
+            square, [1, 2, 3], processes=1, progress=lambda d, t: calls.append((d, t))
+        )
         assert calls == [(1, 3), (2, 3), (3, 3)]
 
     def test_progress_callback_parallel(self):
         calls = []
-        parallel_map(square, [1, 2, 3, 4], processes=2, progress=lambda d, t: calls.append((d, t)))
+        parallel_map(
+            square,
+            [1, 2, 3, 4],
+            processes=2,
+            progress=lambda d, t: calls.append((d, t)),
+        )
         assert len(calls) == 4
         assert calls[-1][0] == 4
 

@@ -92,6 +92,8 @@ class TestPathSetGenerator:
     def test_deterministic_under_seed(self):
         gen = PathSetGenerator(SHORTER_PATHS)
         pool = list(range(48))
-        a = PathSetGenerator(SHORTER_PATHS).generate(np.random.default_rng(5), list(pool))
+        a = PathSetGenerator(SHORTER_PATHS).generate(
+            np.random.default_rng(5), list(pool)
+        )
         b = gen.generate(np.random.default_rng(5), list(pool))
         assert a == b

@@ -35,6 +35,12 @@ class TestGameSetup:
         with pytest.raises(ValueError):
             GameSetup(source=0, destination=1, paths=((2, 2),))
 
+    def test_rejects_self_addressed_game(self):
+        """Regression: a buggy oracle emitting source == destination used to
+        pass validation and silently corrupt fitness accounting."""
+        with pytest.raises(ValueError, match="two distinct endpoints"):
+            GameSetup(source=3, destination=3, paths=((2,),))
+
 
 class TestRandomPathOracle:
     def participants(self):
@@ -172,5 +178,5 @@ class TestPlanGames:
         ]
         oracle = ScriptedPathOracle(setups)
         plan = plan_games(oracle, [0, 1], [0, 1, 2, 3])
-        assert plan == [(0, 1, [[2], [3]]), (1, 2, [[0]])]
+        assert plan == [(0, 1, ((2,), (3,))), (1, 2, ((0,),))]
         assert oracle.remaining == 0

@@ -105,7 +105,10 @@ class TestProperties:
         # first-wins tie-break
         assert idx == ratings.index(max(ratings))
 
-    @given(observations, st.lists(st.integers(0, 9), min_size=1, max_size=5, unique=True))
+    @given(
+        observations,
+        st.lists(st.integers(0, 9), min_size=1, max_size=5, unique=True),
+    )
     def test_extending_a_path_never_raises_rating(self, obs, path):
         t = table_with_rates(obs)
         for cut in range(1, len(path)):

@@ -61,8 +61,9 @@ def test_request_accounting(params):
     """Accepted + rejected == total requests, for both source classes."""
     _, stats, _ = run_scenario(params)
     for counters in (stats.requests_from_nn, stats.requests_from_csn):
-        assert counters.accepted + counters.rejected_by_nn + counters.rejected_by_csn == (
-            counters.total
+        assert (
+            counters.accepted + counters.rejected_by_nn + counters.rejected_by_csn
+            == counters.total
         )
 
 

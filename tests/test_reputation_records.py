@@ -6,7 +6,11 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.reputation.records import DEFAULT_UNKNOWN_RATE, ReputationRecord, ReputationTable
+from repro.reputation.records import (
+    DEFAULT_UNKNOWN_RATE,
+    ReputationRecord,
+    ReputationTable,
+)
 
 
 class TestReputationRecord:

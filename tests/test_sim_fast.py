@@ -95,7 +95,9 @@ class TestGuards:
         engine.set_strategies([Strategy.all_forward()] * 6)
         oracle = RandomPathOracle(rng, SHORTER_PATHS)
         with pytest.raises(ValueError):
-            engine.run_tournament(list(range(6)), 0, oracle, TournamentStats(), None, None)
+            engine.run_tournament(
+                list(range(6)), 0, oracle, TournamentStats(), None, None
+            )
 
 
 class TestState:

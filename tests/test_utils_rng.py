@@ -5,7 +5,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.utils.rng import as_generator, derive_generator, spawn_generators, spawn_seeds
+from repro.utils.rng import (
+    as_generator,
+    derive_generator,
+    spawn_generators,
+    spawn_seeds,
+)
 
 
 class TestAsGenerator:
