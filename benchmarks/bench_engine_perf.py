@@ -29,7 +29,7 @@ from repro.mobility import build_oracle
 from repro.network.topology import GeometricTopology, TopologyPathOracle
 from repro.paths.distributions import SHORTER_PATHS
 from repro.paths.oracle import RandomPathOracle
-from repro.sim import ENGINES, make_engine
+from repro.sim import BIT_IDENTICAL_ENGINES, ENGINES, make_engine
 from repro.utils.tables import format_table
 
 from benchmarks.conftest import REPORT_DIR, emit_report, git_sha
@@ -55,6 +55,12 @@ MIN_BATCH_VS_FAST = 0.93
 #: (measured margins are ~4x topology / ~2.3x mobile).
 MIN_TOPOLOGY_VS_REFERENCE = 2.0
 MIN_MOBILE_VS_REFERENCE = 1.4
+#: The turbo engine's tentpole claim: on the random oracle — where the
+#: sequential draw+watchdog recurrence, not route search, bounds the
+#: bit-identical engines — speculative round vectorization must beat the
+#: batch engine.  Measured margin is ~1.45x; 1.2 absorbs shared-runner
+#: noise in CI while the committed ledger posts the real >= 1.3x number.
+MIN_TURBO_VS_BATCH_RANDOM = 1.2
 
 #: The mobile row is the paper's *low-mobility* regime (§3.1): the topology
 #: advances once per tournament (``evaluate_generation``'s
@@ -139,10 +145,24 @@ def test_engine_tournament_throughput(benchmark, engine_name):
 
 @pytest.mark.parametrize("oracle_kind", ORACLES)
 def test_engines_equal_output_per_oracle(oracle_kind):
-    """Guard: the timed configurations do identical work on every oracle."""
-    reference = run_tournament("reference", oracle_kind).to_dict()
-    assert run_tournament("fast", oracle_kind).to_dict() == reference
-    assert run_tournament("batch", oracle_kind).to_dict() == reference
+    """Guard: the timed configurations do identical work on every oracle.
+
+    The bit-identical trio must agree exactly; the turbo engine (statistical
+    contract) must play the same *workload* — same game count, sane delivery
+    — with its distributional match gated by the dedicated suite in
+    ``tests/test_engine_statistical.py``.
+    """
+    reference = run_tournament(BIT_IDENTICAL_ENGINES[0], oracle_kind).to_dict()
+    for engine_name in BIT_IDENTICAL_ENGINES[1:]:
+        assert run_tournament(engine_name, oracle_kind).to_dict() == reference
+    turbo = run_tournament("turbo", oracle_kind).to_dict()
+    assert (
+        turbo["nn_originated"] + turbo["csn_originated"]
+        == reference["nn_originated"] + reference["csn_originated"]
+        == GAMES
+    )
+    assert turbo["nn_delivered"] <= turbo["nn_originated"]
+    assert turbo["nn_paths_chosen"] == reference["nn_paths_chosen"]
 
 
 def test_engine_matrix_report(session):
@@ -216,6 +236,9 @@ def test_engine_matrix_report(session):
             "batch_speedup_vs_reference_random": round(
                 random_walls["reference"] / random_walls["batch"], 3
             ),
+            "turbo_speedup_vs_batch_random": round(
+                random_walls["batch"] / random_walls["turbo"], 3
+            ),
         },
         "git_sha": git_sha(),
     }
@@ -223,6 +246,9 @@ def test_engine_matrix_report(session):
 
     # The tentpole claims, measured where users will see them.
     assert random_walls["fast"] / random_walls["batch"] >= MIN_BATCH_SPEEDUP
+    assert (
+        random_walls["batch"] / random_walls["turbo"] >= MIN_TURBO_VS_BATCH_RANDOM
+    ), "turbo engine lost its speculative-vectorization edge on the random oracle"
     for oracle_kind in ORACLES:
         engine_walls = walls[oracle_kind]
         assert (

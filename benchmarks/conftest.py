@@ -22,6 +22,7 @@ from pathlib import Path
 import pytest
 
 from repro.experiments.registry import ReproductionSession
+from repro.utils.validation import validate_bench_report
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 REPORT_DIR = RESULTS_DIR / "bench_reports"
@@ -113,6 +114,9 @@ def emit_report(
         "metrics": metrics or {},
         "git_sha": git_sha(),
     }
+    # a malformed report must fail the bench that produced it, not silently
+    # poison the committed artefact set CI archives
+    validate_bench_report(payload, name=f"{name}.json")
     (REPORT_DIR / f"{name}.json").write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n"
     )

@@ -1,10 +1,19 @@
 """Analysis of experiment results: cooperation metrics, strategy censuses,
-request statistics and paper-style report rendering."""
+request statistics, statistical engine-equivalence testing and paper-style
+report rendering."""
 
 from repro.analysis.cooperation import (
     final_mean_cooperation,
     moving_average,
     series_confidence_band,
+)
+from repro.analysis.equivalence import (
+    EquivalenceReport,
+    compare_engines,
+    compare_samples,
+    confidence_band_overlap,
+    ks_2samp,
+    mann_whitney_u,
 )
 from repro.analysis.requests import request_fractions
 from repro.analysis.strategies import (
@@ -23,4 +32,10 @@ __all__ = [
     "substrategy_distribution",
     "unknown_bit_fraction",
     "request_fractions",
+    "ks_2samp",
+    "mann_whitney_u",
+    "confidence_band_overlap",
+    "compare_samples",
+    "compare_engines",
+    "EquivalenceReport",
 ]

@@ -56,7 +56,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_rep.add_argument("--scale", default="default", help="paper|default|smoke")
     p_rep.add_argument("--seed", type=int, default=2007)
-    p_rep.add_argument("--engine", default="fast", choices=tuple(ENGINES))
+    p_rep.add_argument(
+        "--engine",
+        default="fast",
+        choices=tuple(ENGINES),
+        help=(
+            "simulation engine; reference/fast/batch are bit-identical,"
+            " turbo is statistically equivalent (fastest, different"
+            " trajectories under the same seed)"
+        ),
+    )
     p_rep.add_argument("--processes", type=int, default=None)
     p_rep.add_argument(
         "--out",
@@ -73,7 +82,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_case.add_argument("--replications", type=int, default=None)
     p_case.add_argument("--scale", default="default")
     p_case.add_argument("--seed", type=int, default=2007)
-    p_case.add_argument("--engine", default="fast", choices=tuple(ENGINES))
+    p_case.add_argument(
+        "--engine",
+        default="fast",
+        choices=tuple(ENGINES),
+        help=(
+            "simulation engine; reference/fast/batch are bit-identical,"
+            " turbo is statistically equivalent (fastest, different"
+            " trajectories under the same seed)"
+        ),
+    )
     p_case.add_argument("--processes", type=int, default=None)
     p_case.add_argument("--out", type=Path, default=None, help="JSON output path")
     p_case.add_argument(

@@ -1,0 +1,219 @@
+"""Vectorized tournament-plan sampling for the turbo engine.
+
+The bit-identical engines draw game setups through the oracle's sequential
+RNG protocol (``draw`` / the stream-identical ``draw_tournament``), which
+pins every trajectory but caps throughput: profiling shows the per-game draw
+overhead — not the game kernel — dominates the batch engine on the random
+oracle (~9 of ~11 us/game at table-5 scale).
+
+The turbo engine's contract is *statistical* (distributional), not
+bit-identical, which unlocks a different sampler: draw the whole tournament's
+destinations, hop counts, path counts and intermediate sets as a handful of
+numpy array operations.  Every marginal and joint distribution matches the
+sequential sampler exactly —
+
+* destination: uniform over the participants minus the source
+  (``Generator.integers``, same as :meth:`RandomPathOracle.draw`),
+* hop count: inverse-CDF over the mode's :class:`HopDistribution` with
+  right-bisection, the same lookup ``DiscreteDistribution.sample`` performs,
+* alternate-path count: the Table-3 pmf conditioned on the drawn hop count,
+* each path: a uniform ordered ``k``-subset of the pool via a partial
+  Fisher–Yates shuffle vectorized across paths, using the same
+  ``u -> i + floor(u * (n - i))`` index map as
+  :func:`repro.paths.generator.sample_distinct` (paths of one game are
+  mutually independent in both samplers: a partial Fisher–Yates draw is
+  uniform from *any* starting pool order),
+
+but the underlying generator is consumed in a different order and count, so
+trajectories diverge from the sequential engines while every per-game
+distribution is identical.  ``tests/test_paths_vector.py`` pins the
+distributional match; ``tests/test_engine_statistical.py`` pins the
+downstream claim.
+
+Oracles without a vectorized sampler (topology, mobile, scripted) are planned
+through :func:`repro.paths.oracle.plan_games` — their draw cost is either
+cheap (cached route tables) or semantically clocked (mobility) — and packed
+into the same :class:`GamePlanArrays` layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.paths.oracle import PathOracle, RandomPathOracle, plan_games
+
+__all__ = ["GamePlanArrays", "plan_tournament_arrays"]
+
+
+@dataclass
+class GamePlanArrays:
+    """A whole tournament's game setups as padded struct-of-arrays.
+
+    ``path_nodes`` rows hold the intermediates of one candidate path in
+    forwarding order, right-padded with ``-1``; paths of game ``g`` occupy
+    rows ``game_path_start[g]:game_path_start[g + 1]`` in candidate order.
+    """
+
+    n_games: int
+    src: np.ndarray  # (G,) int64 — source id per game
+    dst: np.ndarray  # (G,) int64 — destination id per game
+    n_paths: np.ndarray  # (G,) int64 — candidate paths per game
+    game_path_start: np.ndarray  # (G + 1,) int64 — path-row ranges per game
+    path_game: np.ndarray  # (P,) int64 — owning game of each path row
+    path_col: np.ndarray  # (P,) int64 — candidate index within the game
+    path_nodes: np.ndarray  # (P, H) int64 — intermediates, -1 padded
+    path_len: np.ndarray  # (P,) int64 — intermediates per path
+    max_paths: int  # max candidates in any game (column count for ratings)
+
+    def paths_of(self, game: int) -> list[list[int]]:
+        """The candidate paths of one game as plain lists (replay kernel)."""
+        lo, hi = self.game_path_start[game], self.game_path_start[game + 1]
+        return [
+            row[: self.path_len[p]].tolist()
+            for p, row in zip(range(lo, hi), self.path_nodes[lo:hi])
+        ]
+
+
+def plan_tournament_arrays(
+    oracle: PathOracle, sources: Sequence[int], participants: Sequence[int]
+) -> GamePlanArrays:
+    """Draw a whole tournament's games into :class:`GamePlanArrays`.
+
+    :class:`RandomPathOracle` gets the native vectorized sampler
+    (distributionally identical, stream-divergent — see the module
+    docstring); every other oracle is planned sequentially through
+    :func:`plan_games` and repacked.
+    """
+    participants = list(participants)
+    sources = list(sources)
+    if isinstance(oracle, RandomPathOracle) and set(sources) <= set(participants):
+        return _sample_random_vectorized(oracle, sources, participants)
+    return _arrays_from_plan(plan_games(oracle, sources, participants))
+
+
+def _arrays_from_plan(plan) -> GamePlanArrays:
+    """Pack a sequential :func:`plan_games` plan into padded arrays."""
+    n_games = len(plan)
+    src = np.empty(n_games, dtype=np.int64)
+    dst = np.empty(n_games, dtype=np.int64)
+    n_paths = np.empty(n_games, dtype=np.int64)
+    flat_paths: list[Sequence[int]] = []
+    for g, (source, destination, paths) in enumerate(plan):
+        src[g] = source
+        dst[g] = destination
+        n_paths[g] = len(paths)
+        flat_paths.extend(paths)
+    total = len(flat_paths)
+    path_len = np.fromiter(
+        (len(p) for p in flat_paths), dtype=np.int64, count=total
+    )
+    max_len = int(path_len.max()) if total else 1
+    path_nodes = np.full((total, max_len), -1, dtype=np.int64)
+    for row, path in enumerate(flat_paths):
+        path_nodes[row, : len(path)] = path
+    game_path_start = np.zeros(n_games + 1, dtype=np.int64)
+    np.cumsum(n_paths, out=game_path_start[1:])
+    path_game = np.repeat(np.arange(n_games, dtype=np.int64), n_paths)
+    path_col = np.arange(total, dtype=np.int64) - game_path_start[path_game]
+    return GamePlanArrays(
+        n_games=n_games,
+        src=src,
+        dst=dst,
+        n_paths=n_paths,
+        game_path_start=game_path_start,
+        path_game=path_game,
+        path_col=path_col,
+        path_nodes=path_nodes,
+        path_len=path_len,
+        max_paths=int(n_paths.max()) if n_games else 0,
+    )
+
+
+def _sample_random_vectorized(
+    oracle: RandomPathOracle, sources: Sequence[int], participants: list[int]
+) -> GamePlanArrays:
+    """The native vectorized sampler for :class:`RandomPathOracle`."""
+    rng = oracle.rng
+    n = len(participants)
+    if n - 1 < 2:
+        raise ValueError(
+            "need at least 3 participants (source, destination, 1 intermediate)"
+        )
+    parts = np.asarray(participants, dtype=np.int64)
+    src = np.asarray(sources, dtype=np.int64)
+    n_games = len(src)
+
+    # per-participant "others" pools (participants minus self, order kept),
+    # plus the inverse lookup position-of-id used to swap destinations out
+    off_diag = parts[None, :] != parts[:, None]
+    others = np.broadcast_to(parts, (n, n))[off_diag].reshape(n, n - 1)
+    max_id = int(parts.max())
+    row_of = np.full(max_id + 1, -1, dtype=np.int64)
+    row_of[parts] = np.arange(n, dtype=np.int64)
+    pos_in_others = np.zeros((n, max_id + 1), dtype=np.int64)
+    np.put_along_axis(
+        pos_in_others, others, np.broadcast_to(np.arange(n - 1), (n, n - 1)), axis=1
+    )
+    src_rows = row_of[src]
+
+    # destinations: uniform over the n - 1 others, as draw() does per game
+    dst = others[src_rows, rng.integers(n - 1, size=n_games)]
+
+    # hop counts and conditional path counts, inverse-CDF as sample() does
+    gen = oracle.generator
+    hop_values = np.asarray(gen.hop_distribution.dist.values, dtype=np.int64)
+    hop_cum = np.asarray(gen.hop_distribution.dist.cumulative)
+    u = rng.random((n_games, 2))
+    hops = hop_values[np.searchsorted(hop_cum, u[:, 0], side="right")]
+    pool_size = n - 2  # others minus the destination
+    k = np.minimum(hops - 1, pool_size)
+    if (k < 1).any():
+        raise ValueError("participant pool too small for any path")
+    n_paths = np.empty(n_games, dtype=np.int64)
+    for hv in np.unique(hops):
+        dist = gen.count_distribution.distribution_for(int(hv))
+        rows = hops == hv
+        idx = np.searchsorted(
+            np.asarray(dist.cumulative), u[rows, 1], side="right"
+        )
+        n_paths[rows] = np.asarray(dist.values, dtype=np.int64)[idx]
+
+    # one pool copy per path; swap the destination into the dead last slot
+    total = int(n_paths.sum())
+    game_path_start = np.zeros(n_games + 1, dtype=np.int64)
+    np.cumsum(n_paths, out=game_path_start[1:])
+    path_game = np.repeat(np.arange(n_games, dtype=np.int64), n_paths)
+    path_col = np.arange(total, dtype=np.int64) - game_path_start[path_game]
+    pools = others[src_rows[path_game]]  # fancy indexing copies
+    rows_idx = np.arange(total)
+    dest_pos = pos_in_others[src_rows, dst][path_game]
+    pools[rows_idx, dest_pos] = pools[:, pool_size]
+
+    # partial Fisher-Yates vectorized across paths: same index quantisation
+    # as sample_distinct; swaps past a path's own k are dead (never read)
+    k_path = k[path_game]
+    k_max = int(k_path.max())
+    us = rng.random((total, k_max))
+    for i in range(k_max):
+        j = i + (us[:, i] * (pool_size - i)).astype(np.int64)
+        drawn = pools[rows_idx, j]
+        pools[rows_idx, j] = pools[:, i]
+        pools[:, i] = drawn
+    path_nodes = pools[:, :k_max].copy()
+    path_nodes[np.arange(k_max)[None, :] >= k_path[:, None]] = -1
+
+    return GamePlanArrays(
+        n_games=n_games,
+        src=src,
+        dst=dst,
+        n_paths=n_paths,
+        game_path_start=game_path_start,
+        path_game=path_game,
+        path_col=path_col,
+        path_nodes=path_nodes,
+        path_len=k_path,
+        max_paths=int(n_paths.max()),
+    )

@@ -1,6 +1,6 @@
 """Simulation engines.
 
-Three interchangeable implementations of the tournament semantics:
+Four interchangeable implementations of the tournament semantics:
 
 * :class:`repro.sim.reference.ReferenceEngine` — object-oriented, built from
   the auditable :mod:`repro.game` / :mod:`repro.core` pieces, supports event
@@ -8,27 +8,48 @@ Three interchangeable implementations of the tournament semantics:
 * :class:`repro.sim.fast.FastEngine` — flat-array hot loop for large
   reproduction sweeps;
 * :class:`repro.sim.batch.BatchEngine` — struct-of-arrays numpy state with
-  batched tournament-schedule drawing, the fastest engine for generation
-  sweeps.
+  batched tournament-schedule drawing, the fastest *bit-identical* engine;
+* :class:`repro.sim.turbo.TurboEngine` — speculative round-vectorized engine
+  under a **statistical** (distributional) equivalence contract: vectorized
+  tournament draws and per-round game slates with conflict replay, validated
+  by ``tests/test_engine_statistical.py`` rather than the bit-identity suite.
 
 All engines support every path oracle (random/topology/mobile) and the
-second-hand reputation-exchange extension, consume randomness through the
-shared path oracle and scheduler only, and produce bit-identical trajectories
-under identical seeds (see ``tests/test_engine_equivalence.py``).
+second-hand reputation-exchange extension.  The engines named in
+:data:`BIT_IDENTICAL_ENGINES` consume randomness through the shared path
+oracle and scheduler only and produce bit-identical trajectories under
+identical seeds (see ``tests/test_engine_equivalence.py``); ``turbo``
+reproduces the same outcome *distributions* (cooperation, fitness, Tables
+5-9 aggregates) without replaying the same trajectories.
 """
 
 from repro.sim.batch import BatchEngine
 from repro.sim.fast import FastEngine
 from repro.sim.reference import ReferenceEngine
+from repro.sim.turbo import TurboEngine
 
-__all__ = ["ReferenceEngine", "FastEngine", "BatchEngine", "ENGINES", "make_engine"]
+__all__ = [
+    "ReferenceEngine",
+    "FastEngine",
+    "BatchEngine",
+    "TurboEngine",
+    "ENGINES",
+    "BIT_IDENTICAL_ENGINES",
+    "make_engine",
+]
 
 #: Engine registry, keyed by the ``--engine`` selector name.
 ENGINES = {
     "reference": ReferenceEngine,
     "fast": FastEngine,
     "batch": BatchEngine,
+    "turbo": TurboEngine,
 }
+
+#: Engines guaranteed to produce identical trajectories under identical
+#: seeds.  ``turbo`` is deliberately absent: its contract is statistical
+#: equivalence (same outcome distributions, different trajectories).
+BIT_IDENTICAL_ENGINES = ("reference", "fast", "batch")
 
 
 def make_engine(
@@ -39,8 +60,8 @@ def make_engine(
     activity=None,
     payoffs=None,
 ):
-    """Factory: build an engine by name (``"reference"``, ``"fast"`` or
-    ``"batch"``)."""
+    """Factory: build an engine by name (``"reference"``, ``"fast"``,
+    ``"batch"`` or ``"turbo"``)."""
     from repro.core.payoff import PayoffConfig
     from repro.reputation.activity import ActivityClassifier
     from repro.reputation.trust import TrustTable

@@ -1,0 +1,688 @@
+"""Speculative round-vectorized "turbo" simulation engine.
+
+The fourth engine, and the first to relax the equivalence contract: turbo is
+**statistically equivalent** to the reference trajectory distribution, not
+bit-identical to any single trajectory.  The relaxation buys back the two
+costs that bound the bit-identical engines:
+
+* **Game setups** are drawn for the whole tournament in a handful of numpy
+  operations (:func:`repro.paths.vector.plan_tournament_arrays`) instead of
+  per-game RNG calls — distributionally identical to the sequential sampler,
+  but consuming the generator in a different order, so trajectories diverge.
+* **The game loop** is vectorized per round.  The bit-identical engines must
+  play a round's games sequentially because game ``g``'s watchdog updates
+  feed game ``g + 1``'s path ratings and forwarding decisions.  Turbo instead
+  *speculates*: every game of a round is decided in one vectorized pass from
+  the round-start reputation matrices, then a **conflict pass** walks the
+  round in game order and flags games whose decision-relevant reputation
+  pairs — ``(intermediate, source)`` and ``(source, intermediate)`` for the
+  speculatively chosen path — were written by an earlier game of the same
+  round.  Non-conflicting games commit their speculative outcome in one
+  batched scatter; conflicting games are **replayed** through the exact
+  per-game scalar kernel against the live matrices.
+
+What the speculation changes, precisely
+---------------------------------------
+A non-conflicting game's decision inputs are untouched by the round's earlier
+writes, so its speculative decisions equal the sequential ones *except* for
+three tolerated staleness/ordering effects, which are the entire statistical
+relaxation:
+
+* activity averages (``pf_sum / known``) are aggregates over a whole observer
+  row; they may lag intra-round writes that the pair-granular conflict pass
+  does not track,
+* ratings of *non-chosen* candidate paths may be stale (only the chosen
+  path's pairs are checked), which can flip near-tie path choices,
+* batched commits land before the round's replays, a reordering of writes
+  within the round,
+* the conflict pass records each game's *speculative* write pairs — a
+  replayed game's actual writes (it may choose a different path against
+  live state) are not re-checked against later games of the round, so a
+  later game can consume a pair a replay touched without itself replaying.
+
+All four perturb *which* of two near-equivalent micro-outcomes occurs, never
+the distributions the paper reports (cooperation level, fitness, Tables 5-9
+aggregates).  ``tests/test_engine_statistical.py`` holds turbo to that claim
+with two-sample KS / Mann-Whitney gates against a bit-identical engine over
+seeded replication ensembles, and ``tests/test_properties_simulation.py`` /
+``tests/test_sim_turbo.py`` pin the invariants that must stay *exact*
+(counter consistency, conservation, ``pf <= ps``).
+
+Implementation shape
+--------------------
+Per-op numpy dispatch dominates at round granularity (a table-5 round is 50
+games), so the engine splits work by *when its inputs bind*:
+
+* bound at plan time — decision/rating gather indices, CSN masks, strategy
+  row bases — is precomputed once per tournament (:class:`_PlanContext`);
+* bound at round start — reputation-dependent ratings, decisions, watchdog
+  writes — runs in the per-round vectorized pass;
+* bound at nothing (payoff accumulators, statistics counters: dead state
+  until the tournament ends) is buffered per round and folded in one
+  vectorized pass per tournament.
+
+Like every engine, turbo supports all path oracles and the second-hand
+exchange; non-random oracles (topology, mobile, scripted) are planned through
+the sequential :func:`plan_games` path and only the game loop is speculated.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.payoff import PayoffConfig
+from repro.core.strategy import STRATEGY_LENGTH, UNKNOWN_BIT, Strategy
+from repro.game.stats import TournamentStats
+from repro.paths.oracle import PathOracle
+from repro.paths.vector import GamePlanArrays, plan_tournament_arrays
+from repro.reputation.activity import ActivityClassifier
+from repro.reputation.exchange import ExchangeConfig, exchange_reputation_flat
+from repro.reputation.trust import TrustTable
+
+__all__ = ["TurboEngine"]
+
+
+class _PlanContext:
+    """Everything about a tournament plan that does not depend on reputation
+    state, precomputed once so the per-round pass is pure gathers and ufuncs.
+    """
+
+    __slots__ = (
+        "plan",
+        "games_per_round",
+        "pg_rel",
+        "cells_rate",
+        "pad_path",
+        "jc",
+        "valid",
+        "is_csn",
+        "cells_dec",
+        "strat_base",
+        "has_csn",
+        "src_sel",
+        "src_round_m",
+        "src_list",
+        "hrange",
+        "ratings_buf",
+        "obs_buf",
+        "pair_buf",
+        "decided_b",
+        "fwd_b",
+        "unknown_b",
+        "trust_b",
+        "chosen_b",
+        "success_b",
+        "keep_b",
+    )
+
+    def __init__(self, plan: GamePlanArrays, games_per_round: int, m: int, n_pop: int):
+        self.plan = plan
+        self.games_per_round = games_per_round
+        src_of_path = plan.src[plan.path_game]
+        nodes = plan.path_nodes
+        valid = nodes >= 0
+        self.pad_path = ~valid
+        node0 = np.where(valid, nodes, 0)
+        # rating reads: the source's opinion of each candidate-path node
+        self.cells_rate = src_of_path[:, None] * m + node0
+        # the game's path rows, relative to its round (for the ratings
+        # scatter; games per round is constant, so a modulo does it)
+        self.pg_rel = plan.path_game % games_per_round
+        # decision reads: each node's opinion of the source
+        self.jc = node0
+        self.valid = valid
+        self.is_csn = nodes >= n_pop
+        self.cells_dec = node0 * m + src_of_path[:, None]
+        # strategy row base; CSN rows resolve into the zero-padded tail of
+        # the (m * STRATEGY_LENGTH) strategy table, so no masking is needed
+        self.strat_base = node0 * STRATEGY_LENGTH
+        self.has_csn = self.is_csn.any(axis=1)
+        self.src_sel = plan.src >= n_pop
+        # every round's source order is the participants list, so the
+        # round-constant pieces are hoisted once
+        src_round = plan.src[:games_per_round]
+        self.src_round_m = src_round * m
+        self.src_list = plan.src.tolist()
+        n_games = plan.n_games
+        h = nodes.shape[1]
+        self.hrange = np.arange(h)
+        self.ratings_buf = np.empty(
+            (games_per_round, max(plan.max_paths, 1)), dtype=np.float64
+        )
+        self.obs_buf = np.empty((games_per_round, h + 1), dtype=np.int64)
+        self.obs_buf[:, 0] = src_round
+        self.pair_buf = np.empty((games_per_round, h + 1, h), dtype=np.int64)
+        # per-game speculative outcomes, buffered for the tournament-end
+        # fold; the round pass computes straight into slices of these
+        self.decided_b = np.zeros((n_games, h), dtype=bool)
+        self.fwd_b = np.zeros((n_games, h), dtype=bool)
+        self.unknown_b = np.zeros((n_games, h), dtype=bool)
+        self.trust_b = np.zeros((n_games, h), dtype=np.int64)
+        self.chosen_b = np.zeros(n_games, dtype=np.int64)
+        self.success_b = np.zeros(n_games, dtype=bool)
+        self.keep_b = np.ones(n_games, dtype=bool)
+
+
+class TurboEngine:
+    """Round-vectorized speculative implementation of the tournament
+    semantics (statistical-equivalence contract)."""
+
+    name = "turbo"
+
+    def __init__(
+        self,
+        n_population: int,
+        max_selfish: int,
+        trust_table: TrustTable | None = None,
+        activity: ActivityClassifier | None = None,
+        payoffs: PayoffConfig | None = None,
+    ):
+        if n_population < 1:
+            raise ValueError(f"population must be >= 1, got {n_population}")
+        if max_selfish < 0:
+            raise ValueError(f"max_selfish must be >= 0, got {max_selfish}")
+        self.n_population = n_population
+        self.max_selfish = max_selfish
+        self.trust_table = trust_table or TrustTable()
+        self.activity = activity or ActivityClassifier()
+        self.payoffs = payoffs or PayoffConfig()
+        if self.trust_table.n_levels != 4:
+            raise ValueError("TurboEngine is specialised to 4 trust levels")
+        self.m = n_population + max_selfish
+        self._bounds = np.asarray(self.trust_table.bounds, dtype=np.float64)
+        self._b0, self._b1, self._b2 = self.trust_table.bounds
+        self._band = self.activity.band
+        self._fwd_pay = np.asarray(self.payoffs.forward_by_trust, dtype=np.float64)
+        self._disc_pay = np.asarray(self.payoffs.discard_by_trust, dtype=np.float64)
+        self._default_trust = self.payoffs.default_trust
+        self._src_success = self.payoffs.source_success
+        self._src_failure = self.payoffs.source_failure
+        self._strategies: list[tuple[int, ...]] = [
+            (1,) * STRATEGY_LENGTH for _ in range(n_population)
+        ]
+        self._rebuild_strategy_table()
+        #: games replayed through the exact kernel in the last tournament —
+        #: instrumentation for tests and the perf bench
+        self._replayed_games = 0
+        self._alloc()
+
+    def _rebuild_strategy_table(self) -> None:
+        # (m * STRATEGY_LENGTH,) int8: population strategies then zeros, so
+        # CSN gather rows read as "never forward" without masking
+        table = np.zeros(self.m * STRATEGY_LENGTH, dtype=np.int8)
+        flat = np.array(self._strategies, dtype=np.int8).reshape(-1)
+        table[: flat.size] = flat
+        self._strat_flat = table
+
+    def _alloc(self) -> None:
+        m = self.m
+        # canonical state: same layout as the batch engine, always numpy
+        self.ps = np.zeros((m, m), dtype=np.int64)
+        self.pf = np.zeros((m, m), dtype=np.int64)
+        self.known = np.zeros(m, dtype=np.int64)
+        self.pf_sum = np.zeros(m, dtype=np.int64)
+        self.send_pay = np.zeros(m, dtype=np.float64)
+        self.fwd_pay_acc = np.zeros(m, dtype=np.float64)
+        self.disc_pay_acc = np.zeros(m, dtype=np.float64)
+        self.n_sent = np.zeros(m, dtype=np.int64)
+        self.n_fwd = np.zeros(m, dtype=np.int64)
+        self.n_disc = np.zeros(m, dtype=np.int64)
+
+    # -- SimulationEngine protocol ------------------------------------------
+
+    @property
+    def population_ids(self) -> Sequence[int]:
+        return range(self.n_population)
+
+    def selfish_ids(self, n: int) -> list[int]:
+        if n > self.max_selfish:
+            raise ValueError(
+                f"environment needs {n} CSN, engine allocated {self.max_selfish}"
+            )
+        return [self.n_population + k for k in range(n)]
+
+    def set_strategies(self, strategies: Sequence[Strategy]) -> None:
+        if len(strategies) != self.n_population:
+            raise ValueError(
+                f"expected {self.n_population} strategies, got {len(strategies)}"
+            )
+        self._strategies = [tuple(s.bits) for s in strategies]
+        self._rebuild_strategy_table()
+
+    @property
+    def strategy_matrix(self) -> np.ndarray:
+        """The population's strategies as a ``(pop, STRATEGY_LENGTH)`` int8
+        matrix — derived from the kernel's bit tuples, so the two can never
+        drift apart."""
+        return np.array(self._strategies, dtype=np.int8)
+
+    def reset_generation(self) -> None:
+        self._alloc()
+
+    # -- tournament ---------------------------------------------------------
+
+    def run_tournament(
+        self,
+        participants: Sequence[int],
+        rounds: int,
+        oracle: PathOracle,
+        stats: TournamentStats,
+        exchange: ExchangeConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        do_exchange = exchange is not None and exchange.enabled
+        if do_exchange and rng is None:
+            raise ValueError("reputation exchange requires an rng")
+        if rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {rounds}")
+        participants = list(participants)
+        games_per_round = len(participants)
+        # The whole tournament is pre-drawn even with the exchange enabled:
+        # gossip draws then trail the oracle draws on a shared generator
+        # instead of interleaving at round boundaries — a stream reordering
+        # the statistical contract tolerates (the bit-identical engines must
+        # plan per round here).
+        plan = plan_tournament_arrays(oracle, participants * rounds, participants)
+        ctx = _PlanContext(plan, games_per_round, self.m, self.n_population)
+        # replay contributions accumulate here; speculative outcomes are
+        # folded vectorized at the end (dead state during the tournament)
+        req = np.zeros(9, dtype=np.int64)
+        delivered = np.zeros(4, dtype=np.int64)
+        csn_free = np.zeros(4, dtype=np.int64)
+        self._replayed_games = 0
+
+        for round_no in range(rounds):
+            self._process_round(ctx, round_no, req, delivered, csn_free)
+            if do_exchange and (round_no + 1) % exchange.interval == 0:
+                self._run_exchange(participants, exchange, rng)
+
+        self._fold_tournament(ctx, req, delivered, csn_free)
+
+        stats.nn_originated += int(delivered[0] + delivered[1])
+        stats.nn_delivered += int(delivered[1])
+        stats.csn_originated += int(delivered[2] + delivered[3])
+        stats.csn_delivered += int(delivered[3])
+        stats.nn_paths_chosen += int(csn_free[0] + csn_free[1])
+        stats.nn_csn_free_paths += int(csn_free[0])
+        stats.csn_paths_chosen += int(csn_free[2] + csn_free[3])
+        stats.csn_csn_free_paths += int(csn_free[2])
+        from_nn, from_csn = stats.requests_from_nn, stats.requests_from_csn
+        from_nn.rejected_by_nn += int(req[0])
+        from_nn.accepted_by_nn += int(req[1])
+        from_nn.rejected_by_csn += int(req[2])
+        from_nn.accepted_by_csn += int(req[3])
+        from_csn.rejected_by_nn += int(req[4])
+        from_csn.accepted_by_nn += int(req[5])
+        from_csn.rejected_by_csn += int(req[6])
+        from_csn.accepted_by_csn += int(req[7])
+
+    def _process_round(
+        self,
+        ctx: _PlanContext,
+        round_no: int,
+        req: np.ndarray,
+        delivered: np.ndarray,
+        csn_free: np.ndarray,
+    ) -> None:
+        m = self.m
+        plan = ctx.plan
+        ps_flat = self.ps.reshape(-1)
+        pf_flat = self.pf.reshape(-1)
+        g0 = round_no * ctx.games_per_round
+        g1 = g0 + ctx.games_per_round
+        p0 = int(plan.game_path_start[g0])
+        p1 = int(plan.game_path_start[g1])
+        n_games = g1 - g0
+
+        # -- speculative path ratings from round-start state ----------------
+        cells = ctx.cells_rate[p0:p1]
+        c = ps_flat.take(cells)
+        zero = c == 0
+        np.maximum(c, 1, out=c)
+        d = pf_flat.take(cells) / c
+        d[zero] = 0.5
+        d[ctx.pad_path[p0:p1]] = 1.0
+        ratings = d.prod(axis=1)
+
+        # -- best path per game (first index wins ties, as the trio does) ---
+        buf = ctx.ratings_buf
+        buf.fill(-1.0)
+        buf[ctx.pg_rel[p0:p1], plan.path_col[p0:p1]] = ratings
+        chosen = ctx.chosen_b[g0:g1]
+        np.add(plan.game_path_start[g0:g1], buf.argmax(axis=1), out=chosen)
+
+        # -- speculative sequential decisions, vectorized over games --------
+        # computed straight into the tournament-fold buffers where possible
+        valid = ctx.valid[chosen]
+        jc = ctx.jc[chosen]
+        cells_dec = ctx.cells_dec[chosen]
+        c2 = ps_flat.take(cells_dec)
+        f2 = pf_flat.take(cells_dec)
+        unknown = ctx.unknown_b[g0:g1]
+        np.equal(c2, 0, out=unknown)
+        np.maximum(c2, 1, out=c2)
+        rate = f2 / c2
+        trust = ctx.trust_b[g0:g1]
+        trust[:] = np.searchsorted(
+            self._bounds, rate.ravel(), side="left"
+        ).reshape(rate.shape)
+        kn = self.known.take(jc)
+        np.maximum(kn, 1, out=kn)
+        av = self.pf_sum.take(jc) / kn
+        delta = self._band * av
+        bit = trust * 3
+        bit += 1
+        bit += f2 > av + delta
+        bit -= f2 < av - delta
+        np.copyto(bit, UNKNOWN_BIT, where=unknown)
+        fwd = ctx.fwd_b[g0:g1]
+        np.equal(self._strat_flat.take(ctx.strat_base[chosen] + bit), 1, out=fwd)
+        fwd &= valid
+        prefix = np.logical_and.accumulate(fwd | ~valid, axis=1)
+        decided = ctx.decided_b[g0:g1]
+        np.copyto(decided, valid)
+        decided[:, 1:] &= prefix[:, :-1]
+        success = ctx.success_b[g0:g1]
+        success[:] = prefix[:, -1]
+        n_dec = decided.sum(axis=1)
+
+        # -- conflict pass: pair-granular reads vs earlier writes ------------
+        # watchdog write pairs (observer, subject) with out-of-range
+        # sentinels: invalid entries land at >= m*m and are filtered out.
+        # The observer sentinel is m (pair = m*m + subj >= m*m); the subject
+        # sentinel must be m*m itself — a subject sentinel of m would fold
+        # into the valid pair (obs + 1, 0).
+        upd_ok = decided & (
+            success[:, None] | (ctx.hrange < (n_dec - 1)[:, None])
+        )
+        obs = ctx.obs_buf  # column 0 is the round-constant source id
+        np.copyto(obs[:, 1:], jc)
+        np.copyto(obs[:, 1:], m, where=~upd_ok)
+        subj = np.where(decided, jc, m * m)
+        pair = ctx.pair_buf
+        pair[:] = obs[:, :, None] * m
+        pair += subj[:, None, :]
+        pair[obs[:, :, None] == subj[:, None, :]] = m * m
+        pair2 = pair.reshape(n_games, -1)
+        w_ok = pair2 < m * m
+        w_counts = w_ok.sum(axis=1)
+        w_vals = pair2[w_ok]
+        # decision reads (j, s) are exactly the decided cells; rating reads
+        # (s, j) cover the decided prefix of the chosen path (staleness on
+        # nodes past a drop only perturbs already-tolerated path ratings)
+        r1 = cells_dec[decided]
+        r2 = (ctx.src_round_m[:, None] + jc)[decided]
+        n_dec_l = n_dec.tolist()
+
+        keep = ctx.keep_b[g0:g1]
+        self._conflict_walk(
+            keep,
+            r1.tolist(),
+            r2.tolist(),
+            n_dec_l,
+            w_vals.tolist(),
+            w_counts.tolist(),
+        )
+
+        # -- commit the non-conflicting games' watchdog writes in one batch --
+        k_pairs = keep.repeat(w_counts)
+        pairs = w_vals[k_pairs]
+        ps_flat += np.bincount(pairs, minlength=m * m)
+        w_fwd = np.broadcast_to(
+            fwd[:, None, :], pair.shape
+        ).reshape(n_games, -1)[w_ok]
+        pf_pairs = pairs[w_fwd[k_pairs]]
+        pf_flat += np.bincount(pf_pairs, minlength=m * m)
+        # the aggregates are cheapest recomputed wholesale at this scale
+        self.known[:] = np.count_nonzero(self.ps, axis=1)
+        self.pf_sum[:] = self.pf.sum(axis=1)
+
+        # -- replay conflicting games through the exact scalar kernel --------
+        if not keep.all():
+            replay_ids = np.flatnonzero(~keep)
+            self._replayed_games += len(replay_ids)
+            for g in replay_ids.tolist():
+                self._replay_game(
+                    ctx.src_list[g0 + g],
+                    plan.paths_of(g0 + g),
+                    req,
+                    delivered,
+                    csn_free,
+                )
+
+    @staticmethod
+    def _conflict_walk(
+        keep: np.ndarray,
+        r1: list,
+        r2: list,
+        read_counts: list,
+        writes: list,
+        w_counts: list,
+    ) -> None:
+        """Walk the round in game order; a game whose read pairs were written
+        by an earlier game loses its speculation (``keep[g] = False``).
+
+        ``r1``/``r2`` are the two read-pair streams (decision and rating
+        direction), both grouped per game by ``read_counts``."""
+        written: set[int] = set()
+        written_update = written.update
+        a = w = 0
+        for g in range(len(read_counts)):
+            a2 = a + read_counts[g]
+            w2 = w + w_counts[g]
+            for pr in r1[a:a2]:
+                if pr in written:
+                    keep[g] = False
+                    break
+            else:
+                for pr in r2[a:a2]:
+                    if pr in written:
+                        keep[g] = False
+                        break
+            written_update(writes[w:w2])
+            a, w = a2, w2
+        return None
+
+    def _fold_tournament(
+        self,
+        ctx: _PlanContext,
+        req: np.ndarray,
+        delivered: np.ndarray,
+        csn_free: np.ndarray,
+    ) -> None:
+        """Fold the buffered speculative outcomes of all kept games into the
+        payoff accumulators and statistics counters (dead state during the
+        tournament, so one vectorized pass suffices)."""
+        m = self.m
+        keep = ctx.keep_b
+        chosen = ctx.chosen_b
+        decided = ctx.decided_b
+        fwd = ctx.fwd_b
+        success = ctx.success_b
+        src = ctx.plan.src
+        src_sel = ctx.src_sel
+        is_csn = ctx.is_csn[chosen]
+
+        delivered += np.bincount((src_sel * 2 + success)[keep], minlength=4)
+        csn_free += np.bincount(
+            (src_sel * 2 + ctx.has_csn[chosen])[keep], minlength=4
+        )
+        req += np.bincount(
+            np.where(
+                decided & keep[:, None],
+                src_sel[:, None] * 4 + is_csn * 2 + fwd,
+                8,
+            ).ravel(),
+            minlength=9,
+        )
+        ksrc = src[keep]
+        self.send_pay += np.bincount(
+            ksrc,
+            weights=np.where(success[keep], self._src_success, self._src_failure),
+            minlength=m,
+        )
+        self.n_sent += np.bincount(ksrc, minlength=m)
+        # intermediate payoffs: normal deciders only (CSN accumulators are
+        # dead state, exactly as the batch engine skips them)
+        pay = decided & ~is_csn & keep[:, None]
+        jj = ctx.jc[chosen][pay]
+        ff = fwd[pay]
+        lvl = np.where(ctx.unknown_b, self._default_trust, ctx.trust_b)[pay]
+        self.fwd_pay_acc += np.bincount(
+            jj[ff], weights=self._fwd_pay[lvl[ff]], minlength=m
+        )
+        self.n_fwd += np.bincount(jj[ff], minlength=m)
+        self.disc_pay_acc += np.bincount(
+            jj[~ff], weights=self._disc_pay[lvl[~ff]], minlength=m
+        )
+        self.n_disc += np.bincount(jj[~ff], minlength=m)
+
+    def _replay_game(
+        self,
+        source: int,
+        paths: list[list[int]],
+        req: np.ndarray,
+        delivered: np.ndarray,
+        csn_free: np.ndarray,
+    ) -> None:
+        """The exact per-game kernel (mirrors the batch engine), run against
+        the live matrices for games whose speculation conflicted."""
+        ps, pf = self.ps, self.pf
+        known, pf_sum = self.known, self.pf_sum
+        n_pop = self.n_population
+        b0, b1, b2 = self._b0, self._b1, self._b2
+        band = self._band
+        strategies = self._strategies
+        source_selfish = source >= n_pop
+
+        ps_s, pf_s = ps[source], pf[source]
+        best_i = 0
+        best_r = -1.0
+        for i, candidate in enumerate(paths):
+            r = 1.0
+            for node in candidate:
+                cell = int(ps_s[node])
+                r *= (int(pf_s[node]) / cell) if cell else 0.5
+            if r > best_r:
+                best_i, best_r = i, r
+        path = paths[best_i]
+
+        contains_csn = any(node >= n_pop for node in path)
+        csn_free[source_selfish * 2 + contains_csn] += 1
+
+        deciders: list[int] = []
+        flags: list[bool] = []
+        trusts: list[int | None] = []
+        success = True
+        req_base = 4 if source_selfish else 0
+        for j in path:
+            cell = int(ps[j, source])
+            if j >= n_pop:
+                forward = False
+                trust: int | None = None
+                req[req_base + 2] += 1
+            else:
+                if cell == 0:
+                    trust = None
+                    forward = strategies[j][UNKNOWN_BIT] == 1
+                else:
+                    fj = int(pf[j, source])
+                    rating = fj / cell
+                    trust = (
+                        3
+                        if rating > b2
+                        else 2
+                        if rating > b1
+                        else 1
+                        if rating > b0
+                        else 0
+                    )
+                    av = int(pf_sum[j]) / int(known[j])
+                    act = (
+                        0
+                        if fj < av - band * av
+                        else 2
+                        if fj > av + band * av
+                        else 1
+                    )
+                    forward = strategies[j][trust * 3 + act] == 1
+                req[req_base + (1 if forward else 0)] += 1
+            deciders.append(j)
+            flags.append(forward)
+            trusts.append(trust)
+            if not forward:
+                success = False
+                break
+
+        self.send_pay[source] += self._src_success if success else self._src_failure
+        self.n_sent[source] += 1
+        n_decided = len(deciders)
+        for idx in range(n_decided):
+            j = deciders[idx]
+            if j >= n_pop:
+                continue  # dead state, as in the batch engine
+            t = trusts[idx]
+            level = self._default_trust if t is None else t
+            if flags[idx]:
+                self.fwd_pay_acc[j] += self._fwd_pay[level]
+                self.n_fwd[j] += 1
+            else:
+                self.disc_pay_acc[j] += self._disc_pay[level]
+                self.n_disc[j] += 1
+
+        updaters = deciders if success else deciders[: n_decided - 1]
+        for u in (source, *updaters):
+            ps_u, pf_u = ps[u], pf[u]
+            for idx in range(n_decided):
+                j = deciders[idx]
+                if j != u:
+                    if ps_u[j] == 0:
+                        known[u] += 1
+                    ps_u[j] += 1
+                    if flags[idx]:
+                        pf_u[j] += 1
+                        pf_sum[u] += 1
+
+        delivered[source_selfish * 2 + success] += 1
+
+    def _run_exchange(
+        self,
+        participants: Sequence[int],
+        exchange: ExchangeConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        """One gossip step via the shared flat implementation; state is
+        copied back in place so live views stay valid."""
+        ps_l = self.ps.tolist()
+        pf_l = self.pf.tolist()
+        known_l = self.known.tolist()
+        pf_sum_l = self.pf_sum.tolist()
+        exchange_reputation_flat(
+            ps_l, pf_l, known_l, pf_sum_l, participants, exchange, rng
+        )
+        self.ps[:] = ps_l
+        self.pf[:] = pf_l
+        self.known[:] = known_l
+        self.pf_sum[:] = pf_sum_l
+
+    # -- fitness and introspection ------------------------------------------
+
+    def fitness(self) -> np.ndarray:
+        """Eq. (1) fitness, vectorized — same expression order as the
+        other engines."""
+        pop = slice(0, self.n_population)
+        events = self.n_sent[pop] + self.n_fwd[pop] + self.n_disc[pop]
+        totals = self.send_pay[pop] + self.fwd_pay_acc[pop] + self.disc_pay_acc[pop]
+        out = np.zeros(self.n_population, dtype=np.float64)
+        np.divide(totals, events, out=out, where=events > 0)
+        return out
+
+    def payoff_matrix(self) -> np.ndarray:
+        """Reputation state as ``(M, M, 2)`` — same layout as the other
+        engines."""
+        out = np.empty((self.m, self.m, 2), dtype=np.int64)
+        out[:, :, 0] = self.ps
+        out[:, :, 1] = self.pf
+        return out

@@ -1,0 +1,165 @@
+"""Unit tests for the statistical-equivalence harness itself.
+
+The harness gates an engine's correctness claim, so it gets the same
+treatment as any other critical code: cross-validation of the native test
+statistics against scipy (when importable), detection-power checks (it must
+*reject* genuinely different distributions), and error-path coverage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.equivalence import (
+    EquivalenceReport,
+    StatTestResult,
+    compare_samples,
+    confidence_band_overlap,
+    ks_2samp,
+    mann_whitney_u,
+)
+
+scipy_stats = pytest.importorskip("scipy.stats", reason="scipy cross-check")
+
+
+def samples(seed, loc_b=0.0, n=40):
+    rng = np.random.default_rng(seed)
+    return rng.normal(0.0, 1.0, n), rng.normal(loc_b, 1.0, n)
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    @pytest.mark.parametrize("shift", [0.0, 0.7, 2.0])
+    def test_ks_matches_scipy(self, seed, shift):
+        a, b = samples(seed, shift)
+        ours = ks_2samp(a, b)
+        ref = scipy_stats.ks_2samp(a, b, method="asymp")
+        assert ours.statistic == pytest.approx(ref.statistic, abs=1e-12)
+        # Stephens' correction vs scipy's asymptotic formula: a few percent
+        assert ours.pvalue == pytest.approx(ref.pvalue, abs=0.05)
+        # and agreement is airtight where it matters: at the decision bar
+        for alpha in (0.01, 0.05):
+            if min(ours.pvalue, ref.pvalue) > 2 * alpha or (
+                max(ours.pvalue, ref.pvalue) < alpha / 2
+            ):
+                assert (ours.pvalue > alpha) == (ref.pvalue > alpha)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    @pytest.mark.parametrize("shift", [0.0, 0.7, 2.0])
+    def test_mwu_matches_scipy(self, seed, shift):
+        a, b = samples(seed, shift)
+        ours = mann_whitney_u(a, b)
+        ref = scipy_stats.mannwhitneyu(
+            a, b, alternative="two-sided", method="asymptotic"
+        )
+        assert ours.statistic == pytest.approx(
+            max(ref.statistic, a.size * b.size - ref.statistic), abs=1e-9
+        )
+        assert ours.pvalue == pytest.approx(ref.pvalue, rel=1e-6, abs=1e-9)
+
+    def test_mwu_ties_match_scipy(self):
+        rng = np.random.default_rng(7)
+        a = rng.integers(0, 4, 30).astype(float)  # heavy ties
+        b = rng.integers(0, 4, 25).astype(float)
+        ours = mann_whitney_u(a, b)
+        ref = scipy_stats.mannwhitneyu(
+            a, b, alternative="two-sided", method="asymptotic"
+        )
+        assert ours.pvalue == pytest.approx(ref.pvalue, rel=1e-6, abs=1e-9)
+
+
+class TestDetectionPower:
+    """A gate that can't reject anything gates nothing."""
+
+    def test_rejects_shifted_distribution(self):
+        a, b = samples(3, loc_b=1.5, n=60)
+        assert ks_2samp(a, b).pvalue < 0.01
+        assert mann_whitney_u(a, b).pvalue < 0.01
+
+    def test_accepts_identical_process(self):
+        a, b = samples(9, loc_b=0.0, n=60)
+        assert ks_2samp(a, b).pvalue > 0.01
+        assert mann_whitney_u(a, b).pvalue > 0.01
+
+    def test_identical_samples_pvalue_one(self):
+        a = np.arange(10, dtype=float)
+        assert mann_whitney_u(a, a.copy()).pvalue == pytest.approx(1.0, abs=0.01)
+        assert ks_2samp(a, a.copy()).pvalue == pytest.approx(1.0, abs=1e-9)
+
+    def test_constant_samples_are_equivalent(self):
+        a = np.ones(10)
+        assert mann_whitney_u(a, a.copy()).pvalue == 1.0
+
+
+class TestBandOverlap:
+    def test_identical_ensembles_fully_overlap(self):
+        rng = np.random.default_rng(0)
+        curves = rng.random((8, 12))
+        assert confidence_band_overlap(curves, curves.copy()) == 1.0
+
+    def test_disjoint_ensembles_do_not_overlap(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0.2, 0.01, (8, 12))
+        b = rng.normal(0.8, 0.01, (8, 12))
+        assert confidence_band_overlap(a, b) == 0.0
+
+    def test_generation_mismatch_raises(self):
+        with pytest.raises(ValueError, match="generation counts differ"):
+            confidence_band_overlap(np.zeros((3, 4)), np.zeros((3, 5)))
+
+    def test_needs_matrices(self):
+        with pytest.raises(ValueError, match="matrices"):
+            confidence_band_overlap(np.zeros(4), np.zeros(4))
+
+
+class TestReportAndValidation:
+    def test_compare_samples_verdict_and_failures(self):
+        rng = np.random.default_rng(5)
+        same = {"m": rng.normal(size=30)}
+        other = {"m": rng.normal(size=30)}
+        ok = compare_samples(same, other)
+        assert isinstance(ok, EquivalenceReport)
+        assert ok.equivalent and ok.failures() == []
+        shifted = {"m": rng.normal(3.0, 1.0, 30)}
+        bad = compare_samples(same, shifted)
+        assert not bad.equivalent
+        assert any("m/" in f for f in bad.failures())
+        payload = bad.to_dict()
+        assert payload["equivalent"] is False
+        assert payload["tests"]["m"][0]["name"] == "ks_2samp"
+
+    def test_band_overlap_gate_in_report(self):
+        rng = np.random.default_rng(6)
+        s = {"m": rng.normal(size=20)}
+        t = {"m": rng.normal(size=20)}
+        a = rng.normal(0.2, 0.01, (8, 6))
+        b = rng.normal(0.8, 0.01, (8, 6))
+        report = compare_samples(s, t, curves_a=a, curves_b=b)
+        assert not report.equivalent
+        assert any("overlap" in f for f in report.failures())
+
+    def test_metric_mismatch_raises(self):
+        with pytest.raises(ValueError, match="metric sets differ"):
+            compare_samples({"a": [1.0, 2.0]}, {"b": [1.0, 2.0]})
+
+    def test_one_sided_curves_raise(self):
+        s = {"m": [1.0, 2.0, 3.0]}
+        with pytest.raises(ValueError, match="both engines or neither"):
+            compare_samples(s, s, curves_a=np.zeros((2, 3)))
+
+    def test_tiny_samples_raise(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            ks_2samp([1.0], [1.0, 2.0])
+
+    def test_non_finite_raises(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            mann_whitney_u([1.0, np.nan, 2.0], [1.0, 2.0])
+
+    def test_result_serialises(self):
+        result = StatTestResult("ks_2samp", 0.25, 0.9)
+        assert result.to_dict() == {
+            "name": "ks_2samp",
+            "statistic": 0.25,
+            "pvalue": 0.9,
+        }

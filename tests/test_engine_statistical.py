@@ -1,0 +1,159 @@
+"""Statistical-equivalence tier: the turbo engine vs the bit-identical trio.
+
+The turbo engine's contract (see ``sim/turbo.py``) is that it reproduces the
+*distributions* of the paper's outcome metrics, not any single trajectory.
+This tier holds it to that claim with the harness in
+:mod:`repro.analysis.equivalence`:
+
+* two-sample KS and Mann-Whitney gates (p > 0.01) on final cooperation,
+  mean fitness and request-acceptance distributions over
+  ``REPRO_STAT_REPS`` (default 20) seeded replications per engine,
+* confidence-band overlap on the Fig.-4-style cooperation curves,
+* spot checks that the speculation machinery itself is exercised (games do
+  replay) and that exact invariants hold regardless of speculation.
+
+The reference sample comes from the fast engine; the trio is bit-identical
+(``test_engine_equivalence.py``), so any of them defines the same reference
+distribution.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis.equivalence import (
+    collect_engine_samples,
+    compare_samples,
+    confidence_band_overlap,
+)
+from repro.core.strategy import Strategy
+from repro.experiments.config import ExperimentConfig
+from repro.game.stats import TournamentStats
+from repro.paths.distributions import LONGER_PATHS, SHORTER_PATHS
+from repro.paths.oracle import RandomPathOracle
+from repro.sim import make_engine
+
+#: Replications per engine for the distribution gates.  The acceptance bar
+#: is >= 20; override with REPRO_STAT_REPS for deeper local sweeps.
+N_REPS = int(os.environ.get("REPRO_STAT_REPS", "20"))
+ALPHA = 0.01
+
+
+@pytest.fixture(scope="module")
+def ensembles():
+    """(fast samples/curves, turbo samples/curves) on the case-3 smoke
+    config — case 3 exercises every environment class TE1-TE4."""
+    config = ExperimentConfig.for_case("case3", scale="smoke", seed=424243)
+    fast = collect_engine_samples(config.with_(engine="fast"), N_REPS)
+    turbo = collect_engine_samples(config.with_(engine="turbo"), N_REPS)
+    return fast, turbo
+
+
+class TestTurboStatisticalEquivalence:
+    def test_cooperation_and_fitness_distributions_match(self, ensembles):
+        (fast_samples, fast_curves), (turbo_samples, turbo_curves) = ensembles
+        report = compare_samples(
+            fast_samples,
+            turbo_samples,
+            alpha=ALPHA,
+            curves_a=fast_curves,
+            curves_b=turbo_curves,
+            min_overlap=0.8,
+        )
+        assert report.equivalent, (
+            "turbo deviates from the reference distribution: "
+            + "; ".join(report.failures())
+        )
+        # every gate individually, for a readable failure report
+        for metric, results in report.tests.items():
+            for result in results:
+                assert result.pvalue > ALPHA, (
+                    f"{metric}/{result.name} rejected: p={result.pvalue:.4g}"
+                )
+
+    def test_fig4_style_confidence_bands_overlap(self, ensembles):
+        (_, fast_curves), (_, turbo_curves) = ensembles
+        overlap = confidence_band_overlap(fast_curves, turbo_curves)
+        assert overlap >= 0.8, f"cooperation bands overlap only {overlap:.2f}"
+
+    def test_ensemble_means_close(self, ensembles):
+        """Belt and braces: ensemble means within a few ensemble SEMs."""
+        (fast_samples, _), (turbo_samples, _) = ensembles
+        for metric in fast_samples:
+            a, b = fast_samples[metric], turbo_samples[metric]
+            sem = float(
+                np.sqrt(a.var(ddof=1) / a.size + b.var(ddof=1) / b.size)
+            )
+            diff = abs(float(a.mean() - b.mean()))
+            assert diff <= max(4 * sem, 1e-9), (
+                f"{metric}: |mean diff| {diff:.4f} > 4*sem {4 * sem:.4f}"
+            )
+
+
+class TestSpeculationMachinery:
+    """The statistical contract is only meaningful if speculation actually
+    happens and its exact invariants hold."""
+
+    def _run(self, hop_dist, seed, rounds=25, n_pop=20, n_csn=4):
+        rng = np.random.default_rng(97)
+        engine = make_engine("turbo", n_pop, n_csn)
+        engine.set_strategies([Strategy.random(rng) for _ in range(n_pop)])
+        participants = list(range(n_pop)) + engine.selfish_ids(n_csn)
+        oracle = RandomPathOracle(np.random.default_rng(seed), hop_dist)
+        stats = TournamentStats()
+        engine.run_tournament(participants, rounds, oracle, stats, None, None)
+        return engine, stats
+
+    @pytest.mark.parametrize("hop_dist", [SHORTER_PATHS, LONGER_PATHS])
+    def test_conflict_replay_is_exercised(self, hop_dist):
+        engine, stats = self._run(hop_dist, seed=5)
+        total = stats.nn_originated + stats.csn_originated
+        assert engine._replayed_games > 0, "no game ever conflicted"
+        assert engine._replayed_games < total, "everything replayed"
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_exact_invariants_survive_speculation(self, seed):
+        engine, stats = self._run(SHORTER_PATHS, seed)
+        ps, pf = engine.ps, engine.pf
+        assert (ps >= 0).all() and (pf >= 0).all()
+        assert (pf <= ps).all()
+        assert np.array_equal(engine.known, (ps > 0).sum(axis=1))
+        assert np.array_equal(engine.pf_sum, pf.sum(axis=1))
+        total = stats.nn_originated + stats.csn_originated
+        assert total == 25 * 24  # rounds * participants: conservation
+        assert int(engine.n_sent.sum()) == total
+        # every request was answered by exactly one accept or reject
+        answered = (
+            stats.requests_from_nn.total + stats.requests_from_csn.total
+        )
+        assert answered == int(engine.n_fwd.sum() + engine.n_disc.sum()) + (
+            # CSN decisions are counted in stats but not in the (dead)
+            # CSN payoff accumulators
+            stats.requests_from_nn.rejected_by_csn
+            + stats.requests_from_csn.rejected_by_csn
+        )
+
+    def test_turbo_not_bit_identical_but_same_scale(self):
+        """Documents the contract boundary: turbo diverges from the trio's
+        trajectories (different draw stream) while landing on the same
+        outcome scale."""
+        rng = np.random.default_rng(11)
+        strategies = [Strategy.random(rng) for _ in range(20)]
+        outcomes = {}
+        for name in ("fast", "turbo"):
+            engine = make_engine(name, 20, 4)
+            engine.set_strategies(strategies)
+            participants = list(range(20)) + engine.selfish_ids(4)
+            oracle = RandomPathOracle(np.random.default_rng(3), SHORTER_PATHS)
+            stats = TournamentStats()
+            engine.run_tournament(participants, 30, oracle, stats, None, None)
+            outcomes[name] = stats.to_dict()
+        assert outcomes["fast"] != outcomes["turbo"]  # trajectories diverge
+        coop_fast = outcomes["fast"]["nn_delivered"]
+        coop_turbo = outcomes["turbo"]["nn_delivered"]
+        assert coop_fast > 0 and coop_turbo > 0
+        # same scale: within a factor of 2 on a 30-round tournament
+        assert 0.5 <= coop_turbo / coop_fast <= 2.0

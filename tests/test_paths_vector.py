@@ -1,0 +1,190 @@
+"""Tests for the vectorized tournament sampler behind the turbo engine.
+
+The sampler's contract (``paths/vector.py``) is *distributional identity*
+with the sequential :meth:`RandomPathOracle.draw`: same destination law,
+same hop/path-count laws, same uniform ordered-subset law per path.  These
+tests pin the structural guarantees exactly and the distributions
+statistically (chi-squared-style bounds loose enough to never flake, tight
+enough to catch a wrong law), plus the packing fallback for oracles without
+a vectorized path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.paths.distributions import LONGER_PATHS, SHORTER_PATHS
+from repro.paths.oracle import GameSetup, RandomPathOracle, ScriptedPathOracle
+from repro.paths.vector import GamePlanArrays, plan_tournament_arrays
+
+
+def sample(n_rounds=40, seed=0, participants=None, hop_dist=SHORTER_PATHS):
+    participants = participants or list(range(20))
+    oracle = RandomPathOracle(np.random.default_rng(seed), hop_dist)
+    return (
+        plan_tournament_arrays(oracle, participants * n_rounds, participants),
+        participants,
+    )
+
+
+class TestStructure:
+    def test_shapes_and_offsets_consistent(self):
+        plan, participants = sample()
+        assert plan.n_games == 40 * len(participants)
+        assert plan.src.tolist() == participants * 40
+        assert plan.game_path_start[0] == 0
+        assert plan.game_path_start[-1] == plan.path_nodes.shape[0]
+        assert np.array_equal(np.diff(plan.game_path_start), plan.n_paths)
+        assert np.array_equal(
+            plan.path_game, np.repeat(np.arange(plan.n_games), plan.n_paths)
+        )
+        # path_col counts candidates within each game from zero
+        for g in (0, 7, plan.n_games - 1):
+            lo, hi = plan.game_path_start[g], plan.game_path_start[g + 1]
+            assert plan.path_col[lo:hi].tolist() == list(range(hi - lo))
+
+    def test_paths_are_valid_games(self):
+        plan, participants = sample(seed=3)
+        pset = set(participants)
+        for g in range(plan.n_games):
+            src, dst = int(plan.src[g]), int(plan.dst[g])
+            assert src != dst and dst in pset
+            for path in plan.paths_of(g):
+                assert len(path) >= 1
+                assert len(set(path)) == len(path), "repeated intermediate"
+                assert src not in path and dst not in path
+                assert set(path) <= pset
+
+    def test_padding_is_minus_one_past_length(self):
+        plan, _ = sample(seed=5)
+        h = plan.path_nodes.shape[1]
+        cols = np.arange(h)[None, :]
+        assert (plan.path_nodes[cols >= plan.path_len[:, None]] == -1).all()
+        assert (plan.path_nodes[cols < plan.path_len[:, None]] >= 0).all()
+
+    def test_hop_clamp_small_pool(self):
+        """A 4-participant pool clamps every path to the 2 available
+        intermediates, exactly like the sequential generator."""
+        plan, _ = sample(n_rounds=30, seed=2, participants=[3, 5, 9, 11])
+        assert int(plan.path_len.max()) <= 2
+
+    def test_too_small_pool_raises(self):
+        oracle = RandomPathOracle(np.random.default_rng(0), SHORTER_PATHS)
+        with pytest.raises(ValueError, match="at least 3 participants"):
+            plan_tournament_arrays(oracle, [0, 1], [0, 1])
+
+
+class TestDistributionalIdentity:
+    """Empirical laws vs the sequential sampler, on matched sample sizes."""
+
+    N_ROUNDS = 250  # 5000 games per sampler
+
+    def law_summary(self, games):
+        dests = {}
+        hops = {}
+        counts = {}
+        first_nodes = {}
+        for src, dst, paths in games:
+            dests[(src, dst)] = dests.get((src, dst), 0) + 1
+            k = len(paths[0])
+            hops[k] = hops.get(k, 0) + 1
+            counts[len(paths)] = counts.get(len(paths), 0) + 1
+            node = paths[0][0]
+            first_nodes[node] = first_nodes.get(node, 0) + 1
+        return dests, hops, counts, first_nodes
+
+    def test_laws_match_sequential_sampler(self):
+        participants = list(range(12))
+        plan, _ = sample(
+            n_rounds=self.N_ROUNDS, seed=17, participants=participants
+        )
+        vec_games = [
+            (int(plan.src[g]), int(plan.dst[g]), plan.paths_of(g))
+            for g in range(plan.n_games)
+        ]
+        oracle = RandomPathOracle(np.random.default_rng(18), SHORTER_PATHS)
+        seq_games = []
+        for _ in range(self.N_ROUNDS):
+            for src in participants:
+                setup = oracle.draw(src, participants)
+                seq_games.append((setup.source, setup.destination, setup.paths))
+        v_dest, v_hops, v_counts, v_first = self.law_summary(vec_games)
+        s_dest, s_hops, s_counts, s_first = self.law_summary(seq_games)
+        n = len(vec_games)
+        # hop-length law: per-category frequency within 3 sigma + slack
+        for law_v, law_s in ((v_hops, s_hops), (v_counts, s_counts)):
+            for key in set(law_v) | set(law_s):
+                p_v = law_v.get(key, 0) / n
+                p_s = law_s.get(key, 0) / n
+                sigma = np.sqrt(max(p_s, 1 / n) * (1 - min(p_s, 0.99)) / n)
+                assert abs(p_v - p_s) < 3.5 * np.sqrt(2) * sigma + 0.005, (
+                    f"category {key}: {p_v:.4f} vs {p_s:.4f}"
+                )
+        # destination uniformity: every (src, dst) pair roughly equally likely
+        expected = n / (len(participants) * (len(participants) - 1))
+        for law in (v_dest, s_dest):
+            observed = np.array(list(law.values()), dtype=float)
+            assert len(law) == len(participants) * (len(participants) - 1)
+            assert abs(observed.mean() - expected) < 1e-9
+            assert observed.std() < 0.35 * expected
+        # first-intermediate uniformity (proxy for the ordered-subset law)
+        v_arr = np.array([v_first.get(p, 0) for p in participants], float)
+        s_arr = np.array([s_first.get(p, 0) for p in participants], float)
+        assert abs(v_arr.mean() - s_arr.mean()) < 1e-9
+        assert np.abs(v_arr - v_arr.mean()).max() < 0.15 * v_arr.mean()
+        assert np.abs(v_arr / n - s_arr / n).max() < 0.03
+
+    def test_longer_paths_mode(self):
+        plan, _ = sample(n_rounds=120, seed=23, hop_dist=LONGER_PATHS)
+        lengths = plan.path_len
+        # LONGER_PATHS puts 60% of mass on >= 5 hops (>= 4 intermediates)
+        assert (lengths >= 4).mean() > 0.4
+        assert int(lengths.max()) == 9  # 10 hops -> 9 intermediates
+
+    def test_rng_divergence_is_expected(self):
+        """Documents the contract: same seed, different stream layout than
+        the sequential sampler — distributions match, trajectories don't."""
+        participants = list(range(10))
+        plan, _ = sample(n_rounds=2, seed=29, participants=participants)
+        oracle = RandomPathOracle(np.random.default_rng(29), SHORTER_PATHS)
+        seq = [oracle.draw(s, participants) for s in participants] + [
+            oracle.draw(s, participants) for s in participants
+        ]
+        same = all(
+            int(plan.dst[g]) == seq[g].destination for g in range(plan.n_games)
+        )
+        assert not same
+
+
+class TestPlanFallback:
+    def test_scripted_oracle_packs_exactly(self):
+        setups = [
+            GameSetup(source=0, destination=3, paths=((1, 2), (4,))),
+            GameSetup(source=1, destination=4, paths=((2,),)),
+            GameSetup(source=2, destination=0, paths=((3, 4, 1),)),
+        ]
+        oracle = ScriptedPathOracle(setups)
+        plan = plan_tournament_arrays(oracle, [0, 1, 2], list(range(5)))
+        assert isinstance(plan, GamePlanArrays)
+        assert plan.n_games == 3
+        assert plan.src.tolist() == [0, 1, 2]
+        assert plan.dst.tolist() == [3, 4, 0]
+        assert plan.n_paths.tolist() == [2, 1, 1]
+        assert plan.paths_of(0) == [[1, 2], [4]]
+        assert plan.paths_of(1) == [[2]]
+        assert plan.paths_of(2) == [[3, 4, 1]]
+        assert plan.max_paths == 2
+        assert plan.path_len.tolist() == [2, 1, 1, 3]
+
+    def test_source_outside_participants_uses_fallback(self):
+        """A source not seated in the tournament falls back to the
+        sequential path (the vectorized pool layout assumes seated
+        sources); the draw still succeeds."""
+        oracle = RandomPathOracle(np.random.default_rng(4), SHORTER_PATHS)
+        plan = plan_tournament_arrays(oracle, [99, 99], list(range(8)))
+        assert plan.n_games == 2
+        assert plan.src.tolist() == [99, 99]
+        for g in range(2):
+            for path in plan.paths_of(g):
+                assert 99 not in path
