@@ -40,8 +40,16 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: Oracles whose wall times gate CI.  Since route search went native
 #: (``repro.network.ksp``) the topology and mobile rows are deterministic
 #: enough to gate alongside random — previously they were networkx-noise
-#: dominated and report-only.
-GATED_ORACLES = ("random", "topology", "mobile")
+#: dominated and report-only.  The per-round-mobility rows (exact and
+#: approx route-cache policies) gate like the rest: they are the regime
+#: the layered route-provider refactor exists for.
+GATED_ORACLES = (
+    "random",
+    "topology",
+    "mobile",
+    "mobility_highspeed",
+    "mobility_highspeed_approx",
+)
 #: The machine-speed canary for the normalized gate.
 CANARY_ENGINE = "reference"
 

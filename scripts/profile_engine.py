@@ -1,15 +1,18 @@
 """Profile the simulation hot loop (the HPC-guide workflow: measure first).
 
 Runs one paper-sized tournament under cProfile for each engine and prints
-the top functions by cumulative time.  Use this before attempting any
-optimisation of the engines.  ``--oracle`` selects the path oracle so the
-route-computation cost of the topology extensions can be measured too
+the top functions by cumulative time, followed by a per-layer wall-time
+breakdown of the oracle stack (topology stepping / route search / draw
+planning) so oracle work can be attributed to the right layer before
+optimising it.  ``--oracle`` selects the path oracle so the
+route-computation cost of the topology extensions can be measured too;
+``--route-cache``/``--drift-budget`` select the route-provider cache policy
 (``--no-path-cache`` disables the per-(source, destination) route caches to
 quantify what they save).
 
 Run:
     python scripts/profile_engine.py [rounds] [--oracle random|topology|mobile]
-        [--no-path-cache]
+        [--route-cache exact|approx] [--drift-budget N] [--no-path-cache]
 """
 
 from __future__ import annotations
@@ -17,10 +20,12 @@ from __future__ import annotations
 import argparse
 import cProfile
 import pstats
+import time
 from io import StringIO
 
 import numpy as np
 
+from repro.config.mobility import ROUTE_CACHE_POLICIES
 from repro.core.strategy import Strategy
 from repro.game.stats import TournamentStats
 from repro.mobility import MobilityConfig, build_oracle
@@ -32,7 +37,7 @@ from repro.sim import make_engine
 N_NORMAL, N_CSN = 40, 10
 
 
-def make_oracle(kind: str, cache: bool):
+def make_oracle(kind: str, cache: bool, route_cache: str, drift_budget: int):
     ids = list(range(N_NORMAL + N_CSN))
     if kind == "random":
         return RandomPathOracle(np.random.default_rng(1), SHORTER_PATHS)
@@ -40,17 +45,68 @@ def make_oracle(kind: str, cache: bool):
         topo = GeometricTopology(ids, 0.35, np.random.default_rng(5))
         return TopologyPathOracle(topo, np.random.default_rng(1), cache=cache)
     if kind == "mobile":
-        config = MobilityConfig(model="waypoint", radio_range=0.35)
+        config = MobilityConfig(
+            model="waypoint",
+            radio_range=0.35,
+            route_cache=route_cache,
+            drift_budget=drift_budget,
+        )
         return build_oracle(config, ids, np.random.default_rng(5))
     raise ValueError(f"unknown oracle kind {kind!r}")
 
 
-def profile_engine(name: str, rounds: int, oracle_kind: str, cache: bool) -> None:
+def _timed_draws(oracle) -> list[float]:
+    """Wrap the oracle's draw entry points; returns the accumulator."""
+    spent = [0.0]
+    for name in ("draw", "draw_tournament"):
+        method = getattr(oracle, name, None)
+        if method is None:
+            continue
+
+        def wrapper(*args, _method=method, **kwargs):
+            start = time.perf_counter()
+            try:
+                return _method(*args, **kwargs)
+            finally:
+                spent[0] += time.perf_counter() - start
+
+        setattr(oracle, name, wrapper)
+    return spent
+
+
+def _layer_breakdown(oracle, draw_s: float) -> list[tuple[str, float]]:
+    """(layer, seconds) rows for the oracle stack, planner last.
+
+    Route search and topology stepping are measured inside the providers
+    (``provider.search_s`` / ``oracle.step_s``); draw planning is what
+    remains of the oracle's draw wall time.
+    """
+    step_s = getattr(oracle, "step_s", 0.0)
+    provider = getattr(oracle, "provider", None)
+    search_s = getattr(provider, "search_s", 0.0) if provider is not None else 0.0
+    planning = max(draw_s - step_s - search_s, 0.0)
+    return [
+        ("topology step", step_s),
+        ("route search", search_s),
+        ("draw planning", planning),
+        ("oracle total", draw_s),
+    ]
+
+
+def profile_engine(
+    name: str,
+    rounds: int,
+    oracle_kind: str,
+    cache: bool,
+    route_cache: str,
+    drift_budget: int,
+) -> None:
     rng = np.random.default_rng(0)
     engine = make_engine(name, N_NORMAL, N_CSN)
     engine.set_strategies([Strategy.random(rng) for _ in range(N_NORMAL)])
     participants = list(range(N_NORMAL)) + engine.selfish_ids(N_CSN)
-    oracle = make_oracle(oracle_kind, cache)
+    oracle = make_oracle(oracle_kind, cache, route_cache, drift_budget)
+    draw_spent = _timed_draws(oracle)
     stats = TournamentStats()
 
     profiler = cProfile.Profile()
@@ -61,15 +117,25 @@ def profile_engine(name: str, rounds: int, oracle_kind: str, cache: bool) -> Non
     out = StringIO()
     ps = pstats.Stats(profiler, stream=out).sort_stats("cumulative")
     ps.print_stats(12)
+    policy = f", {route_cache} route cache" if oracle_kind == "mobile" else ""
     print(
-        f"\n===== {name} engine, {oracle_kind} oracle"
+        f"\n===== {name} engine, {oracle_kind} oracle{policy}"
         f"{'' if cache else ' (path cache off)'},"
         f" {rounds} rounds, {rounds * (N_NORMAL + N_CSN)} games ====="
     )
     print("\n".join(out.getvalue().splitlines()[:22]))
+    print("\noracle layers (wall time inside the profiled tournament):")
+    for layer, seconds in _layer_breakdown(oracle, draw_spent[0]):
+        print(f"  {layer:14s} {seconds * 1e3:8.1f} ms")
     info = getattr(oracle, "cache_info", None)
     if info is not None:
         print(f"route cache: {info[0]} hits / {info[1]} misses")
+    provider = getattr(oracle, "provider", None)
+    if provider is not None and getattr(provider, "stale_hits", 0):
+        print(
+            f"approx policy: {provider.stale_hits} stale serves,"
+            f" {provider.revalidations} lazy revalidations"
+        )
 
 
 def main() -> None:
@@ -79,13 +145,34 @@ def main() -> None:
         "--oracle", default="random", choices=("random", "topology", "mobile")
     )
     parser.add_argument(
+        "--route-cache",
+        default="exact",
+        choices=ROUTE_CACHE_POLICIES,
+        help="route-provider cache policy for the mobile oracle",
+    )
+    parser.add_argument(
+        "--drift-budget",
+        type=int,
+        default=8,
+        help="epochs a cached route may be served stale (approx policy)",
+    )
+    parser.add_argument(
         "--no-path-cache",
         action="store_true",
         help="disable the per-(source, destination) route cache (topology oracle)",
     )
     args = parser.parse_args()
+    if args.drift_budget < 0:
+        parser.error(f"--drift-budget must be >= 0, got {args.drift_budget}")
     for name in ("reference", "fast"):
-        profile_engine(name, args.rounds, args.oracle, not args.no_path_cache)
+        profile_engine(
+            name,
+            args.rounds,
+            args.oracle,
+            not args.no_path_cache,
+            args.route_cache,
+            args.drift_budget,
+        )
 
 
 if __name__ == "__main__":

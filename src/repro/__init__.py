@@ -53,6 +53,15 @@ from repro.mobility import (
     NodeChurn,
     RandomWaypoint,
 )
+from repro.network.provider import (
+    ROUTE_CACHE_POLICIES,
+    ApproxPolicy,
+    CachePolicy,
+    ExactPolicy,
+    RouteProvider,
+    StaticRouteProvider,
+    make_cache_policy,
+)
 from repro.paths.distributions import LONGER_PATHS, SHORTER_PATHS
 from repro.paths.oracle import GameSetup, RandomPathOracle, ScriptedPathOracle
 from repro.reputation.activity import ActivityClassifier
@@ -92,6 +101,14 @@ __all__ = [
     "NodeChurn",
     "DynamicTopology",
     "MobilePathOracle",
+    # route providers (cache policies)
+    "RouteProvider",
+    "StaticRouteProvider",
+    "CachePolicy",
+    "ExactPolicy",
+    "ApproxPolicy",
+    "make_cache_policy",
+    "ROUTE_CACHE_POLICIES",
     # simulation
     "ReferenceEngine",
     "FastEngine",

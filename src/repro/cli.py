@@ -32,8 +32,10 @@ __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
-    # deferred so `import repro.cli` stays light; the registry is the single
-    # source of engine names shared with make_engine and ExperimentConfig
+    # deferred so `import repro.cli` stays light; the registries are the
+    # single sources of engine and cache-policy names shared with
+    # make_engine / make_cache_policy and the config layer
+    from repro.config.mobility import ROUTE_CACHE_POLICIES
     from repro.sim import ENGINES
 
     parser = argparse.ArgumentParser(
@@ -67,6 +69,25 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_rep.add_argument("--processes", type=int, default=None)
+    p_rep.add_argument(
+        "--route-cache",
+        default=None,
+        choices=ROUTE_CACHE_POLICIES,
+        help=(
+            "route-cache policy for mobile topologies: 'exact' (default,"
+            " bit-identical) or 'approx' (drift-budgeted stale routes,"
+            " statistically equivalent)"
+        ),
+    )
+    p_rep.add_argument(
+        "--drift-budget",
+        type=int,
+        default=None,
+        help=(
+            "epochs a cached route may be served stale under --route-cache"
+            " approx before lazy revalidation (default 8)"
+        ),
+    )
     p_rep.add_argument(
         "--out",
         type=Path,
@@ -115,6 +136,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="waypoint pause time in steps on arrival (requires --mobility)",
     )
+    p_case.add_argument(
+        "--route-cache",
+        default=None,
+        choices=ROUTE_CACHE_POLICIES,
+        help=(
+            "route-cache policy for mobile topologies: 'exact' (default,"
+            " bit-identical) or 'approx' (drift-budgeted stale routes,"
+            " statistically equivalent)"
+        ),
+    )
+    p_case.add_argument(
+        "--drift-budget",
+        type=int,
+        default=None,
+        help=(
+            "epochs a cached route may be served stale under --route-cache"
+            " approx before lazy revalidation (default 8)"
+        ),
+    )
     p_case.set_defaults(func=_cmd_run_case)
 
     return parser
@@ -144,6 +184,22 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _drift_budget_error(args: argparse.Namespace) -> str | None:
+    """Validate the --route-cache/--drift-budget pair (None when fine).
+
+    A budget without the approx policy would be range-checked and then
+    silently ignored (the exact policy hardcodes budget 0) — reject it so
+    a misconfigured benchmark cannot masquerade as a drift-budgeted run.
+    """
+    if args.drift_budget is None:
+        return None
+    if args.drift_budget < 0:
+        return f"--drift-budget must be >= 0, got {args.drift_budget}"
+    if args.route_cache != "approx":
+        return "--drift-budget requires --route-cache approx"
+    return None
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.experiments.registry import ARTEFACTS, ReproductionSession
 
@@ -152,6 +208,10 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown artefact(s): {unknown}; try 'repro list'", file=sys.stderr)
         return 2
+    error = _drift_budget_error(args)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
     session = ReproductionSession(
         scale=args.scale,
         seed=args.seed,
@@ -159,6 +219,8 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         processes=args.processes,
         cache_dir=args.out,
         verbose=True,
+        route_cache=args.route_cache,
+        drift_budget=args.drift_budget,
     )
     for artefact_id in ids:
         report = session.render(artefact_id)
@@ -191,6 +253,10 @@ def _cmd_run_case(args: argparse.Namespace) -> int:
     if args.pause is not None and args.pause < 0:
         print(f"--pause must be >= 0, got {args.pause}", file=sys.stderr)
         return 2
+    error = _drift_budget_error(args)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
     if args.mobility is not None:
         from dataclasses import replace
 
@@ -211,6 +277,7 @@ def _cmd_run_case(args: argparse.Namespace) -> int:
             case=replace(config.case, mobility=args.mobility),
             sim=config.sim.with_(mobility=mobility),
         )
+    config = config.with_route_cache(args.route_cache, args.drift_budget)
     result = run_experiment(
         config,
         processes=args.processes,

@@ -18,10 +18,15 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, replace
 from typing import Any
 
-__all__ = ["MobilityConfig", "MOBILITY_MODELS"]
+__all__ = ["MobilityConfig", "MOBILITY_MODELS", "ROUTE_CACHE_POLICIES"]
 
 #: Recognised mobility model names ("none" means the paper's random oracle).
 MOBILITY_MODELS = ("none", "waypoint", "gauss-markov")
+
+#: Recognised route-cache policy names.  Mirrored (and kept in lockstep by
+#: a test) from :data:`repro.network.provider.ROUTE_CACHE_POLICIES` so this
+#: module stays a dependency-free leaf of :mod:`repro.config`.
+ROUTE_CACHE_POLICIES = ("exact", "approx")
 
 _STEP_MODES = ("round", "tournament")
 
@@ -56,6 +61,12 @@ class MobilityConfig:
     max_paths: int = 3
     max_hops: int = 10
     step_every: str | int = "round"
+    # route-provider cache policy: "exact" serves cached routes only for the
+    # epoch they were computed under (bit-identical, the default); "approx"
+    # serves them while the topology has drifted at most drift_budget epochs
+    # (statistically equivalent, validated like the turbo engine)
+    route_cache: str = "exact"
+    drift_budget: int = 8
 
     def __post_init__(self) -> None:
         if self.model not in MOBILITY_MODELS:
@@ -89,6 +100,15 @@ class MobilityConfig:
                 )
         elif self.step_every < 1:
             raise ValueError(f"step_every must be >= 1, got {self.step_every}")
+        if self.route_cache not in ROUTE_CACHE_POLICIES:
+            raise ValueError(
+                f"route_cache must be one of {ROUTE_CACHE_POLICIES},"
+                f" got {self.route_cache!r}"
+            )
+        if self.drift_budget < 0:
+            raise ValueError(
+                f"drift_budget must be >= 0, got {self.drift_budget}"
+            )
 
     @property
     def enabled(self) -> bool:

@@ -117,6 +117,28 @@ class ExperimentConfig:
         """A copy with the given fields replaced."""
         return replace(self, **changes)
 
+    def with_route_cache(
+        self,
+        route_cache: str | None = None,
+        drift_budget: int | None = None,
+    ) -> "ExperimentConfig":
+        """A copy with the mobile oracle's route-cache policy overridden.
+
+        ``None`` keeps the current value; the single place the CLI and the
+        reproduction session thread ``--route-cache``/``--drift-budget``
+        through, so the two can never diverge.
+        """
+        overrides: dict[str, Any] = {}
+        if route_cache is not None:
+            overrides["route_cache"] = route_cache
+        if drift_budget is not None:
+            overrides["drift_budget"] = drift_budget
+        if not overrides:
+            return self
+        return self.with_(
+            sim=self.sim.with_(mobility=self.sim.mobility.with_(**overrides))
+        )
+
     # -- summary ---------------------------------------------------------------
 
     def describe(self) -> dict[str, Any]:

@@ -45,6 +45,8 @@ class ReproductionSession:
         processes: int | None = None,
         cache_dir: str | Path | None = None,
         verbose: bool = False,
+        route_cache: str | None = None,
+        drift_budget: int | None = None,
     ):
         if scale not in SCALES:
             raise ValueError(f"unknown scale {scale!r}; available: {sorted(SCALES)}")
@@ -54,6 +56,10 @@ class ReproductionSession:
         self.processes = processes
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.verbose = verbose
+        # mobile-oracle route-cache overrides (None keeps the config default,
+        # i.e. the bit-identical exact policy)
+        self.route_cache = route_cache
+        self.drift_budget = drift_budget
         self._results: dict[str, ExperimentResult] = {}
 
     # -- case execution -------------------------------------------------------
@@ -61,12 +67,22 @@ class ReproductionSession:
     def config_for(self, case_name: str) -> ExperimentConfig:
         return ExperimentConfig.for_case(
             case_name, scale=self.scale, seed=self.seed, engine=self.engine
-        )
+        ).with_route_cache(self.route_cache, self.drift_budget)
 
     def _cache_path(self, case_name: str) -> Path | None:
         if self.cache_dir is None:
             return None
-        return self.cache_dir / f"{case_name}_{self.scale}_seed{self.seed}.json"
+        if self.route_cache in (None, "exact"):
+            suffix = ""
+        else:
+            # the budget changes the results: a budget-8 run must never be
+            # served a cached budget-240 result (or vice versa)
+            budget = "" if self.drift_budget is None else f"{self.drift_budget}"
+            suffix = f"_{self.route_cache}{budget}"
+        return (
+            self.cache_dir
+            / f"{case_name}_{self.scale}_seed{self.seed}{suffix}.json"
+        )
 
     def result_for(self, case_name: str) -> ExperimentResult:
         """The experiment result for a case, computed/loaded at most once."""

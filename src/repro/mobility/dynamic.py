@@ -61,6 +61,10 @@ class DynamicTopology:
         self.dt = float(dt)
         self.tolerance = float(tolerance)
         self.epoch = 0
+        #: total ``step()`` calls — unlike ``epoch`` this moves even when
+        #: the edge set survives a step, so consumers caching anything
+        #: *position*-dependent (virtual/boost routes) can invalidate on it
+        self.steps = 0
         self.boost_count = 0  # emergency power boosts (isolated sources)
         # movement can disconnect the graph later (that is the point of the
         # subsystem), but starting connected avoids stillborn scenarios
@@ -206,6 +210,7 @@ class DynamicTopology:
     def step(self) -> bool:
         """Advance positions one step; repair the graph; return whether the
         edge set changed (in which case ``epoch`` was incremented)."""
+        self.steps += 1
         self._pos = np.array(
             self.model.step(self._pos, self.dt, self.rng), dtype=float
         )

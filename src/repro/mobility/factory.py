@@ -69,4 +69,6 @@ def build_oracle(
         max_paths=config.max_paths,
         max_hops=config.max_hops,
         step_every=config.step_every,
+        route_cache=config.route_cache,
+        drift_budget=config.drift_budget,
     )

@@ -1,13 +1,24 @@
-"""Path oracle over a :class:`DynamicTopology` — caching, epoch-invalidated.
+"""Path oracle over a :class:`DynamicTopology` — a thin draw layer.
 
 :class:`MobilePathOracle` keeps the :class:`repro.paths.oracle.PathOracle`
-contract, so both simulation engines run on a moving network unmodified.
-Routes are computed on the subgraph induced by the current participants
-(routing only discovers nodes that are actually in the network), cached per
-(source, destination) pair, and the cache is flushed only when the
-topology's ``epoch`` changes (i.e. the edge set really changed) or a new
-tournament brings a different participant set — static phases pay zero
-route recomputation.
+contract, so every simulation engine runs on a moving network unmodified.
+Since the layered refactor it is a *composition* of the three oracle
+layers rather than a monolith:
+
+* the **topology provider** is the :class:`DynamicTopology` (epoch-versioned
+  adjacency, stepped by the oracle's clock);
+* the **route provider** is a :class:`repro.network.provider.RouteProvider`
+  computing routes on the subgraph induced by the current participants,
+  cached per (source, destination) pair under a pluggable cache policy —
+  ``exact`` (serve a cached route only for the epoch it was computed under;
+  bit-identical to the historical behavior and the default) or ``approx``
+  (serve cached routes while the topology has drifted at most
+  ``drift_budget`` epochs, revalidating lazily; statistically equivalent,
+  gated by ``tests/test_engine_statistical.py``);
+* the **draw planner** is :mod:`repro.paths.planner` (sequential and
+  batched rejection-sampling destination draws) plus the vectorized
+  whole-tournament sampler in :mod:`repro.paths.vector` used by the turbo
+  engine.
 
 Topology stepping is clocked in one of three ways (``step_every``):
 
@@ -21,12 +32,15 @@ Topology stepping is clocked in one of three ways (``step_every``):
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Sequence
 
 import numpy as np
 
 from repro.mobility.dynamic import DynamicTopology
+from repro.network.provider import CachePolicy, RouteProvider, make_cache_policy
 from repro.paths.oracle import GameSetup, PlannedGame
+from repro.paths.planner import draw_setup, plan_round
 
 __all__ = ["MobilePathOracle"]
 
@@ -42,6 +56,8 @@ class MobilePathOracle:
         max_hops: int = 10,
         max_draws: int = 64,
         step_every: str | int = "round",
+        route_cache: str | CachePolicy = "exact",
+        drift_budget: int = 8,
     ):
         if isinstance(step_every, str):
             if step_every not in ("round", "tournament"):
@@ -57,14 +73,16 @@ class MobilePathOracle:
         self.max_hops = max_hops
         self.max_draws = max_draws
         self.step_every = step_every
-        self._cache: dict[tuple[int, int], list[tuple[int, ...]]] = {}
-        self._cache_epoch = topology.epoch
+        policy = (
+            route_cache
+            if isinstance(route_cache, CachePolicy)
+            else make_cache_policy(route_cache, drift_budget)
+        )
+        self.provider = RouteProvider(topology, max_paths, max_hops, policy)
         self._draws_since_step = 0
-        self._scope_obj: Sequence[int] | None = None  # identity of last seen
-        self._scope_snapshot: list[int] = []  # its contents at that time
-        self._scope: frozenset[int] = frozenset()
-        self.cache_hits = 0
-        self.cache_misses = 0
+        #: cumulative wall seconds inside ``topology.step()`` — the
+        #: "topology step" row of the per-layer profile breakdown
+        self.step_s = 0.0
 
     # -- PathOracle contract ---------------------------------------------------
 
@@ -76,21 +94,16 @@ class MobilePathOracle:
             len(participants) if self.step_every == "round" else self.step_every
         )
         if isinstance(threshold, int) and self._draws_since_step >= threshold:
-            self.topology.step()
-            self._draws_since_step = 0
+            self._step_topology()
         self._draws_since_step += 1
-        self._rescope(participants)
-        self._validate_cache()
-        for _ in range(self.max_draws):
-            destination = others[int(self.rng.integers(len(others)))]
-            paths = self._candidate_paths(source, destination)
-            if paths:
-                return GameSetup(
-                    source=source, destination=destination, paths=tuple(paths)
-                )
-        raise RuntimeError(
-            f"no routable destination found for source {source} after"
-            f" {self.max_draws} draws; topology too sparse for this game"
+        provider = self.provider
+        provider.rescope(participants)
+        provider.sync()
+        destination, paths = draw_setup(
+            self.rng, source, others, provider.routes, self.max_draws
+        )
+        return GameSetup(
+            source=source, destination=destination, paths=tuple(paths)
         )
 
     # -- batched drawing (struct-of-arrays engines) ----------------------------
@@ -104,55 +117,44 @@ class MobilePathOracle:
         per-draw sequence — destination ``integers`` draws, rejection
         redraws, and crucially the draw-count-clocked ``topology.step()``
         calls (which may consume the same generator) — is replicated
-        exactly, so pre-drawing moves only the timing of the draws, never
-        their values or the topology's trajectory.  The speedup is per-game
-        overhead removal: cached ``others`` pools and no ``GameSetup``
-        construction/validation.
+        exactly (the planner's ``tick`` hook fires at the same draw counts),
+        so pre-drawing moves only the timing of the draws, never their
+        values or the topology's trajectory.
         """
-        rng = self.rng
-        integers = rng.integers
-        max_draws = self.max_draws
-        step_every = self.step_every
-        candidate_paths = self._candidate_paths
-        topology = self.topology
         # hoisted per-draw invariants: participants cannot change while this
-        # call runs, so one rescope serves the whole plan, the step threshold
-        # is constant, and the cache only needs re-validation after a step
-        threshold = len(participants) if step_every == "round" else step_every
+        # call runs, so one rescope serves the whole plan and the step
+        # threshold is constant
+        threshold = (
+            len(participants) if self.step_every == "round" else self.step_every
+        )
         clocked = isinstance(threshold, int)
-        self._rescope(participants)
-        self._validate_cache()
-        others_cache: dict[int, list[int]] = {}
-        cache_get = others_cache.get
-        plan: list[PlannedGame] = []
-        append = plan.append
-        for source in sources:
-            others = cache_get(source)
-            if others is None:
-                others = [p for p in participants if p != source]
-                others_cache[source] = others
-            if not others:
-                raise ValueError("need at least one potential destination")
+        provider = self.provider
+        provider.rescope(participants)
+        provider.sync()
+
+        def tick() -> None:
             if clocked and self._draws_since_step >= threshold:
-                topology.step()
-                self._draws_since_step = 0
-                self._validate_cache()
+                self._step_topology()
             self._draws_since_step += 1
-            n_others = len(others)
-            for _ in range(max_draws):
-                destination = others[int(integers(n_others))]
-                paths = candidate_paths(source, destination)
-                if paths:
-                    append((source, destination, paths))
-                    break
-            else:
-                raise RuntimeError(
-                    f"no routable destination found for source {source} after"
-                    f" {max_draws} draws; topology too sparse for this game"
-                )
-        return plan
+
+        return plan_round(
+            self.rng,
+            sources,
+            participants,
+            provider.routes,
+            self.max_draws,
+            tick=tick,
+        )
 
     # -- topology clocking -----------------------------------------------------
+
+    def _step_topology(self) -> None:
+        """One clocked topology step, with the provider resynced after."""
+        start = perf_counter()
+        self.topology.step()
+        self.step_s += perf_counter() - start
+        self._draws_since_step = 0
+        self.provider.sync()
 
     def on_tournament_end(self) -> None:
         """Hook called by the evaluation loop after every tournament."""
@@ -161,68 +163,40 @@ class MobilePathOracle:
 
     def advance_epoch(self) -> None:
         """Step the topology once, explicitly (external/manual clocking)."""
-        self.topology.step()
-        self._draws_since_step = 0
+        self._step_topology()
 
-    # -- caching ---------------------------------------------------------------
+    # -- route-provider delegates (back-compat introspection surface) ----------
+
+    @property
+    def route_cache(self) -> str:
+        """The active cache policy's selector name (``exact``/``approx``)."""
+        return self.provider.policy.name
 
     def _rescope(self, participants: Sequence[int]) -> None:
-        """Track the participant set routes are restricted to.
+        self.provider.rescope(participants)
 
-        The identity check makes the common case cheap: both engines pass
-        the same sequence object for every draw of a tournament.  Identity
-        alone is not trusted — a caller that mutates the same list in place
-        (node churn between rounds) would otherwise keep being served stale
-        routes for departed nodes — so it is backed by an exact elementwise
-        comparison against a snapshot of the last-seen contents (a C-level
-        list compare, O(n) and collision-proof, unlike a hash or sum
-        fingerprint).
-        """
-        if participants is self._scope_obj:
-            # allocation-free fast path: engines pass the same list object
-            # every draw, so a C-level elementwise compare settles it
-            if isinstance(participants, list):
-                if self._scope_snapshot == participants:
-                    return
-            elif self._scope_snapshot == list(participants):
-                return
-        self._scope_obj = participants
-        self._scope_snapshot = list(participants)
-        scope = frozenset(self._scope_snapshot)
-        if scope != self._scope:
-            self._scope = scope
-            self._cache.clear()
+    def _candidate_paths(
+        self, source: int, destination: int
+    ) -> list[tuple[int, ...]]:
+        return self.provider.routes(source, destination)
 
-    def _validate_cache(self) -> None:
-        if self.topology.epoch != self._cache_epoch:
-            self._cache.clear()
-            self._cache_epoch = self.topology.epoch
+    @property
+    def _cache(self) -> dict:
+        return self.provider._cache
 
-    def _candidate_paths(self, source: int, destination: int) -> list[tuple[int, ...]]:
-        if not self.topology.is_active(source):
-            # a churned-out source routes over position-dependent virtual
-            # edges that can drift without an epoch change: never cache
-            self.cache_misses += 1
-            return self.topology.candidate_paths(
-                source, destination, self.max_paths, self.max_hops, self._scope
-            )
-        key = (source, destination)
-        paths = self._cache.get(key)
-        if paths is not None:
-            self.cache_hits += 1
-            return paths
-        self.cache_misses += 1
-        boosts_before = self.topology.boost_count
-        paths = self.topology.candidate_paths(
-            source, destination, self.max_paths, self.max_hops, self._scope
-        )
-        if self.topology.boost_count == boosts_before:
-            # boosted routes ride on a position-dependent nearest-peer link
-            # that can drift without an epoch change: only cache unboosted ones
-            self._cache[key] = paths
-        return paths
+    @property
+    def _scope(self) -> frozenset[int]:
+        return self.provider.scope
+
+    @property
+    def cache_hits(self) -> int:
+        return self.provider.cache_hits
+
+    @property
+    def cache_misses(self) -> int:
+        return self.provider.cache_misses
 
     @property
     def cache_info(self) -> tuple[int, int]:
         """(hits, misses) of the per-pair route cache."""
-        return self.cache_hits, self.cache_misses
+        return self.provider.cache_info

@@ -13,9 +13,35 @@ K-shortest-paths engine over int adjacency arrays whose output (path sets
 of the hot loop.  Plugging the :class:`TopologyPathOracle` into any engine
 turns the paper's abstract game into a static-topology simulation — an
 extension ablated in ``benchmarks/bench_topology_extension.py``.
+
+:mod:`repro.network.provider` is the route-provider layer shared with the
+mobility subsystem: per-pair route caches over any epoch-versioned topology
+provider, with pluggable ``exact``/``approx`` cache policies.
 """
 
 from repro.network.ksp import PathSearch
+from repro.network.provider import (
+    ROUTE_CACHE_POLICIES,
+    ApproxPolicy,
+    CachePolicy,
+    ExactPolicy,
+    RouteProvider,
+    StaticRouteProvider,
+    TopologyProvider,
+    make_cache_policy,
+)
 from repro.network.topology import GeometricTopology, TopologyPathOracle
 
-__all__ = ["GeometricTopology", "PathSearch", "TopologyPathOracle"]
+__all__ = [
+    "GeometricTopology",
+    "PathSearch",
+    "TopologyPathOracle",
+    "TopologyProvider",
+    "RouteProvider",
+    "StaticRouteProvider",
+    "CachePolicy",
+    "ExactPolicy",
+    "ApproxPolicy",
+    "make_cache_policy",
+    "ROUTE_CACHE_POLICIES",
+]

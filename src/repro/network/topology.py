@@ -27,7 +27,9 @@ import networkx as nx
 import numpy as np
 
 from repro.network.ksp import PathSearch
+from repro.network.provider import StaticRouteProvider
 from repro.paths.oracle import GameSetup, PlannedGame
+from repro.paths.planner import draw_setup, plan_round
 
 __all__ = [
     "GeometricTopology",
@@ -97,6 +99,10 @@ class GeometricTopology:
             )
         self.positions = positions
         self.graph = graph
+        #: edge-set version (TopologyProvider contract).  Static by design,
+        #: so it only moves when :meth:`invalidate_routes` announces an
+        #: external graph edit — letting route providers drop their caches.
+        self.epoch = 0
         self._search: PathSearch | None = None
         self._search_edges = -1
 
@@ -119,6 +125,7 @@ class GeometricTopology:
         """Drop the route-search snapshot after an external graph edit."""
         self._search = None
         self._search_edges = -1
+        self.epoch += 1
 
     def _build_graph(self, positions: dict[int, tuple[float, float]]) -> nx.Graph:
         graph = nx.Graph()
@@ -155,9 +162,11 @@ class TopologyPathOracle:
     (e.g. only direct-neighbour connectivity), it is rejected and redrawn, up
     to ``max_draws`` before giving up with a descriptive error.
 
-    Since the topology never changes, candidate routes per (source,
-    destination) pair are computed once and cached (``cache=False`` disables
-    this, for benchmarking the recomputation cost).
+    Routing is layered (see :mod:`repro.network.provider`): a
+    :class:`StaticRouteProvider` caches per-pair full-graph routes plus a
+    scope-filtered table shared by the sequential and batched draw paths
+    (``cache=False`` disables both, for benchmarking the recomputation
+    cost), and the draw loops come from :mod:`repro.paths.planner`.
     """
 
     def __init__(
@@ -174,76 +183,42 @@ class TopologyPathOracle:
         self.max_paths = max_paths
         self.max_hops = max_hops
         self.max_draws = max_draws
-        self._cache: dict[tuple[int, int], list[tuple[int, ...]]] | None = (
-            {} if cache else None
+        self.provider = StaticRouteProvider(
+            topology, max_paths, max_hops, cache=cache
         )
-        # scope-filtered route table for the batched draw path, keyed by the
-        # participant set it was filtered against
-        self._scoped_scope: frozenset[int] | None = None
-        self._scoped_routes: dict[tuple[int, int], list[tuple[int, ...]]] = {}
-        self.cache_hits = 0
-        self.cache_misses = 0
 
     def _candidate_paths(self, source: int, destination: int) -> list[tuple[int, ...]]:
-        if self._cache is None:
-            self.cache_misses += 1
-            return self.topology.candidate_paths(
-                source, destination, self.max_paths, self.max_hops
-            )
-        key = (source, destination)
-        paths = self._cache.get(key)
-        if paths is None:
-            self.cache_misses += 1
-            paths = self.topology.candidate_paths(
-                source, destination, self.max_paths, self.max_hops
-            )
-            self._cache[key] = paths
-        else:
-            self.cache_hits += 1
-        return paths
+        """Full-graph routes for the pair (unscoped; provider-cached)."""
+        return self.provider.base_routes(source, destination)
+
+    @property
+    def cache_hits(self) -> int:
+        return self.provider.cache_hits
+
+    @property
+    def cache_misses(self) -> int:
+        return self.provider.cache_misses
 
     @property
     def cache_info(self) -> tuple[int, int]:
         """(hits, misses) of the per-pair route cache."""
-        return self.cache_hits, self.cache_misses
+        return self.provider.cache_info
 
     def draw(self, source: int, participants: Sequence[int]) -> GameSetup:
         others = [p for p in participants if p != source]
         if not others:
             raise ValueError("need at least one potential destination")
-        active = set(participants)
-        for _ in range(self.max_draws):
-            destination = others[int(self.rng.integers(len(others)))]
-            paths = [
-                p
-                for p in self._candidate_paths(source, destination)
-                if all(node in active for node in p)
-            ]
-            if paths:
-                return GameSetup(
-                    source=source, destination=destination, paths=tuple(paths)
-                )
-        raise RuntimeError(
-            f"no routable destination found for source {source} after"
-            f" {self.max_draws} draws; topology too sparse for this game"
+        provider = self.provider
+        provider.sync()
+        provider.rescope(participants)
+        destination, paths = draw_setup(
+            self.rng, source, others, provider.routes, self.max_draws
+        )
+        return GameSetup(
+            source=source, destination=destination, paths=tuple(paths)
         )
 
     # -- batched drawing (struct-of-arrays engines) ----------------------------
-
-    def _route_table(
-        self, active: frozenset[int]
-    ) -> dict[tuple[int, int], list[tuple[int, ...]]]:
-        """The per-pair routes of :meth:`draw`, pre-filtered to ``active``.
-
-        Filled lazily per (source, destination) as the batched draw touches
-        pairs — an all-pairs table for the pairs the tournament actually
-        routes, which for a static topology is reusable across every round
-        and tournament with the same participant set.
-        """
-        if self._scoped_scope != active:
-            self._scoped_scope = active
-            self._scoped_routes = {}
-        return self._scoped_routes
 
     def draw_tournament(
         self, sources: Sequence[int], participants: Sequence[int]
@@ -253,53 +228,14 @@ class TopologyPathOracle:
         **Stream-identical** to calling :meth:`draw` once per source — one
         ``integers`` draw per destination attempt, same rejection/redraw
         sequence — so engines interleaving batched and per-game drawing stay
-        bit-identical.  The speedup is pure overhead removal: the
-        scope-filtered route table replaces the per-draw path filter, and no
+        bit-identical.  The speedup is pure overhead removal: the provider's
+        scope-filtered route table replaces per-draw path filtering, and no
         ``GameSetup`` is constructed or validated per game.
         """
         participants = list(participants)
-        active = frozenset(participants)
-        # cache=False disables the scoped route table too, so benchmarking
-        # the recomputation cost covers the batched path as well
-        caching = self._cache is not None
-        table = self._route_table(active) if caching else {}
-        rng = self.rng
-        integers = rng.integers
-        max_draws = self.max_draws
-        candidate_paths = self._candidate_paths
-        others_cache: dict[int, list[int]] = {}
-        cache_get = others_cache.get
-        plan: list[PlannedGame] = []
-        append = plan.append
-        for source in sources:
-            others = cache_get(source)
-            if others is None:
-                others = [p for p in participants if p != source]
-                others_cache[source] = others
-            if not others:
-                raise ValueError("need at least one potential destination")
-            n_others = len(others)
-            for _ in range(max_draws):
-                destination = others[int(integers(n_others))]
-                key = (source, destination)
-                paths = table.get(key)
-                if paths is None:
-                    paths = [
-                        p
-                        for p in candidate_paths(source, destination)
-                        if all(node in active for node in p)
-                    ]
-                    if caching:
-                        table[key] = paths
-                else:
-                    # keep cache_info meaningful for the batched path too
-                    self.cache_hits += 1
-                if paths:
-                    append((source, destination, paths))
-                    break
-            else:
-                raise RuntimeError(
-                    f"no routable destination found for source {source} after"
-                    f" {max_draws} draws; topology too sparse for this game"
-                )
-        return plan
+        provider = self.provider
+        provider.sync()
+        provider.rescope(participants)
+        return plan_round(
+            self.rng, sources, participants, provider.routes, self.max_draws
+        )

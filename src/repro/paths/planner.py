@@ -1,0 +1,113 @@
+"""Draw-planner layer: destination sampling over a route provider.
+
+Top layer of the oracle stack's three-layer split (topology provider →
+route provider → draw planner; see :mod:`repro.network.provider`).  The
+planner owns the *draw semantics* that used to be duplicated between the
+topology and mobile oracles:
+
+* :func:`draw_setup` — the sequential rejection-sampling destination draw
+  (uniform over the source's others, redrawn while the drawn pair has no
+  route, capped at ``max_draws``);
+* :func:`plan_round` — the batched form: one :data:`PlannedGame` per
+  source, **stream-identical** to calling :func:`draw_setup` per source
+  (same RNG methods, same arguments, same order), with an optional ``tick``
+  hook fired once per game for draw-count-clocked topology stepping.
+
+The vectorized face of this layer lives in :mod:`repro.paths.vector`
+(whole-tournament draws packed into ``GamePlanArrays`` for the turbo
+engine); :func:`repro.paths.oracle.plan_games` is the oracle-generic
+dispatch that picks an oracle's batched path when it has one.
+
+Both loops consume randomness *identically* to the per-game form —
+``others[int(rng.integers(len(others)))]`` per attempt, nothing else — so
+an engine interleaving sequential and batched drawing on a shared generator
+cannot change a trajectory.  That property is what keeps the
+reference/fast/batch trio bit-identical through this refactor, and it is
+pinned by the stream-identity suites in ``tests/test_network_topology.py``
+and ``tests/test_mobility_oracle.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.paths.oracle import PlannedGame, plan_games
+
+__all__ = ["draw_setup", "plan_round", "plan_games"]
+
+#: Route lookup: (source, destination) -> candidate paths (possibly empty).
+RouteFn = Callable[[int, int], Sequence[Sequence[int]]]
+
+
+def draw_setup(
+    rng: np.random.Generator,
+    source: int,
+    others: Sequence[int],
+    routes: RouteFn,
+    max_draws: int,
+) -> tuple[int, Sequence[Sequence[int]]]:
+    """Draw one game's (destination, paths) by rejection sampling.
+
+    The destination is uniform over ``others``; a drawn destination with no
+    route is rejected and redrawn, up to ``max_draws`` attempts before
+    giving up with a descriptive error.
+    """
+    integers = rng.integers
+    n_others = len(others)
+    for _ in range(max_draws):
+        destination = others[int(integers(n_others))]
+        paths = routes(source, destination)
+        if paths:
+            return destination, paths
+    raise RuntimeError(
+        f"no routable destination found for source {source} after"
+        f" {max_draws} draws; topology too sparse for this game"
+    )
+
+
+def plan_round(
+    rng: np.random.Generator,
+    sources: Sequence[int],
+    participants: Sequence[int],
+    routes: RouteFn,
+    max_draws: int,
+    tick: Callable[[], None] | None = None,
+) -> list[PlannedGame]:
+    """Draw a whole round's (or tournament's) games in one batch.
+
+    Stream-identical to :func:`draw_setup` once per source; the speedup is
+    per-game overhead removal (cached ``others`` pools, no ``GameSetup``
+    construction).  ``tick``, when given, fires once per game *before* its
+    destination draws — the hook draw-count-clocked topologies use to step
+    (and possibly consume the shared generator) at exactly the same draw
+    counts as the sequential form.
+    """
+    integers = rng.integers
+    others_cache: dict[int, list[int]] = {}
+    cache_get = others_cache.get
+    plan: list[PlannedGame] = []
+    append = plan.append
+    for source in sources:
+        others = cache_get(source)
+        if others is None:
+            others = [p for p in participants if p != source]
+            others_cache[source] = others
+        if not others:
+            raise ValueError("need at least one potential destination")
+        if tick is not None:
+            tick()
+        n_others = len(others)
+        for _ in range(max_draws):
+            destination = others[int(integers(n_others))]
+            paths = routes(source, destination)
+            if paths:
+                append((source, destination, paths))
+                break
+        else:
+            raise RuntimeError(
+                f"no routable destination found for source {source} after"
+                f" {max_draws} draws; topology too sparse for this game"
+            )
+    return plan

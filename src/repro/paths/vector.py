@@ -30,10 +30,24 @@ distribution is identical.  ``tests/test_paths_vector.py`` pins the
 distributional match; ``tests/test_engine_statistical.py`` pins the
 downstream claim.
 
-Oracles without a vectorized sampler (topology, mobile, scripted) are planned
-through :func:`repro.paths.oracle.plan_games` — their draw cost is either
-cheap (cached route tables) or semantically clocked (mobility) — and packed
-into the same :class:`GamePlanArrays` layout.
+The route-table oracles (topology, mobile) get a second native sampler,
+:func:`_sample_routed_vectorized`: destinations are rejection-sampled in
+vectorized waves (one ``integers`` batch per wave instead of one call per
+attempt), routability is resolved once per *distinct* (source, destination)
+pair per topology window through the oracle's route provider, and the
+plan is packed with pair-level dedup — each distinct candidate-path set is
+packed once and games gather its rows by index.  Per-game distributions are
+identical to the sequential rejection sampler (uniform over the source's
+others, conditioned on routability within ``max_draws`` attempts), and the
+draw-count-clocked topology stepping of the mobile oracle fires at exactly
+the same draw counts (window boundaries), but the shared generator is
+consumed in a different order — the same statistical relaxation as the
+random sampler above.  ``tests/test_paths_vector.py`` pins the
+distributional match and the step schedule.
+
+Oracles without a vectorized sampler (scripted, third-party) are planned
+through :func:`repro.paths.oracle.plan_games` and packed into the same
+:class:`GamePlanArrays` layout.
 """
 
 from __future__ import annotations
@@ -82,16 +96,30 @@ def plan_tournament_arrays(
 ) -> GamePlanArrays:
     """Draw a whole tournament's games into :class:`GamePlanArrays`.
 
-    :class:`RandomPathOracle` gets the native vectorized sampler
-    (distributionally identical, stream-divergent — see the module
-    docstring); every other oracle is planned sequentially through
-    :func:`plan_games` and repacked.
+    :class:`RandomPathOracle` gets the native vectorized sampler, and the
+    route-table oracles (``TopologyPathOracle``, ``MobilePathOracle``) the
+    native routed sampler (both distributionally identical,
+    stream-divergent — see the module docstring); every other oracle is
+    planned sequentially through :func:`plan_games` and repacked.
     """
     participants = list(participants)
     sources = list(sources)
-    if isinstance(oracle, RandomPathOracle) and set(sources) <= set(participants):
-        return _sample_random_vectorized(oracle, sources, participants)
+    if set(sources) <= set(participants):
+        if isinstance(oracle, RandomPathOracle):
+            return _sample_random_vectorized(oracle, sources, participants)
+        if _is_routed_oracle(oracle) and len(participants) >= 2:
+            return _sample_routed_vectorized(oracle, sources, participants)
     return _arrays_from_plan(plan_games(oracle, sources, participants))
+
+
+def _is_routed_oracle(oracle) -> bool:
+    """Whether the oracle is one of the route-provider-backed kinds."""
+    # imported lazily: paths is a lower layer than network/mobility, so the
+    # dispatch must not pull them into the import chain of this module
+    from repro.mobility.oracle import MobilePathOracle
+    from repro.network.topology import TopologyPathOracle
+
+    return isinstance(oracle, (TopologyPathOracle, MobilePathOracle))
 
 
 def _arrays_from_plan(plan) -> GamePlanArrays:
@@ -128,6 +156,316 @@ def _arrays_from_plan(plan) -> GamePlanArrays:
         path_col=path_col,
         path_nodes=path_nodes,
         path_len=path_len,
+        max_paths=int(n_paths.max()) if n_games else 0,
+    )
+
+
+def _step_windows(
+    oracle, n_games: int, n_participants: int
+) -> tuple[list[tuple[bool, int]], int | None]:
+    """Split the plan into maximal game ranges with no topology step inside.
+
+    Returns ``(windows, final_draw_count)`` where each window is
+    ``(step_before, size)`` — the topology steps once before every window
+    flagged ``step_before``, replicating the draw-count-clocked schedule of
+    the sequential mobile draw exactly — and ``final_draw_count`` is the
+    oracle's ``_draws_since_step`` after all draws (``None`` for oracles
+    without a clock).
+    """
+    step_every = getattr(oracle, "step_every", None)
+    if step_every is None:
+        return [(False, n_games)], None
+    threshold = n_participants if step_every == "round" else step_every
+    since = oracle._draws_since_step
+    if not isinstance(threshold, int):
+        # "tournament" mode: stepping is hook-driven, the counter still runs
+        return [(False, n_games)], since + n_games
+    windows: list[tuple[bool, int]] = []
+    remaining = n_games
+    while remaining > 0:
+        step_before = since >= threshold
+        if step_before:
+            since = 0
+        size = min(threshold - since, remaining)
+        windows.append((step_before, size))
+        since += size
+        remaining -= size
+    return windows, since
+
+
+class _RoutedSlotCache:
+    """Persistent pair -> candidate-path-set resolution for one oracle.
+
+    Lives across :func:`plan_tournament_arrays` calls (attached to the
+    oracle as ``_vector_cache``), so a static or slowly-changing topology
+    resolves each (source, destination) pair through the route provider
+    once per epoch instead of once per tournament.  ``route_slot`` is a
+    dense pair-code lookup (-2 unknown, -1 no route, >= 0 a slot index);
+    ``slots`` is append-only, which keeps ``id()``-keyed dedup safe (every
+    keyed object stays alive in ``slots``) and lets the packed slot arrays
+    be reused verbatim while no new slot appeared.
+    """
+
+    __slots__ = (
+        "epoch",
+        "steps",
+        "scope",
+        "m1",
+        "route_slot",
+        "slots",
+        "slot_of_obj",
+        "packed_count",
+        "n_rows",
+        "_n_paths",
+        "_row_start",
+        "_rows",
+        "_path_len",
+    )
+
+    def __init__(self, epoch: int, steps: int, scope, m1: int):
+        self.epoch = epoch
+        self.steps = steps
+        self.scope = scope
+        self.m1 = m1
+        self.route_slot = np.full(m1 * m1, -2, dtype=np.int64)
+        self.slots: list[Sequence[Sequence[int]]] = []
+        self.slot_of_obj: dict[int, int] = {}
+        # packed arrays grow append-only with amortized-doubling capacity;
+        # the first packed_count slots / n_rows rows are valid
+        self.packed_count = 0
+        self.n_rows = 0
+        self._n_paths = np.empty(64, dtype=np.int64)
+        self._row_start = np.zeros(65, dtype=np.int64)
+        self._rows = np.full((256, 4), -1, dtype=np.int64)
+        self._path_len = np.empty(256, dtype=np.int64)
+
+    def invalidate(self, epoch: int, steps: int) -> None:
+        """Unknown all pairs (new topology window); keep the slot dedup.
+
+        Keyed on ``steps``, not just ``epoch``: a step that leaves the edge
+        set (and epoch) intact can still move positions, and the provider's
+        never-cache routes (churned-out sources, emergency boosts) are
+        position-dependent — their pair resolutions must not outlive any
+        step, exactly as the provider recomputes them on every call.
+        """
+        self.epoch = epoch
+        self.steps = steps
+        self.route_slot.fill(-2)
+
+    def packed_slots(self) -> tuple:
+        """(n_paths, row_start, rows, path_len) arrays over all slots.
+
+        Incremental: only slots appended since the last call are packed, so
+        a stable slot population (static topology, warm caches) pays
+        nothing here.
+        """
+        slots = self.slots
+        n_slots = len(slots)
+        if self.packed_count < n_slots:
+            new_rows = sum(len(slots[i]) for i in range(self.packed_count, n_slots))
+            self._reserve(n_slots, self.n_rows + new_rows)
+            row = self.n_rows
+            rows_buf = self._rows
+            len_buf = self._path_len
+            for i in range(self.packed_count, n_slots):
+                paths = slots[i]
+                self._n_paths[i] = len(paths)
+                self._row_start[i + 1] = row + len(paths)
+                for path in paths:
+                    len_buf[row] = len(path)
+                    rows_buf[row, : len(path)] = path
+                    row += 1
+            self.packed_count = n_slots
+            self.n_rows = row
+        return (
+            self._n_paths[:n_slots],
+            self._row_start[: n_slots + 1],
+            self._rows[: self.n_rows],
+            self._path_len[: self.n_rows],
+        )
+
+    def _reserve(self, n_slots: int, n_rows: int) -> None:
+        """Grow the packed buffers (doubling) to hold the new slots/rows."""
+        if n_slots > self._n_paths.shape[0]:
+            cap = max(2 * self._n_paths.shape[0], n_slots)
+            self._n_paths = np.concatenate(
+                [self._n_paths, np.empty(cap - self._n_paths.shape[0], np.int64)]
+            )
+            grown = np.zeros(cap + 1, dtype=np.int64)
+            grown[: self._row_start.shape[0]] = self._row_start
+            self._row_start = grown
+        width = max(
+            (
+                len(p)
+                for i in range(self.packed_count, n_slots)
+                for p in self.slots[i]
+            ),
+            default=0,
+        )
+        old_rows, old_width = self._rows.shape
+        new_width = max(old_width, width)
+        if n_rows > old_rows or new_width > old_width:
+            cap = max(2 * old_rows, n_rows)
+            rows = np.full((cap, new_width), -1, dtype=np.int64)
+            rows[: self.n_rows, :old_width] = self._rows[: self.n_rows]
+            self._rows = rows
+            self._path_len = np.concatenate(
+                [
+                    self._path_len,
+                    np.empty(cap - self._path_len.shape[0], np.int64),
+                ]
+            )
+
+
+def _slot_cache_for(oracle, provider, m1: int) -> _RoutedSlotCache:
+    """The oracle's persistent slot cache, (re)built when stale.
+
+    The cache is only valid for the provider's current scope and the
+    topology's current epoch *and* step count (steps between plans can move
+    positions — and the never-cache boost/virtual routes — without bumping
+    the epoch); it is also rebuilt when a non-caching provider
+    (``cache=False`` benchmarking) or an accumulation of never-cached
+    routes (boosted pairs) has grown it past a sane bound — an append-only
+    dedup over fresh list objects would otherwise leak.
+    """
+    scope = provider.scope
+    cache: _RoutedSlotCache | None = getattr(oracle, "_vector_cache", None)
+    topology = oracle.topology
+    epoch = topology.epoch
+    steps = getattr(topology, "steps", 0)
+    if (
+        cache is None
+        or cache.m1 != m1
+        or cache.scope != scope
+        or not getattr(provider, "caching", True)
+        or len(cache.slots) > 4 * m1 * m1
+    ):
+        cache = _RoutedSlotCache(epoch, steps, scope, m1)
+        oracle._vector_cache = cache
+    elif cache.epoch != epoch or cache.steps != steps:
+        cache.invalidate(epoch, steps)
+    return cache
+
+
+def _sample_routed_vectorized(
+    oracle, sources: list[int], participants: list[int]
+) -> GamePlanArrays:
+    """The native vectorized sampler for the route-table oracles.
+
+    Destinations are drawn in vectorized rejection waves per topology
+    window; routability is resolved once per distinct (source, destination)
+    pair per epoch through the oracle's route provider (which applies its
+    cache policy), and packing dedups identical candidate-path sets.
+    """
+    rng = oracle.rng
+    provider = oracle.provider
+    routes = provider.routes
+    max_draws = oracle.max_draws
+    n = len(participants)
+    parts = np.asarray(participants, dtype=np.int64)
+    src = np.asarray(sources, dtype=np.int64)
+    n_games = len(src)
+
+    # per-participant "others" pools and the id -> row lookup, exactly as
+    # the random sampler builds them
+    off_diag = parts[None, :] != parts[:, None]
+    others = np.broadcast_to(parts, (n, n))[off_diag].reshape(n, n - 1)
+    max_id = int(parts.max())
+    row_of = np.full(max_id + 1, -1, dtype=np.int64)
+    row_of[parts] = np.arange(n, dtype=np.int64)
+    src_rows = row_of[src]
+
+    provider.rescope(participants)
+    provider.sync()
+    windows, final_draws = _step_windows(oracle, n_games, n)
+
+    m1 = max_id + 1
+    cache = _slot_cache_for(oracle, provider, m1)
+    route_slot = cache.route_slot
+    slots = cache.slots
+    slot_of_obj = cache.slot_of_obj
+    dst = np.empty(n_games, dtype=np.int64)
+    game_slot = np.empty(n_games, dtype=np.int64)
+
+    g0 = 0
+    topology = oracle.topology
+    for step_before, size in windows:
+        if step_before:
+            oracle._step_topology()
+            cache.invalidate(topology.epoch, getattr(topology, "steps", 0))
+        unresolved = np.arange(g0, g0 + size)
+        for _ in range(max_draws):
+            if unresolved.size == 0:
+                break
+            draws = rng.integers(n - 1, size=unresolved.size)
+            cand = others[src_rows[unresolved], draws]
+            codes = src[unresolved] * m1 + cand
+            status = route_slot[codes]
+            unknown = codes[status == -2]
+            if unknown.size:
+                for code in np.unique(unknown).tolist():
+                    s, d = divmod(code, m1)
+                    paths = routes(s, d)
+                    if paths:
+                        slot = slot_of_obj.get(id(paths))
+                        if slot is None:
+                            slot = len(slots)
+                            slots.append(paths)
+                            slot_of_obj[id(paths)] = slot
+                        route_slot[code] = slot
+                    else:
+                        route_slot[code] = -1
+                status = route_slot[codes]
+            ok = status >= 0
+            hit = unresolved[ok]
+            dst[hit] = cand[ok]
+            game_slot[hit] = status[ok]
+            unresolved = unresolved[~ok]
+        if unresolved.size:
+            raise RuntimeError(
+                f"no routable destination found for source"
+                f" {int(src[unresolved[0]])} after {max_draws} draws;"
+                f" topology too sparse for this game"
+            )
+        g0 += size
+    if final_draws is not None:
+        oracle._draws_since_step = final_draws
+
+    return _arrays_from_slots(src, dst, game_slot, cache)
+
+
+def _arrays_from_slots(
+    src: np.ndarray,
+    dst: np.ndarray,
+    game_slot: np.ndarray,
+    cache: _RoutedSlotCache,
+) -> GamePlanArrays:
+    """Pack a slot-deduped routed plan into :class:`GamePlanArrays`.
+
+    The per-path Python work is proportional to the number of *distinct*
+    candidate-path sets (and amortizes to zero while the slot cache is
+    stable): each slot is packed once and every game gathers its rows with
+    one fancy index.
+    """
+    n_games = len(src)
+    slot_n_paths, slot_row_start, slot_rows, slot_path_len = cache.packed_slots()
+    n_paths = slot_n_paths[game_slot] if n_games else np.zeros(0, dtype=np.int64)
+    game_path_start = np.zeros(n_games + 1, dtype=np.int64)
+    np.cumsum(n_paths, out=game_path_start[1:])
+    total = int(game_path_start[-1])
+    path_game = np.repeat(np.arange(n_games, dtype=np.int64), n_paths)
+    path_col = np.arange(total, dtype=np.int64) - game_path_start[path_game]
+    row_idx = slot_row_start[game_slot[path_game]] + path_col
+    return GamePlanArrays(
+        n_games=n_games,
+        src=src,
+        dst=dst,
+        n_paths=n_paths,
+        game_path_start=game_path_start,
+        path_game=path_game,
+        path_col=path_col,
+        path_nodes=slot_rows[row_idx],
+        path_len=slot_path_len[row_idx],
         max_paths=int(n_paths.max()) if n_games else 0,
     )
 

@@ -98,16 +98,15 @@ class _PlanContext:
         "jc",
         "valid",
         "is_csn",
-        "cells_dec",
-        "strat_base",
         "has_csn",
         "src_sel",
         "src_round_m",
         "src_list",
         "hrange",
+        "grange",
+        "writer_buf",
         "ratings_buf",
         "obs_buf",
-        "pair_buf",
         "decided_b",
         "fwd_b",
         "unknown_b",
@@ -130,14 +129,14 @@ class _PlanContext:
         # the game's path rows, relative to its round (for the ratings
         # scatter; games per round is constant, so a modulo does it)
         self.pg_rel = plan.path_game % games_per_round
-        # decision reads: each node's opinion of the source
+        # decision reads: each node's opinion of the source.  The per-cell
+        # index and strategy-base tables ((j * m + src), (j * STRATEGY_LEN))
+        # are *not* precomputed per path row — only the chosen path's row is
+        # ever read, so the round pass derives them from its (games, hmax)
+        # gather of ``jc``, which is cheaper than materialising (P, H).
         self.jc = node0
         self.valid = valid
         self.is_csn = nodes >= n_pop
-        self.cells_dec = node0 * m + src_of_path[:, None]
-        # strategy row base; CSN rows resolve into the zero-padded tail of
-        # the (m * STRATEGY_LENGTH) strategy table, so no masking is needed
-        self.strat_base = node0 * STRATEGY_LENGTH
         self.has_csn = self.is_csn.any(axis=1)
         self.src_sel = plan.src >= n_pop
         # every round's source order is the participants list, so the
@@ -148,12 +147,13 @@ class _PlanContext:
         n_games = plan.n_games
         h = nodes.shape[1]
         self.hrange = np.arange(h)
+        self.grange = np.arange(games_per_round, dtype=np.int64)
+        self.writer_buf = np.empty(m * m + 1, dtype=np.int64)
         self.ratings_buf = np.empty(
             (games_per_round, max(plan.max_paths, 1)), dtype=np.float64
         )
         self.obs_buf = np.empty((games_per_round, h + 1), dtype=np.int64)
         self.obs_buf[:, 0] = src_round
-        self.pair_buf = np.empty((games_per_round, h + 1, h), dtype=np.int64)
         # per-game speculative outcomes, buffered for the tournament-end
         # fold; the round pass computes straight into slices of these
         self.decided_b = np.zeros((n_games, h), dtype=bool)
@@ -337,13 +337,18 @@ class TurboEngine:
         n_games = g1 - g0
 
         # -- speculative path ratings from round-start state ----------------
-        cells = ctx.cells_rate[p0:p1]
+        # every pass below is sliced to the round's real maximum path width
+        # (hmax columns) — the plan arrays are padded to the *tournament's*
+        # longest path, which the route-table oracles can push to 2-3x the
+        # typical game's, and the padding columns are pure dead work
+        hmax_r = int(plan.path_len[p0:p1].max()) if p1 > p0 else 1
+        cells = ctx.cells_rate[p0:p1, :hmax_r]
         c = ps_flat.take(cells)
         zero = c == 0
         np.maximum(c, 1, out=c)
         d = pf_flat.take(cells) / c
         d[zero] = 0.5
-        d[ctx.pad_path[p0:p1]] = 1.0
+        d[ctx.pad_path[p0:p1, :hmax_r]] = 1.0
         ratings = d.prod(axis=1)
 
         # -- best path per game (first index wins ties, as the trio does) ---
@@ -354,17 +359,22 @@ class TurboEngine:
         np.add(plan.game_path_start[g0:g1], buf.argmax(axis=1), out=chosen)
 
         # -- speculative sequential decisions, vectorized over games --------
-        # computed straight into the tournament-fold buffers where possible
-        valid = ctx.valid[chosen]
-        jc = ctx.jc[chosen]
-        cells_dec = ctx.cells_dec[chosen]
+        # computed straight into the tournament-fold buffers where possible;
+        # the fold buffers beyond this round's hmax stay zero-initialised,
+        # which reads as "not decided / not forwarded" — exactly right
+        hmax = int(plan.path_len[chosen].max())
+        valid = ctx.valid[chosen, :hmax]
+        jc = ctx.jc[chosen, :hmax]
+        src_round = ctx.obs_buf[:, 0]
+        cells_dec = jc * m
+        cells_dec += src_round[:, None]
         c2 = ps_flat.take(cells_dec)
         f2 = pf_flat.take(cells_dec)
-        unknown = ctx.unknown_b[g0:g1]
+        unknown = ctx.unknown_b[g0:g1, :hmax]
         np.equal(c2, 0, out=unknown)
         np.maximum(c2, 1, out=c2)
         rate = f2 / c2
-        trust = ctx.trust_b[g0:g1]
+        trust = ctx.trust_b[g0:g1, :hmax]
         trust[:] = np.searchsorted(
             self._bounds, rate.ravel(), side="left"
         ).reshape(rate.shape)
@@ -377,11 +387,14 @@ class TurboEngine:
         bit += f2 > av + delta
         bit -= f2 < av - delta
         np.copyto(bit, UNKNOWN_BIT, where=unknown)
-        fwd = ctx.fwd_b[g0:g1]
-        np.equal(self._strat_flat.take(ctx.strat_base[chosen] + bit), 1, out=fwd)
+        # strategy row base derived in place: CSN rows resolve into the
+        # zero-padded tail of the strategy table, so no masking is needed
+        bit += jc * STRATEGY_LENGTH
+        fwd = ctx.fwd_b[g0:g1, :hmax]
+        np.equal(self._strat_flat.take(bit), 1, out=fwd)
         fwd &= valid
         prefix = np.logical_and.accumulate(fwd | ~valid, axis=1)
-        decided = ctx.decided_b[g0:g1]
+        decided = ctx.decided_b[g0:g1, :hmax]
         np.copyto(decided, valid)
         decided[:, 1:] &= prefix[:, :-1]
         success = ctx.success_b[g0:g1]
@@ -395,15 +408,13 @@ class TurboEngine:
         # sentinel must be m*m itself — a subject sentinel of m would fold
         # into the valid pair (obs + 1, 0).
         upd_ok = decided & (
-            success[:, None] | (ctx.hrange < (n_dec - 1)[:, None])
+            success[:, None] | (ctx.hrange[:hmax] < (n_dec - 1)[:, None])
         )
-        obs = ctx.obs_buf  # column 0 is the round-constant source id
+        obs = ctx.obs_buf[:, : hmax + 1]  # column 0 is the source id
         np.copyto(obs[:, 1:], jc)
         np.copyto(obs[:, 1:], m, where=~upd_ok)
         subj = np.where(decided, jc, m * m)
-        pair = ctx.pair_buf
-        pair[:] = obs[:, :, None] * m
-        pair += subj[:, None, :]
+        pair = obs[:, :, None] * m + subj[:, None, :]
         pair[obs[:, :, None] == subj[:, None, :]] = m * m
         pair2 = pair.reshape(n_games, -1)
         w_ok = pair2 < m * m
@@ -414,17 +425,19 @@ class TurboEngine:
         # nodes past a drop only perturbs already-tolerated path ratings)
         r1 = cells_dec[decided]
         r2 = (ctx.src_round_m[:, None] + jc)[decided]
-        n_dec_l = n_dec.tolist()
 
+        # -- vectorized walk: a game conflicts iff one of its read pairs was
+        # (speculatively) written by a strictly earlier game of the round.
+        # first_writer[pair] = earliest game writing it; every game's writes
+        # count, kept or not — exactly the sequential walk's written-set.
+        first_writer = ctx.writer_buf
+        first_writer.fill(n_games)
+        np.minimum.at(first_writer, w_vals, np.repeat(ctx.grange, w_counts))
+        r_game = np.repeat(ctx.grange, n_dec)
+        conflict = first_writer[r1] < r_game
+        conflict |= first_writer[r2] < r_game
         keep = ctx.keep_b[g0:g1]
-        self._conflict_walk(
-            keep,
-            r1.tolist(),
-            r2.tolist(),
-            n_dec_l,
-            w_vals.tolist(),
-            w_counts.tolist(),
-        )
+        keep[r_game[conflict]] = False
 
         # -- commit the non-conflicting games' watchdog writes in one batch --
         k_pairs = keep.repeat(w_counts)
@@ -451,39 +464,6 @@ class TurboEngine:
                     delivered,
                     csn_free,
                 )
-
-    @staticmethod
-    def _conflict_walk(
-        keep: np.ndarray,
-        r1: list,
-        r2: list,
-        read_counts: list,
-        writes: list,
-        w_counts: list,
-    ) -> None:
-        """Walk the round in game order; a game whose read pairs were written
-        by an earlier game loses its speculation (``keep[g] = False``).
-
-        ``r1``/``r2`` are the two read-pair streams (decision and rating
-        direction), both grouped per game by ``read_counts``."""
-        written: set[int] = set()
-        written_update = written.update
-        a = w = 0
-        for g in range(len(read_counts)):
-            a2 = a + read_counts[g]
-            w2 = w + w_counts[g]
-            for pr in r1[a:a2]:
-                if pr in written:
-                    keep[g] = False
-                    break
-            else:
-                for pr in r2[a:a2]:
-                    if pr in written:
-                        keep[g] = False
-                        break
-            written_update(writes[w:w2])
-            a, w = a2, w2
-        return None
 
     def _fold_tournament(
         self,

@@ -1,16 +1,21 @@
-"""Statistical-equivalence tier: the turbo engine vs the bit-identical trio.
+"""Statistical-equivalence tier: every statistically-equivalent optimisation
+vs the bit-identical trio.
 
-The turbo engine's contract (see ``sim/turbo.py``) is that it reproduces the
-*distributions* of the paper's outcome metrics, not any single trajectory.
-This tier holds it to that claim with the harness in
+Two relaxations live under this contract (see ``sim/turbo.py`` and
+``network/provider.py``): the turbo engine reproduces the *distributions*
+of the paper's outcome metrics without replaying any single trajectory, and
+the ``approx`` route-cache policy serves drift-budgeted stale routes on
+mobile topologies.  This tier holds both to that claim with the harness in
 :mod:`repro.analysis.equivalence`:
 
 * two-sample KS and Mann-Whitney gates (p > 0.01) on final cooperation,
   mean fitness and request-acceptance distributions over
-  ``REPRO_STAT_REPS`` (default 20) seeded replications per engine,
+  ``REPRO_STAT_REPS`` (default 20) seeded replications per configuration,
 * confidence-band overlap on the Fig.-4-style cooperation curves,
 * spot checks that the speculation machinery itself is exercised (games do
-  replay) and that exact invariants hold regardless of speculation.
+  replay) and that exact invariants hold regardless of speculation,
+* a pinned-seed guard that the default ``exact`` policy keeps the
+  reference/fast/batch trio bit-identical through the layered refactor.
 
 The reference sample comes from the fast engine; the trio is bit-identical
 (``test_engine_equivalence.py``), so any of them defines the same reference
@@ -29,17 +34,33 @@ from repro.analysis.equivalence import (
     compare_samples,
     confidence_band_overlap,
 )
+from repro.config.mobility import MobilityConfig
 from repro.core.strategy import Strategy
 from repro.experiments.config import ExperimentConfig
 from repro.game.stats import TournamentStats
+from repro.mobility import build_oracle
 from repro.paths.distributions import LONGER_PATHS, SHORTER_PATHS
 from repro.paths.oracle import RandomPathOracle
-from repro.sim import make_engine
+from repro.sim import BIT_IDENTICAL_ENGINES, make_engine
 
 #: Replications per engine for the distribution gates.  The acceptance bar
 #: is >= 20; override with REPRO_STAT_REPS for deeper local sweeps.
 N_REPS = int(os.environ.get("REPRO_STAT_REPS", "20"))
 ALPHA = 0.01
+
+#: The per-round-mobility regime the approx policy exists for: topology
+#: stepped every round with zero tolerance (every edge flip counts), at the
+#: same slow waypoint drift as the perf ledger's mobile rows, with the
+#: bench row's aggressive drift budget — the exact configuration whose
+#: >= 2x throughput claim BENCH_ENGINE.json posts.
+HIGH_MOBILITY = MobilityConfig(
+    model="waypoint",
+    speed_min=0.002,
+    speed_max=0.008,
+    tolerance=0.0,
+    step_every="round",
+)
+APPROX_BUDGET = 240
 
 
 @pytest.fixture(scope="module")
@@ -91,6 +112,104 @@ class TestTurboStatisticalEquivalence:
             assert diff <= max(4 * sem, 1e-9), (
                 f"{metric}: |mean diff| {diff:.4f} > 4*sem {4 * sem:.4f}"
             )
+
+
+@pytest.fixture(scope="module")
+def mobile_ensembles():
+    """(exact samples/curves, approx samples/curves) on the mobile smoke
+    config — both on the fast engine, so the only varying factor is the
+    route-cache policy."""
+    config = ExperimentConfig.for_case(
+        "mobile_waypoint", scale="smoke", seed=90521, engine="fast"
+    )
+    exact_config = config.with_(
+        sim=config.sim.with_(mobility=HIGH_MOBILITY)
+    )
+    approx_config = config.with_(
+        sim=config.sim.with_(
+            mobility=HIGH_MOBILITY.with_(
+                route_cache="approx", drift_budget=APPROX_BUDGET
+            )
+        )
+    )
+    exact = collect_engine_samples(exact_config, N_REPS)
+    approx = collect_engine_samples(approx_config, N_REPS)
+    return exact, approx
+
+
+class TestApproxRouteCacheStatisticalEquivalence:
+    """The approx policy's contract on mobile scenarios: same outcome
+    distributions as exact, different trajectories."""
+
+    def test_distributions_match(self, mobile_ensembles):
+        (ex_samples, ex_curves), (ap_samples, ap_curves) = mobile_ensembles
+        report = compare_samples(
+            ex_samples,
+            ap_samples,
+            alpha=ALPHA,
+            curves_a=ex_curves,
+            curves_b=ap_curves,
+            min_overlap=0.8,
+        )
+        assert report.equivalent, (
+            "approx route cache deviates from the exact distribution: "
+            + "; ".join(report.failures())
+        )
+        for metric, results in report.tests.items():
+            for result in results:
+                assert result.pvalue > ALPHA, (
+                    f"{metric}/{result.name} rejected: p={result.pvalue:.4g}"
+                )
+
+    def test_confidence_bands_overlap(self, mobile_ensembles):
+        (_, ex_curves), (_, ap_curves) = mobile_ensembles
+        overlap = confidence_band_overlap(ex_curves, ap_curves)
+        assert overlap >= 0.8, f"cooperation bands overlap only {overlap:.2f}"
+
+    def test_approx_actually_diverges(self, mobile_ensembles):
+        """The gate is meaningful only if the policies trace different
+        trajectories — identical ensembles would vacuously pass."""
+        (ex_samples, _), (ap_samples, _) = mobile_ensembles
+        assert any(
+            not np.array_equal(ex_samples[m], ap_samples[m])
+            for m in ex_samples
+        )
+
+
+class TestExactPolicyPinnedTrio:
+    """--route-cache exact (the default) must keep the reference/fast/batch
+    trio bit-identical through the layered route-provider refactor."""
+
+    def _run(self, engine_name, route_cache):
+        config = HIGH_MOBILITY.with_(route_cache=route_cache)
+        oracle = build_oracle(config, list(range(24)), np.random.default_rng(5))
+        engine = make_engine(engine_name, 20, 4)
+        rng = np.random.default_rng(17)
+        engine.set_strategies([Strategy.random(rng) for _ in range(20)])
+        participants = list(range(20)) + engine.selfish_ids(4)
+        stats = TournamentStats()
+        engine.run_tournament(participants, 12, oracle, stats, None, None)
+        return (
+            stats.to_dict(),
+            engine.fitness().tolist(),
+            engine.payoff_matrix().tolist(),
+            oracle.rng.bit_generator.state,
+        )
+
+    def test_trio_bit_identical_under_exact_policy(self):
+        results = {
+            name: self._run(name, "exact") for name in BIT_IDENTICAL_ENGINES
+        }
+        reference = results[BIT_IDENTICAL_ENGINES[0]]
+        for name in BIT_IDENTICAL_ENGINES[1:]:
+            assert results[name] == reference, (
+                f"{name} diverged from {BIT_IDENTICAL_ENGINES[0]}"
+                " under --route-cache exact"
+            )
+
+    def test_pinned_seed_trajectory_is_reproducible(self):
+        """Same seeds, two runs: the exact policy is fully deterministic."""
+        assert self._run("fast", "exact") == self._run("fast", "exact")
 
 
 class TestSpeculationMachinery:

@@ -188,3 +188,200 @@ class TestPlanFallback:
         for g in range(2):
             for path in plan.paths_of(g):
                 assert 99 not in path
+
+
+# -- native routed sampler (topology/mobile oracles) --------------------------
+
+
+def make_topology_oracle(seed=0, n=20, radio=0.45):
+    from repro.network.topology import GeometricTopology, TopologyPathOracle
+
+    rng = np.random.default_rng(seed)
+    return TopologyPathOracle(GeometricTopology(range(n), radio, rng=rng), rng)
+
+
+def make_mobile_oracle(seed=0, n=20, radio=0.45, **kwargs):
+    from repro.mobility import DynamicTopology, MobilePathOracle, RandomWaypoint
+
+    model = RandomWaypoint(0.005, 0.02, pause_time=0.0)
+    topo = DynamicTopology(
+        list(range(n)), radio, model, np.random.default_rng(seed)
+    )
+    return MobilePathOracle(topo, np.random.default_rng(seed + 1), **kwargs)
+
+
+class TestRoutedSamplerStructure:
+    @pytest.mark.parametrize("kind", ["topology", "mobile"])
+    def test_shapes_and_padding(self, kind):
+        make = make_topology_oracle if kind == "topology" else make_mobile_oracle
+        oracle = make()
+        participants = list(range(20))
+        plan = plan_tournament_arrays(oracle, participants * 5, participants)
+        assert isinstance(plan, GamePlanArrays)
+        assert plan.n_games == 100
+        assert plan.src.tolist() == participants * 5
+        assert np.array_equal(np.diff(plan.game_path_start), plan.n_paths)
+        assert np.array_equal(
+            plan.path_game, np.repeat(np.arange(plan.n_games), plan.n_paths)
+        )
+        assert (plan.n_paths >= 1).all()
+        cols = np.arange(plan.path_nodes.shape[1])[None, :]
+        valid = cols < plan.path_len[:, None]
+        assert (plan.path_nodes[valid] >= 0).all()
+        assert (plan.path_nodes[~valid] == -1).all()
+
+    @pytest.mark.parametrize("kind", ["topology", "mobile"])
+    def test_games_are_valid_setups(self, kind):
+        make = make_topology_oracle if kind == "topology" else make_mobile_oracle
+        oracle = make()
+        participants = list(range(20))
+        plan = plan_tournament_arrays(oracle, participants * 3, participants)
+        active = set(participants)
+        for g in range(plan.n_games):
+            src, dst = int(plan.src[g]), int(plan.dst[g])
+            assert dst in active and dst != src
+            paths = plan.paths_of(g)
+            assert paths
+            GameSetup(
+                source=src,
+                destination=dst,
+                paths=tuple(tuple(p) for p in paths),
+            )
+            for path in paths:
+                assert set(path) <= active
+
+    def test_paths_equal_the_route_providers_answer(self):
+        """The sampler serves exactly the routes the provider computes for
+        the drawn pair — pinned against a twin oracle's provider."""
+        oracle = make_topology_oracle(seed=3)
+        twin = make_topology_oracle(seed=3)
+        participants = list(range(20))
+        plan = plan_tournament_arrays(oracle, participants * 2, participants)
+        twin.provider.rescope(participants)
+        for g in range(plan.n_games):
+            expected = twin.provider.routes(int(plan.src[g]), int(plan.dst[g]))
+            assert plan.paths_of(g) == [list(p) for p in expected]
+
+    def test_source_outside_participants_uses_fallback(self):
+        oracle = make_topology_oracle(seed=5)
+        participants = list(range(1, 20))
+        # source 0 is not a participant: the sequential fallback must serve
+        plan = plan_tournament_arrays(oracle, [0] * 4, participants)
+        assert plan.n_games == 4
+        assert set(plan.src.tolist()) == {0}
+
+
+class TestRoutedSamplerDistribution:
+    def test_destination_law_matches_sequential(self):
+        """Destinations are uniform over the routable others, as rejection
+        sampling produces — KS-compared against the sequential planner on a
+        twin oracle."""
+        from repro.analysis.equivalence import ks_2samp
+        from repro.paths.oracle import plan_games
+
+        participants = list(range(20))
+        vec_oracle = make_topology_oracle(seed=11)
+        seq_oracle = make_topology_oracle(seed=11)
+        vec_dsts: list[float] = []
+        seq_dsts: list[float] = []
+        for _ in range(12):
+            plan = plan_tournament_arrays(
+                vec_oracle, participants * 3, participants
+            )
+            vec_dsts.extend(plan.dst.tolist())
+            seq = plan_games(seq_oracle, participants * 3, participants)
+            seq_dsts.extend(d for _, d, _ in seq)
+        result = ks_2samp(vec_dsts, seq_dsts)
+        assert result.pvalue > 0.01, f"destination law diverges: {result}"
+
+    def test_per_source_destinations_cover_routable_set(self):
+        oracle = make_topology_oracle(seed=2)
+        participants = list(range(20))
+        plan = plan_tournament_arrays(oracle, participants * 60, participants)
+        drawn = set(
+            zip(plan.src.tolist(), plan.dst.tolist())
+        )
+        # source 0 must have reached essentially all its routable partners
+        twin = make_topology_oracle(seed=2)
+        twin.provider.rescope(participants)
+        routable = {
+            d for d in participants[1:] if twin.provider.routes(0, d)
+        }
+        reached = {d for s, d in drawn if s == 0}
+        assert reached == routable
+
+
+class TestRoutedSamplerClocking:
+    """The mobile oracle's draw-count-clocked stepping must fire at exactly
+    the sequential draw counts (window boundaries)."""
+
+    @pytest.mark.parametrize("step_every", ["round", 7, "tournament"])
+    def test_step_counts_match_sequential(self, step_every):
+        participants = list(range(20))
+        sources = participants * 3
+        counts = {}
+        for mode in ("vector", "sequential"):
+            oracle = make_mobile_oracle(seed=4, step_every=step_every)
+            calls = []
+            original = oracle.topology.step
+            oracle.topology.step = lambda: calls.append(1) or original()
+            if mode == "vector":
+                plan_tournament_arrays(oracle, sources, participants)
+            else:
+                for source in sources:
+                    oracle.draw(source, participants)
+            counts[mode] = (len(calls), oracle._draws_since_step)
+        assert counts["vector"] == counts["sequential"]
+
+    def test_partial_window_bookkeeping_carries_over(self):
+        """A plan that ends mid-window leaves the draw counter exactly where
+        the sequential draws would."""
+        participants = list(range(20))
+        vec = make_mobile_oracle(seed=6, step_every=7)
+        seq = make_mobile_oracle(seed=6, step_every=7)
+        plan_tournament_arrays(vec, participants[:10], participants)
+        for source in participants[:10]:
+            seq.draw(source, participants)
+        assert vec._draws_since_step == seq._draws_since_step
+        # and a follow-up plan keeps stepping on the shared schedule
+        calls = []
+        original = vec.topology.step
+        vec.topology.step = lambda: calls.append(1) or original()
+        plan_tournament_arrays(vec, participants[:10], participants)
+        calls_vec = len(calls)
+        calls2 = []
+        original2 = seq.topology.step
+        seq.topology.step = lambda: calls2.append(1) or original2()
+        for source in participants[:10]:
+            seq.draw(source, participants)
+        assert calls_vec == len(calls2)
+
+    def test_slot_cache_reused_across_tournaments(self):
+        """The persistent pair->slot cache must survive static tournaments
+        and be invalidated by epoch changes."""
+        oracle = make_topology_oracle(seed=9)
+        participants = list(range(20))
+        plan_tournament_arrays(oracle, participants * 3, participants)
+        cache = oracle._vector_cache
+        plan_tournament_arrays(oracle, participants * 3, participants)
+        assert oracle._vector_cache is cache  # reused, not rebuilt
+        oracle.topology.invalidate_routes()
+        oracle.provider.sync()
+        plan_tournament_arrays(oracle, participants * 3, participants)
+        assert oracle._vector_cache.epoch == oracle.topology.epoch
+
+    def test_slot_cache_invalidated_by_epochless_steps(self):
+        """A topology step that moves positions without changing the edge
+        set (no epoch bump) must still drop the pair resolutions — the
+        provider's never-cache boost/virtual routes are position-dependent."""
+        oracle = make_mobile_oracle(seed=8, step_every="tournament")
+        participants = list(range(20))
+        plan_tournament_arrays(oracle, participants * 2, participants)
+        cache = oracle._vector_cache
+        known_before = int((cache.route_slot != -2).sum())
+        assert known_before > 0
+        # an epoch-preserving "step": positions logically moved, edges kept
+        oracle.topology.steps += 1
+        plan_tournament_arrays(oracle, participants * 2, participants)
+        assert oracle._vector_cache is cache  # reused container...
+        assert cache.steps == oracle.topology.steps  # ...but re-keyed
