@@ -21,7 +21,6 @@ it and gates wall-time regressions against the committed baseline via
 from __future__ import annotations
 
 import json
-import time
 from pathlib import Path
 
 import numpy as np
@@ -35,6 +34,7 @@ from repro.network.topology import GeometricTopology, TopologyPathOracle
 from repro.paths.distributions import SHORTER_PATHS
 from repro.paths.oracle import RandomPathOracle
 from repro.sim import BIT_IDENTICAL_ENGINES, ENGINES, make_engine
+from repro.telemetry import Timer
 from repro.utils.tables import format_table
 
 from benchmarks.conftest import REPORT_DIR, emit_report, git_sha
@@ -164,6 +164,10 @@ def run_tournament(
 def time_tournament(engine_name: str, oracle_kind: str, repeats: int = 7) -> float:
     """Best-of-7 wall seconds for one tournament, on a long-lived oracle.
 
+    Repeats aggregate in a telemetry :class:`Timer` (the best-of is its
+    ``min_s``), so the bench clocks tournaments with the exact primitive a
+    ``--telemetry`` run uses for its span timings.
+
     The oracle is built outside the clock and reused across two warmup
     tournaments and the repeats — exactly how ``evaluate_generation``
     drives tournaments in a replication, where one oracle serves every
@@ -175,14 +179,13 @@ def time_tournament(engine_name: str, oracle_kind: str, repeats: int = 7) -> flo
     identically seeded oracle, so engines see identical workloads.
     """
     oracle = make_oracle(oracle_kind)
-    best = float("inf")
+    timer = Timer()
     run_tournament(engine_name, oracle_kind, oracle)  # warmup
     run_tournament(engine_name, oracle_kind, oracle)  # reach cache steady state
     for _ in range(repeats):
-        start = time.perf_counter()
-        run_tournament(engine_name, oracle_kind, oracle)
-        best = min(best, time.perf_counter() - start)
-    return best
+        with timer.time():
+            run_tournament(engine_name, oracle_kind, oracle)
+    return timer.min_s
 
 
 @pytest.mark.parametrize("engine_name", sorted(ENGINES))

@@ -20,6 +20,14 @@ Two gates, because the baseline and the fresh run usually come from
 Override with ``--factor`` / ``--absolute-factor`` or the
 ``REPRO_PERF_FACTOR`` / ``REPRO_PERF_ABS_FACTOR`` environment variables.
 
+Exit codes: 0 all gates pass, 1 a gate tripped (or unusable input files),
+3 a named ledger row is missing or malformed — a gated oracle row absent
+from exactly one ledger, a row that is not an engine->wall mapping, or a
+wall time that is not a finite number.  Rows absent from *both* ledgers
+are tolerated (they simply predate the row), as are engines present in
+only one ledger (engines come and go between PRs; the
+no-comparable-entries guard still catches fully disjoint sets).
+
 Usage::
 
     cp BENCH_ENGINE.json /tmp/baseline.json
@@ -32,6 +40,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import os
 import sys
 from pathlib import Path
@@ -52,6 +61,9 @@ GATED_ORACLES = (
 )
 #: The machine-speed canary for the normalized gate.
 CANARY_ENGINE = "reference"
+#: Distinct exit code for a missing/malformed named ledger row, so CI can
+#: tell "your ledger is broken" (fix the bench) from "perf regressed".
+EXIT_ROW_ERROR = 3
 
 
 def load(path: Path) -> dict:
@@ -61,6 +73,32 @@ def load(path: Path) -> dict:
         sys.exit(f"error: {path} not found")
     except json.JSONDecodeError as exc:
         sys.exit(f"error: {path} is not valid JSON: {exc}")
+
+
+def _row_error(message: str) -> int:
+    print(f"ledger row error: {message}", file=sys.stderr)
+    return EXIT_ROW_ERROR
+
+
+def _check_row(name: str, oracle: str, walls) -> str | None:
+    """None if the oracle row is well-formed, else a named-row error."""
+    if not isinstance(walls, dict):
+        return (
+            f"oracle row {oracle!r} in the {name} ledger is not an"
+            f" engine->wall mapping (got {type(walls).__name__})"
+        )
+    for engine, wall in walls.items():
+        if isinstance(wall, bool) or not isinstance(wall, (int, float)):
+            return (
+                f"engine {engine!r} in oracle row {oracle!r} of the {name}"
+                f" ledger: wall time must be a number, got {wall!r}"
+            )
+        if not math.isfinite(wall):
+            return (
+                f"engine {engine!r} in oracle row {oracle!r} of the {name}"
+                f" ledger: wall time must be finite, got {wall!r}"
+            )
+    return None
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -97,9 +135,28 @@ def main(argv: list[str] | None = None) -> int:
     fresh = load(args.fresh)
     failures: list[str] = []
     compared = 0
+    for name, ledger in (("baseline", baseline), ("fresh", fresh)):
+        table = ledger.get("wall_s", {})
+        if not isinstance(table, dict):
+            return _row_error(
+                f"the {name} ledger's wall_s is not an oracle->row mapping"
+                f" (got {type(table).__name__})"
+            )
     for oracle in GATED_ORACLES:
-        base_walls = baseline.get("wall_s", {}).get(oracle, {})
-        fresh_walls = fresh.get("wall_s", {}).get(oracle, {})
+        base_walls = baseline.get("wall_s", {}).get(oracle)
+        fresh_walls = fresh.get("wall_s", {}).get(oracle)
+        if base_walls is None and fresh_walls is None:
+            continue  # both ledgers predate this gated row
+        if base_walls is None or fresh_walls is None:
+            missing_from = "baseline" if base_walls is None else "fresh"
+            return _row_error(
+                f"gated oracle row {oracle!r} is missing from the"
+                f" {missing_from} ledger but present in the other"
+            )
+        for name, walls in (("baseline", base_walls), ("fresh", fresh_walls)):
+            problem = _check_row(name, oracle, walls)
+            if problem is not None:
+                return _row_error(problem)
         canary = None
         if (
             base_walls.get(CANARY_ENGINE, 0) > 0

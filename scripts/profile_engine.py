@@ -4,11 +4,15 @@ Runs one paper-sized tournament under cProfile for each engine and prints
 the top functions by cumulative time, followed by a per-layer wall-time
 breakdown of the oracle stack (topology stepping / route search / draw
 planning) so oracle work can be attributed to the right layer before
-optimising it.  ``--oracle`` selects the path oracle so the
-route-computation cost of the topology extensions can be measured too;
-``--route-cache``/``--drift-budget`` select the route-provider cache policy
-(``--no-path-cache`` disables the per-(source, destination) route caches to
-quantify what they save).
+optimising it.  The breakdown and the cache statistics come from the
+telemetry substrate (:mod:`repro.telemetry`): the tournament runs inside a
+telemetry session, the oracle stack's layer counters are harvested into the
+registry afterwards, and this script only formats that snapshot — the same
+numbers a ``--telemetry`` run writes into its manifest.  ``--oracle``
+selects the path oracle so the route-computation cost of the topology
+extensions can be measured too; ``--route-cache``/``--drift-budget`` select
+the route-provider cache policy (``--no-path-cache`` disables the
+per-(source, destination) route caches to quantify what they save).
 
 Run:
     python scripts/profile_engine.py [rounds] [--oracle random|topology|mobile]
@@ -20,7 +24,6 @@ from __future__ import annotations
 import argparse
 import cProfile
 import pstats
-import time
 from io import StringIO
 
 import numpy as np
@@ -33,6 +36,7 @@ from repro.network.topology import GeometricTopology, TopologyPathOracle
 from repro.paths.distributions import SHORTER_PATHS
 from repro.paths.oracle import RandomPathOracle
 from repro.sim import make_engine
+from repro.telemetry import TelemetryConfig, harvest_oracle, telemetry_session
 
 N_NORMAL, N_CSN = 40, 10
 
@@ -55,35 +59,35 @@ def make_oracle(kind: str, cache: bool, route_cache: str, drift_budget: int):
     raise ValueError(f"unknown oracle kind {kind!r}")
 
 
-def _timed_draws(oracle) -> list[float]:
-    """Wrap the oracle's draw entry points; returns the accumulator."""
-    spent = [0.0]
+def _timed_draws(oracle, timer) -> None:
+    """Wrap the oracle's draw entry points with a telemetry timer."""
     for name in ("draw", "draw_tournament"):
         method = getattr(oracle, name, None)
         if method is None:
             continue
 
         def wrapper(*args, _method=method, **kwargs):
-            start = time.perf_counter()
-            try:
+            with timer.time():
                 return _method(*args, **kwargs)
-            finally:
-                spent[0] += time.perf_counter() - start
 
         setattr(oracle, name, wrapper)
-    return spent
 
 
-def _layer_breakdown(oracle, draw_s: float) -> list[tuple[str, float]]:
+def _layer_breakdown(snapshot: dict, draw_s: float) -> list[tuple[str, float]]:
     """(layer, seconds) rows for the oracle stack, planner last.
 
     Route search and topology stepping are measured inside the providers
-    (``provider.search_s`` / ``oracle.step_s``); draw planning is what
-    remains of the oracle's draw wall time.
+    and harvested into the registry (``mobility.step_s`` /
+    ``route.<policy>.search_s``); draw planning is what remains of the
+    oracle's draw wall time.
     """
-    step_s = getattr(oracle, "step_s", 0.0)
-    provider = getattr(oracle, "provider", None)
-    search_s = getattr(provider, "search_s", 0.0) if provider is not None else 0.0
+    counters = snapshot["counters"]
+    step_s = counters.get("mobility.step_s", 0.0)
+    search_s = sum(
+        value
+        for name, value in counters.items()
+        if name.startswith("route.") and name.endswith(".search_s")
+    )
     planning = max(draw_s - step_s - search_s, 0.0)
     return [
         ("topology step", step_s),
@@ -91,6 +95,29 @@ def _layer_breakdown(oracle, draw_s: float) -> list[tuple[str, float]]:
         ("draw planning", planning),
         ("oracle total", draw_s),
     ]
+
+
+def _print_cache_stats(snapshot: dict) -> None:
+    """Route-cache counters for whichever policy the harvest recorded."""
+    counters = snapshot["counters"]
+    for prefix in sorted(
+        {name.rsplit(".", 1)[0] for name in counters if name.startswith("route.")}
+    ):
+        hits = counters.get(f"{prefix}.cache_hits")
+        if hits is None:
+            continue
+        print(
+            f"route cache ({prefix.removeprefix('route.')}):"
+            f" {hits:.0f} hits / {counters.get(f'{prefix}.cache_misses', 0):.0f}"
+            " misses"
+        )
+        stale = counters.get(f"{prefix}.stale_serves", 0)
+        if stale:
+            print(
+                f"approx policy: {stale:.0f} stale serves,"
+                f" {counters.get(f'{prefix}.revalidations', 0):.0f}"
+                " lazy revalidations"
+            )
 
 
 def profile_engine(
@@ -106,13 +133,18 @@ def profile_engine(
     engine.set_strategies([Strategy.random(rng) for _ in range(N_NORMAL)])
     participants = list(range(N_NORMAL)) + engine.selfish_ids(N_CSN)
     oracle = make_oracle(oracle_kind, cache, route_cache, drift_budget)
-    draw_spent = _timed_draws(oracle)
     stats = TournamentStats()
 
-    profiler = cProfile.Profile()
-    profiler.enable()
-    engine.run_tournament(participants, rounds, oracle, stats, None, None)
-    profiler.disable()
+    with telemetry_session(TelemetryConfig(enabled=True, events=False)) as tel:
+        draw_timer = tel.registry.timer("oracle.draw_s")
+        _timed_draws(oracle, draw_timer)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        engine.run_tournament(participants, rounds, oracle, stats, None, None)
+        profiler.disable()
+        harvest_oracle(tel, oracle)
+        snapshot = tel.snapshot()
+        draw_s = draw_timer.total_s
 
     out = StringIO()
     ps = pstats.Stats(profiler, stream=out).sort_stats("cumulative")
@@ -125,17 +157,9 @@ def profile_engine(
     )
     print("\n".join(out.getvalue().splitlines()[:22]))
     print("\noracle layers (wall time inside the profiled tournament):")
-    for layer, seconds in _layer_breakdown(oracle, draw_spent[0]):
+    for layer, seconds in _layer_breakdown(snapshot, draw_s):
         print(f"  {layer:14s} {seconds * 1e3:8.1f} ms")
-    info = getattr(oracle, "cache_info", None)
-    if info is not None:
-        print(f"route cache: {info[0]} hits / {info[1]} misses")
-    provider = getattr(oracle, "provider", None)
-    if provider is not None and getattr(provider, "stale_hits", 0):
-        print(
-            f"approx policy: {provider.stale_hits} stale serves,"
-            f" {provider.revalidations} lazy revalidations"
-        )
+    _print_cache_stats(snapshot)
 
 
 def main() -> None:

@@ -94,6 +94,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory for raw JSON results and rendered reports",
     )
+    p_rep.add_argument(
+        "--telemetry",
+        action="store_true",
+        help=(
+            "record engine-wide metrics/spans and write a schema-validated"
+            " run manifest per case (see 'repro stats')"
+        ),
+    )
+    p_rep.add_argument(
+        "--telemetry-dir",
+        type=Path,
+        default=None,
+        help="directory for manifests and metric dumps"
+        " (default results/telemetry, or --out when given)",
+    )
     p_rep.set_defaults(func=_cmd_reproduce)
 
     p_case = sub.add_parser("run-case", help="run one evaluation case")
@@ -155,7 +170,30 @@ def build_parser() -> argparse.ArgumentParser:
             " approx before lazy revalidation (default 8)"
         ),
     )
+    p_case.add_argument(
+        "--telemetry",
+        action="store_true",
+        help=(
+            "record engine-wide metrics/spans and write a schema-validated"
+            " run manifest (see 'repro stats')"
+        ),
+    )
+    p_case.add_argument(
+        "--telemetry-dir",
+        type=Path,
+        default=None,
+        help="directory for the manifest and metric dump"
+        " (default results/telemetry)",
+    )
     p_case.set_defaults(func=_cmd_run_case)
+
+    p_stats = sub.add_parser(
+        "stats", help="render a telemetry run manifest human-readably"
+    )
+    p_stats.add_argument(
+        "report", type=Path, help="path to a *_manifest.json written with --telemetry"
+    )
+    p_stats.set_defaults(func=_cmd_stats)
 
     return parser
 
@@ -212,6 +250,9 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     if error is not None:
         print(error, file=sys.stderr)
         return 2
+    telemetry_dir = args.telemetry_dir
+    if telemetry_dir is None and args.out is not None:
+        telemetry_dir = args.out / "telemetry"
     session = ReproductionSession(
         scale=args.scale,
         seed=args.seed,
@@ -221,6 +262,8 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         verbose=True,
         route_cache=args.route_cache,
         drift_budget=args.drift_budget,
+        telemetry=args.telemetry,
+        telemetry_dir=telemetry_dir,
     )
     for artefact_id in ids:
         report = session.render(artefact_id)
@@ -229,6 +272,8 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         if args.out is not None:
             args.out.mkdir(parents=True, exist_ok=True)
             (args.out / f"{artefact_id}_{args.scale}.txt").write_text(report + "\n")
+    for case_name, manifest in session.manifests.items():
+        print(f"telemetry manifest for {case_name}: {manifest}")
     return 0
 
 
@@ -278,6 +323,10 @@ def _cmd_run_case(args: argparse.Namespace) -> int:
             sim=config.sim.with_(mobility=mobility),
         )
     config = config.with_route_cache(args.route_cache, args.drift_budget)
+    if args.telemetry:
+        from repro.telemetry import TelemetryConfig
+
+        config = config.with_(telemetry=TelemetryConfig(enabled=True))
     result = run_experiment(
         config,
         processes=args.processes,
@@ -290,6 +339,44 @@ def _cmd_run_case(args: argparse.Namespace) -> int:
     if args.out is not None:
         path = result.save(args.out)
         print(f"raw results written to {path}")
+    if result.telemetry is not None:
+        from repro.telemetry import write_run_manifest
+
+        telemetry_dir = (
+            args.telemetry_dir
+            if args.telemetry_dir is not None
+            else Path("results/telemetry")
+        )
+        manifest = write_run_manifest(
+            telemetry_dir,
+            f"{args.case}_{args.scale}",
+            result.config,
+            result.telemetry,
+        )
+        print(f"telemetry manifest: {manifest}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.telemetry import render_manifest
+    from repro.utils.validation import validate_run_manifest
+
+    try:
+        payload = json.loads(args.report.read_text())
+    except FileNotFoundError:
+        print(f"no such manifest: {args.report}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"{args.report} is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    try:
+        manifest = validate_run_manifest(payload, name=str(args.report))
+    except ValueError as exc:
+        print(f"invalid run manifest: {exc}", file=sys.stderr)
+        return 2
+    print(render_manifest(manifest))
     return 0
 
 

@@ -23,6 +23,7 @@ from typing import Any
 from repro.config.parameters import GAConfig, SimulationConfig
 from repro.config.presets import PAPER_GENERATIONS, PAPER_REPLICATIONS
 from repro.experiments.cases import EvaluationCase, get_case
+from repro.telemetry.config import TelemetryConfig
 
 __all__ = ["ExperimentConfig", "SCALES"]
 
@@ -45,6 +46,7 @@ class ExperimentConfig:
     engine: str = "fast"
     ga: GAConfig = field(default_factory=GAConfig)
     sim: SimulationConfig = field(default_factory=SimulationConfig)
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
 
     def __post_init__(self) -> None:
         if self.generations < 1:
@@ -160,4 +162,5 @@ class ExperimentConfig:
             "engine": self.engine,
             "ga": self.ga.to_dict(),
             "sim": self.sim.to_dict(),
+            "telemetry": self.telemetry.to_dict(),
         }

@@ -17,6 +17,8 @@ from repro.experiments.config import SCALES, ExperimentConfig
 from repro.experiments.results import ExperimentResult
 from repro.experiments.runner import run_experiment
 from repro.parallel.progress import ProgressPrinter
+from repro.telemetry.config import TelemetryConfig
+from repro.telemetry.manifest import write_run_manifest
 
 __all__ = ["ARTEFACTS", "ArtefactSpec", "ReproductionSession"]
 
@@ -47,6 +49,8 @@ class ReproductionSession:
         verbose: bool = False,
         route_cache: str | None = None,
         drift_budget: int | None = None,
+        telemetry: bool = False,
+        telemetry_dir: str | Path | None = None,
     ):
         if scale not in SCALES:
             raise ValueError(f"unknown scale {scale!r}; available: {sorted(SCALES)}")
@@ -60,14 +64,25 @@ class ReproductionSession:
         # i.e. the bit-identical exact policy)
         self.route_cache = route_cache
         self.drift_budget = drift_budget
+        #: when set, every freshly-run case records metrics and leaves a
+        #: schema-validated manifest + JSONL metric dump in telemetry_dir
+        self.telemetry = telemetry
+        self.telemetry_dir = Path(
+            telemetry_dir if telemetry_dir is not None else "results/telemetry"
+        )
+        #: manifest paths written this session, keyed by case name
+        self.manifests: dict[str, Path] = {}
         self._results: dict[str, ExperimentResult] = {}
 
     # -- case execution -------------------------------------------------------
 
     def config_for(self, case_name: str) -> ExperimentConfig:
-        return ExperimentConfig.for_case(
+        config = ExperimentConfig.for_case(
             case_name, scale=self.scale, seed=self.seed, engine=self.engine
         ).with_route_cache(self.route_cache, self.drift_budget)
+        if self.telemetry:
+            config = config.with_(telemetry=TelemetryConfig(enabled=True))
+        return config
 
     def _cache_path(self, case_name: str) -> Path | None:
         if self.cache_dir is None:
@@ -102,6 +117,13 @@ class ReproductionSession:
             )
             if cache is not None:
                 result.save(cache)
+        if result.telemetry is not None:
+            self.manifests[case_name] = write_run_manifest(
+                self.telemetry_dir,
+                f"{case_name}_{self.scale}",
+                result.config,
+                result.telemetry,
+            )
         self._results[case_name] = result
         return result
 

@@ -9,7 +9,8 @@ worker count or execution order (see :mod:`repro.parallel`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
@@ -24,6 +25,8 @@ from repro.paths.oracle import PathOracle, RandomPathOracle
 from repro.reputation.activity import ActivityClassifier
 from repro.reputation.trust import TrustTable
 from repro.sim import make_engine
+from repro.telemetry.harvest import harvest_oracle
+from repro.telemetry.runtime import telemetry_session
 from repro.tournament.evaluation import evaluate_generation
 from repro.utils.rng import derive_generator
 
@@ -39,13 +42,18 @@ class ReplicationResult:
     final_population: list[int]  # strategies of the last *evaluated* generation
     final_per_env: dict[str, TournamentStats]  # last generation's stats
     final_overall: TournamentStats
+    #: telemetry export for this replication (``None`` unless the config
+    #: enabled telemetry): ``{"metrics": ..., "events": ...,
+    #: "dropped_events": ..., "wall_s": ...}`` — picklable, so workers ship
+    #: it back to the parent for experiment-wide aggregation
+    telemetry: dict | None = field(default=None, compare=False)
 
     def final_strategies(self) -> list[Strategy]:
         """The last evaluated population as :class:`Strategy` objects."""
         return [Strategy.from_int(v) for v in self.final_population]
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "replication": self.replication,
             "history": self.history.to_dict(),
             "final_population": list(self.final_population),
@@ -54,6 +62,9 @@ class ReplicationResult:
             },
             "final_overall": self.final_overall.to_dict(),
         }
+        if self.telemetry is not None:
+            data["telemetry"] = self.telemetry
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "ReplicationResult":
@@ -66,6 +77,7 @@ class ReplicationResult:
                 for name, stats in data["final_per_env"].items()
             },
             final_overall=TournamentStats.from_dict(data["final_overall"]),
+            telemetry=data.get("telemetry"),
         )
 
 
@@ -76,7 +88,28 @@ def run_replication(config: ExperimentConfig, replication: int) -> ReplicationRe
     ``config.generations - 1`` GA steps in between, so the reported final
     statistics and final population describe the same (last evaluated)
     generation.
+
+    With telemetry enabled in the config, the replication runs inside its
+    own :func:`telemetry_session` (each worker process records
+    independently), harvests the oracle stack's layer counters at the end,
+    and ships the picklable export on ``result.telemetry``.
     """
+    if not config.telemetry.enabled:
+        result, _oracle = _run_replication(config, replication)
+        return result
+    t0 = perf_counter()
+    with telemetry_session(config.telemetry) as tel:
+        result, oracle = _run_replication(config, replication)
+        harvest_oracle(tel, oracle)
+        export = tel.export()
+    export["wall_s"] = perf_counter() - t0
+    result.telemetry = export
+    return result
+
+
+def _run_replication(
+    config: ExperimentConfig, replication: int
+) -> tuple[ReplicationResult, PathOracle]:
     rng = derive_generator(config.seed, (replication,))
     sim = config.sim
     trust_table = TrustTable(bounds=sim.trust_bounds)
@@ -132,10 +165,11 @@ def run_replication(config: ExperimentConfig, replication: int) -> ReplicationRe
             population = ga.next_generation(population, result.fitness, rng)
 
     assert last_result is not None
-    return ReplicationResult(
+    result = ReplicationResult(
         replication=replication,
         history=history,
         final_population=[Strategy(bits).to_int() for bits in population],
         final_per_env=last_result.per_environment,
         final_overall=last_result.overall,
     )
+    return result, oracle

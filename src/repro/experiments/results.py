@@ -13,7 +13,7 @@ replications were configured:
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable
 
@@ -31,6 +31,10 @@ class ExperimentResult:
 
     config: dict  # ExperimentConfig.describe() output (JSON-friendly)
     replications: list[ReplicationResult]
+    #: experiment-wide aggregated telemetry (``None`` unless the run was
+    #: telemetry-enabled): ``{"metrics": <merged registry snapshot>,
+    #: "events": [...], "dropped_events": ..., "wall_s": ...}``
+    telemetry: dict | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if not self.replications:
@@ -103,10 +107,13 @@ class ExperimentResult:
     # -- persistence ------------------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "config": self.config,
             "replications": [r.to_dict() for r in self.replications],
         }
+        if self.telemetry is not None:
+            data["telemetry"] = self.telemetry
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "ExperimentResult":
@@ -115,6 +122,7 @@ class ExperimentResult:
             replications=[
                 ReplicationResult.from_dict(r) for r in data["replications"]
             ],
+            telemetry=data.get("telemetry"),
         )
 
     def save(self, path: str | Path) -> Path:

@@ -4,16 +4,25 @@
 harnesses and the examples.  Replication ``i`` always sees the random stream
 derived from ``(config.seed, i)``, so the outcome is independent of the
 worker count.
+
+With telemetry enabled in the config, each replication records inside its
+own session (worker processes included) and ships a picklable export back on
+``ReplicationResult.telemetry``; the runner opens a parent session of its
+own to capture pool-level metrics, merges every replication's registry
+snapshot into it, and attaches the experiment-wide aggregate to
+``ExperimentResult.telemetry``.
 """
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.replication import ReplicationResult, run_replication
 from repro.experiments.results import ExperimentResult
 from repro.parallel.pool import parallel_map
+from repro.telemetry.runtime import telemetry_session
 
 __all__ = ["run_experiment"]
 
@@ -35,5 +44,37 @@ def run_experiment(
     count); ``processes=1`` runs serially in-process.
     """
     tasks = [(config, i) for i in range(config.replications)]
-    replications = parallel_map(_task, tasks, processes=processes, progress=progress)
-    return ExperimentResult(config=config.describe(), replications=replications)
+    if not config.telemetry.enabled:
+        replications = parallel_map(
+            _task, tasks, processes=processes, progress=progress
+        )
+        return ExperimentResult(config=config.describe(), replications=replications)
+
+    # parent session: parallel_map captures it at entry, so each
+    # replication's own nested session (the serial path) cannot steal its
+    # pool metrics; replication registries merge in afterwards
+    t0 = perf_counter()
+    with telemetry_session(config.telemetry) as tel:
+        replications = parallel_map(
+            _task, tasks, processes=processes, progress=progress
+        )
+        events: list[dict] = list(tel.events)
+        dropped = tel.dropped_events
+        for rep in replications:
+            export = rep.telemetry
+            if not export:
+                continue
+            tel.registry.merge(export.get("metrics", {}))
+            events.extend(export.get("events", []))
+            dropped += export.get("dropped_events", 0)
+        aggregated = {
+            "metrics": tel.snapshot(),
+            "events": events,
+            "dropped_events": dropped,
+            "wall_s": perf_counter() - t0,
+        }
+    return ExperimentResult(
+        config=config.describe(),
+        replications=replications,
+        telemetry=aggregated,
+    )

@@ -14,6 +14,7 @@ strategies.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Sequence
 
 import numpy as np
@@ -21,6 +22,7 @@ import numpy as np
 from repro.config.parameters import GAConfig
 from repro.ga.operators import mutate, one_point_crossover
 from repro.ga.selection import select_index
+from repro.telemetry.runtime import get_telemetry
 
 __all__ = ["GeneticAlgorithm"]
 
@@ -66,14 +68,47 @@ class GeneticAlgorithm:
             elite_order = np.argsort(-fitness, kind="stable")[: cfg.elitism]
             offspring.extend(tuple(population[int(i)]) for i in elite_order)
 
+        # telemetry seam: the instrumented loop consumes the rng in exactly
+        # the same order as the plain one, so enabling telemetry cannot
+        # perturb a pinned trajectory
+        tel = get_telemetry()
+        if not tel.enabled:
+            while len(offspring) < cfg.population_size:
+                i = select_index(cfg.selection, fitness, rng, cfg.tournament_size)
+                j = select_index(cfg.selection, fitness, rng, cfg.tournament_size)
+                parent_a, parent_b = population[i], population[j]
+                if rng.random() < cfg.crossover_rate:
+                    child_a, child_b = one_point_crossover(parent_a, parent_b, rng)
+                else:
+                    child_a, child_b = tuple(parent_a), tuple(parent_b)
+                child = child_a if rng.random() < 0.5 else child_b
+                offspring.append(mutate(child, cfg.mutation_rate, rng))
+            return offspring
+
+        sel_s = cx_s = mut_s = 0.0
+        crossovers = 0
         while len(offspring) < cfg.population_size:
+            t0 = perf_counter()
             i = select_index(cfg.selection, fitness, rng, cfg.tournament_size)
             j = select_index(cfg.selection, fitness, rng, cfg.tournament_size)
+            t1 = perf_counter()
             parent_a, parent_b = population[i], population[j]
             if rng.random() < cfg.crossover_rate:
                 child_a, child_b = one_point_crossover(parent_a, parent_b, rng)
+                crossovers += 1
             else:
                 child_a, child_b = tuple(parent_a), tuple(parent_b)
+            t2 = perf_counter()
             child = child_a if rng.random() < 0.5 else child_b
             offspring.append(mutate(child, cfg.mutation_rate, rng))
+            t3 = perf_counter()
+            sel_s += t1 - t0
+            cx_s += t2 - t1
+            mut_s += t3 - t2
+        tel.timer_add("ga.selection_s", sel_s)
+        tel.timer_add("ga.crossover_s", cx_s)
+        tel.timer_add("ga.mutation_s", mut_s)
+        tel.count("ga.generations")
+        tel.count("ga.crossovers", crossovers)
+        tel.set_gauge("ga.diversity", len(set(offspring)) / len(offspring))
         return offspring

@@ -66,6 +66,13 @@ class DynamicTopology:
         #: *position*-dependent (virtual/boost routes) can invalidate on it
         self.steps = 0
         self.boost_count = 0  # emergency power boosts (isolated sources)
+        #: cumulative edge churn across epoch rebuilds
+        self.edges_added = 0
+        self.edges_removed = 0
+        #: (bfs_builds, queries, deviations_pruned) accumulated from
+        #: route-search snapshots already replaced by an epoch rebuild —
+        #: folded so counters survive the snapshot's retirement
+        self._ksp_retired = (0, 0, 0)
         # movement can disconnect the graph later (that is the point of the
         # subsystem), but starting connected avoids stillborn scenarios
         for _ in range(max_reset_attempts):
@@ -94,6 +101,14 @@ class DynamicTopology:
         which ride in as query-time extra edges instead of graph edits.
         """
         if self._search is None or self._search_epoch != self.epoch:
+            old = self._search
+            if old is not None:
+                b, q, p = self._ksp_retired
+                self._ksp_retired = (
+                    b + old.bfs_builds,
+                    q + old.queries,
+                    p + old.deviations_pruned,
+                )
             self._search = PathSearch(self.graph)
             self._search_epoch = self.epoch
         return self._search
@@ -287,6 +302,10 @@ class DynamicTopology:
                     add_edge((a, b) if a < b else (b, a))
         if new_edges == old_edges:
             return False
-        self.graph.remove_edges_from(old_edges - new_edges)
-        self.graph.add_edges_from(new_edges - old_edges)
+        removed = old_edges - new_edges
+        added = new_edges - old_edges
+        self.graph.remove_edges_from(removed)
+        self.graph.add_edges_from(added)
+        self.edges_removed += len(removed)
+        self.edges_added += len(added)
         return True

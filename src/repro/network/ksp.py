@@ -77,6 +77,9 @@ class PathSearch:
         "_dist_complete",
         "_mask_scope",
         "_mask",
+        "bfs_builds",
+        "queries",
+        "deviations_pruned",
     )
 
     def __init__(self, graph: nx.Graph):
@@ -105,6 +108,13 @@ class PathSearch:
         self._dist_complete = False
         self._mask_scope: Collection[int] | None = None
         self._mask: bytearray | None = None
+        #: hop-field sweeps run (each is the O(n^2) matmul level sweep)
+        self.bfs_builds = 0
+        #: top-level path enumerations served by this snapshot
+        self.queries = 0
+        #: Yen spur searches skipped by the hop-field / beat bounds — work
+        #: the pruning provably saved without changing any output
+        self.deviations_pruned = 0
 
     def __len__(self) -> int:
         return len(self.node_ids)
@@ -126,6 +136,7 @@ class PathSearch:
             not self._dist_complete
             and (bound is None or bound > self._dist_bound)
         ):
+            self.bfs_builds += 1
             n = len(self.node_ids)
             adj = np.zeros((n, n), dtype=bool)
             for i, nbrs in enumerate(self.neighbors):
@@ -254,6 +265,7 @@ class PathSearch:
         want: int,
         collect_short: bool,
     ) -> list[list[int]]:
+        self.queries += 1
         out: list[list[int]] = []
         n = len(self.node_ids)
         if self.identity_ids:
@@ -338,6 +350,7 @@ class PathSearch:
                         # are never the target, so dist >= 1): the whole rest
                         # of the round is unobservable — drop it, ignore
                         # bookkeeping included, since nothing reads it now
+                        self.deviations_pruned += len(prev) - i
                         break
                     head = prev[i - 1]
                     sharers = [p for p in sharers if p[i - 1] == head]
@@ -367,9 +380,11 @@ class PathSearch:
                             d = dist_to_t[head]
                             floor = i + d + 1
                             if floor > max_len + 1:
+                                self.deviations_pruned += 1
                                 blocked[head] = 1
                                 continue
                         if -1 < beat <= floor:
+                            self.deviations_pruned += 1
                             blocked[head] = 1
                             continue
                         # the distance-1/2 closed forms, filter-aware: fall

@@ -152,6 +152,9 @@ class RouteProvider:
         "stale_hits",
         "revalidations",
         "search_s",
+        "route_computes",
+        "empty_serves",
+        "drift_age_counts",
     )
 
     def __init__(
@@ -188,6 +191,16 @@ class RouteProvider:
         #: cumulative wall seconds spent in topology route search — the
         #: "route search" row of the per-layer profile breakdown
         self.search_s = 0.0
+        #: full route searches actually run (a miss can be served without
+        #: one only in the unreachable-pair degenerate case, so this tracks
+        #: cache_misses; kept separate so the reconciliation is explicit)
+        self.route_computes = 0
+        #: serves that returned no route at all — each one is a rejected
+        #: destination in the planner's rejection-sampling loop
+        self.empty_serves = 0
+        #: epoch-age distribution of stale serves and revalidations,
+        #: ``{age: occurrences}`` — how hard the drift budget is working
+        self.drift_age_counts: dict[int, int] = {}
 
     @property
     def scope(self) -> frozenset[int]:
@@ -232,7 +245,10 @@ class RouteProvider:
             # a churned-out source routes over position-dependent virtual
             # edges that can drift without an epoch change: never cache
             self.cache_misses += 1
-            return self._compute(source, destination)
+            paths = self._compute(source, destination)
+            if not paths:
+                self.empty_serves += 1
+            return paths
         key = (source, destination)
         epoch = topology.epoch
         entry = self._cache.get(key)
@@ -241,6 +257,11 @@ class RouteProvider:
                 self.cache_hits += 1
                 if entry[1] < epoch:
                     self.stale_hits += 1
+                    age = epoch - entry[1]
+                    ages = self.drift_age_counts
+                    ages[age] = ages.get(age, 0) + 1
+                if not entry[0]:
+                    self.empty_serves += 1
                 return entry[0]
             if self._revalidate and entry[0]:
                 survivors = self._surviving(source, destination, entry[0])
@@ -253,6 +274,9 @@ class RouteProvider:
                     self._cache[key] = (survivors, epoch)
                     self.cache_hits += 1
                     self.revalidations += 1
+                    age = epoch - entry[1]
+                    ages = self.drift_age_counts
+                    ages[age] = ages.get(age, 0) + 1
                     return survivors
         self.cache_misses += 1
         boosts_before = topology.boost_count
@@ -261,6 +285,8 @@ class RouteProvider:
             # boosted routes ride on a position-dependent nearest-peer link
             # that can drift without an epoch change: only cache unboosted
             self._cache[key] = (paths, epoch)
+        if not paths:
+            self.empty_serves += 1
         return paths
 
     def _surviving(
@@ -302,6 +328,7 @@ class RouteProvider:
             source, destination, self.max_paths, self.max_hops, self._scope
         )
         self.search_s += perf_counter() - start
+        self.route_computes += 1
         return paths
 
     @property
@@ -336,6 +363,8 @@ class StaticRouteProvider:
         "cache_hits",
         "cache_misses",
         "search_s",
+        "route_computes",
+        "empty_serves",
     )
 
     def __init__(
@@ -356,6 +385,8 @@ class StaticRouteProvider:
         self.cache_hits = 0
         self.cache_misses = 0
         self.search_s = 0.0
+        self.route_computes = 0
+        self.empty_serves = 0
 
     @property
     def scope(self) -> frozenset[int] | None:
@@ -396,7 +427,10 @@ class StaticRouteProvider:
         active = self._scope
         if not self.caching:
             base = self.base_routes(source, destination)
-            return [p for p in base if all(node in active for node in p)]
+            paths = [p for p in base if all(node in active for node in p)]
+            if not paths:
+                self.empty_serves += 1
+            return paths
         key = (source, destination)
         paths = self._scoped.get(key)
         if paths is None:
@@ -406,6 +440,8 @@ class StaticRouteProvider:
         else:
             # keep cache_info meaningful for scoped-table hits too
             self.cache_hits += 1
+        if not paths:
+            self.empty_serves += 1
         return paths
 
     def _compute(self, source: int, destination: int) -> list[tuple[int, ...]]:
@@ -414,6 +450,7 @@ class StaticRouteProvider:
             source, destination, self.max_paths, self.max_hops
         )
         self.search_s += perf_counter() - start
+        self.route_computes += 1
         return paths
 
     @property

@@ -105,6 +105,9 @@ class GeometricTopology:
         self.epoch = 0
         self._search: PathSearch | None = None
         self._search_edges = -1
+        #: (bfs_builds, queries, deviations_pruned) from retired snapshots,
+        #: folded before a rebuild so search counters survive invalidation
+        self._ksp_retired = (0, 0, 0)
 
     def path_search(self) -> PathSearch:
         """The native route-search snapshot of the current graph.
@@ -117,15 +120,27 @@ class GeometricTopology:
         """
         n_edges = self.graph.number_of_edges()
         if self._search is None or self._search_edges != n_edges:
+            self._retire_search()
             self._search = PathSearch(self.graph)
             self._search_edges = n_edges
         return self._search
 
     def invalidate_routes(self) -> None:
         """Drop the route-search snapshot after an external graph edit."""
+        self._retire_search()
         self._search = None
         self._search_edges = -1
         self.epoch += 1
+
+    def _retire_search(self) -> None:
+        old = self._search
+        if old is not None:
+            b, q, p = self._ksp_retired
+            self._ksp_retired = (
+                b + old.bfs_builds,
+                q + old.queries,
+                p + old.deviations_pruned,
+            )
 
     def _build_graph(self, positions: dict[int, tuple[float, float]]) -> nx.Graph:
         graph = nx.Graph()

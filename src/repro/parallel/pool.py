@@ -18,7 +18,10 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from time import perf_counter
 from typing import Callable, Sequence, TypeVar
+
+from repro.telemetry.runtime import get_telemetry
 
 __all__ = ["parallel_map", "default_processes"]
 
@@ -63,17 +66,42 @@ def parallel_map(
     if processes < 1:
         raise ValueError(f"processes must be >= 1, got {processes}")
 
+    # telemetry: capture the recorder at entry, so tasks that open their own
+    # nested sessions (the serial path below) cannot steal the pool's records
+    tel = get_telemetry()
+    if not tel.enabled:
+        tel = None
+    t_start = perf_counter() if tel is not None else 0.0
+    task_s: list[float] = []
+
     if processes == 1 or total == 1:
         results: list[R] = []
         for i, item in enumerate(items):
-            results.append(fn(item))
+            if tel is None:
+                results.append(fn(item))
+            else:
+                t0 = perf_counter()
+                results.append(fn(item))
+                task_s.append(perf_counter() - t0)
             if progress is not None:
                 progress(i + 1, total)
+        if tel is not None:
+            _record_pool_metrics(tel, task_s, 1, perf_counter() - t_start)
         return results
 
     out: list[R | None] = [None] * total
     with ProcessPoolExecutor(max_workers=processes) as pool:
-        future_to_index = {pool.submit(fn, item): i for i, item in enumerate(items)}
+        if tel is None:
+            future_to_index = {
+                pool.submit(fn, item): i for i, item in enumerate(items)
+            }
+        else:
+            # the wrapper times the task inside the worker, so task_s holds
+            # true compute durations (queueing behind busy workers excluded)
+            future_to_index = {
+                pool.submit(_timed_call, fn, item): i
+                for i, item in enumerate(items)
+            }
         pending = set(future_to_index)
         done_count = 0
         while pending:
@@ -84,8 +112,41 @@ def parallel_map(
                     for f in pending:
                         f.cancel()
                     raise exc
-                out[future_to_index[future]] = future.result()
+                if tel is None:
+                    out[future_to_index[future]] = future.result()
+                else:
+                    seconds, result = future.result()
+                    task_s.append(seconds)
+                    out[future_to_index[future]] = result
                 done_count += 1
                 if progress is not None:
                     progress(done_count, total)
+    if tel is not None:
+        _record_pool_metrics(tel, task_s, processes, perf_counter() - t_start)
     return out  # type: ignore[return-value]
+
+
+def _timed_call(fn: Callable[[T], R], item: T) -> tuple[float, R]:
+    """Run one task in the worker, returning (duration, result)."""
+    t0 = perf_counter()
+    result = fn(item)
+    return perf_counter() - t0, result
+
+
+def _record_pool_metrics(
+    tel, task_s: list[float], workers: int, span_s: float
+) -> None:
+    """Fold one map's task timings into the telemetry registry."""
+    for seconds in task_s:
+        tel.observe("parallel.task_s", seconds)
+    tel.count("parallel.maps")
+    tel.count("parallel.tasks", len(task_s))
+    tel.set_gauge("parallel.workers", workers)
+    tel.set_gauge("parallel.span_s", span_s)
+    if task_s and span_s > 0:
+        busy = sum(task_s)
+        tel.set_gauge("parallel.utilization", busy / (workers * span_s))
+        low, high = min(task_s), max(task_s)
+        tel.set_gauge(
+            "parallel.straggler_spread", high / low if low > 0 else 0.0
+        )

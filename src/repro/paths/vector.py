@@ -220,6 +220,9 @@ class _RoutedSlotCache:
         "_row_start",
         "_rows",
         "_path_len",
+        "resolves",
+        "rejects",
+        "invalidations",
     )
 
     def __init__(self, epoch: int, steps: int, scope, m1: int):
@@ -227,6 +230,12 @@ class _RoutedSlotCache:
         self.steps = steps
         self.scope = scope
         self.m1 = m1
+        #: pair codes resolved through the route provider (cache fills)
+        self.resolves = 0
+        #: rejection-sampling retries: drawn candidates with no route
+        self.rejects = 0
+        #: topology-window invalidations (route_slot wiped, dedup kept)
+        self.invalidations = 0
         self.route_slot = np.full(m1 * m1, -2, dtype=np.int64)
         self.slots: list[Sequence[Sequence[int]]] = []
         self.slot_of_obj: dict[int, int] = {}
@@ -251,6 +260,7 @@ class _RoutedSlotCache:
         self.epoch = epoch
         self.steps = steps
         self.route_slot.fill(-2)
+        self.invalidations += 1
 
     def packed_slots(self) -> tuple:
         """(n_paths, row_start, rows, path_len) arrays over all slots.
@@ -403,7 +413,9 @@ def _sample_routed_vectorized(
             status = route_slot[codes]
             unknown = codes[status == -2]
             if unknown.size:
-                for code in np.unique(unknown).tolist():
+                unique_codes = np.unique(unknown).tolist()
+                cache.resolves += len(unique_codes)
+                for code in unique_codes:
                     s, d = divmod(code, m1)
                     paths = routes(s, d)
                     if paths:
@@ -421,6 +433,7 @@ def _sample_routed_vectorized(
             dst[hit] = cand[ok]
             game_slot[hit] = status[ok]
             unresolved = unresolved[~ok]
+            cache.rejects += unresolved.size
         if unresolved.size:
             raise RuntimeError(
                 f"no routable destination found for source"

@@ -71,6 +71,7 @@ from repro.paths.oracle import PathOracle, plan_games
 from repro.reputation.activity import ActivityClassifier
 from repro.reputation.exchange import ExchangeConfig, exchange_reputation_flat
 from repro.reputation.trust import TrustTable
+from repro.telemetry.runtime import get_telemetry
 
 __all__ = ["BatchEngine"]
 
@@ -203,6 +204,12 @@ class BatchEngine:
         # + forwarded
         req = [0] * 8
 
+        # telemetry seam: one enabled check per tournament; the per-game hot
+        # loop below never touches the recorder (zero-overhead contract)
+        tel = get_telemetry()
+        if not tel.enabled:
+            tel = None
+
         if do_exchange:
             # gossip draws interleave with oracle draws at round boundaries
             # when both share a generator: plan one round at a time.
@@ -212,13 +219,25 @@ class BatchEngine:
             # nothing else consumes the oracle's generator mid-tournament:
             # draw the full schedule in one batch and play it as one pass
             n_passes = 1
-            whole_plan = plan_games(oracle, participants * rounds, participants)
+            if tel is None:
+                whole_plan = plan_games(oracle, participants * rounds, participants)
+            else:
+                with tel.registry.timer("engine.plan_s").time():
+                    whole_plan = plan_games(
+                        oracle, participants * rounds, participants
+                    )
 
         for round_no in range(n_passes):
+            pass_span = tel.span("round") if tel is not None else None
+            if pass_span is not None:
+                pass_span.__enter__()
             if whole_plan is not None:
                 round_plan = whole_plan
-            else:
+            elif tel is None:
                 round_plan = plan_games(oracle, participants, participants)
+            else:
+                with tel.registry.timer("engine.plan_s").time():
+                    round_plan = plan_games(oracle, participants, participants)
 
             for source, destination, paths in round_plan:
                 source_selfish = source >= n_pop
@@ -341,10 +360,23 @@ class BatchEngine:
                     if success:
                         nn_del += 1
 
+            if pass_span is not None:
+                pass_span.__exit__(None, None, None)
             if do_exchange and (round_no + 1) % exchange.interval == 0:
-                exchange_reputation_flat(
-                    ps, pf, known, pf_sum, participants, exchange, rng
-                )
+                if tel is None:
+                    exchange_reputation_flat(
+                        ps, pf, known, pf_sum, participants, exchange, rng
+                    )
+                else:
+                    with tel.registry.timer("engine.exchange_s").time():
+                        exchange_reputation_flat(
+                            ps, pf, known, pf_sum, participants, exchange, rng
+                        )
+
+        if tel is not None:
+            tel.count("engine.tournaments")
+            tel.count("engine.rounds", rounds)
+            tel.count("engine.games", rounds * len(participants))
 
         # -- fold statistics and push mirrors back to the canonical arrays --
         stats.nn_originated += nn_orig

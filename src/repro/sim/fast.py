@@ -38,6 +38,7 @@ from repro.paths.oracle import PathOracle
 from repro.reputation.activity import ActivityClassifier
 from repro.reputation.exchange import ExchangeConfig, exchange_reputation_flat
 from repro.reputation.trust import TrustTable
+from repro.telemetry.runtime import get_telemetry
 
 __all__ = ["FastEngine"]
 
@@ -148,10 +149,19 @@ class FastEngine:
         record_game = stats.record_game
         record_path_choice = stats.record_path_choice
 
+        # telemetry seam: one enabled check per tournament; the per-game hot
+        # loop below never touches the recorder (zero-overhead contract)
+        tel = get_telemetry()
+        if not tel.enabled:
+            tel = None
+
         participants = list(participants)
         selfish_set = frozenset(p for p in participants if p >= n_pop)
 
         for round_no in range(rounds):
+            round_span = tel.span("round") if tel is not None else None
+            if round_span is not None:
+                round_span.__enter__()
             for source in participants:
                 setup = oracle.draw(source, participants)
                 paths = setup.paths
@@ -256,10 +266,22 @@ class FastEngine:
 
                 record_game(source_selfish, success)
 
+            if round_span is not None:
+                round_span.__exit__(None, None, None)
             if do_exchange and (round_no + 1) % exchange.interval == 0:
-                exchange_reputation_flat(
-                    ps, pf, known, pf_sum, participants, exchange, rng
-                )
+                if tel is None:
+                    exchange_reputation_flat(
+                        ps, pf, known, pf_sum, participants, exchange, rng
+                    )
+                else:
+                    with tel.registry.timer("engine.exchange_s").time():
+                        exchange_reputation_flat(
+                            ps, pf, known, pf_sum, participants, exchange, rng
+                        )
+        if tel is not None:
+            tel.count("engine.tournaments")
+            tel.count("engine.rounds", rounds)
+            tel.count("engine.games", rounds * len(participants))
 
     def fitness(self) -> np.ndarray:
         out = np.empty(self.n_population, dtype=float)

@@ -20,6 +20,7 @@ from repro.paths.oracle import PathOracle
 from repro.reputation.activity import ActivityClassifier
 from repro.reputation.exchange import ExchangeConfig
 from repro.reputation.trust import TrustTable
+from repro.telemetry.runtime import get_telemetry
 from repro.tournament.runner import run_tournament
 
 __all__ = ["ReferenceEngine"]
@@ -107,6 +108,13 @@ class ReferenceEngine:
             exchange=exchange,
             rng=rng,
         )
+        # telemetry seam: the object-model runner stays untouched; counts
+        # are derivable from the call signature alone
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("engine.tournaments")
+            tel.count("engine.rounds", rounds)
+            tel.count("engine.games", rounds * len(participants))
 
     def fitness(self) -> np.ndarray:
         return np.array(

@@ -80,6 +80,7 @@ from repro.paths.vector import GamePlanArrays, plan_tournament_arrays
 from repro.reputation.activity import ActivityClassifier
 from repro.reputation.exchange import ExchangeConfig, exchange_reputation_flat
 from repro.reputation.trust import TrustTable
+from repro.telemetry.runtime import get_telemetry
 
 __all__ = ["TurboEngine"]
 
@@ -279,13 +280,30 @@ class TurboEngine:
             raise ValueError(f"rounds must be >= 1, got {rounds}")
         participants = list(participants)
         games_per_round = len(participants)
+        # telemetry seam: one enabled check per tournament; the speculative
+        # round kernel below never touches the recorder (zero-overhead
+        # contract)
+        tel = get_telemetry()
+        if not tel.enabled:
+            tel = None
         # The whole tournament is pre-drawn even with the exchange enabled:
         # gossip draws then trail the oracle draws on a shared generator
         # instead of interleaving at round boundaries — a stream reordering
         # the statistical contract tolerates (the bit-identical engines must
         # plan per round here).
-        plan = plan_tournament_arrays(oracle, participants * rounds, participants)
-        ctx = _PlanContext(plan, games_per_round, self.m, self.n_population)
+        if tel is None:
+            plan = plan_tournament_arrays(
+                oracle, participants * rounds, participants
+            )
+            ctx = _PlanContext(plan, games_per_round, self.m, self.n_population)
+        else:
+            with tel.registry.timer("engine.plan_s").time():
+                plan = plan_tournament_arrays(
+                    oracle, participants * rounds, participants
+                )
+                ctx = _PlanContext(
+                    plan, games_per_round, self.m, self.n_population
+                )
         # replay contributions accumulate here; speculative outcomes are
         # folded vectorized at the end (dead state during the tournament)
         req = np.zeros(9, dtype=np.int64)
@@ -294,11 +312,28 @@ class TurboEngine:
         self._replayed_games = 0
 
         for round_no in range(rounds):
+            round_span = tel.span("round") if tel is not None else None
+            if round_span is not None:
+                round_span.__enter__()
             self._process_round(ctx, round_no, req, delivered, csn_free)
+            if round_span is not None:
+                round_span.__exit__(None, None, None)
             if do_exchange and (round_no + 1) % exchange.interval == 0:
-                self._run_exchange(participants, exchange, rng)
+                if tel is None:
+                    self._run_exchange(participants, exchange, rng)
+                else:
+                    with tel.registry.timer("engine.exchange_s").time():
+                        self._run_exchange(participants, exchange, rng)
 
-        self._fold_tournament(ctx, req, delivered, csn_free)
+        if tel is None:
+            self._fold_tournament(ctx, req, delivered, csn_free)
+        else:
+            with tel.registry.timer("engine.fold_s").time():
+                self._fold_tournament(ctx, req, delivered, csn_free)
+            tel.count("engine.tournaments")
+            tel.count("engine.rounds", rounds)
+            tel.count("engine.games", rounds * games_per_round)
+            tel.count("engine.turbo.replayed_games", self._replayed_games)
 
         stats.nn_originated += int(delivered[0] + delivered[1])
         stats.nn_delivered += int(delivered[1])

@@ -1,0 +1,60 @@
+"""Engine-wide telemetry: metrics registry, span tracing, run manifests.
+
+The package is organised around a strict zero-overhead-when-disabled
+contract (see :mod:`repro.telemetry.runtime`): instrumented layers fetch
+the process-global recorder once per tournament/replication and skip all
+recording when it is the no-op singleton.  Enabling (``--telemetry`` on the
+CLI, or :class:`TelemetryConfig` in an experiment config) swaps in a real
+recorder whose registry snapshots merge across worker processes and land in
+a schema-validated run manifest.
+"""
+
+from repro.telemetry.config import TelemetryConfig
+from repro.telemetry.harvest import harvest_oracle
+from repro.telemetry.manifest import (
+    build_run_manifest,
+    config_hash,
+    git_sha,
+    write_run_manifest,
+)
+from repro.telemetry.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+from repro.telemetry.render import render_manifest
+from repro.telemetry.runtime import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    disable_telemetry,
+    enable_telemetry,
+    get_telemetry,
+    telemetry_session,
+)
+
+__all__ = [
+    "TelemetryConfig",
+    "harvest_oracle",
+    "build_run_manifest",
+    "config_hash",
+    "git_sha",
+    "write_run_manifest",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Timer",
+    "render_manifest",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "Telemetry",
+    "disable_telemetry",
+    "enable_telemetry",
+    "get_telemetry",
+    "telemetry_session",
+]

@@ -1,0 +1,58 @@
+"""Telemetry configuration.
+
+A :class:`TelemetryConfig` travels inside
+:class:`~repro.experiments.config.ExperimentConfig` so that a replication —
+a pure function of ``(config, replication_index)`` — knows whether to record
+metrics without any side channel.  Telemetry never changes simulation
+results; it is excluded from the run-manifest config hash for that reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+__all__ = ["TelemetryConfig"]
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Switches for the metrics/span recording layer.
+
+    ``enabled``
+        Master switch.  Off (the default) keeps the no-op singleton
+        installed: the zero-overhead-when-disabled contract.
+    ``events``
+        Record individual span events (start/duration) in addition to the
+        aggregated timers.  Aggregates are always kept when enabled.
+    ``max_events``
+        Cap on recorded events per replication; beyond it events are
+        dropped (and counted) while aggregates keep accumulating.
+    """
+
+    enabled: bool = False
+    events: bool = True
+    max_events: int = 5000
+
+    def __post_init__(self) -> None:
+        if self.max_events < 0:
+            raise ValueError(f"max_events must be >= 0, got {self.max_events}")
+
+    def with_(self, **changes: Any) -> "TelemetryConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        return {
+            "enabled": self.enabled,
+            "events": self.events,
+            "max_events": self.max_events,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TelemetryConfig":
+        return cls(
+            enabled=bool(data.get("enabled", False)),
+            events=bool(data.get("events", True)),
+            max_events=int(data.get("max_events", 5000)),
+        )

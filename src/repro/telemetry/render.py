@@ -1,0 +1,85 @@
+"""Human-readable rendering of run manifests (``repro stats``)."""
+
+from __future__ import annotations
+
+__all__ = ["render_manifest"]
+
+
+def _fmt(value: float) -> str:
+    """Compact number formatting: integers plain, floats to 6 sig figs."""
+    if isinstance(value, int) or (isinstance(value, float) and value.is_integer()):
+        return f"{int(value):,}"
+    return f"{value:.6g}"
+
+
+def _section(title: str) -> list[str]:
+    return ["", title, "-" * len(title)]
+
+
+def render_manifest(manifest: dict) -> str:
+    """Render a validated run manifest as an aligned plain-text report."""
+    run = manifest.get("run", {})
+    lines = [
+        f"run manifest: {manifest.get('name', '?')}",
+        f"  git sha      {manifest.get('git_sha', '?')}",
+        f"  config hash  {str(manifest.get('config_hash', '?'))[:16]}",
+        f"  wall time    {_fmt(manifest.get('wall_s', 0.0))} s",
+    ]
+    for key in sorted(run):
+        lines.append(f"  {key:<12} {run[key]}")
+    if manifest.get("events_file"):
+        lines.append(f"  events       {manifest['events_file']}")
+
+    metrics = manifest.get("metrics", {})
+    counters = metrics.get("counters", {})
+    if counters:
+        lines += _section("counters")
+        width = max(len(k) for k in counters)
+        for name_, value in sorted(counters.items()):
+            lines.append(f"  {name_:<{width}}  {_fmt(value)}")
+
+    gauges = metrics.get("gauges", {})
+    if gauges:
+        lines += _section("gauges")
+        width = max(len(k) for k in gauges)
+        for name_, value in sorted(gauges.items()):
+            lines.append(f"  {name_:<{width}}  {_fmt(value)}")
+
+    timers = metrics.get("timers", {})
+    if timers:
+        lines += _section("timers")
+        width = max(len(k) for k in timers)
+        header = f"  {'name':<{width}}  {'count':>8}  {'total s':>10}  {'mean s':>10}"
+        lines.append(header)
+        for name_, snap in sorted(timers.items()):
+            count = snap.get("count", 0)
+            total = snap.get("total_s", 0.0)
+            mean = total / count if count else 0.0
+            lines.append(
+                f"  {name_:<{width}}  {count:>8,}  {total:>10.4f}  {mean:>10.6f}"
+            )
+
+    histograms = metrics.get("histograms", {})
+    if histograms:
+        lines += _section("histograms")
+        for name_, snap in sorted(histograms.items()):
+            count = snap.get("count", 0)
+            total = snap.get("sum", 0.0)
+            mean = total / count if count else 0.0
+            lines.append(
+                f"  {name_}: count={_fmt(count)} mean={mean:.4g}"
+                f" min={_fmt(snap.get('min', 0.0))}"
+                f" max={_fmt(snap.get('max', 0.0))}"
+            )
+            buckets = [
+                (key, n)
+                for key, n in snap.items()
+                if key.startswith("le_") or key == "overflow"
+            ]
+            populated = [(key, n) for key, n in buckets if n]
+            if populated:
+                lines.append(
+                    "    "
+                    + "  ".join(f"{key}:{_fmt(n)}" for key, n in populated)
+                )
+    return "\n".join(lines)

@@ -26,6 +26,7 @@ import numpy as np
 from repro.game.stats import TournamentStats
 from repro.paths.oracle import PathOracle
 from repro.reputation.exchange import ExchangeConfig
+from repro.telemetry.runtime import get_telemetry
 from repro.tournament.environment import TournamentEnvironment
 from repro.tournament.scheduler import iter_seatings
 
@@ -98,6 +99,13 @@ def evaluate_generation(
     # mobility-aware oracles advance the topology between tournaments when
     # clocked per-tournament; oracles without the hook are left alone
     on_tournament_end = getattr(oracle, "on_tournament_end", None)
+    # telemetry seam: one enabled check per generation
+    tel = get_telemetry()
+    if not tel.enabled:
+        tel = None
+    gen_span = tel.span("generation") if tel is not None else None
+    if gen_span is not None:
+        gen_span.__enter__()
 
     for env in environments:
         if env.n_normal > len(population):
@@ -116,12 +124,30 @@ def evaluate_generation(
             order = rng.permutation(len(participants))
             participants = [participants[int(i)] for i in order]
             stats = TournamentStats()
-            engine.run_tournament(participants, rounds, oracle, stats, exchange, rng)
+            if tel is None:
+                engine.run_tournament(
+                    participants, rounds, oracle, stats, exchange, rng
+                )
+            else:
+                with tel.span("tournament"):
+                    engine.run_tournament(
+                        participants, rounds, oracle, stats, exchange, rng
+                    )
             env_stats.merge(stats)
             if on_tournament_end is not None:
                 on_tournament_end()
         per_env[env.name] = env_stats
         overall.merge(env_stats)
+
+    if gen_span is not None:
+        gen_span.__exit__(None, None, None)
+    if tel is not None:
+        tel.count("evaluation.generations")
+        # ground truth for the engine.games reconciliation: every game is
+        # counted exactly once as NN- or CSN-originated by the stats layer
+        tel.count(
+            "evaluation.games", overall.nn_originated + overall.csn_originated
+        )
 
     return EvaluationResult(
         fitness=engine.fitness(), per_environment=per_env, overall=overall

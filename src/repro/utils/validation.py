@@ -13,6 +13,8 @@ __all__ = [
     "check_non_negative",
     "BENCH_REPORT_KEYS",
     "validate_bench_report",
+    "RUN_MANIFEST_KEYS",
+    "validate_run_manifest",
 ]
 
 
@@ -119,4 +121,89 @@ def validate_bench_report(payload: Any, name: str = "bench report") -> dict:
     if not isinstance(metrics, Mapping):
         raise ValueError(f"{name}: 'metrics' must be a mapping")
     _check_numeric_tree(metrics, f"{name}: metrics")
+    return dict(payload)
+
+
+#: The exact key set of every telemetry run manifest
+#: (``<name>_manifest.json``, written by ``repro.telemetry.manifest``).
+RUN_MANIFEST_KEYS = frozenset(
+    {
+        "manifest_version",
+        "name",
+        "git_sha",
+        "config_hash",
+        "run",
+        "wall_s",
+        "metrics",
+        "events_file",
+    }
+)
+
+
+def validate_run_manifest(payload: Any, name: str = "run manifest") -> dict:
+    """Validate one telemetry run-manifest payload against its contract.
+
+    The contract (README "Observability", enforced at write time by
+    ``repro.telemetry.manifest.build_run_manifest`` and at read time by
+    ``repro stats``):
+
+    * exactly the keys ``{manifest_version, name, git_sha, config_hash,
+      run, wall_s, metrics, events_file}``,
+    * ``manifest_version`` is the integer ``1``,
+    * ``name``, ``git_sha`` and ``config_hash`` are non-empty strings,
+    * ``run`` is a string-keyed mapping of scalars (strings or finite
+      numbers) — the engine/oracle/policy provenance block,
+    * ``wall_s`` is a non-negative finite number,
+    * ``metrics`` is a string-keyed mapping bottoming out in finite
+      numbers (the aggregated registry snapshot),
+    * ``events_file`` is ``null`` or a non-empty string naming the
+      sibling JSONL event dump.
+
+    Returns the payload for chaining; raises :class:`ValueError` with the
+    offending path otherwise.
+    """
+    if not isinstance(payload, Mapping):
+        raise ValueError(f"{name} must be a JSON object, got {type(payload).__name__}")
+    keys = set(payload)
+    if keys != RUN_MANIFEST_KEYS:
+        missing = sorted(RUN_MANIFEST_KEYS - keys)
+        extra = sorted(keys - RUN_MANIFEST_KEYS)
+        raise ValueError(
+            f"{name} keys mismatch: missing {missing or 'none'},"
+            f" unexpected {extra or 'none'}"
+        )
+    version = payload["manifest_version"]
+    if isinstance(version, bool) or not isinstance(version, int) or version != 1:
+        raise ValueError(
+            f"{name}: 'manifest_version' must be the integer 1, got {version!r}"
+        )
+    for field in ("name", "git_sha", "config_hash"):
+        if not isinstance(payload[field], str) or not payload[field]:
+            raise ValueError(f"{name}: {field!r} must be a non-empty string")
+    run = payload["run"]
+    if not isinstance(run, Mapping):
+        raise ValueError(f"{name}: 'run' must be a mapping")
+    for key, value in run.items():
+        if not isinstance(key, str):
+            raise ValueError(f"{name}: run has a non-string key {key!r}")
+        if isinstance(value, str):
+            continue
+        _check_numeric_tree(value, f"{name}: run[{key!r}]")
+        if isinstance(value, Mapping):
+            raise ValueError(f"{name}: run[{key!r}] must be a scalar")
+    wall = payload["wall_s"]
+    _check_numeric_tree(wall, f"{name}: wall_s")
+    if not isinstance(wall, (int, float)) or wall < 0:
+        raise ValueError(f"{name}: wall_s must be a number >= 0, got {wall!r}")
+    metrics = payload["metrics"]
+    if not isinstance(metrics, Mapping):
+        raise ValueError(f"{name}: 'metrics' must be a mapping")
+    _check_numeric_tree(metrics, f"{name}: metrics")
+    events_file = payload["events_file"]
+    if events_file is not None and (
+        not isinstance(events_file, str) or not events_file
+    ):
+        raise ValueError(
+            f"{name}: 'events_file' must be null or a non-empty string"
+        )
     return dict(payload)

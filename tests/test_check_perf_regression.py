@@ -112,14 +112,6 @@ class TestDegenerateInputs:
         with pytest.raises(SystemExit, match="no comparable"):
             run_gate(gate, tmp_path, fresh)
 
-    def test_missing_oracle_row_still_compares_others(self, gate, tmp_path):
-        """A ledger missing one oracle row compares the remaining rows."""
-        walls = {
-            "random": dict(BASE_WALLS["random"]),
-            "topology": dict(BASE_WALLS["topology"]),
-        }
-        assert run_gate(gate, tmp_path, walls) == 0
-
     def test_missing_engine_in_fresh_is_skipped(self, gate, tmp_path):
         """An engine present only in the baseline is skipped, not crashed on
         (the row disappears from the comparison)."""
@@ -169,6 +161,17 @@ class TestDegenerateInputs:
         fresh = write(tmp_path, "fresh.json", ledger(BASE_WALLS))
         assert gate.main(["--baseline", str(baseline), "--fresh", str(fresh)]) == 0
 
+    def test_oracle_row_missing_from_both_ledgers_is_skipped(self, gate, tmp_path):
+        """A gated row absent from *both* ledgers predates them (e.g. an old
+        baseline without the highspeed rows) and must not error."""
+        walls = {
+            "random": dict(BASE_WALLS["random"]),
+            "topology": dict(BASE_WALLS["topology"]),
+        }
+        baseline = write(tmp_path, "baseline.json", ledger(walls))
+        fresh = write(tmp_path, "fresh.json", ledger(walls))
+        assert gate.main(["--baseline", str(baseline), "--fresh", str(fresh)]) == 0
+
     def test_canary_absent_disables_normalized_gate_only(self, gate, tmp_path):
         """Without a reference row the normalized gate cannot run; the
         absolute failsafe still does."""
@@ -184,3 +187,63 @@ class TestDegenerateInputs:
         fresh = write(tmp_path, "fresh.json", ledger(walls))
         # 4x would trip normalized (2.5) but not absolute (6.0)
         assert gate.main(["--baseline", str(baseline), "--fresh", str(fresh)]) == 0
+
+
+class TestNamedRowErrors:
+    """Missing/malformed named ledger rows exit with the distinct code 3
+    (``EXIT_ROW_ERROR``) and a message naming the offending row, instead of
+    a raw KeyError/AttributeError traceback."""
+
+    def test_exit_code_is_distinct(self, gate):
+        assert gate.EXIT_ROW_ERROR == 3
+        assert gate.EXIT_ROW_ERROR not in (0, 1)
+
+    def test_oracle_row_missing_from_fresh_errors(self, gate, tmp_path, capsys):
+        """A gated row present in the baseline but dropped from the fresh
+        ledger is a broken bench, not a clean comparison."""
+        walls = {
+            "random": dict(BASE_WALLS["random"]),
+            "topology": dict(BASE_WALLS["topology"]),
+        }
+        assert run_gate(gate, tmp_path, walls) == 3
+        err = capsys.readouterr().err
+        assert "'mobile'" in err and "fresh" in err
+
+    def test_oracle_row_missing_from_baseline_errors(self, gate, tmp_path, capsys):
+        base = {
+            "random": dict(BASE_WALLS["random"]),
+            "topology": dict(BASE_WALLS["topology"]),
+        }
+        baseline = write(tmp_path, "baseline.json", ledger(base))
+        fresh = write(tmp_path, "fresh.json", ledger(BASE_WALLS))
+        assert gate.main(["--baseline", str(baseline), "--fresh", str(fresh)]) == 3
+        err = capsys.readouterr().err
+        assert "'mobile'" in err and "baseline" in err
+
+    def test_row_not_a_mapping_errors(self, gate, tmp_path, capsys):
+        walls = json.loads(json.dumps(BASE_WALLS))
+        walls["topology"] = 0.123
+        assert run_gate(gate, tmp_path, walls) == 3
+        assert "'topology'" in capsys.readouterr().err
+
+    def test_non_numeric_wall_errors(self, gate, tmp_path, capsys):
+        walls = json.loads(json.dumps(BASE_WALLS))
+        walls["random"]["batch"] = "fast!"
+        assert run_gate(gate, tmp_path, walls) == 3
+        err = capsys.readouterr().err
+        assert "'batch'" in err and "'random'" in err
+
+    def test_non_finite_wall_errors(self, gate, tmp_path):
+        # json.dumps/loads round-trip NaN, so the malformed ledger survives
+        # the file hop exactly as a buggy bench would write it
+        walls = json.loads(json.dumps(BASE_WALLS))
+        walls["mobile"]["fast"] = float("nan")
+        assert run_gate(gate, tmp_path, walls) == 3
+
+    def test_wall_table_not_a_mapping_errors(self, gate, tmp_path, capsys):
+        baseline = write(tmp_path, "baseline.json", ledger(BASE_WALLS))
+        payload = ledger(BASE_WALLS)
+        payload["wall_s"] = ["not", "a", "mapping"]
+        fresh = write(tmp_path, "fresh.json", payload)
+        assert gate.main(["--baseline", str(baseline), "--fresh", str(fresh)]) == 3
+        assert "wall_s" in capsys.readouterr().err

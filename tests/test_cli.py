@@ -2,9 +2,15 @@
 
 from __future__ import annotations
 
+import json
+import tomllib
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 class TestParser:
@@ -16,6 +22,21 @@ class TestParser:
         with pytest.raises(SystemExit) as exc:
             build_parser().parse_args(["--version"])
         assert exc.value.code == 0
+
+    def test_version_agrees_with_package_metadata(self, capsys):
+        """src/repro/_version.py is the single source of truth: the CLI and
+        pyproject's dynamic version must both resolve to it."""
+        from repro._version import __version__
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+        pyproject = tomllib.loads((REPO_ROOT / "pyproject.toml").read_text())
+        assert "version" in pyproject["project"]["dynamic"]
+        assert (
+            pyproject["tool"]["setuptools"]["dynamic"]["version"]["attr"]
+            == "repro._version.__version__"
+        )
 
     def test_list_parses(self):
         args = build_parser().parse_args(["list"])
@@ -116,6 +137,57 @@ class TestMobilityFlags:
         )
         assert code == 0
         assert "final cooperation" in capsys.readouterr().out
+
+    def test_run_case_telemetry_writes_manifest(self, capsys, tmp_path):
+        code = main(
+            ["run-case", "case1", "--scale", "smoke", "--processes", "1",
+             "--telemetry", "--telemetry-dir", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "telemetry manifest:" in out
+        manifest = tmp_path / "case1_smoke_manifest.json"
+        assert manifest.exists()
+        payload = json.loads(manifest.read_text())
+        counters = payload["metrics"]["counters"]
+        assert counters["engine.games"] == counters["evaluation.games"]
+
+    def test_reproduce_telemetry_writes_manifest_per_case(self, capsys, tmp_path):
+        code = main(
+            ["reproduce", "table8", "--scale", "smoke", "--processes", "1",
+             "--telemetry", "--telemetry-dir", str(tmp_path)]
+        )
+        assert code == 0
+        assert "telemetry manifest for case3" in capsys.readouterr().out
+        assert (tmp_path / "case3_smoke_manifest.json").exists()
+
+    def test_stats_renders_manifest(self, capsys, tmp_path):
+        assert main(
+            ["run-case", "case1", "--scale", "smoke", "--processes", "1",
+             "--telemetry", "--telemetry-dir", str(tmp_path)]
+        ) == 0
+        capsys.readouterr()
+        code = main(["stats", str(tmp_path / "case1_smoke_manifest.json")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "run manifest: case1_smoke" in out
+        assert "engine.games" in out
+
+    def test_stats_missing_file_exits_2(self, capsys, tmp_path):
+        assert main(["stats", str(tmp_path / "nope.json")]) == 2
+        assert "no such manifest" in capsys.readouterr().err
+
+    def test_stats_invalid_json_exits_2(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["stats", str(bad)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_stats_schema_violation_exits_2(self, capsys, tmp_path):
+        bad = tmp_path / "bad_manifest.json"
+        bad.write_text(json.dumps({"name": "x"}))
+        assert main(["stats", str(bad)]) == 2
+        assert "invalid run manifest" in capsys.readouterr().err
 
     def test_run_case_mobility_none_disables_mobile_case(self, capsys):
         """--mobility none runs a mobile_* case on the paper's random oracle."""

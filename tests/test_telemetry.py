@@ -1,0 +1,248 @@
+"""Unit tests for the telemetry core: registry primitives and the runtime.
+
+The registry's merge semantics carry real weight — worker-process
+replication snapshots fold into the experiment-wide view through them — so
+counters/histograms/timers are tested to merge associatively and gauges to
+stay last-write-wins.  The runtime tests pin the process-global recorder
+lifecycle (no-op singleton by default, session scoping, nesting) that the
+zero-overhead contract builds on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    NullTelemetry,
+    Telemetry,
+    TelemetryConfig,
+    Timer,
+    get_telemetry,
+    telemetry_session,
+)
+from repro.telemetry.runtime import NULL_TELEMETRY, _NULL_SPAN
+
+
+class TestRegistryPrimitives:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.count("games")
+        reg.count("games", 41)
+        assert reg.counter("games").snapshot() == 42
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("util", 0.5)
+        reg.set_gauge("util", 0.9)
+        assert reg.gauge("util").snapshot() == 0.9
+
+    def test_histogram_buckets_and_summary(self):
+        h = Histogram(bounds=(1, 10, 100))
+        for value in (0.5, 5, 50, 500):
+            h.observe(value)
+        snap = h.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == 555.5
+        assert snap["min"] == 0.5
+        assert snap["max"] == 500
+        assert snap["le_1"] == 1
+        assert snap["le_10"] == 1
+        assert snap["le_100"] == 1
+        assert snap["overflow"] == 1
+
+    def test_histogram_weighted_observe(self):
+        h = Histogram(bounds=(4, 8))
+        h.observe(2, n=5)
+        snap = h.snapshot()
+        assert snap["count"] == 5
+        assert snap["sum"] == 10
+        assert snap["le_4"] == 5
+
+    def test_empty_histogram_snapshot_is_finite(self):
+        snap = Histogram().snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] == 0.0 and snap["max"] == 0.0
+
+    def test_timer_aggregates(self):
+        t = Timer()
+        t.add(0.5)
+        t.add(1.5)
+        assert t.count == 2
+        assert t.total_s == 2.0
+        assert t.min_s == 0.5 and t.max_s == 1.5
+        assert t.mean_s == 1.0
+
+    def test_timer_context_manager_records(self):
+        t = Timer()
+        with t.time():
+            pass
+        assert t.count == 1
+        assert t.total_s >= 0.0
+
+    def test_snapshot_keys_sorted(self):
+        reg = MetricsRegistry()
+        reg.count("b")
+        reg.count("a")
+        assert list(reg.snapshot()["counters"]) == ["a", "b"]
+
+
+class TestRegistryMerge:
+    def build(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.count("games", 10)
+        reg.set_gauge("workers", 4)
+        reg.observe("ages", 3)
+        reg.timer_add("wall", 1.0)
+        return reg
+
+    def test_merge_doubles_counters_timers_histograms(self):
+        reg = self.build()
+        reg.merge(self.build().snapshot())
+        snap = reg.snapshot()
+        assert snap["counters"]["games"] == 20
+        assert snap["histograms"]["ages"]["count"] == 2
+        assert snap["timers"]["wall"]["count"] == 2
+        assert snap["timers"]["wall"]["total_s"] == 2.0
+        # gauges are last-write-wins, not additive
+        assert snap["gauges"]["workers"] == 4
+
+    def test_merge_into_empty_is_identity(self):
+        reg = MetricsRegistry()
+        reg.merge(self.build().snapshot())
+        assert reg.snapshot() == self.build().snapshot()
+
+    def test_merge_empty_snapshots_is_noop(self):
+        reg = self.build()
+        before = reg.snapshot()
+        reg.merge(MetricsRegistry().snapshot())
+        assert reg.snapshot() == before
+
+    def test_merge_is_associative(self):
+        a, b, c = self.build(), self.build(), self.build()
+        left = MetricsRegistry()
+        left.merge(a.snapshot())
+        left.merge(b.snapshot())
+        left.merge(c.snapshot())
+        inner = MetricsRegistry()
+        inner.merge(b.snapshot())
+        inner.merge(c.snapshot())
+        right = MetricsRegistry()
+        right.merge(a.snapshot())
+        right.merge(inner.snapshot())
+        assert left.snapshot() == right.snapshot()
+
+
+class TestRuntime:
+    def test_default_is_null_singleton(self):
+        assert get_telemetry() is NULL_TELEMETRY
+        assert get_telemetry().enabled is False
+
+    def test_null_span_is_shared_and_inert(self):
+        null = NullTelemetry()
+        assert null.span("x") is _NULL_SPAN
+        with null.span("x"):
+            pass
+        null.count("a")
+        null.observe("b", 1.0)
+        null.timer_add("c", 0.1)
+        null.event("d", k=1)
+
+    def test_session_installs_and_restores(self):
+        assert get_telemetry() is NULL_TELEMETRY
+        with telemetry_session(TelemetryConfig(enabled=True)) as tel:
+            assert get_telemetry() is tel
+            assert tel.enabled is True
+        assert get_telemetry() is NULL_TELEMETRY
+
+    def test_sessions_nest(self):
+        with telemetry_session() as outer:
+            with telemetry_session() as inner:
+                assert get_telemetry() is inner
+            assert get_telemetry() is outer
+
+    def test_session_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with telemetry_session():
+                raise RuntimeError("boom")
+        assert get_telemetry() is NULL_TELEMETRY
+
+    def test_span_paths_nest(self):
+        with telemetry_session() as tel:
+            with tel.span("generation"):
+                with tel.span("tournament"):
+                    pass
+                with tel.span("tournament"):
+                    pass
+            timers = tel.snapshot()["timers"]
+        assert timers["span.generation"]["count"] == 1
+        assert timers["span.generation/tournament"]["count"] == 2
+
+    def test_events_recorded_with_fields(self):
+        with telemetry_session() as tel:
+            tel.event("custom", answer=42)
+        assert tel.events[0]["event"] == "custom"
+        assert tel.events[0]["answer"] == 42
+        assert tel.events[0]["t_s"] >= 0.0
+
+    def test_event_cap_drops_and_counts(self):
+        config = TelemetryConfig(enabled=True, max_events=2)
+        with telemetry_session(config) as tel:
+            for _ in range(5):
+                tel.event("e")
+        assert len(tel.events) == 2
+        assert tel.dropped_events == 3
+
+    def test_events_disabled_keeps_aggregates(self):
+        config = TelemetryConfig(enabled=True, events=False)
+        with telemetry_session(config) as tel:
+            with tel.span("round"):
+                pass
+        assert tel.events == []
+        assert tel.snapshot()["timers"]["span.round"]["count"] == 1
+
+    def test_observe_custom_bounds(self):
+        with telemetry_session() as tel:
+            tel.observe("ages", 3, bounds=(1, 2, 4))
+        snap = tel.snapshot()["histograms"]["ages"]
+        assert snap["le_4"] == 1 and snap["le_2"] == 0
+
+    def test_observe_default_bounds(self):
+        with telemetry_session() as tel:
+            tel.observe("t", 0.005)
+        snap = tel.snapshot()["histograms"]["t"]
+        assert snap[f"le_{DEFAULT_BUCKETS[1]:g}"] == 1
+
+    def test_export_shape(self):
+        with telemetry_session() as tel:
+            tel.count("games", 7)
+            tel.event("e")
+        export = tel.export()
+        assert set(export) == {"metrics", "events", "dropped_events"}
+        assert export["metrics"]["counters"]["games"] == 7
+        assert len(export["events"]) == 1
+        assert export["dropped_events"] == 0
+
+
+class TestTelemetryConfig:
+    def test_defaults_disabled(self):
+        config = TelemetryConfig()
+        assert config.enabled is False
+        assert config.events is True
+
+    def test_round_trip(self):
+        config = TelemetryConfig(enabled=True, events=False, max_events=9)
+        assert TelemetryConfig.from_dict(config.to_dict()) == config
+
+    def test_with_replaces(self):
+        assert TelemetryConfig().with_(enabled=True).enabled is True
+
+    def test_negative_max_events_rejected(self):
+        with pytest.raises(ValueError, match="max_events"):
+            TelemetryConfig(max_events=-1)
+
+    def test_telemetry_object_defaults_enabled_config(self):
+        tel = Telemetry()
+        assert tel.config.enabled is True
