@@ -1,22 +1,35 @@
 """Replication throughput vs worker count (the paper's 60-run averaging is
 embarrassingly parallel; this bench shows the process-pool payoff and proves
-results are worker-count invariant)."""
+results are worker-count invariant).
+
+Beyond the human-readable report, ``test_parallel_scaling_report`` folds a
+``parallel_scaling`` row into the repo-root ``BENCH_ENGINE.json`` ledger
+(read-modify-write — ``bench_engine_perf`` rewrites the whole file, so CI
+runs that bench first), which ``scripts/check_perf_regression.py`` gates
+like the engine rows: a collapse in pool dispatch or scaling efficiency
+fails CI the same way a de-vectorized engine loop does.
+"""
 
 from __future__ import annotations
 
+import json
 import time
+from pathlib import Path
 
 import pytest
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_experiment
 from repro.utils.tables import format_table
+from repro.utils.validation import validate_bench_report
 
-from benchmarks.conftest import emit_report
+from benchmarks.conftest import emit_report, git_sha
 
 CONFIG = ExperimentConfig.for_case(
     "case1", scale="smoke", replications=4, generations=4
 )
+
+LEDGER_PATH = Path(__file__).resolve().parent.parent / "BENCH_ENGINE.json"
 
 
 @pytest.mark.parametrize("processes", [1, 2])
@@ -37,6 +50,39 @@ def test_worker_count_invariance():
     serial = run_experiment(CONFIG, processes=1)
     parallel = run_experiment(CONFIG, processes=2)
     assert serial.to_dict() == parallel.to_dict()
+
+
+def test_shard_count_invariance():
+    serial = run_experiment(CONFIG, processes=1)
+    for shards in (1, 2, 4):
+        sharded = run_experiment(CONFIG, processes=2, shards=shards)
+        assert sharded.to_dict() == serial.to_dict(), f"shards={shards}"
+
+
+def _update_ledger(walls: dict[int, float]) -> None:
+    """Fold the scaling row into the engine ledger (schema-validated)."""
+    if LEDGER_PATH.exists():
+        ledger = json.loads(LEDGER_PATH.read_text())
+    else:
+        # bench_engine_perf writes the full ledger; standalone runs of this
+        # bench start a stub under the same contract so the row still lands
+        ledger = {
+            "bench": "engine_perf",
+            "scale": "smoke",
+            "wall_s": {},
+            "metrics": {},
+            "git_sha": git_sha(),
+        }
+    speedup = walls[1] / walls[2]
+    ledger["wall_s"]["parallel_scaling"] = {
+        f"workers_{p}": round(wall, 6) for p, wall in walls.items()
+    }
+    ledger["metrics"]["parallel_scaling"] = {
+        "speedup_2_workers": round(speedup, 3),
+        "efficiency_2_workers": round(speedup / 2, 3),
+    }
+    validate_bench_report(ledger, name=str(LEDGER_PATH))
+    LEDGER_PATH.write_text(json.dumps(ledger, indent=2, sort_keys=True) + "\n")
 
 
 def test_parallel_scaling_report(session):
@@ -60,3 +106,4 @@ def test_parallel_scaling_report(session):
         report,
         metrics={f"wall_s_workers_{p}": wall for p, wall in walls.items()},
     )
+    _update_ledger(walls)

@@ -52,12 +52,17 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: dominated and report-only.  The per-round-mobility rows (exact and
 #: approx route-cache policies) gate like the rest: they are the regime
 #: the layered route-provider refactor exists for.
+#: ``parallel_scaling`` is not an oracle but rides the same ledger: its
+#: "engines" are worker counts (written by
+#: ``benchmarks/bench_parallel_scaling.py``) and, having no reference
+#: canary, it is gated by the absolute failsafe only.
 GATED_ORACLES = (
     "random",
     "topology",
     "mobile",
     "mobility_highspeed",
     "mobility_highspeed_approx",
+    "parallel_scaling",
 )
 #: The machine-speed canary for the normalized gate.
 CANARY_ENGINE = "reference"

@@ -109,6 +109,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for manifests and metric dumps"
         " (default results/telemetry, or --out when given)",
     )
+    _add_fault_tolerance_flags(p_rep)
     p_rep.set_defaults(func=_cmd_reproduce)
 
     p_case = sub.add_parser("run-case", help="run one evaluation case")
@@ -185,6 +186,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for the manifest and metric dump"
         " (default results/telemetry)",
     )
+    _add_fault_tolerance_flags(p_case)
     p_case.set_defaults(func=_cmd_run_case)
 
     p_stats = sub.add_parser(
@@ -196,6 +198,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.set_defaults(func=_cmd_stats)
 
     return parser
+
+
+def _add_fault_tolerance_flags(parser: argparse.ArgumentParser) -> None:
+    """The checkpoint/resume + shard-scheduler flags (shared by reproduce
+    and run-case)."""
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help=(
+            "group replications into at most N deterministic shards run"
+            " through the work-stealing scheduler; any shard count yields"
+            " bit-identical results (default: one pool task per replication)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        default=None,
+        help=(
+            "write generation-boundary checkpoints under this directory,"
+            " content-addressed by config hash (default: none)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "continue each replication from its newest intact checkpoint"
+            " (bit-identical to an uninterrupted run); implies"
+            " --checkpoint-dir results/checkpoints when not given"
+        ),
+    )
+
+
+def _fault_tolerance_error(args: argparse.Namespace) -> str | None:
+    """Validate the shard/checkpoint flags and apply the --resume default
+    checkpoint directory (None when fine)."""
+    if args.shards is not None and args.shards < 1:
+        return f"--shards must be >= 1, got {args.shards}"
+    if args.resume and args.checkpoint_dir is None:
+        args.checkpoint_dir = Path("results/checkpoints")
+    return None
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -246,7 +291,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown artefact(s): {unknown}; try 'repro list'", file=sys.stderr)
         return 2
-    error = _drift_budget_error(args)
+    error = _drift_budget_error(args) or _fault_tolerance_error(args)
     if error is not None:
         print(error, file=sys.stderr)
         return 2
@@ -264,6 +309,9 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         drift_budget=args.drift_budget,
         telemetry=args.telemetry,
         telemetry_dir=telemetry_dir,
+        shards=args.shards,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
     )
     for artefact_id in ids:
         report = session.render(artefact_id)
@@ -298,7 +346,7 @@ def _cmd_run_case(args: argparse.Namespace) -> int:
     if args.pause is not None and args.pause < 0:
         print(f"--pause must be >= 0, got {args.pause}", file=sys.stderr)
         return 2
-    error = _drift_budget_error(args)
+    error = _drift_budget_error(args) or _fault_tolerance_error(args)
     if error is not None:
         print(error, file=sys.stderr)
         return 2
@@ -331,6 +379,9 @@ def _cmd_run_case(args: argparse.Namespace) -> int:
         config,
         processes=args.processes,
         progress=ProgressPrinter(args.case),
+        shards=args.shards,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
     )
     mean, std = result.final_cooperation()
     print(f"{args.case}: final cooperation {mean * 100:.1f}% (std {std * 100:.1f}%)")

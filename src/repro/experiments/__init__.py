@@ -2,6 +2,7 @@
 result aggregation and the per-artefact reproduction registry."""
 
 from repro.experiments.cases import CASES, EvaluationCase, get_case
+from repro.experiments.checkpoint import Checkpoint, CheckpointStore
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.replication import ReplicationResult, run_replication
 from repro.experiments.results import ExperimentResult
@@ -11,6 +12,8 @@ __all__ = [
     "EvaluationCase",
     "CASES",
     "get_case",
+    "Checkpoint",
+    "CheckpointStore",
     "ExperimentConfig",
     "run_replication",
     "ReplicationResult",

@@ -51,6 +51,9 @@ class ReproductionSession:
         drift_budget: int | None = None,
         telemetry: bool = False,
         telemetry_dir: str | Path | None = None,
+        shards: int | None = None,
+        checkpoint_dir: str | Path | None = None,
+        resume: bool = True,
     ):
         if scale not in SCALES:
             raise ValueError(f"unknown scale {scale!r}; available: {sorted(SCALES)}")
@@ -70,6 +73,15 @@ class ReproductionSession:
         self.telemetry_dir = Path(
             telemetry_dir if telemetry_dir is not None else "results/telemetry"
         )
+        #: shard count handed to :func:`run_experiment` (None = one pool
+        #: task per replication)
+        self.shards = shards
+        #: checkpoint store root (None disables checkpoint/resume); with
+        #: ``resume`` every fresh run continues from intact checkpoints
+        self.checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self.resume = resume
         #: manifest paths written this session, keyed by case name
         self.manifests: dict[str, Path] = {}
         self._results: dict[str, ExperimentResult] = {}
@@ -114,6 +126,9 @@ class ReproductionSession:
                 self.config_for(case_name),
                 processes=self.processes,
                 progress=progress,
+                shards=self.shards,
+                checkpoint_dir=self.checkpoint_dir,
+                resume=self.resume,
             )
             if cache is not None:
                 result.save(cache)

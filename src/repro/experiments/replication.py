@@ -5,16 +5,25 @@ A replication is a pure function of ``(config, replication_index)``: its
 generator is derived from the master seed and the index via
 ``SeedSequence(seed, spawn_key=(index,))``, so results do not depend on
 worker count or execution order (see :mod:`repro.parallel`).
+
+With a ``checkpoint_dir``, the replication snapshots its complete state at
+every generation boundary (population, rng, oracle, history, last
+generation's statistics, telemetry registry) through
+:class:`repro.experiments.checkpoint.CheckpointStore`, and — unless
+``resume=False`` — continues from the newest intact checkpoint instead of
+generation 0.  A resumed run is bit-identical to an uninterrupted one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from time import perf_counter
 
 import numpy as np
 
 from repro.core.strategy import STRATEGY_LENGTH, Strategy
+from repro.experiments.checkpoint import CheckpointStore
 from repro.experiments.config import ExperimentConfig
 from repro.game.stats import TournamentStats
 from repro.ga.evolution import GeneticAlgorithm
@@ -26,7 +35,8 @@ from repro.reputation.activity import ActivityClassifier
 from repro.reputation.trust import TrustTable
 from repro.sim import make_engine
 from repro.telemetry.harvest import harvest_oracle
-from repro.telemetry.runtime import telemetry_session
+from repro.telemetry.manifest import config_hash
+from repro.telemetry.runtime import get_telemetry, telemetry_session
 from repro.tournament.evaluation import evaluate_generation
 from repro.utils.rng import derive_generator
 
@@ -47,6 +57,11 @@ class ReplicationResult:
     #: "dropped_events": ..., "wall_s": ...}`` — picklable, so workers ship
     #: it back to the parent for experiment-wide aggregation
     telemetry: dict | None = field(default=None, compare=False)
+    #: checkpoint provenance (``None`` unless the run had a checkpoint_dir):
+    #: ``{"config_hash": ..., "resumed_from_generation": int|None,
+    #: "checkpoints_written": int}`` — excluded from equality so a resumed
+    #: run compares equal to the uninterrupted run it must match
+    checkpoint: dict | None = field(default=None, compare=False)
 
     def final_strategies(self) -> list[Strategy]:
         """The last evaluated population as :class:`Strategy` objects."""
@@ -64,6 +79,8 @@ class ReplicationResult:
         }
         if self.telemetry is not None:
             data["telemetry"] = self.telemetry
+        if self.checkpoint is not None:
+            data["checkpoint"] = self.checkpoint
         return data
 
     @classmethod
@@ -78,10 +95,17 @@ class ReplicationResult:
             },
             final_overall=TournamentStats.from_dict(data["final_overall"]),
             telemetry=data.get("telemetry"),
+            checkpoint=data.get("checkpoint"),
         )
 
 
-def run_replication(config: ExperimentConfig, replication: int) -> ReplicationResult:
+def run_replication(
+    config: ExperimentConfig,
+    replication: int,
+    checkpoint_dir: str | Path | None = None,
+    checkpoint_every: int = 1,
+    resume: bool = True,
+) -> ReplicationResult:
     """Run one full replication of ``config``.
 
     The population is evaluated ``config.generations`` times with
@@ -89,17 +113,29 @@ def run_replication(config: ExperimentConfig, replication: int) -> ReplicationRe
     statistics and final population describe the same (last evaluated)
     generation.
 
+    With a ``checkpoint_dir``, state is persisted every ``checkpoint_every``
+    generation boundaries (the final boundary always, so a finished run can
+    be reconstituted without re-simulation); ``resume=True`` continues from
+    the newest intact checkpoint.  Resumed trajectories are bit-identical to
+    uninterrupted ones.
+
     With telemetry enabled in the config, the replication runs inside its
     own :func:`telemetry_session` (each worker process records
     independently), harvests the oracle stack's layer counters at the end,
     and ships the picklable export on ``result.telemetry``.
     """
+    if checkpoint_every < 1:
+        raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
     if not config.telemetry.enabled:
-        result, _oracle = _run_replication(config, replication)
+        result, _oracle = _run_replication(
+            config, replication, checkpoint_dir, checkpoint_every, resume
+        )
         return result
     t0 = perf_counter()
     with telemetry_session(config.telemetry) as tel:
-        result, oracle = _run_replication(config, replication)
+        result, oracle = _run_replication(
+            config, replication, checkpoint_dir, checkpoint_every, resume
+        )
         harvest_oracle(tel, oracle)
         export = tel.export()
     export["wall_s"] = perf_counter() - t0
@@ -108,9 +144,20 @@ def run_replication(config: ExperimentConfig, replication: int) -> ReplicationRe
 
 
 def _run_replication(
-    config: ExperimentConfig, replication: int
+    config: ExperimentConfig,
+    replication: int,
+    checkpoint_dir: str | Path | None = None,
+    checkpoint_every: int = 1,
+    resume: bool = True,
 ) -> tuple[ReplicationResult, PathOracle]:
-    rng = derive_generator(config.seed, (replication,))
+    store = (
+        CheckpointStore(checkpoint_dir) if checkpoint_dir is not None else None
+    )
+    restored = (
+        store.load_latest(config, replication)
+        if store is not None and resume
+        else None
+    )
     sim = config.sim
     trust_table = TrustTable(bounds=sim.trust_bounds)
     activity = ActivityClassifier(band=sim.activity_band)
@@ -122,18 +169,45 @@ def _run_replication(
         activity=activity,
         payoffs=sim.payoffs,
     )
-    if sim.mobility.enabled:
-        # a moving unit-disk network over every node that can ever play
-        node_ids = list(range(config.ga.population_size + config.case.max_selfish))
-        oracle: PathOracle = build_oracle(sim.mobility, node_ids, rng)
-    else:
-        oracle = RandomPathOracle(rng, HOP_MODES[sim.path_mode])
     ga = GeneticAlgorithm(config.ga)
-    population = ga.initial_population(STRATEGY_LENGTH, rng)
+    tel = get_telemetry()
+    if not tel.enabled:
+        tel = None
 
-    history = History()
-    last_result = None
-    for generation in range(config.generations):
+    last_per_env: dict[str, TournamentStats] | None = None
+    last_overall: TournamentStats | None = None
+    if restored is not None:
+        # the single-blob pickle preserved the rng/oracle object sharing, so
+        # the restored pair consumes the random stream exactly as the
+        # original would have
+        state = restored.state
+        rng = state["rng"]
+        oracle: PathOracle = state["oracle"]
+        population = state["population"]
+        history: History = state["history"]
+        last_per_env = state["last_per_env"]
+        last_overall = state["last_overall"]
+        start_generation = restored.generation + 1
+        if tel is not None and state.get("telemetry_metrics"):
+            # carry the interrupted run's counters so the resumed session
+            # reports whole-logical-run totals (oracle-layer counters ride
+            # inside the pickled oracle and are harvested once, at the end)
+            tel.registry.merge(state["telemetry_metrics"])
+            tel.count("checkpoint.resumes")
+    else:
+        rng = derive_generator(config.seed, (replication,))
+        if sim.mobility.enabled:
+            # a moving unit-disk network over every node that can ever play
+            node_ids = list(range(config.ga.population_size + config.case.max_selfish))
+            oracle = build_oracle(sim.mobility, node_ids, rng)
+        else:
+            oracle = RandomPathOracle(rng, HOP_MODES[sim.path_mode])
+        population = ga.initial_population(STRATEGY_LENGTH, rng)
+        history = History()
+        start_generation = 0
+
+    checkpoints_written = 0
+    for generation in range(start_generation, config.generations):
         strategies = [Strategy(bits) for bits in population]
         engine.set_strategies(strategies)
         result = evaluate_generation(
@@ -160,16 +234,48 @@ def _run_replication(
                 ),
             )
         )
-        last_result = result
+        last_per_env = result.per_environment
+        last_overall = result.overall
         if generation < config.generations - 1:
             population = ga.next_generation(population, result.fitness, rng)
+        if store is not None and (
+            (generation + 1) % checkpoint_every == 0
+            or generation == config.generations - 1
+        ):
+            store.save(
+                config,
+                replication,
+                generation,
+                {
+                    "population": population,
+                    "rng": rng,
+                    "oracle": oracle,
+                    "history": history,
+                    "last_per_env": last_per_env,
+                    "last_overall": last_overall,
+                    "telemetry_metrics": (
+                        tel.snapshot() if tel is not None else None
+                    ),
+                },
+            )
+            checkpoints_written += 1
+            if tel is not None:
+                tel.count("checkpoint.saves")
 
-    assert last_result is not None
+    assert last_per_env is not None and last_overall is not None
     result = ReplicationResult(
         replication=replication,
         history=history,
         final_population=[Strategy(bits).to_int() for bits in population],
-        final_per_env=last_result.per_environment,
-        final_overall=last_result.overall,
+        final_per_env=last_per_env,
+        final_overall=last_overall,
     )
+    if store is not None:
+        result.checkpoint = {
+            "config_hash": config_hash(config.describe()),
+            "resumed_from_generation": (
+                restored.generation if restored is not None else None
+            ),
+            "checkpoints_written": checkpoints_written,
+        }
     return result, oracle

@@ -3,67 +3,202 @@
 ``run_experiment`` is the single entry point used by the CLI, the benchmark
 harnesses and the examples.  Replication ``i`` always sees the random stream
 derived from ``(config.seed, i)``, so the outcome is independent of the
-worker count.
+worker count — and of the shard count: with ``shards=N`` the replication set
+is split into deterministic contiguous groups (:func:`repro.parallel.shard.
+plan_shards`) that each run serially inside one worker, which amortises
+process dispatch for large replication counts and buys work-stealing
+recovery from dead or straggling workers, while producing bit-identical
+:class:`ReplicationResult`\\ s for every shard count (pinned by
+``tests/test_parallel_shard.py`` and the CI shard-invariance gate).
+
+``checkpoint_dir``/``resume`` thread straight through to
+:func:`repro.experiments.replication.run_replication`, so an interrupted
+experiment — sharded or not — continues from each replication's newest
+intact checkpoint.
 
 With telemetry enabled in the config, each replication records inside its
 own session (worker processes included) and ships a picklable export back on
 ``ReplicationResult.telemetry``; the runner opens a parent session of its
-own to capture pool-level metrics, merges every replication's registry
-snapshot into it, and attaches the experiment-wide aggregate to
-``ExperimentResult.telemetry``.
+own to capture pool-level metrics and merges every export into it.  In
+sharded mode the folding is hierarchical: each shard worker merges its
+replications' registries into one shard-level view
+(``MetricsRegistry.merge``), and the parent merges only the shard exports —
+same totals, one merge per shard instead of one per replication crossing
+the process boundary.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
 from time import perf_counter
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.replication import ReplicationResult, run_replication
 from repro.experiments.results import ExperimentResult
 from repro.parallel.pool import parallel_map
+from repro.parallel.shard import plan_shards, sharded_map
 from repro.telemetry.runtime import telemetry_session
 
 __all__ = ["run_experiment"]
 
 
-def _task(args: tuple[ExperimentConfig, int]) -> ReplicationResult:
+def _task(
+    args: tuple[ExperimentConfig, int, str | None, bool],
+) -> ReplicationResult:
     """Module-level task wrapper (must be picklable for the process pool)."""
-    config, replication = args
-    return run_replication(config, replication)
+    config, replication, checkpoint_dir, resume = args
+    return run_replication(
+        config, replication, checkpoint_dir=checkpoint_dir, resume=resume
+    )
+
+
+def _shard_task(
+    args: tuple[ExperimentConfig, Sequence[int], str | None, bool],
+) -> dict:
+    """Run one shard's replications serially inside a worker.
+
+    Returns ``{"results": [ReplicationResult, ...], "telemetry": export|None}``
+    where the export is the shard-level fold of every replication registry
+    (plus ``shard.runs``/``shard.replications`` counters), so the parent
+    merges one registry per shard rather than one per replication.
+    """
+    config, indices, checkpoint_dir, resume = args
+    if not config.telemetry.enabled:
+        return {
+            "results": [
+                run_replication(
+                    config, i, checkpoint_dir=checkpoint_dir, resume=resume
+                )
+                for i in indices
+            ],
+            "telemetry": None,
+        }
+    t0 = perf_counter()
+    with telemetry_session(config.telemetry) as tel:
+        results = [
+            run_replication(
+                config, i, checkpoint_dir=checkpoint_dir, resume=resume
+            )
+            for i in indices
+        ]
+        tel.count("shard.runs")
+        tel.count("shard.replications", len(results))
+        events: list[dict] = list(tel.events)
+        dropped = tel.dropped_events
+        for rep in results:
+            export = rep.telemetry
+            if not export:
+                continue
+            tel.registry.merge(export.get("metrics", {}))
+            events.extend(export.get("events", []))
+            dropped += export.get("dropped_events", 0)
+        shard_export = {
+            "metrics": tel.snapshot(),
+            "events": events,
+            "dropped_events": dropped,
+        }
+    shard_export["wall_s"] = perf_counter() - t0
+    return {"results": results, "telemetry": shard_export}
 
 
 def run_experiment(
     config: ExperimentConfig,
     processes: int | None = None,
     progress: Callable[[int, int], None] | None = None,
+    *,
+    shards: int | None = None,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = True,
+    max_redispatch: int | None = None,
 ) -> ExperimentResult:
     """Run all replications of ``config`` and aggregate the results.
 
-    ``processes=None`` uses one worker per core (capped at the replication
-    count); ``processes=1`` runs serially in-process.
+    Parameters
+    ----------
+    processes:
+        ``None`` uses one worker per core (capped at the task count);
+        ``1`` runs serially in-process.
+    progress:
+        Optional ``(done, total)`` callback; counts replications when
+        unsharded, completed shards when sharded.
+    shards:
+        ``None`` dispatches one pool task per replication (the default);
+        ``N >= 1`` groups replications into at most ``N`` deterministic
+        contiguous shards run through the work-stealing scheduler.  Any
+        shard count yields bit-identical results.
+    checkpoint_dir:
+        Root of the checkpoint store; ``None`` disables checkpointing.
+    resume:
+        With a ``checkpoint_dir``, continue each replication from its
+        newest intact checkpoint (``False`` forces a fresh start while
+        still writing checkpoints).
+    max_redispatch:
+        Worker-death recoveries to allow (see ``parallel_map``); ``None``
+        keeps each scheduler's default — fail fast unsharded, one recovery
+        when sharded.
     """
-    tasks = [(config, i) for i in range(config.replications)]
+    if shards is not None and shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    ckpt = str(checkpoint_dir) if checkpoint_dir is not None else None
+
+    if shards is None:
+        tasks = [(config, i, ckpt, resume) for i in range(config.replications)]
+        redispatch = 0 if max_redispatch is None else max_redispatch
+
+        def run_all() -> list[ReplicationResult]:
+            return parallel_map(
+                _task,
+                tasks,
+                processes=processes,
+                progress=progress,
+                max_redispatch=redispatch,
+            )
+
+    else:
+        plan = plan_shards(config.replications, shards)
+        shard_items = [
+            (config, shard.task_indices, ckpt, resume) for shard in plan
+        ]
+        redispatch = 1 if max_redispatch is None else max_redispatch
+
+        def run_all() -> list[ReplicationResult]:
+            shard_outs = sharded_map(
+                _shard_task,
+                shard_items,
+                processes=processes,
+                progress=progress,
+                max_redispatch=redispatch,
+            )
+            # contiguous ascending shards concatenate back into replication
+            # order; the sort is a guard, not a requirement
+            flat: list[ReplicationResult] = []
+            exports: list[dict] = []
+            for out in shard_outs:
+                flat.extend(out["results"])
+                if out["telemetry"]:
+                    exports.append(out["telemetry"])
+            flat.sort(key=lambda rep: rep.replication)
+            run_all.exports = exports  # type: ignore[attr-defined]
+            return flat
+
     if not config.telemetry.enabled:
-        replications = parallel_map(
-            _task, tasks, processes=processes, progress=progress
-        )
+        replications = run_all()
         return ExperimentResult(config=config.describe(), replications=replications)
 
-    # parent session: parallel_map captures it at entry, so each
-    # replication's own nested session (the serial path) cannot steal its
-    # pool metrics; replication registries merge in afterwards
+    # parent session: the pool captures it at entry, so each task's own
+    # nested session (the serial path) cannot steal its pool metrics;
+    # replication (or shard-level) registries merge in afterwards
     t0 = perf_counter()
     with telemetry_session(config.telemetry) as tel:
-        replications = parallel_map(
-            _task, tasks, processes=processes, progress=progress
-        )
+        replications = run_all()
         events: list[dict] = list(tel.events)
         dropped = tel.dropped_events
-        for rep in replications:
-            export = rep.telemetry
-            if not export:
-                continue
+        if shards is None:
+            exports = [rep.telemetry for rep in replications if rep.telemetry]
+        else:
+            exports = getattr(run_all, "exports", [])
+        for export in exports:
             tel.registry.merge(export.get("metrics", {}))
             events.extend(export.get("events", []))
             dropped += export.get("dropped_events", 0)

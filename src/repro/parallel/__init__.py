@@ -9,5 +9,12 @@ stream from ``(master_seed, index)``.
 
 from repro.parallel.pool import parallel_map
 from repro.parallel.progress import ProgressPrinter
+from repro.parallel.shard import Shard, plan_shards, sharded_map
 
-__all__ = ["parallel_map", "ProgressPrinter"]
+__all__ = [
+    "parallel_map",
+    "ProgressPrinter",
+    "Shard",
+    "plan_shards",
+    "sharded_map",
+]

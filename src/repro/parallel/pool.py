@@ -11,13 +11,21 @@ level, keep workers coarse-grained):
 * ``processes=1`` (or a single task) short-circuits to a plain loop in the
   current process, which keeps tests fast and stack traces readable;
 * a failing task cancels the remaining futures and re-raises the original
-  exception.
+  exception;
+* a *dying worker* (OOM kill, segfault, SIGKILL) breaks the whole executor —
+  with ``max_redispatch > 0`` the pool is rebuilt and the not-yet-completed
+  tasks are resubmitted (results already collected are kept), up to that
+  many recoveries, before the ``BrokenProcessPool`` is allowed to
+  propagate.  Task results must be deterministic for this to be safe, which
+  is the repo-wide contract (a replication is a pure function of
+  ``(config, index)``).
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from time import perf_counter
 from typing import Callable, Sequence, TypeVar
 
@@ -39,6 +47,7 @@ def parallel_map(
     items: Sequence[T],
     processes: int | None = None,
     progress: Callable[[int, int], None] | None = None,
+    max_redispatch: int = 0,
 ) -> list[R]:
     """Apply ``fn`` to every item, optionally across processes.
 
@@ -54,6 +63,11 @@ def parallel_map(
         ``1`` forces serial execution in-process.
     progress:
         Optional callback ``(done, total)`` invoked after each completion.
+    max_redispatch:
+        How many times a run may survive a *worker death* (broken executor)
+        by rebuilding the pool and resubmitting the unfinished tasks.  ``0``
+        (the default) propagates the ``BrokenProcessPool``.  Ordinary task
+        exceptions always propagate regardless.
 
     Returns results in the same order as ``items``.
     """
@@ -65,6 +79,8 @@ def parallel_map(
         processes = default_processes(total)
     if processes < 1:
         raise ValueError(f"processes must be >= 1, got {processes}")
+    if max_redispatch < 0:
+        raise ValueError(f"max_redispatch must be >= 0, got {max_redispatch}")
 
     # telemetry: capture the recorder at entry, so tasks that open their own
     # nested sessions (the serial path below) cannot steal the pool's records
@@ -90,37 +106,58 @@ def parallel_map(
         return results
 
     out: list[R | None] = [None] * total
-    with ProcessPoolExecutor(max_workers=processes) as pool:
-        if tel is None:
-            future_to_index = {
-                pool.submit(fn, item): i for i, item in enumerate(items)
-            }
-        else:
-            # the wrapper times the task inside the worker, so task_s holds
-            # true compute durations (queueing behind busy workers excluded)
-            future_to_index = {
-                pool.submit(_timed_call, fn, item): i
-                for i, item in enumerate(items)
-            }
-        pending = set(future_to_index)
-        done_count = 0
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_EXCEPTION)
-            for future in done:
-                exc = future.exception()
-                if exc is not None:
-                    for f in pending:
-                        f.cancel()
-                    raise exc
+    completed = [False] * total
+    done_count = 0
+    redispatches_left = max_redispatch
+    while done_count < total:
+        try:
+            with ProcessPoolExecutor(max_workers=processes) as pool:
                 if tel is None:
-                    out[future_to_index[future]] = future.result()
+                    future_to_index = {
+                        pool.submit(fn, items[i]): i
+                        for i in range(total)
+                        if not completed[i]
+                    }
                 else:
-                    seconds, result = future.result()
-                    task_s.append(seconds)
-                    out[future_to_index[future]] = result
-                done_count += 1
-                if progress is not None:
-                    progress(done_count, total)
+                    # the wrapper times the task inside the worker, so
+                    # task_s holds true compute durations (queueing behind
+                    # busy workers excluded)
+                    future_to_index = {
+                        pool.submit(_timed_call, fn, items[i]): i
+                        for i in range(total)
+                        if not completed[i]
+                    }
+                pending = set(future_to_index)
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_EXCEPTION)
+                    for future in done:
+                        exc = future.exception()
+                        if isinstance(exc, BrokenProcessPool):
+                            raise exc  # worker death: maybe re-dispatch
+                        if exc is not None:
+                            for f in pending:
+                                f.cancel()
+                            raise exc
+                        if tel is None:
+                            out[future_to_index[future]] = future.result()
+                        else:
+                            seconds, result = future.result()
+                            task_s.append(seconds)
+                            out[future_to_index[future]] = result
+                        completed[future_to_index[future]] = True
+                        done_count += 1
+                        if progress is not None:
+                            progress(done_count, total)
+        except BrokenProcessPool:
+            # a worker died mid-run and took the executor with it; results
+            # already collected are kept, the rest are resubmitted on a
+            # fresh pool (tasks are deterministic, so re-running is safe)
+            if redispatches_left <= 0:
+                raise
+            redispatches_left -= 1
+            if tel is not None:
+                tel.count("parallel.redispatched", total - done_count)
+                tel.count("parallel.pool_rebuilds")
     if tel is not None:
         _record_pool_metrics(tel, task_s, processes, perf_counter() - t_start)
     return out  # type: ignore[return-value]

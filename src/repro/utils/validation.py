@@ -15,6 +15,8 @@ __all__ = [
     "validate_bench_report",
     "RUN_MANIFEST_KEYS",
     "validate_run_manifest",
+    "CHECKPOINT_KEYS",
+    "validate_checkpoint_manifest",
 ]
 
 
@@ -205,5 +207,79 @@ def validate_run_manifest(payload: Any, name: str = "run manifest") -> dict:
     ):
         raise ValueError(
             f"{name}: 'events_file' must be null or a non-empty string"
+        )
+    return dict(payload)
+
+
+#: The exact key set of every checkpoint manifest
+#: (``gen*.json``, written by ``repro.experiments.checkpoint``).
+CHECKPOINT_KEYS = frozenset(
+    {
+        "checkpoint_version",
+        "config_hash",
+        "replication",
+        "generation",
+        "state_file",
+        "state_sha256",
+    }
+)
+
+
+def _check_exact_int(value: Any, name: str, minimum: int = 0) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(f"{name} must be an integer, got {value!r}")
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def validate_checkpoint_manifest(payload: Any, name: str = "checkpoint") -> dict:
+    """Validate one checkpoint-manifest payload against its contract.
+
+    The contract (README "Fault tolerance", enforced at write time by
+    ``repro.experiments.checkpoint.CheckpointStore.save`` and again at load
+    time before the state blob is unpickled):
+
+    * exactly the keys ``{checkpoint_version, config_hash, replication,
+      generation, state_file, state_sha256}``,
+    * ``checkpoint_version`` is the integer ``1``,
+    * ``config_hash`` is a non-empty string (the content address — the same
+      sha256 :func:`repro.telemetry.manifest.config_hash` produces),
+    * ``replication`` and ``generation`` are integers >= 0,
+    * ``state_file`` is a non-empty string naming the sibling pickle blob,
+    * ``state_sha256`` is a 64-character lowercase hex digest of that blob.
+
+    Returns the payload for chaining; raises :class:`ValueError` with the
+    offending field otherwise.
+    """
+    if not isinstance(payload, Mapping):
+        raise ValueError(f"{name} must be a JSON object, got {type(payload).__name__}")
+    keys = set(payload)
+    if keys != CHECKPOINT_KEYS:
+        missing = sorted(CHECKPOINT_KEYS - keys)
+        extra = sorted(keys - CHECKPOINT_KEYS)
+        raise ValueError(
+            f"{name} keys mismatch: missing {missing or 'none'},"
+            f" unexpected {extra or 'none'}"
+        )
+    version = payload["checkpoint_version"]
+    if isinstance(version, bool) or not isinstance(version, int) or version != 1:
+        raise ValueError(
+            f"{name}: 'checkpoint_version' must be the integer 1, got {version!r}"
+        )
+    if not isinstance(payload["config_hash"], str) or not payload["config_hash"]:
+        raise ValueError(f"{name}: 'config_hash' must be a non-empty string")
+    _check_exact_int(payload["replication"], f"{name}: 'replication'")
+    _check_exact_int(payload["generation"], f"{name}: 'generation'")
+    if not isinstance(payload["state_file"], str) or not payload["state_file"]:
+        raise ValueError(f"{name}: 'state_file' must be a non-empty string")
+    digest = payload["state_sha256"]
+    if (
+        not isinstance(digest, str)
+        or len(digest) != 64
+        or any(c not in "0123456789abcdef" for c in digest)
+    ):
+        raise ValueError(
+            f"{name}: 'state_sha256' must be a 64-char lowercase hex digest"
         )
     return dict(payload)

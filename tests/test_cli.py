@@ -197,3 +197,52 @@ class TestMobilityFlags:
         )
         assert code == 0
         assert "final cooperation" in capsys.readouterr().out
+
+
+class TestFaultToleranceFlags:
+    def test_parser_accepts_flags_on_both_commands(self):
+        for command in (["reproduce", "fig4"], ["run-case", "case1"]):
+            args = build_parser().parse_args(
+                command
+                + ["--shards", "4", "--checkpoint-dir", "ckpt", "--resume"]
+            )
+            assert args.shards == 4
+            assert args.checkpoint_dir == Path("ckpt")
+            assert args.resume is True
+
+    def test_shards_must_be_positive(self, capsys):
+        code = main(
+            ["run-case", "case1", "--scale", "smoke", "--shards", "0"]
+        )
+        assert code == 2
+        assert "--shards must be >= 1" in capsys.readouterr().err
+
+    def test_resume_defaults_checkpoint_dir(self):
+        from repro.cli import _fault_tolerance_error
+
+        args = build_parser().parse_args(["run-case", "case1", "--resume"])
+        assert _fault_tolerance_error(args) is None
+        assert args.checkpoint_dir == Path("results/checkpoints")
+
+    def test_run_case_sharded_with_checkpoints(self, capsys, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        argv = [
+            "run-case", "case1", "--scale", "smoke", "--replications", "2",
+            "--processes", "1", "--shards", "2",
+            "--checkpoint-dir", str(ckpt),
+        ]
+        assert main(argv) == 0
+        assert "final cooperation" in capsys.readouterr().out
+        assert list(ckpt.glob("*/rep*/gen*.json")), "no checkpoints written"
+        # second run resumes from the final checkpoints and agrees
+        assert main(argv + ["--resume"]) == 0
+        assert "final cooperation" in capsys.readouterr().out
+
+    def test_reproduce_accepts_checkpoint_dir(self, capsys, tmp_path):
+        code = main(
+            ["reproduce", "table8", "--scale", "smoke", "--processes", "1",
+             "--shards", "2", "--checkpoint-dir", str(tmp_path / "ckpt")]
+        )
+        assert code == 0
+        assert "table8" in capsys.readouterr().out
+        assert list((tmp_path / "ckpt").glob("*/rep*/gen*.json"))

@@ -1,0 +1,201 @@
+"""Unit tests for checkpoint/resume: store mechanics and bit-identity.
+
+The load-bearing property: a replication resumed from any intact checkpoint
+is bit-identical to an uninterrupted run — across engines and oracle
+families, because the single-blob pickle preserves the rng/oracle object
+sharing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointStore,
+    CRASH_ENV,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.replication import run_replication
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def smoke_config(**overrides) -> ExperimentConfig:
+    return ExperimentConfig.for_case("case1", scale="smoke", **overrides)
+
+
+def delete_newest_checkpoint(store: CheckpointStore, config, replication) -> int:
+    """Simulate a crash that lost the newest checkpoint; returns the
+    generation of the surviving one."""
+    rep_dir = store.replication_dir(config, replication)
+    manifests = sorted(rep_dir.glob("gen*.json"))
+    assert len(manifests) >= 2, "need an older checkpoint to fall back to"
+    newest = manifests[-1]
+    newest.with_suffix(".pkl").unlink()
+    newest.unlink()
+    return json.loads(manifests[-2].read_text())["generation"]
+
+
+class TestCheckpointStore:
+    def test_save_then_load_roundtrip(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        cfg = smoke_config()
+        state = {"population": [1, 2, 3], "note": "x"}
+        manifest_path = store.save(cfg, 0, 5, state)
+        assert manifest_path.exists()
+        loaded = store.load_latest(cfg, 0)
+        assert loaded is not None
+        assert loaded.generation == 5
+        assert loaded.state == state
+        assert loaded.manifest["checkpoint_version"] == CHECKPOINT_VERSION
+
+    def test_load_latest_prefers_newest(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        cfg = smoke_config()
+        store.save(cfg, 0, 1, {"generation": 1})
+        store.save(cfg, 0, 2, {"generation": 2})
+        assert store.load_latest(cfg, 0).generation == 2
+
+    def test_prune_keeps_newest(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        cfg = smoke_config()
+        for generation in range(5):
+            store.save(cfg, 0, generation, {"g": generation}, keep=2)
+        rep_dir = store.replication_dir(cfg, 0)
+        names = sorted(p.name for p in rep_dir.glob("gen*.json"))
+        assert names == ["gen000003.json", "gen000004.json"]
+        assert sorted(p.name for p in rep_dir.glob("gen*.pkl")) == [
+            "gen000003.pkl",
+            "gen000004.pkl",
+        ]
+
+    def test_missing_dir_is_none(self, tmp_path):
+        assert CheckpointStore(tmp_path).load_latest(smoke_config(), 3) is None
+
+    def test_config_key_separates_experiments(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(smoke_config(seed=1), 0, 4, {"seed": 1})
+        # same replication index, different config: must not cross-load
+        assert store.load_latest(smoke_config(seed=2), 0) is None
+
+    def test_corrupt_blob_falls_back_to_older(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        cfg = smoke_config()
+        store.save(cfg, 0, 1, {"g": 1})
+        store.save(cfg, 0, 2, {"g": 2})
+        blob = store.replication_dir(cfg, 0) / "gen000002.pkl"
+        blob.write_bytes(b"\x00" + blob.read_bytes()[1:])
+        loaded = store.load_latest(cfg, 0)
+        assert loaded.generation == 1
+        assert loaded.state == {"g": 1}
+
+    def test_invalid_manifest_is_skipped(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        cfg = smoke_config()
+        store.save(cfg, 0, 1, {"g": 1})
+        store.save(cfg, 0, 2, {"g": 2})
+        manifest = store.replication_dir(cfg, 0) / "gen000002.json"
+        payload = json.loads(manifest.read_text())
+        payload["extra_key"] = True  # exact-key schema violation
+        manifest.write_text(json.dumps(payload))
+        assert store.load_latest(cfg, 0).generation == 1
+
+    def test_manifest_blob_missing_is_skipped(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        cfg = smoke_config()
+        store.save(cfg, 0, 1, {"g": 1})
+        store.save(cfg, 0, 2, {"g": 2})
+        (store.replication_dir(cfg, 0) / "gen000002.pkl").unlink()
+        assert store.load_latest(cfg, 0).generation == 1
+
+    def test_save_rejects_bad_args(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.save(smoke_config(), 0, -1, {})
+        with pytest.raises(ValueError):
+            store.save(smoke_config(), 0, 0, {}, keep=0)
+
+
+class TestResumeBitIdentity:
+    @pytest.mark.parametrize(
+        "case, engine",
+        [("case1", "fast"), ("case1", "turbo"), ("mobile_waypoint", "batch")],
+    )
+    def test_resume_matches_uninterrupted(self, tmp_path, case, engine):
+        cfg = ExperimentConfig.for_case(
+            case, scale="smoke", engine=engine, generations=5
+        )
+        control = run_replication(cfg, 0)
+        interrupted = run_replication(cfg, 0, checkpoint_dir=tmp_path)
+        assert interrupted == control  # checkpointing itself changes nothing
+
+        store = CheckpointStore(tmp_path)
+        survivor = delete_newest_checkpoint(store, cfg, 0)
+        resumed = run_replication(cfg, 0, checkpoint_dir=tmp_path, resume=True)
+        assert resumed == control
+        assert resumed.checkpoint["resumed_from_generation"] == survivor
+        assert survivor < cfg.generations - 1  # genuinely resumed mid-run
+
+    def test_resume_false_starts_fresh(self, tmp_path):
+        cfg = smoke_config(generations=4)
+        control = run_replication(cfg, 0)
+        run_replication(cfg, 0, checkpoint_dir=tmp_path)
+        fresh = run_replication(cfg, 0, checkpoint_dir=tmp_path, resume=False)
+        assert fresh == control
+        assert fresh.checkpoint["resumed_from_generation"] is None
+        assert fresh.checkpoint["checkpoints_written"] == cfg.generations
+
+    def test_checkpoint_every_thins_writes(self, tmp_path):
+        cfg = smoke_config(generations=5)
+        result = run_replication(
+            cfg, 0, checkpoint_dir=tmp_path, checkpoint_every=2
+        )
+        # boundaries after generations 1 and 3, plus the final one (gen 4)
+        assert result.checkpoint["checkpoints_written"] == 3
+
+    def test_checkpoint_every_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            run_replication(
+                smoke_config(), 0, checkpoint_dir=tmp_path, checkpoint_every=0
+            )
+
+    def test_no_checkpoint_dir_no_provenance(self):
+        assert run_replication(smoke_config(), 0).checkpoint is None
+
+    def test_finished_run_reconstitutes_without_simulation(self, tmp_path):
+        cfg = smoke_config(generations=3)
+        first = run_replication(cfg, 0, checkpoint_dir=tmp_path)
+        again = run_replication(cfg, 0, checkpoint_dir=tmp_path)
+        assert again == first
+        # resumed from the final boundary: nothing was re-simulated
+        assert again.checkpoint["resumed_from_generation"] == cfg.generations - 1
+        assert again.checkpoint["checkpoints_written"] == 0
+
+
+class TestCrashInjection:
+    def test_sigkill_after_nth_checkpoint(self, tmp_path):
+        """The injected crash is a real SIGKILL, so it needs a subprocess."""
+        code = (
+            "from repro.experiments.config import ExperimentConfig\n"
+            "from repro.experiments.replication import run_replication\n"
+            "cfg = ExperimentConfig.for_case('case1', scale='smoke',"
+            " generations=5)\n"
+            f"run_replication(cfg, 0, checkpoint_dir={str(tmp_path)!r})\n"
+        )
+        env = os.environ.copy()
+        env[CRASH_ENV] = "2"
+        env["PYTHONPATH"] = str(REPO_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run([sys.executable, "-c", code], env=env)
+        assert proc.returncode == -signal.SIGKILL
+        cfg = ExperimentConfig.for_case("case1", scale="smoke", generations=5)
+        loaded = CheckpointStore(tmp_path).load_latest(cfg, 0)
+        assert loaded is not None
+        assert loaded.generation == 1  # died right after the 2nd checkpoint

@@ -66,6 +66,29 @@ class TestReplicationResultSerialization:
         assert restored.to_dict() == result.to_dict()
         assert restored.history.n_generations == result.history.n_generations
 
+    def test_roundtrip_carries_checkpoint_payload(self, tmp_path):
+        result = run_replication(smoke_config(), 0, checkpoint_dir=tmp_path)
+        assert result.checkpoint is not None
+        data = result.to_dict()
+        assert data["checkpoint"]["checkpoints_written"] > 0
+        restored = ReplicationResult.from_dict(data)
+        assert restored.checkpoint == result.checkpoint
+        assert restored.to_dict() == data
+
+    def test_checkpoint_payload_excluded_from_equality(self, tmp_path):
+        """A resumed run must compare equal to the uninterrupted control,
+        so the provenance block stays out of dataclass equality."""
+        plain = run_replication(smoke_config(), 0)
+        checkpointed = run_replication(smoke_config(), 0, checkpoint_dir=tmp_path)
+        assert plain.checkpoint is None
+        assert checkpointed.checkpoint is not None
+        assert plain == checkpointed
+
+    def test_roundtrip_without_checkpoint_omits_key(self):
+        data = run_replication(smoke_config(), 0).to_dict()
+        assert "checkpoint" not in data
+        assert ReplicationResult.from_dict(data).checkpoint is None
+
     def test_multi_env_case(self):
         cfg = ExperimentConfig.for_case("case3", scale="smoke")
         result = run_replication(cfg, 0)

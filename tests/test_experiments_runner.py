@@ -35,7 +35,7 @@ class TestRunExperiment:
     def test_task_wrapper_is_picklable(self):
         import pickle
 
-        blob = pickle.dumps((_task, (smoke(), 0)))
+        blob = pickle.dumps((_task, (smoke(), 0, None, True)))
         fn, args = pickle.loads(blob)
         result = fn(args)
         assert result.replication == 0

@@ -7,7 +7,10 @@ serially or across processes, in any completion order.
 from __future__ import annotations
 
 import io
+import os
+import signal
 import time
+from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 
 import pytest
@@ -40,6 +43,17 @@ def boom_or_mark(args: tuple[str, int]) -> int:
 
 def sleepy_square(x: int) -> int:
     time.sleep(0.05 * (4 - x))  # later items finish first
+    return x * x
+
+
+def die_once_then_square(args: tuple[str, int]) -> int:
+    """SIGKILL the worker on item 3's first attempt; succeed on the retry."""
+    directory, x = args
+    if x == 3:
+        marker = Path(directory, "died")
+        if not marker.exists():
+            marker.touch()
+            os.kill(os.getpid(), signal.SIGKILL)
     return x * x
 
 
@@ -123,6 +137,26 @@ class TestParallelMap:
         assert default_processes(0) == 1
         assert default_processes(1) == 1
         assert default_processes(1000) >= 1
+
+    def test_worker_death_propagates_by_default(self, tmp_path):
+        """A SIGKILLed worker breaks the executor; without a re-dispatch
+        budget the BrokenProcessPool must reach the caller."""
+        items = [(str(tmp_path), x) for x in range(6)]
+        with pytest.raises(BrokenProcessPool):
+            parallel_map(die_once_then_square, items, processes=2)
+
+    def test_worker_death_redispatch_recovers(self, tmp_path):
+        """With max_redispatch=1 the pool is rebuilt and the unfinished
+        tasks re-run; the dead worker's task succeeds on its second try."""
+        items = [(str(tmp_path), x) for x in range(6)]
+        out = parallel_map(
+            die_once_then_square, items, processes=2, max_redispatch=1
+        )
+        assert out == [x * x for x in range(6)]
+
+    def test_invalid_max_redispatch(self):
+        with pytest.raises(ValueError):
+            parallel_map(square, [1, 2], processes=2, max_redispatch=-1)
 
 
 class TestProgressPrinter:

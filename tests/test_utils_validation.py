@@ -50,3 +50,82 @@ def test_non_negative_accepts_zero():
 def test_non_negative_rejects_negative():
     with pytest.raises(ValueError):
         check_non_negative(-0.5, "x")
+
+
+class TestCheckpointManifestSchema:
+    """Exact-key contract for checkpoint manifests (gen*.json)."""
+
+    @staticmethod
+    def valid() -> dict:
+        return {
+            "checkpoint_version": 1,
+            "config_hash": "ab" * 32,
+            "replication": 3,
+            "generation": 42,
+            "state_file": "gen000042.pkl",
+            "state_sha256": "0" * 64,
+        }
+
+    def test_valid_payload_passes(self):
+        from repro.utils.validation import (
+            CHECKPOINT_KEYS,
+            validate_checkpoint_manifest,
+        )
+
+        payload = self.valid()
+        assert validate_checkpoint_manifest(payload) == payload
+        assert set(payload) == CHECKPOINT_KEYS
+
+    def test_rejects_non_mapping(self):
+        from repro.utils.validation import validate_checkpoint_manifest
+
+        with pytest.raises(ValueError, match="JSON object"):
+            validate_checkpoint_manifest([1, 2])
+
+    def test_rejects_missing_and_extra_keys(self):
+        from repro.utils.validation import validate_checkpoint_manifest
+
+        payload = self.valid()
+        del payload["state_sha256"]
+        payload["bonus"] = 1
+        with pytest.raises(ValueError, match="keys mismatch"):
+            validate_checkpoint_manifest(payload)
+
+    @pytest.mark.parametrize("version", [0, 2, "1", True, None])
+    def test_rejects_wrong_version(self, version):
+        from repro.utils.validation import validate_checkpoint_manifest
+
+        payload = self.valid()
+        payload["checkpoint_version"] = version
+        with pytest.raises(ValueError, match="checkpoint_version"):
+            validate_checkpoint_manifest(payload)
+
+    @pytest.mark.parametrize("field", ["replication", "generation"])
+    @pytest.mark.parametrize("bad", [-1, 1.5, "3", True, None])
+    def test_rejects_non_counting_ints(self, field, bad):
+        from repro.utils.validation import validate_checkpoint_manifest
+
+        payload = self.valid()
+        payload[field] = bad
+        with pytest.raises(ValueError, match=field):
+            validate_checkpoint_manifest(payload)
+
+    @pytest.mark.parametrize(
+        "digest", ["", "0" * 63, "Z" * 64, "A" * 64, None, 7]
+    )
+    def test_rejects_bad_digest(self, digest):
+        from repro.utils.validation import validate_checkpoint_manifest
+
+        payload = self.valid()
+        payload["state_sha256"] = digest
+        with pytest.raises(ValueError, match="state_sha256"):
+            validate_checkpoint_manifest(payload)
+
+    @pytest.mark.parametrize("field", ["config_hash", "state_file"])
+    def test_rejects_empty_strings(self, field):
+        from repro.utils.validation import validate_checkpoint_manifest
+
+        payload = self.valid()
+        payload[field] = ""
+        with pytest.raises(ValueError, match=field):
+            validate_checkpoint_manifest(payload)
