@@ -1,0 +1,157 @@
+"""Service-layer throughput: job submission rate, dedupe hit rate, and
+submit->running latency through the content-addressed job runner.
+
+The workload is N distinct smoke jobs (one-generation runs with varying
+seeds) plus a duplicate re-submission of each, driven through the worker
+thread exactly the way ``repro serve`` drives it.  Beyond the
+human-readable report, ``test_service_throughput_report`` folds a
+``service_throughput`` row into the repo-root ``BENCH_ENGINE.json``
+ledger (read-modify-write, same contract as ``bench_parallel_scaling``)
+which ``scripts/check_perf_regression.py`` gates by the absolute
+failsafe: a collapse in submission throughput or queue dispatch latency
+fails CI like a de-vectorized engine loop.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.scenarios import build_scenario_payload
+from repro.service import JobRunner
+from repro.utils.tables import format_table
+from repro.utils.validation import validate_bench_report
+
+from benchmarks.conftest import emit_report, git_sha
+
+LEDGER_PATH = Path(__file__).resolve().parent.parent / "BENCH_ENGINE.json"
+
+#: Distinct jobs in the workload; each is also re-submitted once, so the
+#: expected dedupe hit rate is exactly 0.5.
+N_JOBS = 8
+
+
+def _workload() -> list[dict]:
+    """N tiny, mutually distinct smoke scenarios (seed varies the hash)."""
+    return [
+        build_scenario_payload(
+            "case1",
+            "smoke",
+            name=f"bench_service_{seed}",
+            overrides={"seed": seed, "generations": 1, "rounds": 2},
+        )
+        for seed in range(1, N_JOBS + 1)
+    ]
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def _drive(runner: JobRunner, jobs: list[dict]) -> dict:
+    """Submit each job (plus a duplicate), wait for completion, measure."""
+    latencies: list[float] = []
+    submit_wall = 0.0
+    started = time.perf_counter()
+    for payload in jobs:
+        t0 = time.perf_counter()
+        record, created = runner.submit(payload)
+        runner.submit(payload)  # duplicate: must dedupe, not requeue
+        submit_wall += time.perf_counter() - t0
+        assert created, f"expected a fresh job for {payload['name']}"
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            current = runner.store.load_record(record["job_id"])
+            if current and current["started_s"] is not None:
+                latencies.append(current["started_s"] - current["submitted_s"])
+                break
+            time.sleep(0.002)
+        else:
+            raise AssertionError(f"job {record['job_id'][:16]} never started")
+    deadline = time.monotonic() + 300
+    while time.monotonic() < deadline:
+        states = [r["state"] for r in runner.store.list_records()]
+        if states and all(s == "done" for s in states):
+            break
+        assert "failed" not in states, "bench job failed"
+        time.sleep(0.01)
+    else:
+        raise AssertionError("bench jobs did not drain")
+    drain_wall = time.perf_counter() - started
+    total_submits = runner.counters["submitted"]
+    return {
+        "jobs_done": runner.counters["completed"],
+        "submit_wall_s": submit_wall,
+        "drain_wall_s": drain_wall,
+        "jobs_per_s": runner.counters["completed"] / drain_wall,
+        "dedupe_hit_rate": runner.counters["deduped"] / total_submits,
+        "submit_to_running_p50_s": _percentile(latencies, 0.50),
+        "submit_to_running_p95_s": _percentile(latencies, 0.95),
+    }
+
+
+def _update_ledger(stats: dict) -> None:
+    """Fold the service row into the engine ledger (schema-validated)."""
+    if LEDGER_PATH.exists():
+        ledger = json.loads(LEDGER_PATH.read_text())
+    else:
+        # bench_engine_perf writes the full ledger; standalone runs of this
+        # bench start a stub under the same contract so the row still lands
+        ledger = {
+            "bench": "engine_perf",
+            "scale": "smoke",
+            "wall_s": {},
+            "metrics": {},
+            "git_sha": git_sha(),
+        }
+    # no "reference" canary here, so the perf gate applies only the
+    # absolute failsafe to this wall — gate the coarse end-to-end drain
+    # (submission alone is single-digit ms, pure filesystem noise at 6x)
+    ledger["wall_s"]["service_throughput"] = {
+        "drain_all": round(stats["drain_wall_s"], 6),
+    }
+    ledger["metrics"]["service_throughput"] = {
+        "submit_wall_s": round(stats["submit_wall_s"], 6),
+        "jobs_per_s": round(stats["jobs_per_s"], 3),
+        "dedupe_hit_rate": round(stats["dedupe_hit_rate"], 3),
+        "submit_to_running_p50_s": round(stats["submit_to_running_p50_s"], 6),
+        "submit_to_running_p95_s": round(stats["submit_to_running_p95_s"], 6),
+    }
+    validate_bench_report(ledger, name=str(LEDGER_PATH))
+    LEDGER_PATH.write_text(json.dumps(ledger, indent=2, sort_keys=True) + "\n")
+
+
+def test_service_throughput_report(session, tmp_path):
+    runner = JobRunner(tmp_path / "store")
+    runner.start()
+    try:
+        stats = _drive(runner, _workload())
+    finally:
+        runner.stop()
+    assert stats["jobs_done"] == N_JOBS
+    assert stats["dedupe_hit_rate"] == 0.5
+    report = format_table(
+        [
+            ["jobs completed", str(stats["jobs_done"])],
+            ["jobs/s", f"{stats['jobs_per_s']:.2f}"],
+            ["dedupe hit rate", f"{stats['dedupe_hit_rate']:.0%}"],
+            ["submit->running p50", f"{stats['submit_to_running_p50_s'] * 1e3:.1f} ms"],
+            ["submit->running p95", f"{stats['submit_to_running_p95_s'] * 1e3:.1f} ms"],
+        ],
+        headers=["metric", "value"],
+        title=f"Service throughput ({N_JOBS} smoke jobs + duplicates)",
+    )
+    emit_report(
+        "service_throughput",
+        session,
+        report,
+        metrics={
+            k: round(v, 6) if isinstance(v, float) else v
+            for k, v in stats.items()
+        },
+    )
+    _update_ledger(stats)

@@ -52,10 +52,11 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: dominated and report-only.  The per-round-mobility rows (exact and
 #: approx route-cache policies) gate like the rest: they are the regime
 #: the layered route-provider refactor exists for.
-#: ``parallel_scaling`` is not an oracle but rides the same ledger: its
-#: "engines" are worker counts (written by
-#: ``benchmarks/bench_parallel_scaling.py``) and, having no reference
-#: canary, it is gated by the absolute failsafe only.
+#: ``parallel_scaling`` and ``service_throughput`` are not oracles but ride
+#: the same ledger: their "engines" are worker counts / service phases
+#: (written by ``benchmarks/bench_parallel_scaling.py`` and
+#: ``benchmarks/bench_service_throughput.py``) and, having no reference
+#: canary, they are gated by the absolute failsafe only.
 GATED_ORACLES = (
     "random",
     "topology",
@@ -63,6 +64,7 @@ GATED_ORACLES = (
     "mobility_highspeed",
     "mobility_highspeed_approx",
     "parallel_scaling",
+    "service_throughput",
 )
 #: The machine-speed canary for the normalized gate.
 CANARY_ENGINE = "reference"

@@ -6,18 +6,27 @@ List the reproducible artefacts and paper cases::
 
     python -m repro list
 
+Run a committed scenario file (the front door — CLI flags override it)::
+
+    python -m repro run scenarios/fig4_smoke.yaml --out results/fig4.json
+
 Reproduce a single artefact (reduced default scale)::
 
     python -m repro reproduce fig4 --scale default --out results/
-
-Reproduce everything the paper reports::
-
-    python -m repro reproduce all --out results/
 
 Run one evaluation case with custom parameters and save raw results::
 
     python -m repro run-case case3 --generations 80 --rounds 150 \
         --replications 8 --out results/case3.json
+
+Serve the experiment core over HTTP (content-addressed job dedupe)::
+
+    python -m repro serve --root results/service --port 8000
+
+``run``, ``run-case``, ``reproduce``, and the service all resolve through
+the same scenario layer (:mod:`repro.scenarios`), so a scenario file, the
+equivalent flag invocation, and a REST submission share one
+``config_hash`` and produce bit-identical results.
 """
 
 from __future__ import annotations
@@ -28,16 +37,17 @@ from pathlib import Path
 
 from repro._version import __version__
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "EXIT_NO_CHECKPOINT"]
+
+#: Exit code for ``--resume`` against a store with no matching checkpoint —
+#: distinct from 2 (bad usage) so orchestration can tell the cases apart.
+EXIT_NO_CHECKPOINT = 4
+
+#: Default checkpoint store applied when ``--resume`` is given bare.
+DEFAULT_CHECKPOINT_DIR = Path("results/checkpoints")
 
 
 def build_parser() -> argparse.ArgumentParser:
-    # deferred so `import repro.cli` stays light; the registries are the
-    # single sources of engine and cache-policy names shared with
-    # make_engine / make_cache_policy and the config layer
-    from repro.config.mobility import ROUTE_CACHE_POLICIES
-    from repro.sim import ENGINES
-
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -51,143 +61,81 @@ def build_parser() -> argparse.ArgumentParser:
     p_list = sub.add_parser("list", help="list artefacts and evaluation cases")
     p_list.set_defaults(func=_cmd_list)
 
+    p_run = sub.add_parser(
+        "run", help="run a scenario file (flags override the file)"
+    )
+    p_run.add_argument(
+        "scenario", type=Path, help="path to a scenarios/*.yaml (or .json) file"
+    )
+    _add_case_override_flags(p_run)
+    _add_run_flags(p_run, defaults=False)
+    p_run.add_argument("--out", type=Path, default=None, help="JSON output path")
+    p_run.set_defaults(func=_cmd_run)
+
     p_rep = sub.add_parser("reproduce", help="reproduce paper artefacts")
     p_rep.add_argument(
         "artefact",
         help="artefact id (fig4, table5, ... ) or 'all'",
     )
     p_rep.add_argument("--scale", default="default", help="paper|default|smoke")
-    p_rep.add_argument("--seed", type=int, default=2007)
-    p_rep.add_argument(
-        "--engine",
-        default="fast",
-        choices=tuple(ENGINES),
-        help=(
-            "simulation engine; reference/fast/batch are bit-identical,"
-            " turbo is statistically equivalent (fastest, different"
-            " trajectories under the same seed)"
-        ),
-    )
-    p_rep.add_argument("--processes", type=int, default=None)
-    p_rep.add_argument(
-        "--route-cache",
-        default=None,
-        choices=ROUTE_CACHE_POLICIES,
-        help=(
-            "route-cache policy for mobile topologies: 'exact' (default,"
-            " bit-identical) or 'approx' (drift-budgeted stale routes,"
-            " statistically equivalent)"
-        ),
-    )
-    p_rep.add_argument(
-        "--drift-budget",
-        type=int,
-        default=None,
-        help=(
-            "epochs a cached route may be served stale under --route-cache"
-            " approx before lazy revalidation (default 8)"
-        ),
-    )
+    _add_run_flags(p_rep)
     p_rep.add_argument(
         "--out",
         type=Path,
         default=None,
         help="directory for raw JSON results and rendered reports",
     )
-    p_rep.add_argument(
-        "--telemetry",
-        action="store_true",
-        help=(
-            "record engine-wide metrics/spans and write a schema-validated"
-            " run manifest per case (see 'repro stats')"
-        ),
-    )
-    p_rep.add_argument(
-        "--telemetry-dir",
-        type=Path,
-        default=None,
-        help="directory for manifests and metric dumps"
-        " (default results/telemetry, or --out when given)",
-    )
-    _add_fault_tolerance_flags(p_rep)
     p_rep.set_defaults(func=_cmd_reproduce)
 
     p_case = sub.add_parser("run-case", help="run one evaluation case")
     p_case.add_argument("case", help="case1 .. case4, or an extension case")
-    p_case.add_argument("--generations", type=int, default=None)
-    p_case.add_argument("--rounds", type=int, default=None)
-    p_case.add_argument("--replications", type=int, default=None)
     p_case.add_argument("--scale", default="default")
-    p_case.add_argument("--seed", type=int, default=2007)
-    p_case.add_argument(
-        "--engine",
-        default="fast",
-        choices=tuple(ENGINES),
-        help=(
-            "simulation engine; reference/fast/batch are bit-identical,"
-            " turbo is statistically equivalent (fastest, different"
-            " trajectories under the same seed)"
-        ),
-    )
-    p_case.add_argument("--processes", type=int, default=None)
+    _add_case_override_flags(p_case)
+    _add_run_flags(p_case)
     p_case.add_argument("--out", type=Path, default=None, help="JSON output path")
-    p_case.add_argument(
-        "--mobility",
-        default=None,
-        choices=("waypoint", "gauss-markov", "none"),
-        help="run the case on a mobile topology (overrides the case's preset)",
-    )
-    p_case.add_argument(
-        "--speed",
-        type=float,
-        default=None,
-        help=(
-            "mean node speed in unit-square lengths per topology step"
-            " (waypoint legs span 0.5x-1.5x of it; requires --mobility)"
-        ),
-    )
-    p_case.add_argument(
-        "--pause",
-        type=float,
-        default=None,
-        help="waypoint pause time in steps on arrival (requires --mobility)",
-    )
-    p_case.add_argument(
-        "--route-cache",
-        default=None,
-        choices=ROUTE_CACHE_POLICIES,
-        help=(
-            "route-cache policy for mobile topologies: 'exact' (default,"
-            " bit-identical) or 'approx' (drift-budgeted stale routes,"
-            " statistically equivalent)"
-        ),
-    )
-    p_case.add_argument(
-        "--drift-budget",
-        type=int,
-        default=None,
-        help=(
-            "epochs a cached route may be served stale under --route-cache"
-            " approx before lazy revalidation (default 8)"
-        ),
-    )
-    p_case.add_argument(
-        "--telemetry",
-        action="store_true",
-        help=(
-            "record engine-wide metrics/spans and write a schema-validated"
-            " run manifest (see 'repro stats')"
-        ),
-    )
-    p_case.add_argument(
-        "--telemetry-dir",
-        type=Path,
-        default=None,
-        help="directory for the manifest and metric dump"
-        " (default results/telemetry)",
-    )
-    _add_fault_tolerance_flags(p_case)
     p_case.set_defaults(func=_cmd_run_case)
+
+    p_serve = sub.add_parser(
+        "serve", help="serve scenario submissions over HTTP (REST + dedupe)"
+    )
+    p_serve.add_argument(
+        "--root",
+        type=Path,
+        default=Path("results/service"),
+        help="job/result/checkpoint store root (default results/service)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8000)
+    p_serve.add_argument(
+        "--backend",
+        default="auto",
+        choices=("auto", "fastapi", "stdlib"),
+        help=(
+            "HTTP backend: fastapi (OpenAPI docs, needs the service extra)"
+            " or the dependency-free stdlib server; auto picks fastapi when"
+            " installed"
+        ),
+    )
+    p_serve.add_argument(
+        "--scenarios",
+        type=Path,
+        default=Path("scenarios"),
+        help="scenario library served at GET /scenarios (default scenarios/)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_val = sub.add_parser(
+        "validate-scenarios",
+        help="schema-validate and resolve scenario files (the CI gate)",
+    )
+    p_val.add_argument(
+        "paths",
+        type=Path,
+        nargs="*",
+        default=[Path("scenarios")],
+        help="scenario files or directories (default: scenarios/)",
+    )
+    p_val.set_defaults(func=_cmd_validate_scenarios)
 
     p_stats = sub.add_parser(
         "stats", help="render a telemetry run manifest human-readably"
@@ -200,9 +148,67 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _add_fault_tolerance_flags(parser: argparse.ArgumentParser) -> None:
-    """The checkpoint/resume + shard-scheduler flags (shared by reproduce
-    and run-case)."""
+def _add_run_flags(parser: argparse.ArgumentParser, defaults: bool = True) -> None:
+    """The engine/seed/route-cache/telemetry/fault-tolerance flags shared
+    by ``run``, ``run-case`` and ``reproduce``.
+
+    With ``defaults=False`` every flag defaults to ``None`` so that only
+    explicitly-given flags override a scenario file's values.
+    """
+    # deferred so `import repro.cli` stays light; the registries are the
+    # single sources of engine and cache-policy names shared with
+    # make_engine / make_cache_policy and the config layer
+    from repro.config.mobility import ROUTE_CACHE_POLICIES
+    from repro.sim import ENGINES
+
+    parser.add_argument("--seed", type=int, default=2007 if defaults else None)
+    parser.add_argument(
+        "--engine",
+        default="fast" if defaults else None,
+        choices=tuple(ENGINES),
+        help=(
+            "simulation engine; reference/fast/batch are bit-identical,"
+            " turbo is statistically equivalent (fastest, different"
+            " trajectories under the same seed)"
+        ),
+    )
+    parser.add_argument("--processes", type=int, default=None)
+    parser.add_argument(
+        "--route-cache",
+        default=None,
+        choices=ROUTE_CACHE_POLICIES,
+        help=(
+            "route-cache policy for mobile topologies: 'exact' (default,"
+            " bit-identical) or 'approx' (drift-budgeted stale routes,"
+            " statistically equivalent)"
+        ),
+    )
+    parser.add_argument(
+        "--drift-budget",
+        type=int,
+        default=None,
+        help=(
+            "epochs a cached route may be served stale under --route-cache"
+            " approx before lazy revalidation (default 8)"
+        ),
+    )
+    parser.add_argument(
+        "--telemetry",
+        action="store_const",
+        const=True,
+        default=None,
+        help=(
+            "record engine-wide metrics/spans and write a schema-validated"
+            " run manifest (see 'repro stats')"
+        ),
+    )
+    parser.add_argument(
+        "--telemetry-dir",
+        type=Path,
+        default=None,
+        help="directory for manifests and metric dumps"
+        " (default results/telemetry, or --out when given)",
+    )
     parser.add_argument(
         "--shards",
         type=int,
@@ -224,23 +230,94 @@ def _add_fault_tolerance_flags(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--resume",
-        action="store_true",
+        action="store_const",
+        const=True,
+        default=None,
         help=(
             "continue each replication from its newest intact checkpoint"
             " (bit-identical to an uninterrupted run); implies"
-            " --checkpoint-dir results/checkpoints when not given"
+            f" --checkpoint-dir {DEFAULT_CHECKPOINT_DIR} when not given,"
+            " and fails with exit code 4 when no matching checkpoint exists"
         ),
     )
 
 
-def _fault_tolerance_error(args: argparse.Namespace) -> str | None:
-    """Validate the shard/checkpoint flags and apply the --resume default
-    checkpoint directory (None when fine)."""
-    if args.shards is not None and args.shards < 1:
-        return f"--shards must be >= 1, got {args.shards}"
-    if args.resume and args.checkpoint_dir is None:
-        args.checkpoint_dir = Path("results/checkpoints")
-    return None
+def _add_case_override_flags(parser: argparse.ArgumentParser) -> None:
+    """The per-case override flags shared by ``run`` and ``run-case``."""
+    parser.add_argument("--generations", type=int, default=None)
+    parser.add_argument("--rounds", type=int, default=None)
+    parser.add_argument("--replications", type=int, default=None)
+    parser.add_argument(
+        "--mobility",
+        default=None,
+        choices=("waypoint", "gauss-markov", "none"),
+        help="run the case on a mobile topology (overrides the case's preset)",
+    )
+    parser.add_argument(
+        "--speed",
+        type=float,
+        default=None,
+        help=(
+            "mean node speed in unit-square lengths per topology step"
+            " (waypoint legs span 0.5x-1.5x of it; requires --mobility)"
+        ),
+    )
+    parser.add_argument(
+        "--pause",
+        type=float,
+        default=None,
+        help="waypoint pause time in steps on arrival (requires --mobility)",
+    )
+
+
+def _flag_error(args: argparse.Namespace) -> str | None:
+    """Validate the flag namespace before it becomes a scenario payload
+    (None when fine) — same messages the flags have always produced."""
+    from repro.utils.validation import drift_budget_error, shards_error
+
+    speed = getattr(args, "speed", None)
+    pause = getattr(args, "pause", None)
+    if (speed is not None or pause is not None) and getattr(
+        args, "mobility", None
+    ) is None:
+        return "--speed/--pause require --mobility"
+    if speed is not None and speed < 0:
+        return f"--speed must be >= 0, got {speed}"
+    if pause is not None and pause < 0:
+        return f"--pause must be >= 0, got {pause}"
+    return drift_budget_error(args.route_cache, args.drift_budget) or shards_error(
+        args.shards
+    )
+
+
+def _overrides_from_args(args: argparse.Namespace) -> dict:
+    """The scenario ``overrides`` block for a flag namespace (``None``
+    values are dropped downstream, so unset flags defer to the scenario)."""
+    return {
+        "seed": args.seed,
+        "engine": args.engine,
+        "generations": getattr(args, "generations", None),
+        "rounds": getattr(args, "rounds", None),
+        "replications": getattr(args, "replications", None),
+        "mobility": getattr(args, "mobility", None),
+        "speed": getattr(args, "speed", None),
+        "pause": getattr(args, "pause", None),
+        "route_cache": args.route_cache,
+        "drift_budget": args.drift_budget,
+        "telemetry": args.telemetry,
+    }
+
+
+def _run_block_from_args(args: argparse.Namespace) -> dict:
+    """The scenario ``run`` block (execution options) for a flag namespace."""
+    return {
+        "processes": args.processes,
+        "shards": args.shards,
+        "checkpoint_dir": (
+            str(args.checkpoint_dir) if args.checkpoint_dir is not None else None
+        ),
+        "resume": args.resume,
+    }
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -267,20 +344,106 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
-def _drift_budget_error(args: argparse.Namespace) -> str | None:
-    """Validate the --route-cache/--drift-budget pair (None when fine).
+def _execute_resolved(
+    resolved,
+    out: Path | None,
+    telemetry_dir: Path | None,
+) -> int:
+    """Run a resolved scenario and report — the shared back half of
+    ``run`` and ``run-case``."""
+    from repro.experiments.runner import run_experiment
+    from repro.parallel.progress import ProgressPrinter
 
-    A budget without the approx policy would be range-checked and then
-    silently ignored (the exact policy hardcodes budget 0) — reject it so
-    a misconfigured benchmark cannot masquerade as a drift-budgeted run.
-    """
-    if args.drift_budget is None:
-        return None
-    if args.drift_budget < 0:
-        return f"--drift-budget must be >= 0, got {args.drift_budget}"
-    if args.route_cache != "approx":
-        return "--drift-budget requires --route-cache approx"
-    return None
+    checkpoint_dir = resolved.checkpoint_dir
+    if resolved.resume and checkpoint_dir is None:
+        checkpoint_dir = DEFAULT_CHECKPOINT_DIR
+    if resolved.resume:
+        from repro.experiments.checkpoint import CheckpointStore
+
+        if not CheckpointStore(checkpoint_dir).has_checkpoints(resolved.config):
+            print(
+                f"--resume: no checkpoints matching config hash"
+                f" {resolved.config_hash()[:16]} under {checkpoint_dir}",
+                file=sys.stderr,
+            )
+            return EXIT_NO_CHECKPOINT
+    result = run_experiment(
+        resolved.config,
+        processes=resolved.processes,
+        progress=ProgressPrinter(resolved.case),
+        shards=resolved.shards,
+        checkpoint_dir=checkpoint_dir,
+        resume=resolved.resume,
+    )
+    mean, std = result.final_cooperation()
+    print(
+        f"{resolved.case}: final cooperation {mean * 100:.1f}%"
+        f" (std {std * 100:.1f}%)"
+    )
+    for env, coop in result.per_env_cooperation().items():
+        print(f"  {env}: {coop * 100:.1f}% cooperation")
+    if out is not None:
+        path = result.save(out)
+        print(f"raw results written to {path}")
+    if result.telemetry is not None:
+        from repro.telemetry import write_run_manifest
+
+        manifest = write_run_manifest(
+            telemetry_dir if telemetry_dir is not None else Path("results/telemetry"),
+            resolved.name,
+            result.config,
+            result.telemetry,
+            run_extra={
+                "checkpoint_dir": (
+                    str(checkpoint_dir) if checkpoint_dir is not None else "none"
+                )
+            },
+        )
+        print(f"telemetry manifest: {manifest}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.scenarios import apply_overrides, load_scenario, resolve_scenario
+    from repro.utils.validation import shards_error
+
+    error = shards_error(args.shards)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
+    try:
+        payload = load_scenario(args.scenario)
+        payload = apply_overrides(
+            payload,
+            overrides=_overrides_from_args(args),
+            run=_run_block_from_args(args),
+        )
+        resolved = resolve_scenario(payload)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return _execute_resolved(resolved, out=args.out, telemetry_dir=args.telemetry_dir)
+
+
+def _cmd_run_case(args: argparse.Namespace) -> int:
+    from repro.scenarios import build_scenario_payload, resolve_scenario
+
+    error = _flag_error(args)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
+    try:
+        payload = build_scenario_payload(
+            args.case,
+            args.scale,
+            overrides=_overrides_from_args(args),
+            run=_run_block_from_args(args),
+        )
+        resolved = resolve_scenario(payload)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return _execute_resolved(resolved, out=args.out, telemetry_dir=args.telemetry_dir)
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
@@ -291,13 +454,16 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown artefact(s): {unknown}; try 'repro list'", file=sys.stderr)
         return 2
-    error = _drift_budget_error(args) or _fault_tolerance_error(args)
+    error = _flag_error(args)
     if error is not None:
         print(error, file=sys.stderr)
         return 2
     telemetry_dir = args.telemetry_dir
     if telemetry_dir is None and args.out is not None:
         telemetry_dir = args.out / "telemetry"
+    checkpoint_dir = args.checkpoint_dir
+    if args.resume and checkpoint_dir is None:
+        checkpoint_dir = DEFAULT_CHECKPOINT_DIR
     session = ReproductionSession(
         scale=args.scale,
         seed=args.seed,
@@ -307,12 +473,24 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         verbose=True,
         route_cache=args.route_cache,
         drift_budget=args.drift_budget,
-        telemetry=args.telemetry,
+        telemetry=bool(args.telemetry),
         telemetry_dir=telemetry_dir,
         shards=args.shards,
-        checkpoint_dir=args.checkpoint_dir,
-        resume=args.resume,
+        checkpoint_dir=checkpoint_dir,
+        resume=bool(args.resume),
     )
+    if args.resume:
+        from repro.experiments.checkpoint import CheckpointStore
+
+        store = CheckpointStore(checkpoint_dir)
+        cases = sorted({c for aid in ids for c in ARTEFACTS[aid].cases})
+        if not any(store.has_checkpoints(session.config_for(c)) for c in cases):
+            print(
+                f"--resume: no checkpoints for any of {cases}"
+                f" under {checkpoint_dir}",
+                file=sys.stderr,
+            )
+            return EXIT_NO_CHECKPOINT
     for artefact_id in ids:
         report = session.render(artefact_id)
         print(f"\n===== {artefact_id} =====")
@@ -325,86 +503,63 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_run_case(args: argparse.Namespace) -> int:
-    from repro.experiments import ExperimentConfig, run_experiment
-    from repro.parallel.progress import ProgressPrinter
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.app import fastapi_available, run_service
 
-    overrides: dict = {"seed": args.seed, "engine": args.engine}
-    if args.generations is not None:
-        overrides["generations"] = args.generations
-    if args.replications is not None:
-        overrides["replications"] = args.replications
-    config = ExperimentConfig.for_case(args.case, scale=args.scale, **overrides)
-    if args.rounds is not None:
-        config = config.with_(sim=config.sim.with_(rounds=args.rounds))
-    if (args.speed is not None or args.pause is not None) and args.mobility is None:
-        print("--speed/--pause require --mobility", file=sys.stderr)
-        return 2
-    if args.speed is not None and args.speed < 0:
-        print(f"--speed must be >= 0, got {args.speed}", file=sys.stderr)
-        return 2
-    if args.pause is not None and args.pause < 0:
-        print(f"--pause must be >= 0, got {args.pause}", file=sys.stderr)
-        return 2
-    error = _drift_budget_error(args) or _fault_tolerance_error(args)
-    if error is not None:
-        print(error, file=sys.stderr)
-        return 2
-    if args.mobility is not None:
-        from dataclasses import replace
-
-        from repro.config.presets import mobility_preset
-
-        mobility = mobility_preset(args.mobility)
-        if args.speed is not None:
-            mobility = mobility.with_(
-                speed_min=0.5 * args.speed,
-                speed_max=1.5 * args.speed,
-                mean_speed=args.speed,
-            )
-        if args.pause is not None:
-            mobility = mobility.with_(pause_time=args.pause)
-        # keep the case's preset name and the sim config in lockstep so the
-        # flag also turns mobility *off* for the mobile_* extension cases
-        config = config.with_(
-            case=replace(config.case, mobility=args.mobility),
-            sim=config.sim.with_(mobility=mobility),
-        )
-    config = config.with_route_cache(args.route_cache, args.drift_budget)
-    if args.telemetry:
-        from repro.telemetry import TelemetryConfig
-
-        config = config.with_(telemetry=TelemetryConfig(enabled=True))
-    result = run_experiment(
-        config,
-        processes=args.processes,
-        progress=ProgressPrinter(args.case),
-        shards=args.shards,
-        checkpoint_dir=args.checkpoint_dir,
-        resume=args.resume,
+    backend = args.backend
+    if backend == "auto":
+        backend = "fastapi" if fastapi_available() else "stdlib"
+    scenarios = args.scenarios if args.scenarios.is_dir() else None
+    print(
+        f"serving on http://{args.host}:{args.port}"
+        f" (backend: {backend}, store: {args.root})"
     )
-    mean, std = result.final_cooperation()
-    print(f"{args.case}: final cooperation {mean * 100:.1f}% (std {std * 100:.1f}%)")
-    for env, coop in result.per_env_cooperation().items():
-        print(f"  {env}: {coop * 100:.1f}% cooperation")
-    if args.out is not None:
-        path = result.save(args.out)
-        print(f"raw results written to {path}")
-    if result.telemetry is not None:
-        from repro.telemetry import write_run_manifest
+    if backend == "fastapi":
+        print(f"OpenAPI docs: http://{args.host}:{args.port}/docs")
+    try:
+        run_service(
+            args.root,
+            host=args.host,
+            port=args.port,
+            backend=backend,
+            scenarios_dir=scenarios,
+        )
+    except KeyboardInterrupt:
+        pass
+    except RuntimeError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return 0
 
-        telemetry_dir = (
-            args.telemetry_dir
-            if args.telemetry_dir is not None
-            else Path("results/telemetry")
+
+def _cmd_validate_scenarios(args: argparse.Namespace) -> int:
+    from repro.scenarios import list_scenarios, load_scenario, resolve_scenario
+
+    paths: list[Path] = []
+    for target in args.paths:
+        if target.is_dir():
+            paths.extend(list_scenarios(target))
+        else:
+            paths.append(target)
+    if not paths:
+        print("no scenario files found", file=sys.stderr)
+        return 2
+    failures = 0
+    for path in paths:
+        try:
+            resolved = resolve_scenario(load_scenario(path))
+        except ValueError as exc:
+            print(f"FAIL {path}: {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        print(
+            f"ok   {path} -> {resolved.name}"
+            f" [{resolved.case} @ {resolved.scale}]"
+            f" {resolved.config_hash()[:16]}"
         )
-        manifest = write_run_manifest(
-            telemetry_dir,
-            f"{args.case}_{args.scale}",
-            result.config,
-            result.telemetry,
-        )
-        print(f"telemetry manifest: {manifest}")
+    if failures:
+        print(f"{failures} invalid scenario file(s)", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -96,6 +96,16 @@ class CheckpointStore:
     def replication_dir(self, config, replication: int) -> Path:
         return self.root / self.key_for(config) / f"rep{replication:04d}"
 
+    def has_checkpoints(self, config) -> bool:
+        """Whether any replication of ``config`` left a checkpoint here.
+
+        The cheap existence probe behind the CLI's ``--resume`` guard: a
+        resume against a store with nothing matching this config's hash is
+        a misconfiguration (wrong directory, changed parameters), not a
+        quiet fresh start.
+        """
+        return any((self.root / self.key_for(config)).glob("rep*/gen*.json"))
+
     # -- write ----------------------------------------------------------------
 
     def save(

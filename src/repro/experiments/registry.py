@@ -17,7 +17,6 @@ from repro.experiments.config import SCALES, ExperimentConfig
 from repro.experiments.results import ExperimentResult
 from repro.experiments.runner import run_experiment
 from repro.parallel.progress import ProgressPrinter
-from repro.telemetry.config import TelemetryConfig
 from repro.telemetry.manifest import write_run_manifest
 
 __all__ = ["ARTEFACTS", "ArtefactSpec", "ReproductionSession"]
@@ -89,12 +88,23 @@ class ReproductionSession:
     # -- case execution -------------------------------------------------------
 
     def config_for(self, case_name: str) -> ExperimentConfig:
-        config = ExperimentConfig.for_case(
-            case_name, scale=self.scale, seed=self.seed, engine=self.engine
-        ).with_route_cache(self.route_cache, self.drift_budget)
-        if self.telemetry:
-            config = config.with_(telemetry=TelemetryConfig(enabled=True))
-        return config
+        # resolved through the scenario layer, so an artefact case, the
+        # equivalent scenario file, and a service submission can never
+        # diverge (same overrides order, same config_hash)
+        from repro.scenarios import build_scenario_payload, resolve_scenario
+
+        payload = build_scenario_payload(
+            case_name,
+            self.scale,
+            overrides={
+                "seed": self.seed,
+                "engine": self.engine,
+                "route_cache": self.route_cache,
+                "drift_budget": self.drift_budget,
+                "telemetry": True if self.telemetry else None,
+            },
+        )
+        return resolve_scenario(payload).config
 
     def _cache_path(self, case_name: str) -> Path | None:
         if self.cache_dir is None:
@@ -138,6 +148,13 @@ class ReproductionSession:
                 f"{case_name}_{self.scale}",
                 result.config,
                 result.telemetry,
+                run_extra={
+                    "checkpoint_dir": (
+                        str(self.checkpoint_dir)
+                        if self.checkpoint_dir is not None
+                        else "none"
+                    )
+                },
             )
         self._results[case_name] = result
         return result

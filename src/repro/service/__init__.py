@@ -1,0 +1,26 @@
+"""Simulation-as-a-service: content-addressed job store, runner, and API.
+
+The service is three thin layers over the experiment core, sharing the
+scenario DSL (:mod:`repro.scenarios`) with the CLI:
+
+* :class:`~repro.service.store.ResultStore` — a durable, content-addressed
+  store: every job is keyed by the full telemetry-excluded ``config_hash``
+  of its resolved scenario, so identical submissions dedupe into one run
+  and one stored result, and job records survive process restarts.
+* :class:`~repro.service.runner.JobRunner` — the execution loop: jobs move
+  queued → running → done/failed; each run writes a canonical result
+  payload plus a schema-validated telemetry run manifest (the status
+  payload — there is no second reporting path), checkpoints into a shared
+  store, and resumes from intact checkpoints after a crash bit-identically.
+* :class:`~repro.service.endpoints.Service` — the framework-neutral HTTP
+  surface (submit/status/result/stream/scenarios), wrapped either by the
+  FastAPI app (``create_app``, OpenAPI docs at ``/docs``) when fastapi is
+  installed, or by a stdlib ``http.server`` fallback — ``repro serve``
+  picks whichever is available.
+"""
+
+from repro.service.endpoints import Service
+from repro.service.runner import JobRunner
+from repro.service.store import ResultStore
+
+__all__ = ["ResultStore", "JobRunner", "Service"]

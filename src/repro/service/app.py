@@ -1,0 +1,220 @@
+"""HTTP skins over :class:`~repro.service.endpoints.Service`.
+
+Two interchangeable backends serve the same endpoints:
+
+* **fastapi** — ``create_app`` builds a FastAPI application with OpenAPI
+  docs at ``/docs``; requires the ``service`` extra (``pip install
+  .[service]``) and is what CI's service job exercises.
+* **stdlib** — ``build_httpd`` wraps the service in a
+  ``http.server.ThreadingHTTPServer`` with zero dependencies, so
+  ``repro serve`` works in any environment the simulator itself runs in.
+
+``repro serve`` picks fastapi when importable and falls back to stdlib
+(``--backend`` pins one explicitly).  Neither backend holds state: jobs,
+results, and manifests live in the runner's content-addressed store, so a
+restarted server recovers mid-flight jobs via checkpoints.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from repro._version import __version__
+from repro.service.endpoints import Service
+from repro.service.runner import JobRunner
+
+__all__ = [
+    "fastapi_available",
+    "create_app",
+    "build_httpd",
+    "build_service",
+    "run_service",
+]
+
+
+def fastapi_available() -> bool:
+    """Whether the fastapi backend can be imported in this environment."""
+    try:
+        import fastapi  # noqa: F401
+        import uvicorn  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def create_app(service: Service):
+    """The FastAPI application for a service (requires the service extra)."""
+    try:
+        from fastapi import FastAPI, Request
+        from fastapi.responses import JSONResponse, StreamingResponse
+    except ImportError as exc:  # pragma: no cover - exercised without extra
+        raise RuntimeError(
+            "fastapi is not installed; install the service extra"
+            " (pip install '.[service]') or use --backend stdlib"
+        ) from exc
+
+    app = FastAPI(
+        title="repro simulation service",
+        version=__version__,
+        description=(
+            "Submit declarative scenarios against the IPPS 2007 ad-hoc"
+            " network reproduction. Jobs are content-addressed by the"
+            " telemetry-excluded config hash: identical submissions dedupe"
+            " into one run."
+        ),
+    )
+
+    def _json(response: tuple[int, dict]) -> JSONResponse:
+        status, payload = response
+        return JSONResponse(payload, status_code=status)
+
+    @app.get("/healthz")
+    def healthz() -> JSONResponse:
+        return _json(service.healthz())
+
+    @app.get("/scenarios")
+    def scenarios() -> JSONResponse:
+        return _json(service.list_scenarios())
+
+    @app.get("/jobs")
+    def jobs() -> JSONResponse:
+        return _json(service.list_jobs())
+
+    @app.post("/jobs")
+    async def submit(request: Request) -> JSONResponse:
+        try:
+            body = await request.json()
+        except Exception:
+            return JSONResponse(
+                {"error": "submission body must be valid JSON"}, status_code=400
+            )
+        return _json(service.submit(body))
+
+    @app.get("/jobs/{job_id}")
+    def status(job_id: str) -> JSONResponse:
+        return _json(service.status(job_id))
+
+    @app.get("/jobs/{job_id}/result")
+    def result(job_id: str) -> JSONResponse:
+        return _json(service.result(job_id))
+
+    @app.get("/jobs/{job_id}/stream")
+    def stream(job_id: str) -> StreamingResponse:
+        lines = (
+            json.dumps(snapshot) + "\n" for snapshot in service.stream(job_id)
+        )
+        return StreamingResponse(lines, media_type="application/x-ndjson")
+
+    return app
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """Dependency-free request handler over a :class:`Service`."""
+
+    service: Service  # bound by build_httpd
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # stay quiet; observability lives in the telemetry layer
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        parts = path.strip("/").split("/")
+        if path == "/healthz":
+            self._send_json(*self.service.healthz())
+        elif path == "/scenarios":
+            self._send_json(*self.service.list_scenarios())
+        elif path == "/jobs":
+            self._send_json(*self.service.list_jobs())
+        elif len(parts) == 2 and parts[0] == "jobs":
+            self._send_json(*self.service.status(parts[1]))
+        elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
+            self._send_json(*self.service.result(parts[1]))
+        elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "stream":
+            self._stream(parts[1])
+        else:
+            self._send_json(404, {"error": f"no such endpoint {path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path != "/jobs":
+            self._send_json(404, {"error": f"no such endpoint {path!r}"})
+            return
+        length = int(self.headers.get("Content-Length") or 0)
+        try:
+            body = json.loads(self.rfile.read(length) or b"")
+        except json.JSONDecodeError:
+            self._send_json(400, {"error": "submission body must be valid JSON"})
+            return
+        self._send_json(*self.service.submit(body))
+
+    def _stream(self, job_id: str) -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.end_headers()
+        try:
+            for snapshot in self.service.stream(job_id):
+                self.wfile.write(json.dumps(snapshot).encode() + b"\n")
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-stream
+
+
+def build_httpd(
+    service: Service, host: str = "127.0.0.1", port: int = 8000
+) -> ThreadingHTTPServer:
+    """A ready-to-serve stdlib HTTP server bound to ``service``."""
+    handler = type(
+        "BoundServiceHandler", (_ServiceHandler,), {"service": service}
+    )
+    return ThreadingHTTPServer((host, port), handler)
+
+
+def build_service(
+    root: str | Path,
+    scenarios_dir: str | Path | None = None,
+) -> Service:
+    """A recovered, running service over the store at ``root``."""
+    runner = JobRunner(root)
+    runner.recover()
+    runner.start()
+    return Service(runner, scenarios_dir=scenarios_dir)
+
+
+def run_service(
+    root: str | Path,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    backend: str = "auto",
+    scenarios_dir: str | Path | None = None,
+) -> None:
+    """Serve until interrupted (the blocking core of ``repro serve``)."""
+    if backend not in ("auto", "fastapi", "stdlib"):
+        raise ValueError(f"unknown backend {backend!r}")
+    if backend == "auto":
+        backend = "fastapi" if fastapi_available() else "stdlib"
+    service = build_service(root, scenarios_dir=scenarios_dir)
+    try:
+        if backend == "fastapi":
+            import uvicorn
+
+            uvicorn.run(
+                create_app(service), host=host, port=port, log_level="warning"
+            )
+        else:
+            httpd = build_httpd(service, host=host, port=port)
+            try:
+                httpd.serve_forever()
+            finally:
+                httpd.server_close()
+    finally:
+        service.runner.stop()

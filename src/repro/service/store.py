@@ -1,0 +1,156 @@
+"""Content-addressed job/result store for the service layer.
+
+Layout (everything under one root, safe to tar up or resume from)::
+
+    <root>/jobs/<config_hash>/job.json              # validated job record
+    <root>/jobs/<config_hash>/result.json           # canonical result payload
+    <root>/jobs/<config_hash>/<name>_manifest.json  # telemetry run manifest
+    <root>/jobs/<config_hash>/<name>_metrics.jsonl  # telemetry event stream
+    <root>/checkpoints/...                          # shared CheckpointStore
+
+The job id *is* the run's full telemetry-excluded ``config_hash``
+(:func:`repro.telemetry.manifest.config_hash`): two submissions that
+resolve to the same experiment share one directory, one execution, one
+result — dedupe is a filesystem property, not a bookkeeping table.  Job
+records are exact-key validated
+(:func:`repro.utils.validation.validate_job_record`) at write *and* read
+time, and written atomically so a crash can never leave a torn record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.utils.validation import validate_job_record
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """Durable job records + results, content-addressed by config hash."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+        #: shared checkpoint store root — every job checkpoints here, keyed
+        #: by the same config hash, so a restarted runner resumes mid-run
+        self.checkpoint_dir = self.root / "checkpoints"
+
+    # -- paths ----------------------------------------------------------------
+
+    def job_dir(self, job_id: str) -> Path:
+        return self.jobs_dir / job_id
+
+    def record_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "job.json"
+
+    def result_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "result.json"
+
+    # -- records --------------------------------------------------------------
+
+    @staticmethod
+    def new_record(job_id: str, name: str, scenario: Mapping[str, Any]) -> dict:
+        """A fresh queued record for a first-time submission."""
+        return validate_job_record(
+            {
+                "job_version": 1,
+                "job_id": job_id,
+                "name": name,
+                "state": "queued",
+                "scenario": dict(scenario),
+                "submitted_s": time.time(),
+                "started_s": None,
+                "finished_s": None,
+                "attempts": 0,
+                "error": None,
+                "result_file": None,
+                "manifest_file": None,
+            }
+        )
+
+    def save_record(self, record: Mapping[str, Any]) -> dict:
+        """Validate and atomically persist a job record."""
+        record = validate_job_record(record)
+        path = self.record_path(record["job_id"])
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+        return record
+
+    def load_record(self, job_id: str) -> dict | None:
+        """The validated record for a job, or ``None`` if unknown.
+
+        A record that cannot be parsed or validated is treated as absent
+        (the submission path will recreate it) rather than poisoning the
+        store.
+        """
+        path = self.record_path(job_id)
+        try:
+            payload = json.loads(path.read_text())
+            return validate_job_record(payload, name=str(path))
+        except (OSError, json.JSONDecodeError, ValueError):
+            return None
+
+    def list_records(self) -> list[dict]:
+        """Every valid job record, oldest submission first."""
+        if not self.jobs_dir.is_dir():
+            return []
+        records = [
+            record
+            for path in sorted(self.jobs_dir.iterdir())
+            if (record := self.load_record(path.name)) is not None
+        ]
+        records.sort(key=lambda r: r["submitted_s"])
+        return records
+
+    # -- results & manifests --------------------------------------------------
+
+    def save_result(self, job_id: str, payload: Mapping[str, Any]) -> Path:
+        """Write the canonical result payload; returns the path.
+
+        Canonical means compact, key-sorted JSON with the per-replication
+        ``checkpoint``/``telemetry`` provenance stripped (both are
+        ``compare=False`` metadata) — so a resumed run and an
+        uninterrupted one store byte-identical results.
+        """
+        data = dict(payload)
+        data.pop("telemetry", None)
+        data["replications"] = [
+            {
+                k: v
+                for k, v in rep.items()
+                if k not in ("checkpoint", "telemetry")
+            }
+            for rep in data.get("replications", [])
+        ]
+        path = self.result_path(job_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(data, sort_keys=True, separators=(",", ":")))
+        os.replace(tmp, path)
+        return path
+
+    def load_result(self, job_id: str) -> dict | None:
+        try:
+            return json.loads(self.result_path(job_id).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def load_manifest(self, record: Mapping[str, Any]) -> dict | None:
+        """The job's validated telemetry run manifest, when one exists."""
+        from repro.utils.validation import validate_run_manifest
+
+        manifest_file = record.get("manifest_file")
+        if manifest_file is None:
+            return None
+        path = self.job_dir(record["job_id"]) / manifest_file
+        try:
+            return validate_run_manifest(json.loads(path.read_text()))
+        except (OSError, json.JSONDecodeError, ValueError):
+            return None

@@ -87,14 +87,23 @@ def build_run_manifest(
     metrics: dict,
     wall_s: float,
     events_file: str | None = None,
+    run_extra: dict | None = None,
 ) -> dict:
-    """Assemble (and validate) a run manifest payload."""
+    """Assemble (and validate) a run manifest payload.
+
+    ``run_extra`` merges additional scalar provenance into the ``run``
+    block — e.g. the resolved checkpoint store path, so a ``--resume``
+    invocation can be traced to the store it actually read.
+    """
+    run = _run_summary(config_summary)
+    if run_extra:
+        run.update(run_extra)
     payload = {
         "manifest_version": MANIFEST_VERSION,
         "name": name,
         "git_sha": git_sha(),
         "config_hash": config_hash(config_summary),
-        "run": _run_summary(config_summary),
+        "run": run,
         "wall_s": round(float(wall_s), 6),
         "metrics": metrics,
         "events_file": events_file,
@@ -107,6 +116,7 @@ def write_run_manifest(
     name: str,
     config_summary: dict,
     telemetry: dict,
+    run_extra: dict | None = None,
 ) -> Path:
     """Write ``<name>_manifest.json`` + ``<name>_metrics.jsonl``; returns
     the manifest path.
@@ -137,6 +147,7 @@ def write_run_manifest(
         metrics,
         wall_s=telemetry.get("wall_s", 0.0),
         events_file=events_name,
+        run_extra=run_extra,
     )
     path = out_dir / f"{name}_manifest.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

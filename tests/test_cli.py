@@ -217,12 +217,45 @@ class TestFaultToleranceFlags:
         assert code == 2
         assert "--shards must be >= 1" in capsys.readouterr().err
 
-    def test_resume_defaults_checkpoint_dir(self):
-        from repro.cli import _fault_tolerance_error
+    def test_resume_defaults_checkpoint_dir(self, capsys, monkeypatch, tmp_path):
+        """Bare --resume implies the default store; with nothing matching
+        there the run refuses with the distinct no-checkpoint exit code."""
+        from repro.cli import EXIT_NO_CHECKPOINT
 
-        args = build_parser().parse_args(["run-case", "case1", "--resume"])
-        assert _fault_tolerance_error(args) is None
-        assert args.checkpoint_dir == Path("results/checkpoints")
+        monkeypatch.chdir(tmp_path)
+        code = main(["run-case", "case1", "--scale", "smoke", "--resume"])
+        assert code == EXIT_NO_CHECKPOINT == 4
+        err = capsys.readouterr().err
+        assert "no checkpoints" in err
+        assert str(Path("results/checkpoints")) in err
+
+    def test_resume_wrong_store_exits_4(self, capsys, tmp_path):
+        code = main(
+            ["run-case", "case1", "--scale", "smoke", "--resume",
+             "--checkpoint-dir", str(tmp_path / "empty")]
+        )
+        assert code == 4
+        assert "no checkpoints matching config hash" in capsys.readouterr().err
+
+    def test_reproduce_resume_without_checkpoints_exits_4(self, capsys, tmp_path):
+        code = main(
+            ["reproduce", "table8", "--scale", "smoke", "--resume",
+             "--checkpoint-dir", str(tmp_path / "empty")]
+        )
+        assert code == 4
+        assert "no checkpoints" in capsys.readouterr().err
+
+    def test_manifest_records_checkpoint_dir(self, capsys, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        code = main(
+            ["run-case", "case1", "--scale", "smoke", "--processes", "1",
+             "--telemetry", "--telemetry-dir", str(tmp_path),
+             "--checkpoint-dir", str(ckpt)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        payload = json.loads((tmp_path / "case1_smoke_manifest.json").read_text())
+        assert payload["run"]["checkpoint_dir"] == str(ckpt)
 
     def test_run_case_sharded_with_checkpoints(self, capsys, tmp_path):
         ckpt = tmp_path / "ckpt"

@@ -135,9 +135,15 @@ class TestShardedMap:
         from concurrent.futures.process import BrokenProcessPool
 
         items = [(str(tmp_path), x) for x in range(6)]
+        # speculation off: a straggler duplicate of the dying shard could
+        # otherwise rescue the run before the broken pool surfaces
         with pytest.raises(BrokenProcessPool):
             sharded_map(
-                die_once_then_square, items, processes=2, max_redispatch=0
+                die_once_then_square,
+                items,
+                processes=2,
+                max_redispatch=0,
+                straggler_factor=None,
             )
 
     def test_worker_death_redispatch_recovers(self, tmp_path):

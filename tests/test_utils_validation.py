@@ -129,3 +129,129 @@ class TestCheckpointManifestSchema:
         payload[field] = ""
         with pytest.raises(ValueError, match=field):
             validate_checkpoint_manifest(payload)
+
+
+class TestFlagValidators:
+    """drift_budget_error / shards_error — shared by CLI, scenarios, service."""
+
+    def test_drift_budget_none_is_fine(self):
+        from repro.utils.validation import drift_budget_error
+
+        assert drift_budget_error(None, None) is None
+        assert drift_budget_error("approx", None) is None
+        assert drift_budget_error("approx", 8) is None
+
+    def test_drift_budget_requires_approx(self):
+        from repro.utils.validation import drift_budget_error
+
+        assert "requires --route-cache approx" in drift_budget_error(None, 8)
+        assert "requires --route-cache approx" in drift_budget_error("exact", 8)
+
+    def test_drift_budget_range(self):
+        from repro.utils.validation import drift_budget_error
+
+        assert ">= 0" in drift_budget_error("approx", -1)
+
+    def test_drift_budget_custom_labels(self):
+        from repro.utils.validation import drift_budget_error
+
+        message = drift_budget_error(
+            None, 8, route_cache_label="'route_cache':", budget_label="'drift_budget'"
+        )
+        assert message == "'drift_budget' requires 'route_cache': approx"
+
+    def test_shards_error(self):
+        from repro.utils.validation import shards_error
+
+        assert shards_error(None) is None
+        assert shards_error(1) is None
+        assert "--shards must be >= 1, got 0" == shards_error(0)
+        assert "shards=" in shards_error(0, label="shards=")
+
+
+class TestJobRecordSchema:
+    @staticmethod
+    def valid() -> dict:
+        return {
+            "job_version": 1,
+            "job_id": "a" * 64,
+            "name": "fig4_smoke",
+            "state": "queued",
+            "scenario": {
+                "scenario_version": 1,
+                "name": "fig4_smoke",
+                "description": "",
+                "case": "case1",
+                "scale": "smoke",
+                "overrides": {},
+                "run": {},
+            },
+            "submitted_s": 1.0,
+            "started_s": None,
+            "finished_s": None,
+            "attempts": 0,
+            "error": None,
+            "result_file": None,
+            "manifest_file": None,
+        }
+
+    def test_accepts_valid_record(self):
+        from repro.utils.validation import validate_job_record
+
+        assert validate_job_record(self.valid())["state"] == "queued"
+
+    def test_rejects_missing_and_extra_keys(self):
+        from repro.utils.validation import validate_job_record
+
+        payload = self.valid()
+        payload.pop("attempts")
+        with pytest.raises(ValueError, match="keys mismatch"):
+            validate_job_record(payload)
+        payload = self.valid()
+        payload["extra"] = 1
+        with pytest.raises(ValueError, match="keys mismatch"):
+            validate_job_record(payload)
+
+    @pytest.mark.parametrize("state", ["", "pending", "DONE", None])
+    def test_rejects_unknown_states(self, state):
+        from repro.utils.validation import validate_job_record
+
+        payload = self.valid()
+        payload["state"] = state
+        with pytest.raises(ValueError, match="state"):
+            validate_job_record(payload)
+
+    @pytest.mark.parametrize("job_id", ["", "a" * 63, "G" * 64, 7, None])
+    def test_rejects_bad_job_ids(self, job_id):
+        from repro.utils.validation import validate_job_record
+
+        payload = self.valid()
+        payload["job_id"] = job_id
+        with pytest.raises(ValueError, match="job_id"):
+            validate_job_record(payload)
+
+    def test_rejects_invalid_embedded_scenario(self):
+        from repro.utils.validation import validate_job_record
+
+        payload = self.valid()
+        payload["scenario"]["case"] = ""
+        with pytest.raises(ValueError, match="scenario"):
+            validate_job_record(payload)
+
+    @pytest.mark.parametrize("field", ["started_s", "finished_s"])
+    def test_timestamps_may_be_null_but_not_nan(self, field):
+        from repro.utils.validation import validate_job_record
+
+        payload = self.valid()
+        payload[field] = float("nan")
+        with pytest.raises(ValueError, match=field):
+            validate_job_record(payload)
+
+    @pytest.mark.parametrize("field", ["error", "result_file", "manifest_file"])
+    def test_optional_strings_reject_empty(self, field):
+        from repro.utils.validation import validate_job_record
+
+        payload = self.valid()
+        payload[field] = ""
+        with pytest.raises(ValueError, match=field):
+            validate_job_record(payload)
