@@ -81,6 +81,20 @@ MIN_TURBO_VS_BATCH_ROUTED = 0.9
 #: mobility row it must post a large speedup over the exact policy on the
 #: same engine.  The committed ledger posts >= 2x; 1.5 absorbs CI noise.
 MIN_APPROX_VS_EXACT = 1.5
+#: Tournaments stacked per fused generation pass.  Matches a table-5
+#: environment's per-generation tournament count; the stack-size scan that
+#: landed the engine showed per-tournament wall flat from 10 through 40, so
+#: the smallest realistic stack is the honest number.
+FUSED_STACK = 10
+#: The fused engine's tentpole claim: stacking a generation's tournaments
+#: into one mega-batch pass must beat re-entering turbo per tournament on
+#: the random row (where fixed numpy dispatch, not route search, bounds
+#: turbo).  The committed ledger posts >= 2x; 1.5 absorbs CI noise.
+MIN_FUSED_VS_TURBO_RANDOM = 1.5
+#: On the route-table rows the fusion also shares route tables and slot
+#: caches across the stack; it must beat the batch engine on both.  The
+#: committed ledger posts >= 1.3x on each; 1.1 absorbs CI noise.
+MIN_FUSED_VS_BATCH_ROUTED = 1.1
 
 #: The mobile row is the paper's *low-mobility* regime (§3.1): the topology
 #: advances once per tournament (``evaluate_generation``'s
@@ -161,6 +175,47 @@ def run_tournament(
     return stats
 
 
+def run_fused_generation(oracle_kind: str = "random", oracle=None) -> TournamentStats:
+    """One fused generation: ``FUSED_STACK`` tournaments in a single pass.
+
+    Each stacked tournament seats the same participants as
+    :func:`run_tournament`, so the generation is exactly ``FUSED_STACK``
+    copies of the per-tournament workload — per-tournament walls divide out
+    directly.  Engine construction and strategy upload stay inside the
+    timed call, mirroring ``run_tournament``'s accounting.
+    """
+    rng = np.random.default_rng(0)
+    engine = make_engine("fused", N_NORMAL, N_CSN)
+    engine.set_strategies([Strategy.random(rng) for _ in range(N_NORMAL)])
+    participants = list(range(N_NORMAL)) + engine.selfish_ids(N_CSN)
+    if oracle is None:
+        oracle = make_oracle(oracle_kind)
+    stats = TournamentStats()
+    engine.reset_generation()
+    engine.run_generation(
+        [list(participants) for _ in range(FUSED_STACK)], ROUNDS, oracle, stats
+    )
+    return stats
+
+
+def time_fused_generation(oracle_kind: str, repeats: int = 7) -> float:
+    """Best-of-7 wall seconds *per stacked tournament* for the fused engine.
+
+    Same protocol as :func:`time_tournament` — long-lived oracle, two
+    warmups, telemetry :class:`Timer`, best-of — but the clocked unit is a
+    whole fused generation, normalized by ``FUSED_STACK`` so the matrix
+    compares per-tournament walls across engines.
+    """
+    oracle = make_oracle(oracle_kind)
+    timer = Timer()
+    run_fused_generation(oracle_kind, oracle)  # warmup
+    run_fused_generation(oracle_kind, oracle)  # reach cache steady state
+    for _ in range(repeats):
+        with timer.time():
+            run_fused_generation(oracle_kind, oracle)
+    return timer.min_s / FUSED_STACK
+
+
 def time_tournament(engine_name: str, oracle_kind: str, repeats: int = 7) -> float:
     """Best-of-7 wall seconds for one tournament, on a long-lived oracle.
 
@@ -218,6 +273,14 @@ def test_engines_equal_output_per_oracle(oracle_kind):
     )
     assert turbo["nn_delivered"] <= turbo["nn_originated"]
     assert turbo["nn_paths_chosen"] == reference["nn_paths_chosen"]
+    # the fused engine's unit is a generation: its stacked pass must conserve
+    # the whole stack's workload (structural counts scale by the stack size)
+    fused = run_fused_generation(oracle_kind).to_dict()
+    assert (
+        fused["nn_originated"] + fused["csn_originated"] == FUSED_STACK * GAMES
+    )
+    assert fused["nn_delivered"] <= fused["nn_originated"]
+    assert fused["nn_paths_chosen"] == FUSED_STACK * reference["nn_paths_chosen"]
 
 
 def test_engine_matrix_report(session):
@@ -225,8 +288,12 @@ def test_engine_matrix_report(session):
     walls: dict[str, dict[str, float]] = {kind: {} for kind in ORACLES}
     for oracle_kind in ORACLES:
         for engine_name in ENGINES:
-            walls[oracle_kind][engine_name] = time_tournament(
-                engine_name, oracle_kind
+            # the fused engine's unit of work is a whole generation; its
+            # matrix cell is the per-tournament wall of one stacked pass
+            walls[oracle_kind][engine_name] = (
+                time_fused_generation(oracle_kind)
+                if engine_name == "fused"
+                else time_tournament(engine_name, oracle_kind)
             )
 
     rows = []
@@ -306,6 +373,15 @@ def test_engine_matrix_report(session):
                 / walls["mobility_highspeed_approx"]["batch"],
                 3,
             ),
+            "fused_speedup_vs_turbo_random": round(
+                random_walls["turbo"] / random_walls["fused"], 3
+            ),
+            "fused_vs_batch_topology": round(
+                walls["topology"]["batch"] / walls["topology"]["fused"], 3
+            ),
+            "fused_vs_batch_mobile": round(
+                walls["mobile"]["batch"] / walls["mobile"]["fused"], 3
+            ),
         },
         "git_sha": git_sha(),
     }
@@ -325,6 +401,13 @@ def test_engine_matrix_report(session):
         / walls["mobility_highspeed_approx"]["batch"]
         >= MIN_APPROX_VS_EXACT
     ), "the approx route-cache policy lost its edge on per-round mobility"
+    assert (
+        random_walls["turbo"] / random_walls["fused"] >= MIN_FUSED_VS_TURBO_RANDOM
+    ), "the fused engine lost its generation-stacking edge on the random oracle"
+    for o in ("topology", "mobile"):
+        assert (
+            walls[o]["batch"] / walls[o]["fused"] >= MIN_FUSED_VS_BATCH_ROUTED
+        ), f"fused generation stacking lost to batch on the {o} oracle"
     for oracle_kind in ORACLES:
         engine_walls = walls[oracle_kind]
         assert (

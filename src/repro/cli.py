@@ -168,8 +168,9 @@ def _add_run_flags(parser: argparse.ArgumentParser, defaults: bool = True) -> No
         choices=tuple(ENGINES),
         help=(
             "simulation engine; reference/fast/batch are bit-identical,"
-            " turbo is statistically equivalent (fastest, different"
-            " trajectories under the same seed)"
+            " turbo and fused are statistically equivalent (different"
+            " trajectories under the same seed; fused stacks a whole"
+            " generation per pass and is fastest)"
         ),
     )
     parser.add_argument("--processes", type=int, default=None)

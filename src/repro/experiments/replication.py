@@ -170,6 +170,10 @@ def _run_replication(
         payoffs=sim.payoffs,
     )
     ga = GeneticAlgorithm(config.ga)
+    # the fused engine pairs with the phase-vectorized GA step — same
+    # statistical contract, gated together in the equivalence tier; every
+    # other engine keeps the scalar, stream-pinned loop
+    vector_ga = getattr(engine, "supports_generation_fusion", False)
     tel = get_telemetry()
     if not tel.enabled:
         tel = None
@@ -237,7 +241,11 @@ def _run_replication(
         last_per_env = result.per_environment
         last_overall = result.overall
         if generation < config.generations - 1:
-            population = ga.next_generation(population, result.fitness, rng)
+            population = (
+                ga.next_generation_vectorized(population, result.fitness, rng)
+                if vector_ga
+                else ga.next_generation(population, result.fitness, rng)
+            )
         if store is not None and (
             (generation + 1) % checkpoint_every == 0
             or generation == config.generations - 1

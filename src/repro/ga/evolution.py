@@ -22,6 +22,7 @@ import numpy as np
 from repro.config.parameters import GAConfig
 from repro.ga.operators import mutate, one_point_crossover
 from repro.ga.selection import select_index
+from repro.ga.vector import initial_population_matrix, next_generation_matrix
 from repro.telemetry.runtime import get_telemetry
 
 __all__ = ["GeneticAlgorithm"]
@@ -38,11 +39,16 @@ class GeneticAlgorithm:
     def initial_population(
         self, genome_length: int, rng: np.random.Generator
     ) -> list[Bits]:
-        """Uniformly random initial strategies (§5)."""
-        return [
-            tuple(int(b) for b in rng.integers(0, 2, size=genome_length))
-            for _ in range(self.config.population_size)
-        ]
+        """Uniformly random initial strategies (§5).
+
+        Drawn as one matrix: ``integers(0, 2, size=(P, L))`` fills row by
+        row in C order, so this is bit-identical to the per-row loop it
+        replaced and pinned trajectories are unchanged.
+        """
+        bits = initial_population_matrix(
+            self.config.population_size, genome_length, rng
+        )
+        return [tuple(int(b) for b in row) for row in bits]
 
     def next_generation(
         self,
@@ -56,6 +62,16 @@ class GeneticAlgorithm:
             raise ValueError(
                 f"population size {len(population)} != configured"
                 f" {cfg.population_size}"
+            )
+        # GAConfig validates this bound, but a duck-typed config would
+        # otherwise sail through: the elite extend below is not bounded by
+        # the offspring loop, so an oversized elite set silently grows the
+        # population
+        if not 0 <= cfg.elitism <= cfg.population_size:
+            raise ValueError(
+                f"elitism ({cfg.elitism}) must be between 0 and the"
+                f" population size ({cfg.population_size}); an oversized"
+                " elite set would grow the population"
             )
         fitness = np.asarray(fitness, dtype=float)
         if len(fitness) != len(population):
@@ -112,3 +128,30 @@ class GeneticAlgorithm:
         tel.count("ga.crossovers", crossovers)
         tel.set_gauge("ga.diversity", len(set(offspring)) / len(offspring))
         return offspring
+
+    def next_generation_vectorized(
+        self,
+        population: Sequence[Bits],
+        fitness: np.ndarray,
+        rng: np.random.Generator,
+    ) -> list[Bits]:
+        """The generation step as one matrix pass (fused-engine companion).
+
+        Same operators and elitism rule as :meth:`next_generation`, but the
+        generator is consumed phase-by-phase instead of child-by-child
+        (see :func:`repro.ga.vector.next_generation_matrix`), so
+        trajectories diverge from the scalar loop — the same statistical
+        contract as the fused engine that pairs with it.
+        """
+        tel = get_telemetry()
+        if not tel.enabled:
+            out = next_generation_matrix(population, fitness, self.config, rng)
+        else:
+            t0 = perf_counter()
+            out = next_generation_matrix(population, fitness, self.config, rng)
+            tel.timer_add("ga.vector_step_s", perf_counter() - t0)
+            tel.count("ga.generations")
+            tel.set_gauge(
+                "ga.diversity", len(np.unique(out, axis=0)) / len(out)
+            )
+        return [tuple(int(b) for b in row) for row in out]

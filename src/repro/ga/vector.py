@@ -1,0 +1,215 @@
+"""Vectorized GA operators over the ``(population, genome)`` int8 matrix.
+
+Companion to the scalar :mod:`repro.ga.operators` / :mod:`repro.ga.selection`
+pair, built for the generation-fused evaluation path (``--engine fused``):
+instead of one Python call per parent/child, every operator acts on the whole
+strategy matrix in one numpy pass.
+
+Two levels of contract, deliberately distinct:
+
+* **Per-operator bit-identity.**  Each operator here consumes the shared
+  generator through exactly the same method calls as its scalar twin run in
+  a loop — numpy's ``Generator`` fills a batched request elementwise in C
+  order, so ``rng.integers(0, 2, size=(P, L))`` equals ``P`` sequential
+  ``rng.integers(0, 2, size=L)`` calls, and likewise for ``random`` and
+  bounded-integer draws.  ``tests/test_ga_vector.py`` pins every operator
+  bit-identical to the scalar path under a shared rng (hypothesis,
+  derandomized).
+* **Phase-ordered generation step.**  :func:`next_generation_matrix` runs
+  selection for *all* offspring first, then the crossover gates, then the
+  cuts, child picks and the mutation matrix — the scalar loop interleaves
+  those draws per child, so the full step is *stream-divergent* (it draws
+  the same distributions in a different order).  That is the same
+  statistical relaxation the fused engine rides, gated by the equivalence
+  tier in ``tests/test_engine_statistical.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "initial_population_matrix",
+    "mutate_matrix",
+    "one_point_crossover_matrix",
+    "tournament_select_indices",
+    "roulette_select_indices",
+    "select_indices",
+    "next_generation_matrix",
+]
+
+
+def initial_population_matrix(
+    population_size: int, genome_length: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Uniformly random initial strategies as a ``(P, L)`` int8 matrix.
+
+    Bit-identical to ``P`` sequential ``rng.integers(0, 2, size=L)`` rows.
+    """
+    if population_size < 1:
+        raise ValueError(f"population size must be >= 1, got {population_size}")
+    if genome_length < 1:
+        raise ValueError(f"genome length must be >= 1, got {genome_length}")
+    return rng.integers(
+        0, 2, size=(population_size, genome_length), dtype=np.int64
+    ).astype(np.int8)
+
+
+def mutate_matrix(
+    genomes: np.ndarray, rate: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Uniform bit-flip mutation over every row at once.
+
+    Consumes exactly one uniform per bit (whether or not it flips), row by
+    row in C order — bit-identical to :func:`repro.ga.operators.mutate`
+    applied per row on the same generator.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"mutation rate must be in [0, 1], got {rate}")
+    genomes = np.asarray(genomes, dtype=np.int8)
+    draws = rng.random(genomes.shape)
+    return np.where(draws < rate, 1 - genomes, genomes)
+
+
+def one_point_crossover_matrix(
+    a: np.ndarray, b: np.ndarray, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """One-point crossover across ``N`` parent pairs in one pass.
+
+    One cut per pair, uniform on ``1 .. L-1`` — bit-identical to
+    :func:`repro.ga.operators.one_point_crossover` per pair (one bounded
+    integer each, batched).  Returns both children per pair.
+    """
+    a = np.asarray(a, dtype=np.int8)
+    b = np.asarray(b, dtype=np.int8)
+    if a.shape != b.shape:
+        raise ValueError(f"parent shape mismatch: {a.shape} vs {b.shape}")
+    if a.ndim != 2 or a.shape[1] < 2:
+        raise ValueError("crossover needs (N, L >= 2) parent matrices")
+    n, length = a.shape
+    cuts = rng.integers(1, length, size=n)
+    keep_a = np.arange(length)[None, :] < cuts[:, None]
+    return np.where(keep_a, a, b), np.where(keep_a, b, a)
+
+
+def tournament_select_indices(
+    fitness: np.ndarray, rng: np.random.Generator, n: int, size: int = 2
+) -> np.ndarray:
+    """``n`` tournament selections in one batch; fittest contender wins.
+
+    ``argmax`` returns the first maximum, so ties go to the contender drawn
+    first — the same stable rule as the scalar loop, and the contender
+    block is bit-identical to ``n`` sequential ``integers(0, P, size=size)``
+    calls.
+    """
+    fitness = np.asarray(fitness, dtype=float)
+    if fitness.ndim != 1 or len(fitness) == 0:
+        raise ValueError("fitness must be a non-empty 1-D array")
+    if size < 1:
+        raise ValueError(f"tournament size must be >= 1, got {size}")
+    contenders = rng.integers(0, len(fitness), size=(n, size))
+    winners = np.argmax(fitness[contenders], axis=1)
+    return contenders[np.arange(n), winners]
+
+
+def roulette_select_indices(
+    fitness: np.ndarray, rng: np.random.Generator, n: int
+) -> np.ndarray:
+    """``n`` fitness-proportionate selections in one batch.
+
+    The scalar loop recomputes the same total and cumulative sum per call
+    (fitness is constant within a generation step), so one batched uniform
+    block + searchsorted is bit-identical to ``n`` sequential calls.
+    """
+    fitness = np.asarray(fitness, dtype=float)
+    if fitness.ndim != 1 or len(fitness) == 0:
+        raise ValueError("fitness must be a non-empty 1-D array")
+    if (fitness < 0).any():
+        raise ValueError("roulette selection requires non-negative fitness")
+    total = fitness.sum()
+    if total <= 0.0:
+        return rng.integers(0, len(fitness), size=n)
+    us = rng.random(n) * total
+    return np.searchsorted(np.cumsum(fitness), us, side="right").clip(
+        0, len(fitness) - 1
+    )
+
+
+def select_indices(
+    method: str,
+    fitness: np.ndarray,
+    rng: np.random.Generator,
+    n: int,
+    tournament_size: int = 2,
+) -> np.ndarray:
+    """Batched dispatch on the configured selection method name."""
+    if method == "tournament":
+        return tournament_select_indices(fitness, rng, n, tournament_size)
+    if method == "roulette":
+        return roulette_select_indices(fitness, rng, n)
+    raise ValueError(f"unknown selection method {method!r}")
+
+
+def next_generation_matrix(
+    population: Sequence[Sequence[int]] | np.ndarray,
+    fitness: np.ndarray,
+    cfg,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One whole GA generation step on the strategy matrix (§5 semantics).
+
+    Phase order (each phase one batched draw): parent selection for every
+    offspring pair, crossover gates, cut points for the crossing pairs,
+    child picks, then the mutation matrix.  Per-offspring semantics are
+    identical to :meth:`repro.ga.evolution.GeneticAlgorithm.next_generation`
+    — same operators, same elitism rule — but the generator is consumed
+    phase-by-phase instead of child-by-child, so trajectories diverge from
+    the scalar loop (statistical contract).
+    """
+    pop = np.asarray(population, dtype=np.int8)
+    if pop.ndim != 2:
+        raise ValueError("population must be a (P, L) bit matrix")
+    if len(pop) != cfg.population_size:
+        raise ValueError(
+            f"population size {len(pop)} != configured {cfg.population_size}"
+        )
+    if not 0 <= cfg.elitism <= cfg.population_size:
+        raise ValueError(
+            f"elitism ({cfg.elitism}) must be between 0 and the population"
+            f" size ({cfg.population_size}); an oversized elite set would"
+            " grow the population"
+        )
+    fitness = np.asarray(fitness, dtype=float)
+    if len(fitness) != len(pop):
+        raise ValueError("fitness length must match population length")
+
+    if cfg.elitism:
+        elite_order = np.argsort(-fitness, kind="stable")[: cfg.elitism]
+        elites = pop[elite_order]
+    else:
+        elites = pop[:0]
+    n_off = cfg.population_size - len(elites)
+    if n_off == 0:
+        # the scalar loop never runs either: no rng consumed
+        return elites.copy()
+
+    idx = select_indices(
+        cfg.selection, fitness, rng, 2 * n_off, cfg.tournament_size
+    )
+    parent_a = pop[idx[0::2]]
+    parent_b = pop[idx[1::2]]
+    cross = rng.random(n_off) < cfg.crossover_rate
+    child_a = parent_a.copy()
+    child_b = parent_b.copy()
+    if cross.any():
+        ca, cb = one_point_crossover_matrix(
+            parent_a[cross], parent_b[cross], rng
+        )
+        child_a[cross] = ca
+        child_b[cross] = cb
+    pick_a = rng.random(n_off) < 0.5
+    children = np.where(pick_a[:, None], child_a, child_b)
+    children = mutate_matrix(children, cfg.mutation_rate, rng)
+    return np.concatenate([elites, children]) if len(elites) else children

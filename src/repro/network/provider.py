@@ -211,6 +211,30 @@ class RouteProvider:
         """Refresh the freshness floor after the topology may have stepped."""
         self._min_epoch = self.topology.epoch - self.policy.budget
 
+    def set_policy(
+        self, policy: CachePolicy, *, revalidate: bool | None = None
+    ) -> CachePolicy:
+        """Swap the cache policy in place; returns the previous one.
+
+        Re-derives the freshness floor and the lazy-revalidation flag
+        (overridable via ``revalidate``), so the swap takes effect on the
+        very next ``routes()`` call.  The route cache itself is kept:
+        entries outside the new policy's budget simply stop being served
+        as-is — with ``revalidate`` they instead get the cheap
+        edge-existence recheck and are re-stamped when their routes
+        survived.  ``budget=0`` plus ``revalidate=True`` is how the fused
+        engine shares route tables across a generation's tournament stack:
+        every served route is verified to exist on the *current* graph, and
+        only pairs whose cached routes all broke pay a full search.  The
+        caller restores the previous policy afterwards, so the swap is
+        scoped to one ``run_generation`` call.
+        """
+        previous = self.policy
+        self.policy = policy
+        self._revalidate = policy.budget > 0 if revalidate is None else revalidate
+        self.sync()
+        return previous
+
     def rescope(self, participants: Sequence[int]) -> None:
         """Track the participant set routes are restricted to.
 

@@ -48,6 +48,13 @@ distributional match and the step schedule.
 Oracles without a vectorized sampler (scripted, third-party) are planned
 through :func:`repro.paths.oracle.plan_games` and packed into the same
 :class:`GamePlanArrays` layout.
+
+:func:`plan_generation_arrays` stacks *all* tournaments of a generation
+into one round-major plan for the fused engine: the random oracle draws
+every tournament's games through one core call over per-tournament pools,
+while routed/fallback oracles are planned tournament by tournament (so the
+topology clock and slot cache advance exactly as the sequential generation
+loop drives them) and interleaved into the stacked layout.
 """
 
 from __future__ import annotations
@@ -59,7 +66,11 @@ import numpy as np
 
 from repro.paths.oracle import PathOracle, RandomPathOracle, plan_games
 
-__all__ = ["GamePlanArrays", "plan_tournament_arrays"]
+__all__ = [
+    "GamePlanArrays",
+    "plan_tournament_arrays",
+    "plan_generation_arrays",
+]
 
 
 @dataclass
@@ -487,7 +498,6 @@ def _sample_random_vectorized(
     oracle: RandomPathOracle, sources: Sequence[int], participants: list[int]
 ) -> GamePlanArrays:
     """The native vectorized sampler for :class:`RandomPathOracle`."""
-    rng = oracle.rng
     n = len(participants)
     if n - 1 < 2:
         raise ValueError(
@@ -495,7 +505,6 @@ def _sample_random_vectorized(
         )
     parts = np.asarray(participants, dtype=np.int64)
     src = np.asarray(sources, dtype=np.int64)
-    n_games = len(src)
 
     # per-participant "others" pools (participants minus self, order kept),
     # plus the inverse lookup position-of-id used to swap destinations out
@@ -509,9 +518,30 @@ def _sample_random_vectorized(
         pos_in_others, others, np.broadcast_to(np.arange(n - 1), (n, n - 1)), axis=1
     )
     src_rows = row_of[src]
+    return _random_arrays_core(oracle, src, src_rows, others, pos_in_others)
+
+
+def _random_arrays_core(
+    oracle: RandomPathOracle,
+    src: np.ndarray,
+    src_rows: np.ndarray,
+    others: np.ndarray,
+    pos_in_others: np.ndarray,
+) -> GamePlanArrays:
+    """Shared draw core of the random sampler (single and stacked forms).
+
+    ``others`` holds one destination pool per *pool row* (a participant of
+    one tournament); ``src_rows[g]`` names game ``g``'s pool row and
+    ``pos_in_others`` the id -> column lookup within a row.  Pools from
+    different tournaments are just different rows, which is all the stacked
+    generation sampler needs.
+    """
+    rng = oracle.rng
+    n_games = len(src)
+    n_others = others.shape[1]
 
     # destinations: uniform over the n - 1 others, as draw() does per game
-    dst = others[src_rows, rng.integers(n - 1, size=n_games)]
+    dst = others[src_rows, rng.integers(n_others, size=n_games)]
 
     # hop counts and conditional path counts, inverse-CDF as sample() does
     gen = oracle.generator
@@ -519,7 +549,7 @@ def _sample_random_vectorized(
     hop_cum = np.asarray(gen.hop_distribution.dist.cumulative)
     u = rng.random((n_games, 2))
     hops = hop_values[np.searchsorted(hop_cum, u[:, 0], side="right")]
-    pool_size = n - 2  # others minus the destination
+    pool_size = n_others - 1  # others minus the destination
     k = np.minimum(hops - 1, pool_size)
     if (k < 1).any():
         raise ValueError("participant pool too small for any path")
@@ -532,13 +562,17 @@ def _sample_random_vectorized(
         )
         n_paths[rows] = np.asarray(dist.values, dtype=np.int64)[idx]
 
-    # one pool copy per path; swap the destination into the dead last slot
+    # one pool copy per path; swap the destination into the dead last slot.
+    # Node ids comfortably fit int32, and the pool matrix (paths x pool) is
+    # by far the plan's largest temporary — halving its width halves the
+    # memory traffic of the copy and the shuffle loop below.  The drawn
+    # *values* are unchanged; the plan's public arrays stay int64.
     total = int(n_paths.sum())
     game_path_start = np.zeros(n_games + 1, dtype=np.int64)
     np.cumsum(n_paths, out=game_path_start[1:])
     path_game = np.repeat(np.arange(n_games, dtype=np.int64), n_paths)
     path_col = np.arange(total, dtype=np.int64) - game_path_start[path_game]
-    pools = others[src_rows[path_game]]  # fancy indexing copies
+    pools = others.astype(np.int32)[src_rows[path_game]]  # fancy index copies
     rows_idx = np.arange(total)
     dest_pos = pos_in_others[src_rows, dst][path_game]
     pools[rows_idx, dest_pos] = pools[:, pool_size]
@@ -553,7 +587,7 @@ def _sample_random_vectorized(
         drawn = pools[rows_idx, j]
         pools[rows_idx, j] = pools[:, i]
         pools[:, i] = drawn
-    path_nodes = pools[:, :k_max].copy()
+    path_nodes = pools[:, :k_max].astype(np.int64)
     path_nodes[np.arange(k_max)[None, :] >= k_path[:, None]] = -1
 
     return GamePlanArrays(
@@ -567,4 +601,154 @@ def _sample_random_vectorized(
         path_nodes=path_nodes,
         path_len=k_path,
         max_paths=int(n_paths.max()),
+    )
+
+
+def plan_generation_arrays(
+    oracle: PathOracle,
+    seatings: Sequence[Sequence[int]],
+    rounds: int,
+    on_tournament_end=None,
+) -> GamePlanArrays:
+    """Draw *all* tournaments of a generation into one stacked plan.
+
+    The returned :class:`GamePlanArrays` is **round-major across the
+    stack**: with ``T`` tournaments of ``n`` seats each, game
+    ``g = round * (T * n) + tournament * n + seat`` — every slate of
+    ``T * n`` consecutive games is "round r of every tournament", which is
+    the layout the fused engine's slate kernel consumes (its per-round
+    source order is the concatenation of the seatings, constant across
+    rounds, exactly like a single tournament's plan).
+
+    :class:`RandomPathOracle` gets a natively stacked sampler (one draw
+    core call over every tournament's pools at once).  Route-table and
+    fallback oracles are planned per tournament — in seating order, so the
+    topology clock, route provider scope and slot cache advance exactly as
+    the sequential generation loop drives them — and interleaved into the
+    stacked layout; ``on_tournament_end``, when given, fires after each
+    tournament's plan (the per-tournament topology clocking hook that
+    ``evaluate_generation`` owns on the unfused path).
+    """
+    seatings = [list(s) for s in seatings]
+    if not seatings:
+        raise ValueError("need at least one seating")
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    n = len(seatings[0])
+    if any(len(s) != n for s in seatings):
+        raise ValueError(
+            "all seatings of one fused generation must be the same size"
+        )
+    if isinstance(oracle, RandomPathOracle):
+        plan = _sample_random_stacked(oracle, seatings, rounds)
+        if on_tournament_end is not None:
+            for _ in seatings:
+                on_tournament_end()
+        return plan
+    plans = []
+    for seating in seatings:
+        plans.append(plan_tournament_arrays(oracle, seating * rounds, seating))
+        if on_tournament_end is not None:
+            on_tournament_end()
+    return _interleave_plans(plans, rounds, n)
+
+
+def _sample_random_stacked(
+    oracle: RandomPathOracle, seatings: list[list[int]], rounds: int
+) -> GamePlanArrays:
+    """All tournaments' random draws through one core call.
+
+    Each tournament contributes ``n`` pool rows (its participants' others);
+    pools of different tournaments never mix, so duplicate ids across
+    seatings are fine.  The games are laid out round-major across the
+    stack (see :func:`plan_generation_arrays`).
+    """
+    parts = np.asarray(seatings, dtype=np.int64)  # (T, n)
+    n_tournaments, n = parts.shape
+    if n - 1 < 2:
+        raise ValueError(
+            "need at least 3 participants (source, destination, 1 intermediate)"
+        )
+    sorted_parts = np.sort(parts, axis=1)
+    if (sorted_parts[:, 1:] == sorted_parts[:, :-1]).any():
+        raise ValueError("each seating must contain distinct participants")
+
+    # per-(tournament, participant) "others" pools, flattened to rows
+    mask = parts[:, None, :] != parts[:, :, None]  # [t, i, j]: j != i
+    others = (
+        np.broadcast_to(parts[:, None, :], (n_tournaments, n, n))[mask]
+        .reshape(n_tournaments * n, n - 1)
+    )
+    max_id = int(parts.max())
+    pos_in_others = np.zeros((n_tournaments * n, max_id + 1), dtype=np.int64)
+    np.put_along_axis(
+        pos_in_others,
+        others,
+        np.broadcast_to(np.arange(n - 1), (n_tournaments * n, n - 1)),
+        axis=1,
+    )
+    # slate source order = the seatings concatenated; every round repeats it
+    flat_src = parts.reshape(-1)
+    src = np.tile(flat_src, rounds)
+    src_rows = np.tile(np.arange(n_tournaments * n, dtype=np.int64), rounds)
+    return _random_arrays_core(oracle, src, src_rows, others, pos_in_others)
+
+
+def _interleave_plans(
+    plans: list[GamePlanArrays], rounds: int, n: int
+) -> GamePlanArrays:
+    """Weave per-tournament plans into the stacked round-major layout.
+
+    Tournament ``t``'s local game ``r * n + k`` becomes stacked game
+    ``r * (T * n) + t * n + k``; path rows are gathered so each game's
+    candidates stay contiguous and in candidate order.
+    """
+    n_tournaments = len(plans)
+    slate = n_tournaments * n
+    n_games = rounds * slate
+    src = np.empty(n_games, dtype=np.int64)
+    dst = np.empty(n_games, dtype=np.int64)
+    n_paths = np.empty(n_games, dtype=np.int64)
+    # each game's first path row in the concatenated per-plan row space
+    first_row_old = np.empty(n_games, dtype=np.int64)
+    width = max(int(p.path_nodes.shape[1]) for p in plans) if plans else 1
+    old_nodes = []
+    old_len = []
+    row_offset = 0
+    seat_cols = np.arange(n, dtype=np.int64)
+    round_rows = np.arange(rounds, dtype=np.int64) * slate
+    for t, plan in enumerate(plans):
+        idx = (round_rows[:, None] + t * n + seat_cols[None, :]).reshape(-1)
+        src[idx] = plan.src
+        dst[idx] = plan.dst
+        n_paths[idx] = plan.n_paths
+        first_row_old[idx] = row_offset + plan.game_path_start[:-1]
+        nodes = plan.path_nodes
+        if nodes.shape[1] < width:
+            pad = np.full(
+                (nodes.shape[0], width - nodes.shape[1]), -1, dtype=np.int64
+            )
+            nodes = np.concatenate([nodes, pad], axis=1)
+        old_nodes.append(nodes)
+        old_len.append(plan.path_len)
+        row_offset += nodes.shape[0]
+    all_nodes = np.concatenate(old_nodes)
+    all_len = np.concatenate(old_len)
+    game_path_start = np.zeros(n_games + 1, dtype=np.int64)
+    np.cumsum(n_paths, out=game_path_start[1:])
+    total = int(game_path_start[-1])
+    path_game = np.repeat(np.arange(n_games, dtype=np.int64), n_paths)
+    path_col = np.arange(total, dtype=np.int64) - game_path_start[path_game]
+    row_idx = first_row_old[path_game] + path_col
+    return GamePlanArrays(
+        n_games=n_games,
+        src=src,
+        dst=dst,
+        n_paths=n_paths,
+        game_path_start=game_path_start,
+        path_game=path_game,
+        path_col=path_col,
+        path_nodes=all_nodes[row_idx],
+        path_len=all_len[row_idx],
+        max_paths=int(n_paths.max()) if n_games else 0,
     )

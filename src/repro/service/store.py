@@ -39,6 +39,17 @@ class ResultStore:
         #: shared checkpoint store root — every job checkpoints here, keyed
         #: by the same config hash, so a restarted runner resumes mid-run
         self.checkpoint_dir = self.root / "checkpoints"
+        #: (mtime_ns, size)-keyed record cache: ``load_record`` (and through
+        #: it ``list_records``) re-parses and re-validates a job.json only
+        #: when the file actually changed, so ``GET /jobs`` stops costing
+        #: O(total jobs) disk reads per request; ``save_record`` refreshes
+        #: the entry it wrote.  Out-of-band writers are still picked up via
+        #: the stat key (atomic replace always moves mtime_ns/size).
+        self._record_cache: dict[str, tuple[tuple[int, int], dict]] = {}
+        #: same-keyed verdicts of "does this job's result.json parse" for
+        #: the done-state reconciliation below, so reads of a healthy done
+        #: job don't re-parse a potentially large result payload every time
+        self._result_ok_cache: dict[str, tuple[tuple[int, int], bool]] = {}
 
     # -- paths ----------------------------------------------------------------
 
@@ -81,6 +92,14 @@ class ResultStore:
         tmp = path.with_name(path.name + ".tmp")
         tmp.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
         os.replace(tmp, path)
+        try:
+            stat = path.stat()
+            self._record_cache[record["job_id"]] = (
+                (stat.st_mtime_ns, stat.st_size),
+                dict(record),
+            )
+        except OSError:
+            self._record_cache.pop(record["job_id"], None)
         return record
 
     def load_record(self, job_id: str) -> dict | None:
@@ -88,14 +107,71 @@ class ResultStore:
 
         A record that cannot be parsed or validated is treated as absent
         (the submission path will recreate it) rather than poisoning the
-        store.
+        store.  A ``done`` record whose ``result.json`` is missing or
+        corrupt is *reconciled* to ``failed`` on read (see
+        :meth:`_reconcile`) — the same "surface the damage, let resubmit
+        requeue" posture, one level up.
         """
         path = self.record_path(job_id)
         try:
-            payload = json.loads(path.read_text())
-            return validate_job_record(payload, name=str(path))
-        except (OSError, json.JSONDecodeError, ValueError):
+            stat = path.stat()
+        except OSError:
+            self._record_cache.pop(job_id, None)
             return None
+        key = (stat.st_mtime_ns, stat.st_size)
+        cached = self._record_cache.get(job_id)
+        if cached is not None and cached[0] == key:
+            record = dict(cached[1])
+        else:
+            try:
+                payload = json.loads(path.read_text())
+                record = validate_job_record(payload, name=str(path))
+            except (OSError, json.JSONDecodeError, ValueError):
+                self._record_cache.pop(job_id, None)
+                return None
+            self._record_cache[job_id] = (key, dict(record))
+        return self._reconcile(record)
+
+    def _reconcile(self, record: dict) -> dict:
+        """Demote a ``done`` record with no loadable result to ``failed``.
+
+        Previously such a job served ``result: null`` forever: the runner
+        only requeues ``failed`` jobs, so a crash between the record write
+        and a later loss/corruption of ``result.json`` was unrecoverable.
+        Surfacing it as ``failed`` (with a distinct error) makes resubmit
+        requeue it through the normal path.  The demotion is persisted so
+        every reader agrees; ``save_record`` is atomic and the transition
+        is idempotent, so concurrent readers race benignly.
+        """
+        if record["state"] != "done" or self._result_ok(record["job_id"]):
+            return record
+        return self.save_record(
+            dict(
+                record,
+                state="failed",
+                error="result file missing or corrupt for a done job",
+            )
+        )
+
+    def _result_ok(self, job_id: str) -> bool:
+        """Whether the job's result.json exists and parses (stat-cached)."""
+        path = self.result_path(job_id)
+        try:
+            stat = path.stat()
+        except OSError:
+            self._result_ok_cache.pop(job_id, None)
+            return False
+        key = (stat.st_mtime_ns, stat.st_size)
+        cached = self._result_ok_cache.get(job_id)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        try:
+            json.loads(path.read_text())
+            ok = True
+        except (OSError, json.JSONDecodeError):
+            ok = False
+        self._result_ok_cache[job_id] = (key, ok)
+        return ok
 
     def list_records(self) -> list[dict]:
         """Every valid job record, oldest submission first."""

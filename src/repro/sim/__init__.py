@@ -1,6 +1,6 @@
 """Simulation engines.
 
-Four interchangeable implementations of the tournament semantics:
+Five interchangeable implementations of the tournament semantics:
 
 * :class:`repro.sim.reference.ReferenceEngine` — object-oriented, built from
   the auditable :mod:`repro.game` / :mod:`repro.core` pieces, supports event
@@ -12,7 +12,13 @@ Four interchangeable implementations of the tournament semantics:
 * :class:`repro.sim.turbo.TurboEngine` — speculative round-vectorized engine
   under a **statistical** (distributional) equivalence contract: vectorized
   tournament draws and per-round game slates with conflict replay, validated
-  by ``tests/test_engine_statistical.py`` rather than the bit-identity suite.
+  by ``tests/test_engine_statistical.py`` rather than the bit-identity suite;
+* :class:`repro.sim.fused.FusedEngine` — turbo's slate kernel widened to a
+  whole generation: all tournaments of a generation are planned and executed
+  as one stacked round-major pass (same statistical contract, one more
+  tolerated relaxation: cross-tournament round lockstep).
+  :func:`repro.tournament.evaluation.evaluate_generation` dispatches to its
+  ``run_generation`` entry point via ``supports_generation_fusion``.
 
 All engines support every path oracle (random/topology/mobile) and the
 second-hand reputation-exchange extension.  The engines named in
@@ -25,6 +31,7 @@ reproduces the same outcome *distributions* (cooperation, fitness, Tables
 
 from repro.sim.batch import BatchEngine
 from repro.sim.fast import FastEngine
+from repro.sim.fused import FusedEngine
 from repro.sim.reference import ReferenceEngine
 from repro.sim.turbo import TurboEngine
 
@@ -33,6 +40,7 @@ __all__ = [
     "FastEngine",
     "BatchEngine",
     "TurboEngine",
+    "FusedEngine",
     "ENGINES",
     "BIT_IDENTICAL_ENGINES",
     "make_engine",
@@ -44,6 +52,7 @@ ENGINES = {
     "fast": FastEngine,
     "batch": BatchEngine,
     "turbo": TurboEngine,
+    "fused": FusedEngine,
 }
 
 #: Engines guaranteed to produce identical trajectories under identical
@@ -61,7 +70,7 @@ def make_engine(
     payoffs=None,
 ):
     """Factory: build an engine by name (``"reference"``, ``"fast"``,
-    ``"batch"`` or ``"turbo"``)."""
+    ``"batch"``, ``"turbo"`` or ``"fused"``)."""
     from repro.core.payoff import PayoffConfig
     from repro.reputation.activity import ActivityClassifier
     from repro.reputation.trust import TrustTable

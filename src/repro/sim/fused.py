@@ -1,0 +1,574 @@
+"""Generation-fused "mega-batch" simulation engine.
+
+The fifth engine: a :class:`~repro.sim.turbo.TurboEngine` subclass that
+plans and executes **all tournaments of a generation as one stacked pass**
+instead of re-entering the engine per tournament.  Turbo vectorizes one
+tournament's round (a table-5 round is 50 games, so per-op numpy dispatch
+still dominates); fused widens every per-round pass to a *slate* — round
+``r`` of every stacked tournament at once (``T * n`` games) — amortizing
+the fixed dispatch cost across the whole stack while sharing one plan
+(:func:`repro.paths.vector.plan_generation_arrays`), one set of route
+tables / ``_RoutedSlotCache`` slots, and the generation's reputation state.
+
+Why this is sound: within a generation the reputation matrices persist
+*across* tournaments (``reset_generation`` fires once per generation), and
+tournaments of one generation are causally coupled only through those
+matrices.  The stacked layout is round-major, so the slate executes round
+``r`` of every tournament against the same round-start state — a round-level
+lockstep reordering of the sequential tournament-by-tournament schedule.
+
+What the fusion relaxes, on top of turbo's tolerated list:
+
+* **Cross-tournament round lockstep.**  Sequentially, tournament ``t + 1``
+  starts against the matrices tournament ``t`` finished; fused, round ``r``
+  of every tournament reads the state left by round ``r - 1`` of every
+  tournament.  Evidence totals are identical — only the interleaving of
+  when each tournament's watchdog writes land changes.
+* **Cross-tournament slate staleness.**  The conflict pass scopes pair
+  codes *per tournament* (tournament-offset codes), exactly reproducing
+  turbo's within-round walk inside each tournament; a pair written by
+  another tournament in the same slate is tolerated staleness (same class
+  as turbo's activity-average staleness) rather than a replay trigger —
+  unscoped detection would replay nearly every game of a wide slate back
+  through the scalar kernel.
+* **Generation-scoped route-table sharing.**  While the stacked plan is
+  drawn, a mobile oracle's route cache serves entries across the
+  generation's topology epochs under zero-budget lazy revalidation (every
+  served route is edge-checked against the current graph; only pairs whose
+  cached routes all broke pay a full search), then reverts to its exact
+  policy.  A relaxation of route *preference*, not existence — the same
+  class as the approx cache policy the statistical tier gates on mobile
+  scenarios.
+
+Both are distribution-preserving perturbations of micro-outcome order, not
+of the paper's reported aggregates; ``tests/test_engine_statistical.py``
+holds fused to the same KS / Mann-Whitney / Fig.-4-band gates as turbo, and
+``tests/test_sim_fused.py`` pins the exact invariants (conservation,
+``pf <= ps``, aggregate consistency) and the contract edges (exchange
+fallback, per-tournament hooks).
+
+The second-hand exchange interleaves gossip with each tournament's round
+stream, which fusion cannot reorder away — ``run_generation`` falls back to
+the per-tournament turbo path when the exchange is enabled (bit-identical
+to driving turbo from the sequential generation loop).  ``run_tournament``
+is inherited unchanged, so outside the fused entry point the engine *is*
+turbo.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.strategy import STRATEGY_LENGTH, UNKNOWN_BIT
+from repro.game.stats import TournamentStats
+from repro.network.provider import ApproxPolicy
+from repro.paths.oracle import PathOracle
+from repro.paths.vector import GamePlanArrays, plan_generation_arrays
+from repro.reputation.exchange import ExchangeConfig
+from repro.sim.turbo import TurboEngine, _PlanContext
+from repro.telemetry.runtime import get_telemetry
+
+__all__ = ["FusedEngine"]
+
+
+class _FusedContext(_PlanContext):
+    """A :class:`_PlanContext` over a stacked generation plan.
+
+    ``games_per_round`` *is* the slate width (``T * n``), so every
+    inherited precomputation (relative path rows, source order, fold
+    buffers) works verbatim; the additions scope the conflict pass per
+    tournament: ``pair_off[g]`` shifts game ``g``'s pair codes into its
+    tournament's private ``m * m`` block and ``pos_in_t[g]`` is its seat
+    position within that tournament (the "earlier game" order of turbo's
+    conflict walk, now per tournament).
+    """
+
+    __slots__ = ("pair_off", "pos_in_t", "n_seats")
+
+    def __init__(
+        self,
+        plan: GamePlanArrays,
+        slate: int,
+        m: int,
+        n_pop: int,
+        n_tournaments: int,
+        n_seats: int,
+    ):
+        super().__init__(plan, slate, m, n_pop)
+        self.n_seats = n_seats
+        self.pair_off = np.repeat(
+            np.arange(n_tournaments, dtype=np.int64) * (m * m), n_seats
+        )
+        self.pos_in_t = np.tile(
+            np.arange(n_seats, dtype=np.int64), n_tournaments
+        )
+        # one private pair-code block per tournament (+1 spill slot, as in
+        # the base context)
+        self.writer_buf = np.empty(n_tournaments * m * m + 1, dtype=np.int64)
+
+
+class FusedEngine(TurboEngine):
+    """Turbo's speculative slate kernel, widened to a whole generation."""
+
+    name = "fused"
+    #: :func:`repro.tournament.evaluation.evaluate_generation` dispatches
+    #: on this flag to hand the engine all of an environment's seatings at
+    #: once instead of one tournament at a time.
+    supports_generation_fusion = True
+
+    def run_generation(
+        self,
+        seatings: Sequence[Sequence[int]],
+        rounds: int,
+        oracle: PathOracle,
+        stats: TournamentStats,
+        exchange: ExchangeConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        """Run every seating's tournament as one fused stacked pass.
+
+        All seatings must be the same size (the scheduler guarantees this
+        within one environment).  ``stats`` receives the merged counters of
+        the whole stack — identical bookkeeping to merging per-tournament
+        stats, since the accumulators are pure sums.
+        """
+        do_exchange = exchange is not None and exchange.enabled
+        if do_exchange and rng is None:
+            raise ValueError("reputation exchange requires an rng")
+        if rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {rounds}")
+        seatings = [list(s) for s in seatings]
+        if not seatings:
+            raise ValueError("need at least one seating")
+        n_seats = len(seatings[0])
+        if any(len(s) != n_seats for s in seatings):
+            raise ValueError(
+                "all seatings of one fused generation must be the same size"
+            )
+        hook = getattr(oracle, "on_tournament_end", None)
+        tel = get_telemetry()
+        if not tel.enabled:
+            tel = None
+        if do_exchange:
+            # gossip interleaves with each tournament's round stream; that
+            # ordering cannot be fused away, so fall back to the inherited
+            # per-tournament turbo path (bit-identical to driving turbo
+            # from the sequential generation loop)
+            if tel is not None:
+                tel.count("engine.fused.fallback_tournaments", len(seatings))
+            for seating in seatings:
+                self.run_tournament(seating, rounds, oracle, stats, exchange, rng)
+                if hook is not None:
+                    hook()
+            return
+
+        n_tournaments = len(seatings)
+        slate = n_tournaments * n_seats
+        share = self._share_route_tables(oracle)
+        try:
+            if tel is None:
+                plan = plan_generation_arrays(
+                    oracle, seatings, rounds, on_tournament_end=hook
+                )
+            else:
+                with tel.registry.timer("engine.plan_s").time():
+                    plan = plan_generation_arrays(
+                        oracle, seatings, rounds, on_tournament_end=hook
+                    )
+        finally:
+            self._restore_route_policy(oracle, share)
+        ctx = _FusedContext(
+            plan, slate, self.m, self.n_population, n_tournaments, n_seats
+        )
+        req = np.zeros(9, dtype=np.int64)
+        delivered = np.zeros(4, dtype=np.int64)
+        csn_free = np.zeros(4, dtype=np.int64)
+        self._replayed_games = 0
+        self._second_chance_games = 0
+
+        for round_no in range(rounds):
+            round_span = tel.span("round") if tel is not None else None
+            if round_span is not None:
+                round_span.__enter__()
+            self._process_slate(ctx, round_no, req, delivered, csn_free)
+            if round_span is not None:
+                round_span.__exit__(None, None, None)
+
+        if tel is None:
+            self._fold_tournament(ctx, req, delivered, csn_free)
+        else:
+            with tel.registry.timer("engine.fold_s").time():
+                self._fold_tournament(ctx, req, delivered, csn_free)
+            tel.count("engine.tournaments", n_tournaments)
+            tel.count("engine.rounds", rounds * n_tournaments)
+            tel.count("engine.games", rounds * slate)
+            tel.count("engine.turbo.replayed_games", self._replayed_games)
+            tel.count("engine.fused.generations")
+            tel.count("engine.fused.stacked_tournaments", n_tournaments)
+            tel.count("engine.fused.games", rounds * slate)
+            tel.count(
+                "engine.fused.second_chance_games", self._second_chance_games
+            )
+
+        self._merge_stats(stats, req, delivered, csn_free)
+
+    @staticmethod
+    def _share_route_tables(oracle: PathOracle):
+        """Enable generation-scoped route sharing on a dynamic provider.
+
+        While the stacked plan is drawn, the mobile oracle's route cache
+        serves entries *across* the generation's topology epochs under
+        zero-budget lazy revalidation: every served route is edge-checked
+        against the current graph (so it always exists right now), and a
+        full route search runs only for pairs whose cached routes all
+        broke.  That trades "exactly the K shortest of this epoch" for
+        "current-consistent routes computed earlier this generation" — a
+        relaxation of route *preference*, not existence, in the same class
+        as the approx cache policy the statistical tier already gates on
+        mobile scenarios.  Returns the policy to restore, or ``None`` when
+        the oracle has no swappable dynamic provider (random and static
+        topology oracles).
+        """
+        provider = getattr(oracle, "provider", None)
+        set_policy = getattr(provider, "set_policy", None)
+        if set_policy is None:
+            return None
+        previous = provider.policy
+        if previous.budget > 0:
+            # an approx provider already shares more aggressively than the
+            # generation scope would; leave it alone
+            return None
+        set_policy(ApproxPolicy(0), revalidate=True)
+        return previous
+
+    @staticmethod
+    def _restore_route_policy(oracle: PathOracle, previous) -> None:
+        """Undo :meth:`_share_route_tables` (no-op for ``None``)."""
+        if previous is not None:
+            oracle.provider.set_policy(previous)
+
+    def _process_slate(
+        self,
+        ctx: _FusedContext,
+        round_no: int,
+        req: np.ndarray,
+        delivered: np.ndarray,
+        csn_free: np.ndarray,
+    ) -> None:
+        """One slate: round ``round_no`` of every stacked tournament.
+
+        The ratings/decisions passes are turbo's ``_process_round`` over the
+        wider slate verbatim; the conflict pass runs in tournament-scoped
+        pair codes (each tournament gets a private ``m * m`` block of the
+        writer table and its own seat-position order), and commits use the
+        base codes since the reputation matrices are shared by the stack.
+        """
+        m = self.m
+        plan = ctx.plan
+        ps_flat = self.ps.reshape(-1)
+        pf_flat = self.pf.reshape(-1)
+        g0 = round_no * ctx.games_per_round
+        g1 = g0 + ctx.games_per_round
+        p0 = int(plan.game_path_start[g0])
+        p1 = int(plan.game_path_start[g1])
+        n_games = g1 - g0
+
+        # -- speculative path ratings from slate-start state -----------------
+        hmax_r = int(plan.path_len[p0:p1].max()) if p1 > p0 else 1
+        cells = ctx.cells_rate[p0:p1, :hmax_r]
+        c = ps_flat.take(cells)
+        zero = c == 0
+        np.maximum(c, 1, out=c)
+        d = pf_flat.take(cells) / c
+        d[zero] = 0.5
+        d[ctx.pad_path[p0:p1, :hmax_r]] = 1.0
+        ratings = d.prod(axis=1)
+
+        # -- best path per game (first index wins ties) ----------------------
+        buf = ctx.ratings_buf
+        buf.fill(-1.0)
+        buf[ctx.pg_rel[p0:p1], plan.path_col[p0:p1]] = ratings
+        chosen = ctx.chosen_b[g0:g1]
+        np.add(plan.game_path_start[g0:g1], buf.argmax(axis=1), out=chosen)
+
+        # -- speculative sequential decisions, vectorized over the slate -----
+        hmax = int(plan.path_len[chosen].max())
+        valid = ctx.valid[chosen, :hmax]
+        jc = ctx.jc[chosen, :hmax]
+        src_round = ctx.obs_buf[:, 0]
+        cells_dec = jc * m
+        cells_dec += src_round[:, None]
+        c2 = ps_flat.take(cells_dec)
+        f2 = pf_flat.take(cells_dec)
+        unknown = ctx.unknown_b[g0:g1, :hmax]
+        np.equal(c2, 0, out=unknown)
+        np.maximum(c2, 1, out=c2)
+        rate = f2 / c2
+        # trust level = number of bounds strictly below the rate; three
+        # comparisons replace searchsorted's binary-search dispatch and agree
+        # with it exactly, boundary equality included (side="left" also
+        # counts only strictly-smaller bounds)
+        trust = ctx.trust_b[g0:g1, :hmax]
+        trust[:] = rate > self._b0
+        trust += rate > self._b1
+        trust += rate > self._b2
+        kn = self.known.take(jc)
+        np.maximum(kn, 1, out=kn)
+        av = self.pf_sum.take(jc) / kn
+        delta = self._band * av
+        bit = trust * 3
+        bit += 1
+        bit += f2 > av + delta
+        bit -= f2 < av - delta
+        np.copyto(bit, UNKNOWN_BIT, where=unknown)
+        bit += jc * STRATEGY_LENGTH
+        fwd = ctx.fwd_b[g0:g1, :hmax]
+        np.equal(self._strat_flat.take(bit), 1, out=fwd)
+        fwd &= valid
+        prefix = np.logical_and.accumulate(fwd | ~valid, axis=1)
+        decided = ctx.decided_b[g0:g1, :hmax]
+        np.copyto(decided, valid)
+        decided[:, 1:] &= prefix[:, :-1]
+        success = ctx.success_b[g0:g1]
+        success[:] = prefix[:, -1]
+        n_dec = decided.sum(axis=1)
+
+        # -- conflict pass, tournament-scoped --------------------------------
+        # same sentinel construction as turbo (invalid pairs land at m*m and
+        # are masked out *before* the tournament offsets are applied, so an
+        # offset sentinel can never alias a later tournament's valid code)
+        upd_ok = decided & (
+            success[:, None] | (ctx.hrange[:hmax] < (n_dec - 1)[:, None])
+        )
+        # the (games, writers, subjects) pair grid is the conflict pass's
+        # dominant temporary; int32 halves its memory traffic (scoped codes
+        # max out at T * m * m, far inside int32 range)
+        jc32 = jc.astype(np.int32)
+        obs = np.empty((n_games, hmax + 1), dtype=np.int32)
+        obs[:, 0] = ctx.obs_buf[:, 0]
+        obs[:, 1:] = np.where(upd_ok, jc32, np.int32(m))
+        subj = np.where(decided, jc32, np.int32(m * m))
+        pair = obs[:, :, None] * np.int32(m) + subj[:, None, :]
+        pair[obs[:, :, None] == subj[:, None, :]] = m * m
+        pair2 = pair.reshape(n_games, -1)
+        w_ok = pair2 < m * m
+        w_counts = w_ok.sum(axis=1)
+        # base codes commit to the shared matrices; scoped codes drive the
+        # per-tournament conflict walk.  Offsets are added to the compressed
+        # per-pair vectors (a few thousand elements) rather than the full
+        # (games, pairs) grid — same codes, one large temporary fewer.
+        w_vals = pair2[w_ok]
+        w_off = np.repeat(ctx.pair_off, w_counts)
+        w_scoped = w_vals + w_off
+        read_off = np.repeat(ctx.pair_off, n_dec)
+        r1 = cells_dec[decided] + read_off
+        r2 = (ctx.src_round_m[:, None] + jc)[decided] + read_off
+
+        # -- per-tournament walk: a game conflicts iff one of its read pairs
+        # was written by an earlier game of the *same tournament's* round.
+        # Slate order is ascending seat position within each tournament, so
+        # a reversed scatter-assign leaves each code's *first* writer — the
+        # positional minimum — without ufunc.at's per-element dispatch.
+        first_writer = ctx.writer_buf
+        first_writer.fill(ctx.n_seats)
+        w_pos = np.repeat(ctx.pos_in_t, w_counts)
+        first_writer[w_scoped[::-1]] = w_pos[::-1]
+        g_read = np.repeat(ctx.grange, n_dec)
+        pos_read = np.repeat(ctx.pos_in_t, n_dec)
+        conflict = first_writer[r1] < pos_read
+        conflict |= first_writer[r2] < pos_read
+        keep = ctx.keep_b[g0:g1]
+        keep[g_read[conflict]] = False
+
+        # -- commit the non-conflicting games' watchdog writes in one batch --
+        k_pairs = keep.repeat(w_counts)
+        pairs = w_vals[k_pairs]
+        ps_flat += np.bincount(pairs, minlength=m * m)
+        w_fwd = np.broadcast_to(
+            fwd[:, None, :], pair.shape
+        ).reshape(n_games, -1)[w_ok]
+        pf_pairs = pairs[w_fwd[k_pairs]]
+        pf_flat += np.bincount(pf_pairs, minlength=m * m)
+        self.known[:] = np.count_nonzero(self.ps, axis=1)
+        self.pf_sum[:] = self.pf.sum(axis=1)
+
+        # -- second-chance vectorized pass over the conflicted games ---------
+        if not keep.all():
+            rel_ids = np.flatnonzero(~keep)
+            if len(rel_ids) < 10:
+                # below ~10 games the sub-pass's fixed dispatch cost exceeds
+                # the scalar kernel; replay directly
+                self._replayed_games += len(rel_ids)
+                for g in rel_ids.tolist():
+                    self._replay_game(
+                        ctx.src_list[g0 + g],
+                        plan.paths_of(g0 + g),
+                        req,
+                        delivered,
+                        csn_free,
+                    )
+            else:
+                self._second_chance(ctx, g0, rel_ids, req, delivered, csn_free)
+
+    def _second_chance(
+        self,
+        ctx: _FusedContext,
+        g0: int,
+        rel_ids: np.ndarray,
+        req: np.ndarray,
+        delivered: np.ndarray,
+        csn_free: np.ndarray,
+    ) -> None:
+        """Re-speculate the slate's conflicted games against live state.
+
+        Turbo replays every conflicted game through the scalar kernel; on a
+        wide slate that serial tail dominates the round.  This pass applies
+        the *same* speculate-commit-walk discipline to just the conflicted
+        subset: their ratings and decisions are recomputed against the
+        post-commit matrices, the per-tournament conflict walk reruns among
+        the subset's own writes, and only games that conflict *again*
+        (an earlier conflicted game of the same tournament wrote one of
+        their read pairs — rare, since conflicts are already sparse) fall
+        back to the scalar kernel.  No new relaxation class: it is the
+        slate speculation applied iteratively, and accepted games re-enter
+        the buffered fold exactly like first-pass games.
+        """
+        m = self.m
+        plan = ctx.plan
+        ps_flat = self.ps.reshape(-1)
+        pf_flat = self.pf.reshape(-1)
+        g = g0 + rel_ids  # absolute game ids, ascending = replay order
+        n_sub = len(g)
+
+        # candidate-path rows of the subset (each game's rows are contiguous
+        # at game_path_start[g], column-ordered)
+        starts = plan.game_path_start[g]
+        counts = plan.game_path_start[g + 1] - starts
+        total = int(counts.sum())
+        offs = np.cumsum(counts) - counts
+        prow = np.repeat(starts, counts) + (
+            np.arange(total) - np.repeat(offs, counts)
+        )
+
+        # -- ratings + best path, against the live matrices ------------------
+        hmax_r = int(plan.path_len[prow].max()) if total else 1
+        cells = ctx.cells_rate[prow, :hmax_r]
+        c = ps_flat.take(cells)
+        zero = c == 0
+        np.maximum(c, 1, out=c)
+        d = pf_flat.take(cells) / c
+        d[zero] = 0.5
+        d[ctx.pad_path[prow, :hmax_r]] = 1.0
+        ratings = d.prod(axis=1)
+        buf = ctx.ratings_buf[:n_sub]
+        buf.fill(-1.0)
+        buf[np.repeat(np.arange(n_sub), counts), plan.path_col[prow]] = ratings
+        chosen = starts + buf.argmax(axis=1)
+
+        # -- decisions, mirroring the slate pass on the subset ---------------
+        hmax = int(plan.path_len[chosen].max())
+        valid = ctx.valid[chosen, :hmax]
+        jc = ctx.jc[chosen, :hmax]
+        src_g = plan.src[g]
+        cells_dec = jc * m
+        cells_dec += src_g[:, None]
+        c2 = ps_flat.take(cells_dec)
+        f2 = pf_flat.take(cells_dec)
+        unknown = c2 == 0
+        np.maximum(c2, 1, out=c2)
+        rate = f2 / c2
+        trust = (rate > self._b0).astype(np.int64)
+        trust += rate > self._b1
+        trust += rate > self._b2
+        kn = self.known.take(jc)
+        np.maximum(kn, 1, out=kn)
+        av = self.pf_sum.take(jc) / kn
+        delta = self._band * av
+        bit = trust * 3
+        bit += 1
+        bit += f2 > av + delta
+        bit -= f2 < av - delta
+        np.copyto(bit, UNKNOWN_BIT, where=unknown)
+        bit += jc * STRATEGY_LENGTH
+        fwd = self._strat_flat.take(bit) == 1
+        fwd &= valid
+        prefix = np.logical_and.accumulate(fwd | ~valid, axis=1)
+        decided = valid.copy()
+        decided[:, 1:] &= prefix[:, :-1]
+        success = prefix[:, -1]
+        n_dec = decided.sum(axis=1)
+
+        # -- conflict walk among the subset's own writes, per tournament -----
+        upd_ok = decided & (
+            success[:, None] | (ctx.hrange[:hmax] < (n_dec - 1)[:, None])
+        )
+        obs = np.empty((n_sub, hmax + 1), dtype=np.int64)
+        obs[:, 0] = src_g
+        np.copyto(obs[:, 1:], jc)
+        np.copyto(obs[:, 1:], m, where=~upd_ok)
+        subj = np.where(decided, jc, m * m)
+        pair = obs[:, :, None] * m + subj[:, None, :]
+        pair[obs[:, :, None] == subj[:, None, :]] = m * m
+        pair2 = pair.reshape(n_sub, -1)
+        w_ok = pair2 < m * m
+        w_counts = w_ok.sum(axis=1)
+        w_vals = pair2[w_ok]
+        pair_off = ctx.pair_off[rel_ids]
+        pos = ctx.pos_in_t[rel_ids]
+        # offsets applied to the compressed per-pair vectors, as in the
+        # slate pass — same scoped codes, no full-grid temporaries
+        w_scoped = w_vals + np.repeat(pair_off, w_counts)
+        read_off = np.repeat(pair_off, n_dec)
+        r1 = cells_dec[decided] + read_off
+        r2 = (src_g[:, None] * m + jc)[decided] + read_off
+        first_writer = ctx.writer_buf
+        first_writer.fill(ctx.n_seats)
+        w_pos = np.repeat(pos, w_counts)
+        first_writer[w_scoped[::-1]] = w_pos[::-1]
+        pos_read = np.repeat(pos, n_dec)
+        conflict_read = first_writer[r1] < pos_read
+        conflict_read |= first_writer[r2] < pos_read
+        keep2 = np.ones(n_sub, dtype=bool)
+        keep2[np.repeat(np.arange(n_sub), n_dec)[conflict_read]] = False
+
+        # -- commit and re-buffer the accepted games -------------------------
+        if keep2.any():
+            k_pairs = keep2.repeat(w_counts)
+            pairs = w_vals[k_pairs]
+            ps_flat += np.bincount(pairs, minlength=m * m)
+            w_fwd = np.broadcast_to(
+                fwd[:, None, :], pair.shape
+            ).reshape(n_sub, -1)[w_ok]
+            pf_flat += np.bincount(pairs[w_fwd[k_pairs]], minlength=m * m)
+            self.known[:] = np.count_nonzero(self.ps, axis=1)
+            self.pf_sum[:] = self.pf.sum(axis=1)
+            ga = g[keep2]
+            # full-row reset first: the re-chosen path's hmax may be
+            # narrower than the first pass wrote
+            ctx.decided_b[ga] = False
+            ctx.fwd_b[ga] = False
+            ctx.unknown_b[ga] = False
+            ctx.trust_b[ga] = 0
+            ctx.decided_b[ga, :hmax] = decided[keep2]
+            ctx.fwd_b[ga, :hmax] = fwd[keep2]
+            ctx.unknown_b[ga, :hmax] = unknown[keep2]
+            ctx.trust_b[ga, :hmax] = trust[keep2]
+            ctx.chosen_b[ga] = chosen[keep2]
+            ctx.success_b[ga] = success[keep2]
+            ctx.keep_b[ga] = True
+            self._second_chance_games += int(keep2.sum())
+
+        # -- scalar tail: games that conflicted twice ------------------------
+        if not keep2.all():
+            twice = g[~keep2]
+            self._replayed_games += len(twice)
+            for gg in twice.tolist():
+                self._replay_game(
+                    ctx.src_list[gg],
+                    plan.paths_of(gg),
+                    req,
+                    delivered,
+                    csn_free,
+                )

@@ -335,6 +335,16 @@ class TurboEngine:
             tel.count("engine.games", rounds * games_per_round)
             tel.count("engine.turbo.replayed_games", self._replayed_games)
 
+        self._merge_stats(stats, req, delivered, csn_free)
+
+    @staticmethod
+    def _merge_stats(
+        stats: TournamentStats,
+        req: np.ndarray,
+        delivered: np.ndarray,
+        csn_free: np.ndarray,
+    ) -> None:
+        """Fold the accumulator arrays into the caller's stats object."""
         stats.nn_originated += int(delivered[0] + delivered[1])
         stats.nn_delivered += int(delivered[1])
         stats.csn_originated += int(delivered[2] + delivered[3])

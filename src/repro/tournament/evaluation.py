@@ -13,7 +13,11 @@ The function is engine-agnostic: any object satisfying
 objects, the flat-array fast engine, or the struct-of-arrays batch engine).
 All randomness — seating draws, participant shuffles, oracle draws — is
 consumed in an engine-independent order, which is what makes the engines
-bit-identical under a shared seed.
+bit-identical under a shared seed.  The one exception is an engine that
+advertises ``supports_generation_fusion`` (the fused engine): it receives
+all of an environment's seatings at once, so the seating/shuffle draws are
+batched ahead of the oracle draws — a stream reordering covered by that
+engine's statistical contract.
 """
 
 from __future__ import annotations
@@ -107,6 +111,12 @@ def evaluate_generation(
     if gen_span is not None:
         gen_span.__enter__()
 
+    # a fusing engine takes all of an environment's seatings at once (one
+    # stacked plan, one slate kernel per round); the seating and shuffle
+    # draws are then batched up front, a stream reordering of the same
+    # distributions — part of the fused engine's statistical contract
+    fused = getattr(engine, "supports_generation_fusion", False)
+
     for env in environments:
         if env.n_normal > len(population):
             raise ValueError(
@@ -115,27 +125,42 @@ def evaluate_generation(
             )
         csn = engine.selfish_ids(env.n_selfish)
         env_stats = TournamentStats()
-        for seating in iter_seatings(
-            population, env.n_normal, plays_per_environment, rng
-        ):
-            participants = seating + csn
-            # Shuffle so CSN are interleaved in the per-round source order
-            # rather than always acting last.
-            order = rng.permutation(len(participants))
-            participants = [participants[int(i)] for i in order]
-            stats = TournamentStats()
-            if tel is None:
-                engine.run_tournament(
-                    participants, rounds, oracle, stats, exchange, rng
-                )
-            else:
-                with tel.span("tournament"):
+        if fused:
+            seatings = []
+            for seating in iter_seatings(
+                population, env.n_normal, plays_per_environment, rng
+            ):
+                participants = seating + csn
+                order = rng.permutation(len(participants))
+                seatings.append([participants[int(i)] for i in order])
+            # the engine owns the per-tournament clocking hook on this path
+            # (it must fire between tournament *plans*, which the engine
+            # interleaves); spans stay at generation granularity
+            engine.run_generation(
+                seatings, rounds, oracle, env_stats, exchange, rng
+            )
+        else:
+            for seating in iter_seatings(
+                population, env.n_normal, plays_per_environment, rng
+            ):
+                participants = seating + csn
+                # Shuffle so CSN are interleaved in the per-round source
+                # order rather than always acting last.
+                order = rng.permutation(len(participants))
+                participants = [participants[int(i)] for i in order]
+                stats = TournamentStats()
+                if tel is None:
                     engine.run_tournament(
                         participants, rounds, oracle, stats, exchange, rng
                     )
-            env_stats.merge(stats)
-            if on_tournament_end is not None:
-                on_tournament_end()
+                else:
+                    with tel.span("tournament"):
+                        engine.run_tournament(
+                            participants, rounds, oracle, stats, exchange, rng
+                        )
+                env_stats.merge(stats)
+                if on_tournament_end is not None:
+                    on_tournament_end()
         per_env[env.name] = env_stats
         overall.merge(env_stats)
 

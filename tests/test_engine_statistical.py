@@ -115,6 +115,74 @@ class TestTurboStatisticalEquivalence:
 
 
 @pytest.fixture(scope="module")
+def fused_ensemble():
+    """Fused-engine samples/curves on the same case-3 smoke config as the
+    turbo tier (same seed, so the reference ensemble is shared)."""
+    config = ExperimentConfig.for_case("case3", scale="smoke", seed=424243)
+    return collect_engine_samples(config.with_(engine="fused"), N_REPS)
+
+
+class TestFusedStatisticalEquivalence:
+    """The generation-fused engine rides two relaxations at once (turbo's
+    speculation plus cross-tournament fusion, paired with the
+    phase-vectorized GA step) — it is held to exactly the gates turbo
+    passes, against the same bit-identical reference ensemble."""
+
+    def test_cooperation_and_fitness_distributions_match(
+        self, ensembles, fused_ensemble
+    ):
+        (fast_samples, fast_curves), _ = ensembles
+        fused_samples, fused_curves = fused_ensemble
+        report = compare_samples(
+            fast_samples,
+            fused_samples,
+            alpha=ALPHA,
+            curves_a=fast_curves,
+            curves_b=fused_curves,
+            min_overlap=0.8,
+        )
+        assert report.equivalent, (
+            "fused deviates from the reference distribution: "
+            + "; ".join(report.failures())
+        )
+        for metric, results in report.tests.items():
+            for result in results:
+                assert result.pvalue > ALPHA, (
+                    f"{metric}/{result.name} rejected: p={result.pvalue:.4g}"
+                )
+
+    def test_fig4_style_confidence_bands_overlap(self, ensembles, fused_ensemble):
+        (_, fast_curves), _ = ensembles
+        _, fused_curves = fused_ensemble
+        overlap = confidence_band_overlap(fast_curves, fused_curves)
+        assert overlap >= 0.8, f"cooperation bands overlap only {overlap:.2f}"
+
+    def test_ensemble_means_close(self, ensembles, fused_ensemble):
+        (fast_samples, _), _ = ensembles
+        fused_samples, _ = fused_ensemble
+        for metric in fast_samples:
+            a, b = fast_samples[metric], fused_samples[metric]
+            sem = float(
+                np.sqrt(a.var(ddof=1) / a.size + b.var(ddof=1) / b.size)
+            )
+            diff = abs(float(a.mean() - b.mean()))
+            assert diff <= max(4 * sem, 1e-9), (
+                f"{metric}: |mean diff| {diff:.4f} > 4*sem {4 * sem:.4f}"
+            )
+
+    def test_fused_actually_diverges_from_turbo(self, ensembles, fused_ensemble):
+        """Fusion + the phase-ordered GA step consume the stream in a
+        different order than turbo's per-tournament loop; identical samples
+        would mean the fused path silently wasn't exercised."""
+        _, (turbo_samples, _) = ensembles
+        fused_samples, _ = fused_ensemble
+        assert any(
+            not np.array_equal(turbo_samples[m], fused_samples[m])
+            for m in turbo_samples
+        )
+
+
+@pytest.fixture(scope="module")
 def mobile_ensembles():
     """(exact samples/curves, approx samples/curves) on the mobile smoke
     config — both on the fast engine, so the only varying factor is the

@@ -70,6 +70,47 @@ class TestNextGeneration:
         b = ga.next_generation(pop, onemax(pop), np.random.default_rng(2))
         assert a == b
 
+    def test_elitism_equal_to_population_is_a_pure_copy(self):
+        """Boundary: the elite set is the whole next generation — the
+        offspring loop never runs, so no rng is consumed (scalar and
+        vectorized step alike)."""
+        ga = GeneticAlgorithm(GAConfig(population_size=4, elitism=4))
+        pop = [(1, 1, 0, 0), (1, 1, 1, 1), (0, 0, 0, 0), (1, 0, 0, 0)]
+        fitness = onemax(pop)
+        for step in (ga.next_generation, ga.next_generation_vectorized):
+            rng = np.random.default_rng(23)
+            probe = np.random.default_rng(23)
+            nxt = step(pop, fitness, rng)
+            assert nxt == [
+                (1, 1, 1, 1),
+                (1, 1, 0, 0),
+                (1, 0, 0, 0),
+                (0, 0, 0, 0),
+            ]
+            assert rng.integers(1 << 30) == probe.integers(1 << 30)
+
+    def test_duck_typed_oversized_elitism_rejected(self, rng):
+        """GAConfig validates its own elitism bound; a duck-typed config
+        (ablation harnesses build these) must hit the step's explicit guard
+        instead of silently growing the population."""
+        from types import SimpleNamespace
+
+        cfg = SimpleNamespace(
+            population_size=4,
+            elitism=6,
+            selection="tournament",
+            tournament_size=2,
+            crossover_rate=0.9,
+            mutation_rate=0.1,
+        )
+        ga = GeneticAlgorithm.__new__(GeneticAlgorithm)
+        ga.config = cfg
+        pop = [(0, 0, 0, 0)] * 4
+        with pytest.raises(ValueError, match="oversized elite set"):
+            ga.next_generation(pop, onemax(pop), rng)
+        with pytest.raises(ValueError, match="oversized elite set"):
+            ga.next_generation_vectorized(pop, onemax(pop), rng)
+
 
 class TestConvergence:
     @pytest.mark.parametrize("selection", ["tournament", "roulette"])

@@ -1,0 +1,240 @@
+"""Vectorized GA operators (:mod:`repro.ga.vector`).
+
+The per-operator contract is **bit-identity**: each batched operator must
+consume a shared ``numpy.random.Generator`` through exactly the same draws
+as its scalar twin run in a loop, so swapping one in can never move a
+pinned trajectory.  Those pins are property-based and derandomized
+(``derandomize=True``), so CI failures reproduce locally from the printed
+example.
+
+The whole-step :func:`repro.ga.vector.next_generation_matrix` is
+deliberately *not* bit-identical to the scalar loop (phase-ordered draws;
+statistical contract, gated in ``tests/test_engine_statistical.py``) — here
+it is held to its structural semantics: validation, elitism rule, rng
+consumption at the boundaries.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.parameters import GAConfig
+from repro.ga.evolution import GeneticAlgorithm
+from repro.ga.operators import mutate, one_point_crossover
+from repro.ga.selection import select_index
+from repro.ga.vector import (
+    initial_population_matrix,
+    mutate_matrix,
+    next_generation_matrix,
+    one_point_crossover_matrix,
+    roulette_select_indices,
+    select_indices,
+    tournament_select_indices,
+)
+
+SETTINGS = settings(max_examples=12, deadline=None, derandomize=True)
+
+seeds = st.integers(0, 2**31 - 1)
+
+
+def rng_pair(seed: int) -> tuple[np.random.Generator, np.random.Generator]:
+    """Two generators on identical streams — one per implementation."""
+    return np.random.default_rng(seed), np.random.default_rng(seed)
+
+
+class TestOperatorBitIdentity:
+    """Every batched operator replays the scalar loop's exact draws."""
+
+    @SETTINGS
+    @given(seed=seeds, p=st.integers(1, 9), length=st.integers(1, 16))
+    def test_initial_population(self, seed, p, length):
+        vec_rng, ref_rng = rng_pair(seed)
+        matrix = initial_population_matrix(p, length, vec_rng)
+        rows = [ref_rng.integers(0, 2, size=length) for _ in range(p)]
+        assert matrix.shape == (p, length)
+        assert matrix.dtype == np.int8
+        np.testing.assert_array_equal(matrix, np.asarray(rows))
+
+    @SETTINGS
+    @given(
+        seed=seeds,
+        p=st.integers(1, 9),
+        length=st.integers(1, 16),
+        rate=st.sampled_from([0.0, 0.05, 0.5, 1.0]),
+    )
+    def test_mutate(self, seed, p, length, rate):
+        genomes = np.random.default_rng(seed + 1).integers(
+            0, 2, size=(p, length), dtype=np.int8
+        )
+        vec_rng, ref_rng = rng_pair(seed)
+        out = mutate_matrix(genomes, rate, vec_rng)
+        expected = [mutate(tuple(row), rate, ref_rng) for row in genomes.tolist()]
+        np.testing.assert_array_equal(out, np.asarray(expected))
+        # both implementations left the shared stream at the same point
+        assert vec_rng.integers(1 << 30) == ref_rng.integers(1 << 30)
+
+    @SETTINGS
+    @given(seed=seeds, n=st.integers(1, 9), length=st.integers(2, 16))
+    def test_one_point_crossover(self, seed, n, length):
+        pool = np.random.default_rng(seed + 1)
+        a = pool.integers(0, 2, size=(n, length), dtype=np.int8)
+        b = pool.integers(0, 2, size=(n, length), dtype=np.int8)
+        vec_rng, ref_rng = rng_pair(seed)
+        ca, cb = one_point_crossover_matrix(a, b, vec_rng)
+        expected = [
+            one_point_crossover(tuple(ra), tuple(rb), ref_rng)
+            for ra, rb in zip(a.tolist(), b.tolist())
+        ]
+        np.testing.assert_array_equal(ca, np.asarray([e[0] for e in expected]))
+        np.testing.assert_array_equal(cb, np.asarray([e[1] for e in expected]))
+        assert vec_rng.integers(1 << 30) == ref_rng.integers(1 << 30)
+
+    @SETTINGS
+    @given(
+        seed=seeds,
+        p=st.integers(1, 9),
+        n=st.integers(1, 12),
+        size=st.integers(1, 4),
+    )
+    def test_tournament_selection(self, seed, p, n, size):
+        # duplicate fitness values exercise the first-drawn-wins tie rule
+        fitness = np.random.default_rng(seed + 1).integers(0, 4, size=p)
+        vec_rng, ref_rng = rng_pair(seed)
+        idx = tournament_select_indices(fitness, vec_rng, n, size)
+        expected = [
+            select_index("tournament", fitness, ref_rng, size) for _ in range(n)
+        ]
+        assert idx.tolist() == expected
+        assert vec_rng.integers(1 << 30) == ref_rng.integers(1 << 30)
+
+    @SETTINGS
+    @given(
+        seed=seeds,
+        p=st.integers(1, 9),
+        n=st.integers(1, 12),
+        degenerate=st.booleans(),
+    )
+    def test_roulette_selection(self, seed, p, n, degenerate):
+        fitness = (
+            np.zeros(p)
+            if degenerate  # zero total: uniform-pick fallback, also batched
+            else np.random.default_rng(seed + 1).random(p)
+        )
+        vec_rng, ref_rng = rng_pair(seed)
+        idx = roulette_select_indices(fitness, vec_rng, n)
+        expected = [select_index("roulette", fitness, ref_rng) for _ in range(n)]
+        assert idx.tolist() == expected
+        assert vec_rng.integers(1 << 30) == ref_rng.integers(1 << 30)
+
+
+class TestValidation:
+    def test_unknown_selection_method(self):
+        with pytest.raises(ValueError, match="unknown selection method"):
+            select_indices("rank", np.ones(4), np.random.default_rng(0), 2)
+
+    def test_empty_fitness_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            tournament_select_indices(np.array([]), np.random.default_rng(0), 1)
+        with pytest.raises(ValueError, match="non-empty"):
+            roulette_select_indices(np.array([]), np.random.default_rng(0), 1)
+
+    def test_negative_fitness_rejected_by_roulette(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            roulette_select_indices(np.array([1.0, -1.0]), np.random.default_rng(0), 1)
+
+    def test_mutation_rate_bounds(self):
+        with pytest.raises(ValueError, match="mutation rate"):
+            mutate_matrix(np.zeros((2, 4), dtype=np.int8), 1.5, np.random.default_rng(0))
+
+    def test_crossover_shape_mismatch(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            one_point_crossover_matrix(
+                np.zeros((2, 4), dtype=np.int8), np.zeros((3, 4), dtype=np.int8), rng
+            )
+        with pytest.raises(ValueError, match="L >= 2"):
+            one_point_crossover_matrix(
+                np.zeros((2, 1), dtype=np.int8), np.zeros((2, 1), dtype=np.int8), rng
+            )
+
+    def test_population_size_mismatch(self):
+        cfg = GAConfig(population_size=4)
+        with pytest.raises(ValueError, match="population size"):
+            next_generation_matrix(
+                np.zeros((3, 13), dtype=np.int8),
+                np.ones(3),
+                cfg,
+                np.random.default_rng(0),
+            )
+
+    def test_duck_typed_oversized_elitism_rejected(self):
+        # GAConfig validates its own bounds; a duck-typed config (ablation
+        # harnesses build these) must hit the step's explicit guard instead
+        # of silently growing the population
+        cfg = SimpleNamespace(
+            population_size=4,
+            elitism=5,
+            selection="tournament",
+            tournament_size=2,
+            crossover_rate=0.9,
+            mutation_rate=0.1,
+        )
+        with pytest.raises(ValueError, match="oversized elite set"):
+            next_generation_matrix(
+                np.zeros((4, 13), dtype=np.int8),
+                np.ones(4),
+                cfg,
+                np.random.default_rng(0),
+            )
+
+
+class TestGenerationStep:
+    def test_elitism_equal_to_population_consumes_no_rng(self):
+        # boundary: the whole next generation is the sorted elite set; the
+        # scalar loop never enters its offspring loop, so the matrix step
+        # must leave the generator untouched too
+        cfg = GAConfig(population_size=4, elitism=4)
+        pop = np.random.default_rng(3).integers(0, 2, size=(4, 13), dtype=np.int8)
+        fitness = np.array([1.0, 3.0, 2.0, 3.0])
+        rng = np.random.default_rng(7)
+        probe = np.random.default_rng(7)
+        out = next_generation_matrix(pop, fitness, cfg, rng)
+        # stable sort on descending fitness: indices 1, 3, 2, 0
+        np.testing.assert_array_equal(out, pop[[1, 3, 2, 0]])
+        assert rng.integers(1 << 30) == probe.integers(1 << 30)
+
+    def test_elites_survive_and_shape_holds(self):
+        cfg = GAConfig(population_size=8, elitism=2, mutation_rate=0.0)
+        rng = np.random.default_rng(11)
+        pop = rng.integers(0, 2, size=(8, 13), dtype=np.int8)
+        fitness = np.arange(8.0)
+        out = next_generation_matrix(pop, fitness, cfg, rng)
+        assert out.shape == (8, 13)
+        np.testing.assert_array_equal(out[0], pop[7])
+        np.testing.assert_array_equal(out[1], pop[6])
+        # with zero mutation every child is built from parent material
+        pop_rows = {tuple(row) for row in pop.tolist()}
+        cuts = {tuple(row) for row in out.tolist()}
+        # children are crossovers of population rows: every bit column-slice
+        # of a child matches some parent prefix/suffix; cheap sanity — each
+        # child's bits are drawn from {0, 1} rows of the population matrix
+        assert cuts <= {
+            tuple(np.where(np.arange(13) < c, np.asarray(a), np.asarray(b)).tolist())
+            for a in pop_rows
+            for b in pop_rows
+            for c in range(14)
+        }
+
+    def test_vectorized_wrapper_round_trips_tuples(self):
+        ga = GeneticAlgorithm(GAConfig(population_size=6))
+        rng = np.random.default_rng(5)
+        population = ga.initial_population(13, rng)
+        out = ga.next_generation_vectorized(population, np.arange(6.0), rng)
+        assert len(out) == 6
+        assert all(isinstance(row, tuple) and len(row) == 13 for row in out)
+        assert all(set(row) <= {0, 1} for row in out)

@@ -385,3 +385,128 @@ class TestRoutedSamplerClocking:
         plan_tournament_arrays(oracle, participants * 2, participants)
         assert oracle._vector_cache is cache  # reused container...
         assert cache.steps == oracle.topology.steps  # ...but re-keyed
+
+
+# -- stacked generation planner (fused engine) --------------------------------
+
+
+class TestGenerationPlan:
+    """:func:`plan_generation_arrays`: the whole generation as one
+    round-major stacked plan (game ``g = round * T * n + tournament * n +
+    seat``)."""
+
+    def make_seatings(self, n_tournaments=3, n=12, seed=2):
+        rng = np.random.default_rng(seed)
+        return [
+            [int(v) for v in rng.permutation(n)] for _ in range(n_tournaments)
+        ]
+
+    def test_round_major_layout_random(self):
+        from repro.paths.vector import plan_generation_arrays
+
+        seatings = self.make_seatings()
+        rounds, n = 5, len(seatings[0])
+        oracle = RandomPathOracle(np.random.default_rng(1), SHORTER_PATHS)
+        plan = plan_generation_arrays(oracle, seatings, rounds)
+        slate = len(seatings) * n
+        assert plan.n_games == rounds * slate
+        # every slate's source order is the concatenation of the seatings
+        slate_sources = [s for seating in seatings for s in seating]
+        for r in range(rounds):
+            assert plan.src[r * slate : (r + 1) * slate].tolist() == slate_sources
+        assert np.array_equal(np.diff(plan.game_path_start), plan.n_paths)
+
+    def test_cross_tournament_pool_isolation(self):
+        """Each game draws destinations and intermediates from its *own*
+        tournament's seating only — stacked pools never mix."""
+        from repro.paths.vector import plan_generation_arrays
+
+        rng = np.random.default_rng(7)
+        # seatings over disjoint id ranges make any pool mixing visible
+        seatings = [
+            [int(v) for v in 100 * t + rng.permutation(10)] for t in range(3)
+        ]
+        rounds = 6
+        oracle = RandomPathOracle(np.random.default_rng(3), SHORTER_PATHS)
+        plan = plan_generation_arrays(oracle, seatings, rounds)
+        slate = 30
+        for g in range(plan.n_games):
+            t = (g % slate) // 10
+            allowed = set(seatings[t])
+            src, dst = int(plan.src[g]), int(plan.dst[g])
+            assert src in allowed and dst in allowed and src != dst
+            for path in plan.paths_of(g):
+                assert set(path) <= allowed
+                assert src not in path and dst not in path
+                assert len(set(path)) == len(path)
+
+    def test_stacked_random_matches_single_distributions(self):
+        """The stacked sampler's hop/path-count laws match the
+        single-tournament sampler's (same draw core, same laws)."""
+        from repro.paths.vector import plan_generation_arrays
+
+        participants = list(range(20))
+        oracle_single = RandomPathOracle(np.random.default_rng(11), SHORTER_PATHS)
+        single = plan_tournament_arrays(
+            oracle_single, participants * 30, participants
+        )
+        oracle_stacked = RandomPathOracle(np.random.default_rng(11), SHORTER_PATHS)
+        stacked = plan_generation_arrays(
+            oracle_stacked, [participants] * 6, 5
+        )
+        assert stacked.n_games == single.n_games
+        for plan_arr in (single, stacked):
+            assert (plan_arr.n_paths >= 1).all()
+        # pooled hop-length histogram: loose bound, same law
+        h1 = np.bincount(single.path_len, minlength=8)[:8] / single.path_len.size
+        h2 = np.bincount(stacked.path_len, minlength=8)[:8] / stacked.path_len.size
+        assert np.abs(h1 - h2).max() < 0.08
+
+    @pytest.mark.parametrize("kind", ["random", "mobile"])
+    def test_hook_fires_once_per_tournament(self, kind):
+        from repro.paths.vector import plan_generation_arrays
+
+        if kind == "random":
+            oracle = RandomPathOracle(np.random.default_rng(1), SHORTER_PATHS)
+        else:
+            oracle = make_mobile_oracle(seed=5, step_every="tournament")
+        calls = []
+        seatings = [list(range(12)) for _ in range(4)]
+        plan = plan_generation_arrays(
+            oracle, seatings, 3, on_tournament_end=lambda: calls.append(1)
+        )
+        assert len(calls) == 4
+        assert plan.n_games == 3 * 4 * 12
+
+    def test_routed_interleave_matches_round_major_layout(self):
+        from repro.paths.vector import plan_generation_arrays
+
+        oracle = make_topology_oracle(seed=3)
+        seatings = self.make_seatings(n_tournaments=2, n=12, seed=9)
+        rounds = 4
+        plan = plan_generation_arrays(oracle, seatings, rounds)
+        slate = 2 * 12
+        assert plan.n_games == rounds * slate
+        slate_sources = [s for seating in seatings for s in seating]
+        for r in range(rounds):
+            assert plan.src[r * slate : (r + 1) * slate].tolist() == slate_sources
+        # offsets stay self-consistent after the interleave
+        assert plan.game_path_start[0] == 0
+        assert plan.game_path_start[-1] == plan.path_nodes.shape[0]
+        assert np.array_equal(np.diff(plan.game_path_start), plan.n_paths)
+        assert np.array_equal(
+            plan.path_game, np.repeat(np.arange(plan.n_games), plan.n_paths)
+        )
+
+    def test_validation(self):
+        from repro.paths.vector import plan_generation_arrays
+
+        oracle = RandomPathOracle(np.random.default_rng(1), SHORTER_PATHS)
+        with pytest.raises(ValueError, match="at least one seating"):
+            plan_generation_arrays(oracle, [], 3)
+        with pytest.raises(ValueError, match="same size"):
+            plan_generation_arrays(oracle, [[0, 1, 2, 3], [0, 1, 2]], 3)
+        with pytest.raises(ValueError, match="rounds must be >= 1"):
+            plan_generation_arrays(oracle, [[0, 1, 2, 3]], 0)
+        with pytest.raises(ValueError, match="distinct participants"):
+            plan_generation_arrays(oracle, [[0, 1, 1, 3]], 2)

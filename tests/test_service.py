@@ -72,6 +72,143 @@ class TestResultStore:
         assert loaded["replications"] == [{"history": [1, 2]}]
 
 
+class TestDoneResultReconciliation:
+    """A ``done`` record whose result.json is missing or corrupt must read
+    as ``failed`` (persisted, distinct error) so resubmission requeues it —
+    previously it served ``result: null`` forever."""
+
+    def _finished_job(self, tmp_path):
+        runner = JobRunner(tmp_path)
+        record, _ = runner.submit(smoke_payload())
+        runner.run_pending()
+        job_id = record["job_id"]
+        assert runner.store.load_record(job_id)["state"] == "done"
+        return runner, job_id
+
+    def test_missing_result_demotes_to_failed(self, tmp_path):
+        runner, job_id = self._finished_job(tmp_path)
+        runner.store.result_path(job_id).unlink()
+        record = runner.store.load_record(job_id)
+        assert record["state"] == "failed"
+        assert record["error"] == "result file missing or corrupt for a done job"
+        # the demotion is persisted: a fresh store reads the same state
+        fresh = ResultStore(tmp_path)
+        assert fresh.load_record(job_id)["state"] == "failed"
+
+    def test_truncated_result_demotes_to_failed(self, tmp_path):
+        runner, job_id = self._finished_job(tmp_path)
+        path = runner.store.result_path(job_id)
+        path.write_text(path.read_text()[: 40])  # torn write
+        record = runner.store.load_record(job_id)
+        assert record["state"] == "failed"
+        assert "missing or corrupt" in record["error"]
+
+    def test_healthy_done_job_is_untouched(self, tmp_path):
+        runner, job_id = self._finished_job(tmp_path)
+        record = runner.store.load_record(job_id)
+        assert record["state"] == "done"
+        assert record["error"] is None
+
+    def test_resubmission_requeues_and_recovers(self, tmp_path):
+        runner, job_id = self._finished_job(tmp_path)
+        runner.store.result_path(job_id).unlink()
+        assert runner.store.load_record(job_id)["state"] == "failed"
+        requeued, created = runner.submit(smoke_payload())
+        assert created and requeued["state"] == "queued"
+        assert runner.run_pending() == 1
+        healed = runner.store.load_record(job_id)
+        assert healed["state"] == "done"
+        assert runner.store.load_result(job_id)["replications"]
+
+    def test_list_records_surfaces_the_demotion(self, tmp_path):
+        runner, job_id = self._finished_job(tmp_path)
+        runner.store.result_path(job_id).unlink()
+        (listed,) = runner.store.list_records()
+        assert listed["job_id"] == job_id
+        assert listed["state"] == "failed"
+
+
+class TestRecordCache:
+    """``load_record``/``list_records`` serve from the (mtime_ns, size)
+    stat-keyed cache — re-parsing only when the file actually changed."""
+
+    def test_cached_record_is_served_without_reparse(self, tmp_path, monkeypatch):
+        import repro.service.store as store_mod
+
+        store = ResultStore(tmp_path)
+        record = store.save_record(
+            ResultStore.new_record("a" * 64, "t", smoke_payload())
+        )
+
+        def boom(*args, **kwargs):
+            raise AssertionError("cache miss: record was re-parsed")
+
+        monkeypatch.setattr(store_mod.json, "loads", boom)
+        assert store.load_record("a" * 64) == record
+        assert store.list_records() == [record]
+
+    def test_cache_returns_copies_not_aliases(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save_record(ResultStore.new_record("a" * 64, "t", smoke_payload()))
+        first = store.load_record("a" * 64)
+        first["state"] = "mangled-by-caller"
+        assert store.load_record("a" * 64)["state"] == "queued"
+
+    def test_out_of_band_write_is_picked_up(self, tmp_path):
+        store = ResultStore(tmp_path)
+        record = store.save_record(
+            ResultStore.new_record("a" * 64, "t", smoke_payload())
+        )
+        assert store.load_record("a" * 64)["state"] == "queued"
+        # another process replaces the record (atomic replace moves
+        # mtime_ns/size); this store must not serve its stale cache
+        other = ResultStore(tmp_path)
+        other.save_record(dict(record, state="running", attempts=1))
+        assert store.load_record("a" * 64)["state"] == "running"
+
+    def test_corruption_after_caching_reads_as_absent(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save_record(ResultStore.new_record("a" * 64, "t", smoke_payload()))
+        assert store.load_record("a" * 64) is not None
+        store.record_path("a" * 64).write_text("{broken")
+        assert store.load_record("a" * 64) is None
+
+    def test_list_records_stable_under_concurrent_submits(self, tmp_path):
+        """GET /jobs-equivalent listing while a worker drains the queue:
+        every snapshot is a valid, consistent record set."""
+        import time
+
+        runner = JobRunner(tmp_path)
+        reader = ResultStore(tmp_path)  # a second server process's view
+        runner.start()
+        seen_states = set()
+        try:
+            records = [
+                runner.submit(smoke_payload(seed=s))[0] for s in range(3)
+            ]
+            job_ids = {r["job_id"] for r in records}
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                listing = reader.list_records()
+                assert {r["job_id"] for r in listing} <= job_ids
+                for r in listing:
+                    assert validate_job_record(r)
+                    seen_states.add(r["state"])
+                states = {
+                    runner.store.load_record(job_id)["state"]
+                    for job_id in job_ids
+                }
+                if states == {"done"}:
+                    break
+                time.sleep(0.01)
+        finally:
+            runner.stop()
+        assert {
+            runner.store.load_record(job_id)["state"] for job_id in job_ids
+        } == {"done"}
+        assert "done" in seen_states
+
+
 class TestJobRunnerLifecycle:
     def test_duplicate_submission_dedupes_to_one_run(self, tmp_path):
         runner = JobRunner(tmp_path)

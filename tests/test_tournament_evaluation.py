@@ -114,3 +114,91 @@ class TestDeterminism:
         r1 = run_eval(make_engine(), envs, seed=7, oracle_seed=8)
         r2 = run_eval(make_engine(), envs, seed=9, oracle_seed=10)
         assert r1.overall.to_dict() != r2.overall.to_dict()
+
+
+class TestFusedDispatch:
+    """evaluate_generation hands a fusing engine the whole generation at
+    once; the structural workload and hook clocking must match the
+    per-tournament path exactly (the outcome stream is gated separately in
+    ``tests/test_engine_statistical.py``)."""
+
+    @staticmethod
+    def make_fused(n_pop=12, max_csn=4):
+        from repro.sim import make_engine as build_sim_engine
+
+        engine = build_sim_engine("fused", n_pop, max_csn)
+        engine.set_strategies([Strategy.all_forward() for _ in range(n_pop)])
+        return engine
+
+    def test_dispatches_through_run_generation(self):
+        calls = []
+        engine = self.make_fused()
+        original = engine.run_generation
+
+        def spy(seatings, rounds, *args, **kwargs):
+            calls.append((len(seatings), rounds))
+            return original(seatings, rounds, *args, **kwargs)
+
+        engine.run_generation = spy
+        envs = [
+            TournamentEnvironment("A", 8, 2),
+            TournamentEnvironment("B", 8, 0),
+        ]
+        run_eval(engine, envs, rounds=4)
+        # one stacked call per environment, each carrying both seatings
+        assert calls == [(2, 4), (2, 4)]
+
+    def test_game_counts_match_per_tournament_path(self):
+        """Without exchange the seating draws are identical on both paths,
+        so the structural workload (originated counts) is equal."""
+        env = TournamentEnvironment("A", 8, 2)
+        fused = run_eval(self.make_fused(), [env], rounds=5)
+        plain = run_eval(make_engine(), [env], rounds=5)
+        f, p = fused.per_environment["A"], plain.per_environment["A"]
+        assert f.nn_originated == p.nn_originated == 2 * 5 * 6
+        assert f.csn_originated == p.csn_originated == 2 * 5 * 2
+        assert fused.fitness.shape == plain.fitness.shape == (12,)
+        assert (fused.fitness > 0).all()
+
+    def test_engine_owns_tournament_hook_on_fused_path(self):
+        class ClockedOracle(RandomPathOracle):
+            def __init__(self, rng):
+                super().__init__(rng, SHORTER_PATHS)
+                self.tournament_ends = 0
+
+            def on_tournament_end(self):
+                self.tournament_ends += 1
+
+        engine = self.make_fused()
+        oracle = ClockedOracle(np.random.default_rng(1))
+        envs = [
+            TournamentEnvironment("A", 8, 2),
+            TournamentEnvironment("B", 8, 0),
+        ]
+        evaluate_generation(
+            engine,
+            envs,
+            rounds=3,
+            plays_per_environment=1,
+            oracle=oracle,
+            rng=np.random.default_rng(0),
+        )
+        # fused or not, the clock ticks once per tournament: 2 envs x 2
+        # seatings each (12 players, 6/8 normal seats, L=1)
+        assert oracle.tournament_ends == 4
+
+    def test_per_env_stats_stay_separate(self):
+        envs = [
+            TournamentEnvironment("A", 8, 0),
+            TournamentEnvironment("B", 8, 4),
+        ]
+        result = run_eval(self.make_fused(), envs, rounds=6)
+        assert set(result.per_environment) == {"A", "B"}
+        total = sum(
+            s.nn_originated + s.csn_originated
+            for s in result.per_environment.values()
+        )
+        assert total == result.overall.nn_originated + result.overall.csn_originated
+        # env B hosts the selfish seats; env A stays fully cooperative
+        assert result.per_environment["A"].csn_originated == 0
+        assert result.per_environment["B"].csn_originated > 0
