@@ -10,6 +10,25 @@ once under the default ``exact`` route-cache policy and once under
 ``approx``, whose drift-budgeted staleness is this row's entire reason to
 exist.
 
+Three ``*_stacked`` rows measure the cross-replication stacked evaluation
+path (:class:`repro.sim.stacked.StackedFusedEngine`): ``STACK_REPS``
+replications x ``FUSED_STACK`` tournaments planned and executed as one
+mega-slate, amortized per game across the whole R x T block.  The random
+stacked row carries the kernel-backend throughput target: >= 1M games/s
+with the compiled (numba) kernel — asserted only when that backend is
+active — and a soft 600k games/s target on the always-available numpy
+kernel, recorded in the ledger either way.
+
+The per-round-mobility rows are measured **block-averaged**: each timed
+sample is ``FUSED_STACK`` consecutive tournaments on the live oracle,
+divided back to a per-tournament wall.  Best-of over *single* tournaments
+is dishonest exactly there — under the approx route-cache policy a lucky
+tournament window serves every route inside the drift budget (zero
+revalidations), so best-of crowned batch with an unrepresentatively cheap
+tournament while the fused engine's generation unit always amortized the
+full revalidation cadence.  Block averaging gives every engine the same
+ten-consecutive-tournament unit a real generation executes.
+
 Beyond the per-bench JSON sidecar, this bench writes the repo-level
 ``BENCH_ENGINE.json`` perf ledger (schema documented in the README).  The
 timed workload is fixed at the constants below regardless of the session's
@@ -21,6 +40,7 @@ it and gates wall-time regressions against the committed baseline via
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 
 import numpy as np
@@ -33,7 +53,11 @@ from repro.mobility import build_oracle
 from repro.network.topology import GeometricTopology, TopologyPathOracle
 from repro.paths.distributions import SHORTER_PATHS
 from repro.paths.oracle import RandomPathOracle
+from repro.paths.vector import plan_generation_arrays, stack_replication_plans
 from repro.sim import BIT_IDENTICAL_ENGINES, ENGINES, make_engine
+from repro.sim.fused import FusedEngine
+from repro.sim.kernels import numba_available, resolve_kernel
+from repro.sim.stacked import StackedFusedEngine
 from repro.telemetry import Timer
 from repro.utils.tables import format_table
 
@@ -95,6 +119,40 @@ MIN_FUSED_VS_TURBO_RANDOM = 1.5
 #: caches across the stack; it must beat the batch engine on both.  The
 #: committed ledger posts >= 1.3x on each; 1.1 absorbs CI noise.
 MIN_FUSED_VS_BATCH_ROUTED = 1.1
+#: The approx-policy mobility row under the block-averaged protocol: fused
+#: must stay at least at parity with batch (the committed ledger posts
+#: ~1.0x — the row is revalidation-bound, so the generation fusion's wins
+#: amortize away; 0.9 absorbs shared-runner noise).  Before the protocol
+#: fix this row *looked* like a fused regression: best-of over single
+#: tournaments let batch post a zero-revalidation lucky window.
+MIN_FUSED_VS_BATCH_HIGHSPEED_APPROX = 0.9
+#: Replications stacked per cross-replication mega-slate pass — the R in
+#: the R x T stacking.  Eight replications of a FUSED_STACK-tournament
+#: generation put 8x the slate width through every vectorized round pass.
+STACK_REPS = 8
+#: Oracle rows measured through the stacked path (ledger rows
+#: ``<kind>_stacked``); each replication gets its own identically
+#: configured, differently seeded oracle — exactly the experiment layer's
+#: per-replication stream isolation.
+STACKED_ORACLES = ("random", "topology", "mobile")
+#: The stacked path's routed-row claim: stacking must post >= 2x batch on
+#: the topology and mobile rows (the committed ledger posts >= 2.1x on
+#: each; 1.5 absorbs shared-runner noise).
+MIN_STACKED_VS_BATCH_ROUTED = 1.5
+#: Kernel-backend throughput targets on the random stacked row, amortized
+#: per game across the whole R x T block (planning included).  The
+#: compiled target is asserted only when the numba backend is active; the
+#: numpy target is a *soft* gate — recorded in the ledger and warned
+#: about, never failed — because the reference backend's ceiling is an
+#: honest number worth tracking, not a promise.
+STACKED_TARGET_COMPILED = 1_000_000
+STACKED_TARGET_NUMPY = 600_000
+#: Rows measured block-averaged (see the module docstring): per-round
+#: mobility churns the route state tournament over tournament, so a
+#: single-tournament best-of measures a lucky window, not the workload.
+BLOCK_PROTOCOL_ORACLES = frozenset(
+    {"mobility_highspeed", "mobility_highspeed_approx"}
+)
 
 #: The mobile row is the paper's *low-mobility* regime (§3.1): the topology
 #: advances once per tournament (``evaluate_generation``'s
@@ -216,6 +274,89 @@ def time_fused_generation(oracle_kind: str, repeats: int = 7) -> float:
     return timer.min_s / FUSED_STACK
 
 
+def make_stacked_oracles(kind: str):
+    """One oracle per stacked replication, seeds 1..STACK_REPS."""
+    return [make_oracle(kind, seed=1 + r) for r in range(STACK_REPS)]
+
+
+def run_stacked_generation(oracle_kind: str, oracles=None) -> list[TournamentStats]:
+    """One stacked pass: ``STACK_REPS`` x ``FUSED_STACK`` tournaments.
+
+    Mirrors :func:`run_fused_generation`'s accounting — engine
+    construction, strategy upload and *all* plan drawing stay inside the
+    timed call — then executes the whole R x T block as one mega-slate via
+    :meth:`StackedFusedEngine.run_generation_stacked`.  Per-replication
+    plans are drawn from per-replication oracles and shifted into private
+    node-id blocks by :func:`stack_replication_plans`, exactly as the
+    experiment layer's stacked path does.
+    """
+    rng = np.random.default_rng(0)
+    engine = StackedFusedEngine(N_NORMAL, N_CSN, n_replications=STACK_REPS)
+    engine.set_strategies([Strategy.random(rng) for _ in range(N_NORMAL)])
+    participants = list(range(N_NORMAL)) + engine.selfish_ids(N_CSN)
+    if oracles is None:
+        oracles = make_stacked_oracles(oracle_kind)
+    plans = []
+    for oracle in oracles:
+        share = FusedEngine._share_route_tables(oracle)
+        try:
+            plans.append(
+                plan_generation_arrays(
+                    oracle,
+                    [list(participants) for _ in range(FUSED_STACK)],
+                    ROUNDS,
+                    on_tournament_end=getattr(oracle, "on_tournament_end", None),
+                )
+            )
+        finally:
+            FusedEngine._restore_route_policy(oracle, share)
+    plan = stack_replication_plans(plans, ROUNDS, SEATS)
+    stats = [TournamentStats() for _ in range(STACK_REPS)]
+    engine.reset_generation()
+    engine.run_generation_stacked(plan, ROUNDS, FUSED_STACK, SEATS, stats)
+    return stats
+
+
+def time_stacked_generation(oracle_kind: str, repeats: int = 5) -> float:
+    """Best-of wall seconds *per stacked tournament* for the stacked path.
+
+    Same protocol as :func:`time_fused_generation` — long-lived oracles,
+    two warmups, telemetry :class:`Timer`, best-of — normalized by the
+    full ``STACK_REPS * FUSED_STACK`` block so the matrix compares
+    per-tournament walls across engines.
+    """
+    oracles = make_stacked_oracles(oracle_kind)
+    timer = Timer()
+    run_stacked_generation(oracle_kind, oracles)  # warmup
+    run_stacked_generation(oracle_kind, oracles)  # reach cache steady state
+    for _ in range(repeats):
+        with timer.time():
+            run_stacked_generation(oracle_kind, oracles)
+    return timer.min_s / (STACK_REPS * FUSED_STACK)
+
+
+def time_tournament_block(
+    engine_name: str, oracle_kind: str, repeats: int = 3
+) -> float:
+    """Block-averaged wall seconds per tournament (see module docstring).
+
+    Each timed sample is ``FUSED_STACK`` consecutive tournaments on the
+    live oracle — the unit a real generation executes — so policies whose
+    cost arrives in bursts (approx-policy revalidation storms) are charged
+    their amortized rate instead of a lucky window's.  Best-of over
+    blocks, divided back to a per-tournament wall.
+    """
+    oracle = make_oracle(oracle_kind)
+    timer = Timer()
+    run_tournament(engine_name, oracle_kind, oracle)  # warmup
+    run_tournament(engine_name, oracle_kind, oracle)  # reach cache steady state
+    for _ in range(repeats):
+        with timer.time():
+            for _ in range(FUSED_STACK):
+                run_tournament(engine_name, oracle_kind, oracle)
+    return timer.min_s / FUSED_STACK
+
+
 def time_tournament(engine_name: str, oracle_kind: str, repeats: int = 7) -> float:
     """Best-of-7 wall seconds for one tournament, on a long-lived oracle.
 
@@ -281,6 +422,16 @@ def test_engines_equal_output_per_oracle(oracle_kind):
     )
     assert fused["nn_delivered"] <= fused["nn_originated"]
     assert fused["nn_paths_chosen"] == FUSED_STACK * reference["nn_paths_chosen"]
+    # the cross-replication mega-slate must conserve every replication's
+    # workload independently: per-rep counts equal one fused generation's
+    if oracle_kind in STACKED_ORACLES:
+        for rep_stats in run_stacked_generation(oracle_kind):
+            rep = rep_stats.to_dict()
+            assert (
+                rep["nn_originated"] + rep["csn_originated"]
+                == FUSED_STACK * GAMES
+            )
+            assert rep["nn_delivered"] <= rep["nn_originated"]
 
 
 def test_engine_matrix_report(session):
@@ -289,12 +440,21 @@ def test_engine_matrix_report(session):
     for oracle_kind in ORACLES:
         for engine_name in ENGINES:
             # the fused engine's unit of work is a whole generation; its
-            # matrix cell is the per-tournament wall of one stacked pass
-            walls[oracle_kind][engine_name] = (
-                time_fused_generation(oracle_kind)
-                if engine_name == "fused"
-                else time_tournament(engine_name, oracle_kind)
-            )
+            # matrix cell is the per-tournament wall of one stacked pass.
+            # The per-round-mobility rows use the block-averaged protocol
+            # for the per-tournament engines (module docstring) so approx
+            # revalidation storms are charged at their amortized rate.
+            if engine_name == "fused":
+                wall = time_fused_generation(oracle_kind)
+            elif oracle_kind in BLOCK_PROTOCOL_ORACLES:
+                wall = time_tournament_block(engine_name, oracle_kind)
+            else:
+                wall = time_tournament(engine_name, oracle_kind)
+            walls[oracle_kind][engine_name] = wall
+    # the cross-replication rows: one stacked cell per routed-or-random kind
+    stacked_walls = {
+        kind: time_stacked_generation(kind) for kind in STACKED_ORACLES
+    }
 
     rows = []
     metrics: dict[str, float] = {}
@@ -312,6 +472,19 @@ def test_engine_matrix_report(session):
                     f"{walls[oracle_kind]['reference'] / wall:.2f}x",
                 ]
             )
+    for oracle_kind in STACKED_ORACLES:
+        wall = stacked_walls[oracle_kind]
+        gps = GAMES / wall
+        metrics[f"games_per_s[stacked/{oracle_kind}_stacked]"] = round(gps, 1)
+        rows.append(
+            [
+                f"{oracle_kind}_stacked",
+                "stacked",
+                f"{wall * 1e3:.1f} ms",
+                f"{gps:,.0f}",
+                f"{walls[oracle_kind]['reference'] / wall:.2f}x",
+            ]
+        )
     report = format_table(
         rows,
         headers=[
@@ -329,6 +502,18 @@ def test_engine_matrix_report(session):
     emit_report("engine_perf", session, report, metrics=metrics)
 
     random_walls = walls["random"]
+    stacked_random_gps = GAMES / stacked_walls["random"]
+    # which kernel backend the stacked engine actually ran on this machine —
+    # recorded so a ledger number is attributable to numpy vs compiled
+    kernel = resolve_kernel("auto")
+    ledger_walls = {
+        oracle_kind: dict(engine_walls)
+        for oracle_kind, engine_walls in walls.items()
+    }
+    for oracle_kind in STACKED_ORACLES:
+        ledger_walls[f"{oracle_kind}_stacked"] = {
+            "stacked": stacked_walls[oracle_kind]
+        }
     ledger = {
         "bench": "engine_perf",
         "scale": {
@@ -336,13 +521,20 @@ def test_engine_matrix_report(session):
             "n_csn": N_CSN,
             "rounds": ROUNDS,
             "games_per_tournament": GAMES,
+            "stack_replications": STACK_REPS,
+            "stack_tournaments": FUSED_STACK,
+        },
+        "kernel": {
+            "backend": kernel.name,
+            "compiled": kernel.compiled,
+            "numba_available": numba_available(),
         },
         "wall_s": {
             oracle_kind: {
                 engine: round(wall, 6)
                 for engine, wall in engine_walls.items()
             }
-            for oracle_kind, engine_walls in walls.items()
+            for oracle_kind, engine_walls in ledger_walls.items()
         },
         "metrics": {
             "games_per_s": {
@@ -350,7 +542,7 @@ def test_engine_matrix_report(session):
                     engine: round(GAMES / wall, 1)
                     for engine, wall in engine_walls.items()
                 }
-                for oracle_kind, engine_walls in walls.items()
+                for oracle_kind, engine_walls in ledger_walls.items()
             },
             "batch_speedup_vs_fast_random": round(
                 random_walls["fast"] / random_walls["batch"], 3
@@ -382,6 +574,35 @@ def test_engine_matrix_report(session):
             "fused_vs_batch_mobile": round(
                 walls["mobile"]["batch"] / walls["mobile"]["fused"], 3
             ),
+            "fused_vs_batch_highspeed_approx": round(
+                walls["mobility_highspeed_approx"]["batch"]
+                / walls["mobility_highspeed_approx"]["fused"],
+                3,
+            ),
+            "stacked_vs_batch_topology": round(
+                walls["topology"]["batch"] / stacked_walls["topology"], 3
+            ),
+            "stacked_vs_batch_mobile": round(
+                walls["mobile"]["batch"] / stacked_walls["mobile"], 3
+            ),
+            "stacked_speedup_vs_fused_random": round(
+                random_walls["fused"] / stacked_walls["random"], 3
+            ),
+            "stacked_random_games_per_s": round(stacked_random_gps, 1),
+            "stacked_random_target": (
+                STACKED_TARGET_COMPILED
+                if kernel.compiled
+                else STACKED_TARGET_NUMPY
+            ),
+            # 1/0, not a bool: the report schema's metrics tree is numeric
+            "stacked_random_target_met": int(
+                stacked_random_gps
+                >= (
+                    STACKED_TARGET_COMPILED
+                    if kernel.compiled
+                    else STACKED_TARGET_NUMPY
+                )
+            ),
         },
         "git_sha": git_sha(),
     }
@@ -408,6 +629,32 @@ def test_engine_matrix_report(session):
         assert (
             walls[o]["batch"] / walls[o]["fused"] >= MIN_FUSED_VS_BATCH_ROUTED
         ), f"fused generation stacking lost to batch on the {o} oracle"
+    assert (
+        walls["mobility_highspeed_approx"]["batch"]
+        / walls["mobility_highspeed_approx"]["fused"]
+        >= MIN_FUSED_VS_BATCH_HIGHSPEED_APPROX
+    ), (
+        "fused fell below batch parity on the block-averaged approx"
+        " per-round-mobility row"
+    )
+    for o in ("topology", "mobile"):
+        assert (
+            walls[o]["batch"] / stacked_walls[o] >= MIN_STACKED_VS_BATCH_ROUTED
+        ), f"cross-replication stacking lost its >= 2x edge vs batch on {o}"
+    # the kernel-backend throughput target on the random stacked row: hard
+    # when the compiled backend is active, soft (recorded + warned) on numpy
+    if kernel.compiled:
+        assert stacked_random_gps >= STACKED_TARGET_COMPILED, (
+            f"compiled kernel posted {stacked_random_gps:,.0f} games/s on the"
+            f" random stacked row (target {STACKED_TARGET_COMPILED:,})"
+        )
+    elif stacked_random_gps < STACKED_TARGET_NUMPY:
+        warnings.warn(
+            f"numpy kernel posted {stacked_random_gps:,.0f} games/s on the"
+            f" random stacked row (soft target {STACKED_TARGET_NUMPY:,});"
+            " recorded in BENCH_ENGINE.json, not a failure",
+            stacklevel=2,
+        )
     for oracle_kind in ORACLES:
         engine_walls = walls[oracle_kind]
         assert (

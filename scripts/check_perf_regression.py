@@ -56,13 +56,20 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: the same ledger: their "engines" are worker counts / service phases
 #: (written by ``benchmarks/bench_parallel_scaling.py`` and
 #: ``benchmarks/bench_service_throughput.py``) and, having no reference
-#: canary, they are gated by the absolute failsafe only.
+#: canary, they are gated by the absolute failsafe only.  The ``*_stacked``
+#: rows (cross-replication stacked evaluation, single ``stacked`` engine
+#: per row) likewise carry no reference canary and gate absolute-only;
+#: their wall is per stacked tournament, amortized over the whole R x T
+#: mega-slate, so a kernel-backend swap shows up here first.
 GATED_ORACLES = (
     "random",
     "topology",
     "mobile",
     "mobility_highspeed",
     "mobility_highspeed_approx",
+    "random_stacked",
+    "topology_stacked",
+    "mobile_stacked",
     "parallel_scaling",
     "service_throughput",
 )

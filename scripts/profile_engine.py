@@ -14,8 +14,16 @@ extensions can be measured too; ``--route-cache``/``--drift-budget`` select
 the route-provider cache policy (``--no-path-cache`` disables the
 per-(source, destination) route caches to quantify what they save).
 
+For the kernel-backed engines (turbo/fused) the same telemetry session
+captures the per-op kernel timers (``kernel.decision_s`` /
+``kernel.replay_s`` / ``kernel.watchdog_s`` / ...) that
+:class:`repro.sim.kernels.TimedKernel` records, so a backend swap
+(``--kernel numpy|numba``) shows up as a per-op before/after, not just a
+total.
+
 Run:
     python scripts/profile_engine.py [rounds] [--oracle random|topology|mobile]
+        [--engines reference,fast,turbo,fused] [--kernel auto|numpy|numba]
         [--route-cache exact|approx] [--drift-budget N] [--no-path-cache]
 """
 
@@ -35,7 +43,8 @@ from repro.mobility import MobilityConfig, build_oracle
 from repro.network.topology import GeometricTopology, TopologyPathOracle
 from repro.paths.distributions import SHORTER_PATHS
 from repro.paths.oracle import RandomPathOracle
-from repro.sim import make_engine
+from repro.sim import ENGINES, make_engine
+from repro.sim.kernels import KERNEL_NAMES
 from repro.telemetry import TelemetryConfig, harvest_oracle, telemetry_session
 
 N_NORMAL, N_CSN = 40, 10
@@ -97,6 +106,31 @@ def _layer_breakdown(snapshot: dict, draw_s: float) -> list[tuple[str, float]]:
     ]
 
 
+def _print_kernel_breakdown(snapshot: dict, engine) -> None:
+    """Per-op kernel timers for the kernel-backed engines.
+
+    The engine installs :class:`TimedKernel` around its backend whenever an
+    ambient telemetry session is active, so the profiled tournament already
+    paid for these numbers — this only formats them.
+    """
+    if not getattr(engine, "supports_kernel_backends", False):
+        return
+    timers = snapshot["timers"]
+    rows = [
+        (name.removeprefix("kernel.").removesuffix("_s"), timer)
+        for name, timer in sorted(timers.items())
+        if name.startswith("kernel.")
+    ]
+    if not rows:
+        return
+    print(f"\nkernel ops (backend: {engine._kernel.name}):")
+    for op, timer in rows:
+        print(
+            f"  {op:10s} {timer['total_s'] * 1e3:8.1f} ms"
+            f"  ({timer['count']:.0f} calls)"
+        )
+
+
 def _print_cache_stats(snapshot: dict) -> None:
     """Route-cache counters for whichever policy the harvest recorded."""
     counters = snapshot["counters"]
@@ -127,9 +161,10 @@ def profile_engine(
     cache: bool,
     route_cache: str,
     drift_budget: int,
+    kernel: str = "auto",
 ) -> None:
     rng = np.random.default_rng(0)
-    engine = make_engine(name, N_NORMAL, N_CSN)
+    engine = make_engine(name, N_NORMAL, N_CSN, kernel=kernel)
     engine.set_strategies([Strategy.random(rng) for _ in range(N_NORMAL)])
     participants = list(range(N_NORMAL)) + engine.selfish_ids(N_CSN)
     oracle = make_oracle(oracle_kind, cache, route_cache, drift_budget)
@@ -159,6 +194,7 @@ def profile_engine(
     print("\noracle layers (wall time inside the profiled tournament):")
     for layer, seconds in _layer_breakdown(snapshot, draw_s):
         print(f"  {layer:14s} {seconds * 1e3:8.1f} ms")
+    _print_kernel_breakdown(snapshot, engine)
     _print_cache_stats(snapshot)
 
 
@@ -185,10 +221,27 @@ def main() -> None:
         action="store_true",
         help="disable the per-(source, destination) route cache (topology oracle)",
     )
+    parser.add_argument(
+        "--engines",
+        default="reference,fast,turbo",
+        help="comma-separated engines to profile"
+        f" (available: {','.join(ENGINES)})",
+    )
+    parser.add_argument(
+        "--kernel",
+        default="auto",
+        choices=KERNEL_NAMES,
+        help="kernel backend for the turbo/fused engines; the per-op"
+        " breakdown makes a backend swap attributable op by op",
+    )
     args = parser.parse_args()
     if args.drift_budget < 0:
         parser.error(f"--drift-budget must be >= 0, got {args.drift_budget}")
-    for name in ("reference", "fast"):
+    names = [n.strip() for n in args.engines.split(",") if n.strip()]
+    unknown = [n for n in names if n not in ENGINES]
+    if unknown:
+        parser.error(f"unknown engine(s) {unknown}; available: {sorted(ENGINES)}")
+    for name in names:
         profile_engine(
             name,
             args.rounds,
@@ -196,6 +249,7 @@ def main() -> None:
             not args.no_path_cache,
             args.route_cache,
             args.drift_budget,
+            kernel=args.kernel,
         )
 
 

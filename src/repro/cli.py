@@ -160,6 +160,7 @@ def _add_run_flags(parser: argparse.ArgumentParser, defaults: bool = True) -> No
     # make_engine / make_cache_policy and the config layer
     from repro.config.mobility import ROUTE_CACHE_POLICIES
     from repro.sim import ENGINES
+    from repro.sim.kernels import KERNEL_NAMES
 
     parser.add_argument("--seed", type=int, default=2007 if defaults else None)
     parser.add_argument(
@@ -171,6 +172,17 @@ def _add_run_flags(parser: argparse.ArgumentParser, defaults: bool = True) -> No
             " turbo and fused are statistically equivalent (different"
             " trajectories under the same seed; fused stacks a whole"
             " generation per pass and is fastest)"
+        ),
+    )
+    parser.add_argument(
+        "--kernel",
+        default="auto" if defaults else None,
+        choices=tuple(KERNEL_NAMES),
+        help=(
+            "compute-kernel backend for turbo/fused engines: 'numpy' is the"
+            " always-available bit-pinned reference, 'numba' the optional"
+            " compiled backend (pip install .[kernels]; statistical"
+            " equivalence contract), 'auto' picks numba when installed"
         ),
     )
     parser.add_argument("--processes", type=int, default=None)
@@ -241,6 +253,25 @@ def _add_run_flags(parser: argparse.ArgumentParser, defaults: bool = True) -> No
             " and fails with exit code 4 when no matching checkpoint exists"
         ),
     )
+    parser.add_argument(
+        "--stacked",
+        action="store_const",
+        const=True,
+        default=None,
+        help=(
+            "evaluate all replications as one stacked slate (requires a"
+            " fusing engine, no sharding/checkpointing, telemetry off);"
+            " bit-identical to the per-replication path.  Default: auto"
+            " when eligible and --processes 1"
+        ),
+    )
+    parser.add_argument(
+        "--no-stacked",
+        action="store_const",
+        const=False,
+        dest="stacked",
+        help="never stack replications (force the per-replication path)",
+    )
 
 
 def _add_case_override_flags(parser: argparse.ArgumentParser) -> None:
@@ -306,6 +337,7 @@ def _overrides_from_args(args: argparse.Namespace) -> dict:
         "route_cache": args.route_cache,
         "drift_budget": args.drift_budget,
         "telemetry": args.telemetry,
+        "kernel": args.kernel,
     }
 
 
@@ -318,6 +350,7 @@ def _run_block_from_args(args: argparse.Namespace) -> dict:
             str(args.checkpoint_dir) if args.checkpoint_dir is not None else None
         ),
         "resume": args.resume,
+        "stacked": args.stacked,
     }
 
 
@@ -355,6 +388,15 @@ def _execute_resolved(
     from repro.experiments.runner import run_experiment
     from repro.parallel.progress import ProgressPrinter
 
+    if resolved.config.kernel == "numba":
+        # fail before any replication runs, with the install hint intact
+        from repro.sim.kernels import resolve_kernel
+
+        try:
+            resolve_kernel("numba")
+        except RuntimeError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     checkpoint_dir = resolved.checkpoint_dir
     if resolved.resume and checkpoint_dir is None:
         checkpoint_dir = DEFAULT_CHECKPOINT_DIR
@@ -375,6 +417,7 @@ def _execute_resolved(
         shards=resolved.shards,
         checkpoint_dir=checkpoint_dir,
         resume=resolved.resume,
+        stacked=resolved.stacked,
     )
     mean, std = result.final_cooperation()
     print(
@@ -469,6 +512,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         scale=args.scale,
         seed=args.seed,
         engine=args.engine,
+        kernel=args.kernel,
         processes=args.processes,
         cache_dir=args.out,
         verbose=True,

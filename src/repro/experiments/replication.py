@@ -28,9 +28,11 @@ from repro.experiments.config import ExperimentConfig
 from repro.game.stats import TournamentStats
 from repro.ga.evolution import GeneticAlgorithm
 from repro.ga.history import GenerationRecord, History
+from repro.ga.vector import next_generation_tensor
 from repro.mobility import build_oracle
 from repro.paths.distributions import HOP_MODES
 from repro.paths.oracle import PathOracle, RandomPathOracle
+from repro.paths.vector import plan_generation_arrays, stack_replication_plans
 from repro.reputation.activity import ActivityClassifier
 from repro.reputation.trust import TrustTable
 from repro.sim import make_engine
@@ -38,9 +40,15 @@ from repro.telemetry.harvest import harvest_oracle
 from repro.telemetry.manifest import config_hash
 from repro.telemetry.runtime import get_telemetry, telemetry_session
 from repro.tournament.evaluation import evaluate_generation
+from repro.tournament.scheduler import iter_seatings
 from repro.utils.rng import derive_generator
 
-__all__ = ["ReplicationResult", "run_replication"]
+__all__ = [
+    "ReplicationResult",
+    "run_replication",
+    "run_replications_stacked",
+    "stacked_unsupported_reason",
+]
 
 
 @dataclass
@@ -168,6 +176,7 @@ def _run_replication(
         trust_table=trust_table,
         activity=activity,
         payoffs=sim.payoffs,
+        kernel=config.kernel,
     )
     ga = GeneticAlgorithm(config.ga)
     # the fused engine pairs with the phase-vectorized GA step — same
@@ -287,3 +296,206 @@ def _run_replication(
             "checkpoints_written": checkpoints_written,
         }
     return result, oracle
+
+
+# -- cross-replication stacked evaluation -------------------------------------
+
+
+def stacked_unsupported_reason(
+    config: ExperimentConfig,
+    *,
+    processes: int | None = None,
+    shards: int | None = None,
+    checkpoint_dir: str | Path | None = None,
+) -> str | None:
+    """Why this run cannot take the stacked path (``None`` when it can).
+
+    The stacked path evaluates all replications as one in-process
+    block-diagonal pass (:class:`repro.sim.stacked.StackedFusedEngine`), so
+    it requires a generation-fusing engine and is incompatible with
+    per-replication execution machinery: worker pools, shards, checkpoints,
+    per-replication telemetry sessions, and the reputation exchange (which
+    already forces the fused engine back to per-tournament execution).
+    """
+    from repro.sim import ENGINES
+
+    cls = ENGINES[config.engine]
+    if not getattr(cls, "supports_generation_fusion", False):
+        return (
+            f"engine {config.engine!r} does not fuse generations"
+            " (stacking requires --engine fused)"
+        )
+    if config.replications < 2:
+        return "stacking needs at least 2 replications"
+    if config.sim.exchange.enabled:
+        return (
+            "the reputation exchange interleaves gossip with each"
+            " tournament's round stream, which stacking cannot reorder"
+        )
+    if config.telemetry.enabled:
+        return (
+            "per-replication telemetry sessions cannot share one stacked"
+            " engine"
+        )
+    if processes not in (None, 1):
+        return "stacked evaluation runs in-process (processes=1)"
+    if shards is not None:
+        return "sharded dispatch is per-replication"
+    if checkpoint_dir is not None:
+        return "checkpointing snapshots per-replication state"
+    return None
+
+
+def run_replications_stacked(config: ExperimentConfig) -> list[ReplicationResult]:
+    """Run *every* replication of ``config`` as one stacked evaluation.
+
+    Per-replication results are **bit-identical** to the sequential path
+    (``run_replication(config, r)`` for each ``r`` with the fused engine):
+    each replication keeps its own generator (``derive_generator(seed,
+    (r,))``), oracle, population and statistics counters, consumed in
+    exactly the sequential construction order — only the game *execution*
+    is merged, through block-diagonal engine state that provably cannot
+    couple replications (see :mod:`repro.sim.stacked` and
+    ``tests/test_sim_stacked.py``).
+
+    What stacking buys: the per-round vectorized pass amortizes its fixed
+    numpy dispatch cost over ``R`` replications' slates at once — the
+    ``random_stacked`` row of ``benchmarks/bench_engine_perf.py`` gates the
+    resulting throughput.
+    """
+    reason = stacked_unsupported_reason(config)
+    if reason is not None:
+        raise ValueError(f"config cannot run stacked: {reason}")
+    from repro.sim.fused import FusedEngine
+    from repro.sim.stacked import StackedFusedEngine
+
+    sim = config.sim
+    n_rep = config.replications
+    pop_size = config.ga.population_size
+    block = pop_size + config.case.max_selfish
+    engine = StackedFusedEngine(
+        n_population=pop_size,
+        max_selfish=config.case.max_selfish,
+        trust_table=TrustTable(bounds=sim.trust_bounds),
+        activity=ActivityClassifier(band=sim.activity_band),
+        payoffs=sim.payoffs,
+        kernel=config.kernel,
+        n_replications=n_rep,
+    )
+    ga = GeneticAlgorithm(config.ga)
+
+    # per-replication setup, consuming each stream exactly as the
+    # sequential _run_replication does: oracle first, then the initial
+    # population
+    rngs = [derive_generator(config.seed, (r,)) for r in range(n_rep)]
+    oracles: list[PathOracle] = []
+    node_ids = list(range(block))
+    for rng in rngs:
+        if sim.mobility.enabled:
+            oracles.append(build_oracle(sim.mobility, node_ids, rng))
+        else:
+            oracles.append(RandomPathOracle(rng, HOP_MODES[sim.path_mode]))
+    populations = np.stack(
+        [
+            np.array(ga.initial_population(STRATEGY_LENGTH, rng), dtype=np.int8)
+            for rng in rngs
+        ]
+    )
+
+    histories = [History() for _ in range(n_rep)]
+    last_per_env: list[dict[str, TournamentStats]] = [{} for _ in range(n_rep)]
+    last_overall = [TournamentStats() for _ in range(n_rep)]
+    population_ids = list(range(pop_size))
+
+    for generation in range(config.generations):
+        engine.set_strategies_tensor(populations)
+        engine.reset_generation()
+        per_env: list[dict[str, TournamentStats]] = [{} for _ in range(n_rep)]
+        overall = [TournamentStats() for _ in range(n_rep)]
+        for env in config.case.environments:
+            if env.n_normal > pop_size:
+                raise ValueError(
+                    f"{env.name} needs {env.n_normal} normal players,"
+                    f" population has {pop_size}"
+                )
+            csn = [pop_size + k for k in range(env.n_selfish)]
+            plans = []
+            n_tournaments = 0
+            n_seats = 0
+            for r in range(n_rep):
+                rng = rngs[r]
+                oracle = oracles[r]
+                seatings = []
+                for seating in iter_seatings(
+                    population_ids, env.n_normal, sim.plays_per_environment, rng
+                ):
+                    participants = seating + csn
+                    order = rng.permutation(len(participants))
+                    seatings.append([participants[int(i)] for i in order])
+                # same generation-scoped route sharing as the fused engine
+                # applies around its own plan drawing
+                share = FusedEngine._share_route_tables(oracle)
+                try:
+                    plans.append(
+                        plan_generation_arrays(
+                            oracle,
+                            seatings,
+                            sim.rounds,
+                            on_tournament_end=getattr(
+                                oracle, "on_tournament_end", None
+                            ),
+                        )
+                    )
+                finally:
+                    FusedEngine._restore_route_policy(oracle, share)
+                n_tournaments = len(seatings)
+                n_seats = len(seatings[0])
+            env_stats = [TournamentStats() for _ in range(n_rep)]
+            stacked_plan = stack_replication_plans(plans, sim.rounds, block)
+            engine.run_generation_stacked(
+                stacked_plan, sim.rounds, n_tournaments, n_seats, env_stats
+            )
+            for r in range(n_rep):
+                per_env[r][env.name] = env_stats[r]
+                overall[r].merge(env_stats[r])
+
+        fitness = engine.fitness_tensor()
+        for r in range(n_rep):
+            strategies = [
+                Strategy(tuple(int(b) for b in row)) for row in populations[r]
+            ]
+            histories[r].append(
+                GenerationRecord(
+                    generation=generation,
+                    cooperation=overall[r].cooperation_level,
+                    cooperation_per_env={
+                        name: stats.cooperation_level
+                        for name, stats in per_env[r].items()
+                    },
+                    mean_fitness=float(np.mean(fitness[r])),
+                    best_fitness=float(np.max(fitness[r])),
+                    mean_forwarding_fraction=float(
+                        np.mean([s.forwarding_fraction() for s in strategies])
+                    ),
+                )
+            )
+            last_per_env[r] = per_env[r]
+            last_overall[r] = overall[r]
+        if generation < config.generations - 1:
+            populations = next_generation_tensor(
+                populations, fitness, config.ga, rngs
+            )
+
+    return [
+        ReplicationResult(
+            replication=r,
+            history=histories[r],
+            final_population=[
+                Strategy(tuple(int(b) for b in row)).to_int()
+                for row in populations[r]
+            ],
+            final_per_env=last_per_env[r],
+            final_overall=last_overall[r],
+        )
+        for r in range(n_rep)
+    ]

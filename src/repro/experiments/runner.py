@@ -34,7 +34,12 @@ from time import perf_counter
 from typing import Callable, Sequence
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.replication import ReplicationResult, run_replication
+from repro.experiments.replication import (
+    ReplicationResult,
+    run_replication,
+    run_replications_stacked,
+    stacked_unsupported_reason,
+)
 from repro.experiments.results import ExperimentResult
 from repro.parallel.pool import parallel_map
 from repro.parallel.shard import plan_shards, sharded_map
@@ -111,6 +116,7 @@ def run_experiment(
     checkpoint_dir: str | Path | None = None,
     resume: bool = True,
     max_redispatch: int | None = None,
+    stacked: bool | None = None,
 ) -> ExperimentResult:
     """Run all replications of ``config`` and aggregate the results.
 
@@ -137,9 +143,45 @@ def run_experiment(
         Worker-death recoveries to allow (see ``parallel_map``); ``None``
         keeps each scheduler's default — fail fast unsharded, one recovery
         when sharded.
+    stacked:
+        ``None`` (the default) evaluates all replications as one stacked
+        slate (:func:`repro.experiments.replication.run_replications_stacked`)
+        whenever the run is eligible — a fusing engine, serial in-process
+        execution, no sharding or checkpointing, telemetry off — and falls
+        back to the per-replication path otherwise.  ``True`` demands
+        stacking (``ValueError`` when ineligible); ``False`` never stacks.
+        Stacked results are bit-identical to the sequential path, so the
+        choice is purely an execution-plan knob.
     """
     if shards is not None and shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
+
+    if stacked is None:
+        use_stacked = (
+            processes == 1
+            and shards is None
+            and checkpoint_dir is None
+            and stacked_unsupported_reason(config) is None
+        )
+    elif stacked:
+        reason = stacked_unsupported_reason(
+            config,
+            processes=processes,
+            shards=shards,
+            checkpoint_dir=checkpoint_dir,
+        )
+        if reason is not None:
+            raise ValueError(f"stacked evaluation unavailable: {reason}")
+        use_stacked = True
+    else:
+        use_stacked = False
+    if use_stacked:
+        replications = run_replications_stacked(config)
+        if progress is not None:
+            progress(len(replications), len(replications))
+        return ExperimentResult(
+            config=config.describe(), replications=replications
+        )
     ckpt = str(checkpoint_dir) if checkpoint_dir is not None else None
 
     if shards is None:

@@ -38,6 +38,7 @@ __all__ = [
     "roulette_select_indices",
     "select_indices",
     "next_generation_matrix",
+    "next_generation_tensor",
 ]
 
 
@@ -213,3 +214,99 @@ def next_generation_matrix(
     children = np.where(pick_a[:, None], child_a, child_b)
     children = mutate_matrix(children, cfg.mutation_rate, rng)
     return np.concatenate([elites, children]) if len(elites) else children
+
+
+def next_generation_tensor(
+    populations: np.ndarray,
+    fitness: np.ndarray,
+    cfg,
+    rngs: Sequence[np.random.Generator],
+) -> np.ndarray:
+    """One GA generation step for ``R`` stacked replications at once.
+
+    ``populations`` is an ``(R, P, L)`` strategy tensor, ``fitness`` the
+    matching ``(R, P)`` matrix, and ``rngs`` one independent generator per
+    replication.  Replication ``r`` consumes ``rngs[r]`` through *exactly*
+    the draws of :func:`next_generation_matrix` — the phases run
+    replication-major inside each phase, but a generator only ever sees its
+    own replication's requests, so row ``r`` of the result is bit-identical
+    to ``next_generation_matrix(populations[r], fitness[r], cfg, rngs[r])``
+    (pinned by ``tests/test_ga_vector.py``).  The matrix arithmetic
+    (parent gather, crossover compose, child pick, mutation apply) runs
+    batched over the whole ``(R, n_off, L)`` stack, which is what the
+    cross-replication stacked evaluation path buys over ``R`` separate
+    matrix steps.
+    """
+    pops = np.asarray(populations, dtype=np.int8)
+    if pops.ndim != 3:
+        raise ValueError("populations must be an (R, P, L) bit tensor")
+    n_rep, p, length = pops.shape
+    if len(rngs) != n_rep:
+        raise ValueError(
+            f"need one rng per replication: {n_rep} populations, {len(rngs)} rngs"
+        )
+    if p != cfg.population_size:
+        raise ValueError(
+            f"population size {p} != configured {cfg.population_size}"
+        )
+    if not 0 <= cfg.elitism <= cfg.population_size:
+        raise ValueError(
+            f"elitism ({cfg.elitism}) must be between 0 and the population"
+            f" size ({cfg.population_size}); an oversized elite set would"
+            " grow the population"
+        )
+    fitness = np.asarray(fitness, dtype=float)
+    if fitness.shape != (n_rep, p):
+        raise ValueError(
+            f"fitness shape {fitness.shape} != populations {(n_rep, p)}"
+        )
+
+    if cfg.elitism:
+        elite_order = np.argsort(-fitness, axis=1, kind="stable")[:, : cfg.elitism]
+        elites = np.take_along_axis(pops, elite_order[:, :, None], axis=1)
+    else:
+        elites = pops[:, :0]
+    n_off = cfg.population_size - elites.shape[1]
+    if n_off == 0:
+        # the matrix step never draws either: no rng consumed
+        return elites.copy()
+
+    idx = np.stack(
+        [
+            select_indices(
+                cfg.selection, fitness[r], rngs[r], 2 * n_off, cfg.tournament_size
+            )
+            for r in range(n_rep)
+        ]
+    )
+    rep_ix = np.arange(n_rep)[:, None]
+    parent_a = pops[rep_ix, idx[:, 0::2]]
+    parent_b = pops[rep_ix, idx[:, 1::2]]
+    cross = np.stack(
+        [rngs[r].random(n_off) < cfg.crossover_rate for r in range(n_rep)]
+    )
+    child_a = parent_a.copy()
+    child_b = parent_b.copy()
+    # cut points are drawn only for replications with crossing pairs,
+    # matching the matrix step's conditional one_point_crossover draw
+    n_cross = cross.sum(axis=1)
+    cuts = np.empty(int(n_cross.sum()), dtype=np.int64)
+    done = 0
+    for r in range(n_rep):
+        k = int(n_cross[r])
+        if k:
+            cuts[done : done + k] = rngs[r].integers(1, length, size=k)
+            done += k
+    if done:
+        keep_a = np.arange(length)[None, :] < cuts[:, None]
+        fa = parent_a[cross]
+        fb = parent_b[cross]
+        child_a[cross] = np.where(keep_a, fa, fb)
+        child_b[cross] = np.where(keep_a, fb, fa)
+    pick_a = np.stack([rngs[r].random(n_off) < 0.5 for r in range(n_rep)])
+    children = np.where(pick_a[:, :, None], child_a, child_b)
+    draws = np.stack([rngs[r].random((n_off, length)) for r in range(n_rep)])
+    children = np.where(draws < cfg.mutation_rate, 1 - children, children)
+    if elites.shape[1]:
+        return np.concatenate([elites, children], axis=1)
+    return children

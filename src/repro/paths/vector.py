@@ -70,6 +70,7 @@ __all__ = [
     "GamePlanArrays",
     "plan_tournament_arrays",
     "plan_generation_arrays",
+    "stack_replication_plans",
 ]
 
 
@@ -92,6 +93,12 @@ class GamePlanArrays:
     path_nodes: np.ndarray  # (P, H) int64 — intermediates, -1 padded
     path_len: np.ndarray  # (P,) int64 — intermediates per path
     max_paths: int  # max candidates in any game (column count for ratings)
+    #: every path's intermediates are pairwise distinct and exclude the
+    #: source — true for the native samplers (pool draws without
+    #: replacement; simple routes), unknowable for scripted plans.  The
+    #: speculative engines' conflict pass uses the guarantee to replace a
+    #: full-grid (observer == subject) mask with a diagonal assignment.
+    distinct_nodes: bool = False
 
     def paths_of(self, game: int) -> list[list[int]]:
         """The candidate paths of one game as plain lists (replay kernel)."""
@@ -491,6 +498,7 @@ def _arrays_from_slots(
         path_nodes=slot_rows[row_idx],
         path_len=slot_path_len[row_idx],
         max_paths=int(n_paths.max()) if n_games else 0,
+        distinct_nodes=True,
     )
 
 
@@ -562,32 +570,55 @@ def _random_arrays_core(
         )
         n_paths[rows] = np.asarray(dist.values, dtype=np.int64)[idx]
 
-    # one pool copy per path; swap the destination into the dead last slot.
-    # Node ids comfortably fit int32, and the pool matrix (paths x pool) is
-    # by far the plan's largest temporary — halving its width halves the
-    # memory traffic of the copy and the shuffle loop below.  The drawn
-    # *values* are unchanged; the plan's public arrays stay int64.
     total = int(n_paths.sum())
     game_path_start = np.zeros(n_games + 1, dtype=np.int64)
     np.cumsum(n_paths, out=game_path_start[1:])
     path_game = np.repeat(np.arange(n_games, dtype=np.int64), n_paths)
     path_col = np.arange(total, dtype=np.int64) - game_path_start[path_game]
-    pools = others.astype(np.int32)[src_rows[path_game]]  # fancy index copies
-    rows_idx = np.arange(total)
-    dest_pos = pos_in_others[src_rows, dst][path_game]
-    pools[rows_idx, dest_pos] = pools[:, pool_size]
 
-    # partial Fisher-Yates vectorized across paths: same index quantisation
-    # as sample_distinct; swaps past a path's own k are dead (never read)
+    # partial Fisher-Yates with *virtual* swaps: same index quantisation as
+    # sample_distinct, same drawn values, but the per-path pool copy (the
+    # plan's largest temporary by an order of magnitude) is never
+    # materialised.  A real partial shuffle only ever reads position ``i``
+    # and the drawn position ``j_i >= i`` at step ``i``, so the pool state
+    # can be reconstructed per read: a position holds its original value
+    # unless an earlier step swapped its displaced value there.  ``disp``
+    # tracks those displaced values (``disp[l]`` is what step ``l`` left at
+    # position ``j_l``); chains resolve because each fix-up consults only
+    # earlier, already-resolved columns, latest write winning.  Work shrinks
+    # with the step: paths sorted by k descending keep the rows still
+    # shuffling at step ``i`` a contiguous prefix (swaps past a path's own
+    # k are dead — never read — so skipping them changes nothing).
     k_path = k[path_game]
     k_max = int(k_path.max())
     us = rng.random((total, k_max))
+    order = np.argsort(-k_path, kind="stable")
+    alive = total - np.cumsum(np.bincount(k_path, minlength=k_max + 1))
+    row_base = src_rows[path_game][order] * n_others
+    flat = others.ravel()
+    dest_pos = pos_in_others[src_rows, dst][path_game][order]
+    # the destination's slot is overwritten by the (otherwise dead) last
+    # pool element before the shuffle, exactly as sample_distinct excludes
+    # the destination from the candidate pool
+    last = flat[row_base + pool_size]
+    us = us[order]
+
+    path_nodes = np.empty((total, k_max), dtype=np.int64)
+    j_cols: list[np.ndarray] = []
+    disp: list[np.ndarray] = []
     for i in range(k_max):
-        j = i + (us[:, i] * (pool_size - i)).astype(np.int64)
-        drawn = pools[rows_idx, j]
-        pools[rows_idx, j] = pools[:, i]
-        pools[:, i] = drawn
-    path_nodes = pools[:, :k_max].astype(np.int64)
+        a = int(alive[i])  # rows with k > i: a prefix, by construction
+        j_i = i + (us[:a, i] * (pool_size - i)).astype(np.int64)
+        base = row_base[:a]
+        held = np.where(dest_pos[:a] == i, last[:a], flat[base + i])
+        drawn = np.where(j_i == dest_pos[:a], last[:a], flat[base + j_i])
+        for prior in range(i):
+            j_prior = j_cols[prior][:a]
+            np.copyto(held, disp[prior][:a], where=j_prior == i)
+            np.copyto(drawn, disp[prior][:a], where=j_prior == j_i)
+        j_cols.append(j_i)
+        disp.append(held)
+        path_nodes[order[:a], i] = drawn
     path_nodes[np.arange(k_max)[None, :] >= k_path[:, None]] = -1
 
     return GamePlanArrays(
@@ -601,6 +632,7 @@ def _random_arrays_core(
         path_nodes=path_nodes,
         path_len=k_path,
         max_paths=int(n_paths.max()),
+        distinct_nodes=True,
     )
 
 
@@ -751,4 +783,64 @@ def _interleave_plans(
         path_nodes=all_nodes[row_idx],
         path_len=all_len[row_idx],
         max_paths=int(n_paths.max()) if n_games else 0,
+        distinct_nodes=all(p.distinct_nodes for p in plans),
     )
+
+
+def _offset_plan_ids(plan: GamePlanArrays, offset: int) -> GamePlanArrays:
+    """A copy of ``plan`` with every node id shifted by ``offset``.
+
+    ``path_nodes`` padding (``-1``) is preserved; all other arrays are
+    shared with the original (they carry positions, not ids).
+    """
+    if offset == 0:
+        return plan
+    nodes = plan.path_nodes + offset
+    nodes[plan.path_nodes < 0] = -1
+    return GamePlanArrays(
+        n_games=plan.n_games,
+        src=plan.src + offset,
+        dst=plan.dst + offset,
+        n_paths=plan.n_paths,
+        game_path_start=plan.game_path_start,
+        path_game=plan.path_game,
+        path_col=plan.path_col,
+        path_nodes=nodes,
+        path_len=plan.path_len,
+        max_paths=plan.max_paths,
+        distinct_nodes=plan.distinct_nodes,
+    )
+
+
+def stack_replication_plans(
+    plans: Sequence[GamePlanArrays], rounds: int, block: int
+) -> GamePlanArrays:
+    """Stack per-replication generation plans into one mega-slate.
+
+    Each input is one replication's round-major generation plan (from
+    :func:`plan_generation_arrays`, ``T`` tournaments of ``n`` seats: its
+    slate is ``S = T * n`` games per round).  Replication ``r``'s game
+    ``round * S + g`` becomes stacked game ``round * (R * S) + r * S + g``
+    — i.e. ``round * (R * T * n) + rep * (T * n) + tournament * n + seat``
+    — and every node id is shifted into the replication's private block
+    ``[r * block, (r + 1) * block)``, which is what keeps the stacked
+    engine's reputation state block-diagonal (games of different
+    replications can never name the same node).
+
+    Structurally each replication is "one very wide tournament" of ``S``
+    seats, so the weave is exactly :func:`_interleave_plans`.
+    """
+    if not plans:
+        raise ValueError("need at least one replication plan")
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    n_games = plans[0].n_games
+    if n_games % rounds:
+        raise ValueError(
+            f"plan of {n_games} games does not divide into {rounds} rounds"
+        )
+    if any(p.n_games != n_games for p in plans):
+        raise ValueError("all replication plans must be the same size")
+    slate = n_games // rounds
+    shifted = [_offset_plan_ids(p, r * block) for r, p in enumerate(plans)]
+    return _interleave_plans(shifted, rounds, slate)

@@ -35,6 +35,7 @@ class ResolvedScenario:
     shards: int | None
     checkpoint_dir: Path | None
     resume: bool
+    stacked: bool | None = None
 
     @property
     def name(self) -> str:
@@ -81,7 +82,7 @@ def resolve_scenario(payload: Mapping[str, Any]) -> ResolvedScenario:
     run = payload["run"]
 
     config_overrides: dict[str, Any] = {}
-    for key in ("seed", "engine", "generations", "replications"):
+    for key in ("seed", "engine", "kernel", "generations", "replications"):
         if key in overrides:
             config_overrides[key] = overrides[key]
     try:
@@ -130,4 +131,5 @@ def resolve_scenario(payload: Mapping[str, Any]) -> ResolvedScenario:
         shards=run.get("shards"),
         checkpoint_dir=Path(checkpoint_dir) if checkpoint_dir is not None else None,
         resume=bool(run.get("resume", False)),
+        stacked=run.get("stacked"),
     )

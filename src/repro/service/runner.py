@@ -152,12 +152,16 @@ class JobRunner:
                 # hash-excluded and result-neutral: every job gets a manifest
                 config = config.with_(telemetry=TelemetryConfig(enabled=True))
             checkpoint_dir = resolved.checkpoint_dir or self.store.checkpoint_dir
+            # stacked=resolved.stacked: an explicit stacked request fails
+            # loudly here (service jobs always checkpoint + record telemetry,
+            # which stacking forgoes) instead of being silently dropped
             result = run_experiment(
                 config,
                 processes=resolved.processes,
                 shards=resolved.shards,
                 checkpoint_dir=checkpoint_dir,
                 resume=True,
+                stacked=resolved.stacked,
             )
             result_path = self.store.save_result(job_id, result.to_dict())
             manifest_path = write_run_manifest(

@@ -33,6 +33,7 @@ from repro.sim.batch import BatchEngine
 from repro.sim.fast import FastEngine
 from repro.sim.fused import FusedEngine
 from repro.sim.reference import ReferenceEngine
+from repro.sim.stacked import StackedFusedEngine
 from repro.sim.turbo import TurboEngine
 
 __all__ = [
@@ -41,6 +42,7 @@ __all__ = [
     "BatchEngine",
     "TurboEngine",
     "FusedEngine",
+    "StackedFusedEngine",
     "ENGINES",
     "BIT_IDENTICAL_ENGINES",
     "make_engine",
@@ -68,9 +70,17 @@ def make_engine(
     trust_table=None,
     activity=None,
     payoffs=None,
+    kernel: str = "auto",
 ):
     """Factory: build an engine by name (``"reference"``, ``"fast"``,
-    ``"batch"``, ``"turbo"`` or ``"fused"``)."""
+    ``"batch"``, ``"turbo"`` or ``"fused"``).
+
+    ``kernel`` selects the compute backend for engines that route their hot
+    ops through :mod:`repro.sim.kernels` (``supports_kernel_backends``).
+    Engines with a fixed implementation ignore ``"auto"``/``"numpy"``
+    (their native code *is* the numpy reference) but reject an explicit
+    ``"numba"`` request they cannot honour.
+    """
     from repro.core.payoff import PayoffConfig
     from repro.reputation.activity import ActivityClassifier
     from repro.reputation.trust import TrustTable
@@ -82,5 +92,15 @@ def make_engine(
     if cls is None:
         raise ValueError(
             f"unknown engine {name!r} (expected one of {sorted(ENGINES)})"
+        )
+    if getattr(cls, "supports_kernel_backends", False):
+        return cls(
+            n_population, max_selfish, trust_table, activity, payoffs,
+            kernel=kernel,
+        )
+    if kernel == "numba":
+        raise ValueError(
+            f"engine {name!r} does not support kernel backends;"
+            " --kernel numba requires --engine turbo or fused"
         )
     return cls(n_population, max_selfish, trust_table, activity, payoffs)

@@ -61,12 +61,12 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.strategy import STRATEGY_LENGTH, UNKNOWN_BIT
 from repro.game.stats import TournamentStats
 from repro.network.provider import ApproxPolicy
 from repro.paths.oracle import PathOracle
 from repro.paths.vector import GamePlanArrays, plan_generation_arrays
 from repro.reputation.exchange import ExchangeConfig
+from repro.sim.kernels import TimedKernel
 from repro.sim.turbo import TurboEngine, _PlanContext
 from repro.telemetry.runtime import get_telemetry
 
@@ -78,32 +78,33 @@ class _FusedContext(_PlanContext):
 
     ``games_per_round`` *is* the slate width (``T * n``), so every
     inherited precomputation (relative path rows, source order, fold
-    buffers) works verbatim; the additions scope the conflict pass per
-    tournament: ``pair_off[g]`` shifts game ``g``'s pair codes into its
-    tournament's private ``m * m`` block and ``pos_in_t[g]`` is its seat
-    position within that tournament (the "earlier game" order of turbo's
-    conflict walk, now per tournament).
+    buffers) works verbatim; the conflict-walk scoping slots are filled so
+    the inherited round pass scopes per tournament: ``pair_off[g]`` shifts
+    game ``g``'s pair codes into its tournament's private ``m * m`` block
+    and ``walk_pos[g]`` is its seat position within that tournament (the
+    "earlier game" order of turbo's conflict walk, now per tournament).
     """
 
-    __slots__ = ("pair_off", "pos_in_t", "n_seats")
+    __slots__ = ("n_seats",)
 
     def __init__(
         self,
         plan: GamePlanArrays,
         slate: int,
         m: int,
-        n_pop: int,
+        csn_lookup: np.ndarray,
         n_tournaments: int,
         n_seats: int,
     ):
-        super().__init__(plan, slate, m, n_pop)
+        super().__init__(plan, slate, m, csn_lookup)
         self.n_seats = n_seats
         self.pair_off = np.repeat(
             np.arange(n_tournaments, dtype=np.int64) * (m * m), n_seats
         )
-        self.pos_in_t = np.tile(
+        self.walk_pos = np.tile(
             np.arange(n_seats, dtype=np.int64), n_tournaments
         )
+        self.walk_fill = n_seats
         # one private pair-code block per tournament (+1 spill slot, as in
         # the base context)
         self.writer_buf = np.empty(n_tournaments * m * m + 1, dtype=np.int64)
@@ -180,7 +181,11 @@ class FusedEngine(TurboEngine):
         finally:
             self._restore_route_policy(oracle, share)
         ctx = _FusedContext(
-            plan, slate, self.m, self.n_population, n_tournaments, n_seats
+            plan, slate, self.m, self._csn_lookup, n_tournaments, n_seats
+        )
+        self._ks = self._kernel_state()
+        self._k = (
+            self._kernel if tel is None else TimedKernel(self._kernel, tel.registry)
         )
         req = np.zeros(9, dtype=np.int64)
         delivered = np.zeros(4, dtype=np.int64)
@@ -192,7 +197,7 @@ class FusedEngine(TurboEngine):
             round_span = tel.span("round") if tel is not None else None
             if round_span is not None:
                 round_span.__enter__()
-            self._process_slate(ctx, round_no, req, delivered, csn_free)
+            self._process_round(ctx, round_no, req, delivered, csn_free)
             if round_span is not None:
                 round_span.__exit__(None, None, None)
 
@@ -249,168 +254,21 @@ class FusedEngine(TurboEngine):
         if previous is not None:
             oracle.provider.set_policy(previous)
 
-    def _process_slate(
+    def _resolve_conflicts(
         self,
         ctx: _FusedContext,
-        round_no: int,
+        g0: int,
+        rel_ids: np.ndarray,
         req: np.ndarray,
         delivered: np.ndarray,
         csn_free: np.ndarray,
     ) -> None:
-        """One slate: round ``round_no`` of every stacked tournament.
-
-        The ratings/decisions passes are turbo's ``_process_round`` over the
-        wider slate verbatim; the conflict pass runs in tournament-scoped
-        pair codes (each tournament gets a private ``m * m`` block of the
-        writer table and its own seat-position order), and commits use the
-        base codes since the reputation matrices are shared by the stack.
-        """
-        m = self.m
-        plan = ctx.plan
-        ps_flat = self.ps.reshape(-1)
-        pf_flat = self.pf.reshape(-1)
-        g0 = round_no * ctx.games_per_round
-        g1 = g0 + ctx.games_per_round
-        p0 = int(plan.game_path_start[g0])
-        p1 = int(plan.game_path_start[g1])
-        n_games = g1 - g0
-
-        # -- speculative path ratings from slate-start state -----------------
-        hmax_r = int(plan.path_len[p0:p1].max()) if p1 > p0 else 1
-        cells = ctx.cells_rate[p0:p1, :hmax_r]
-        c = ps_flat.take(cells)
-        zero = c == 0
-        np.maximum(c, 1, out=c)
-        d = pf_flat.take(cells) / c
-        d[zero] = 0.5
-        d[ctx.pad_path[p0:p1, :hmax_r]] = 1.0
-        ratings = d.prod(axis=1)
-
-        # -- best path per game (first index wins ties) ----------------------
-        buf = ctx.ratings_buf
-        buf.fill(-1.0)
-        buf[ctx.pg_rel[p0:p1], plan.path_col[p0:p1]] = ratings
-        chosen = ctx.chosen_b[g0:g1]
-        np.add(plan.game_path_start[g0:g1], buf.argmax(axis=1), out=chosen)
-
-        # -- speculative sequential decisions, vectorized over the slate -----
-        hmax = int(plan.path_len[chosen].max())
-        valid = ctx.valid[chosen, :hmax]
-        jc = ctx.jc[chosen, :hmax]
-        src_round = ctx.obs_buf[:, 0]
-        cells_dec = jc * m
-        cells_dec += src_round[:, None]
-        c2 = ps_flat.take(cells_dec)
-        f2 = pf_flat.take(cells_dec)
-        unknown = ctx.unknown_b[g0:g1, :hmax]
-        np.equal(c2, 0, out=unknown)
-        np.maximum(c2, 1, out=c2)
-        rate = f2 / c2
-        # trust level = number of bounds strictly below the rate; three
-        # comparisons replace searchsorted's binary-search dispatch and agree
-        # with it exactly, boundary equality included (side="left" also
-        # counts only strictly-smaller bounds)
-        trust = ctx.trust_b[g0:g1, :hmax]
-        trust[:] = rate > self._b0
-        trust += rate > self._b1
-        trust += rate > self._b2
-        kn = self.known.take(jc)
-        np.maximum(kn, 1, out=kn)
-        av = self.pf_sum.take(jc) / kn
-        delta = self._band * av
-        bit = trust * 3
-        bit += 1
-        bit += f2 > av + delta
-        bit -= f2 < av - delta
-        np.copyto(bit, UNKNOWN_BIT, where=unknown)
-        bit += jc * STRATEGY_LENGTH
-        fwd = ctx.fwd_b[g0:g1, :hmax]
-        np.equal(self._strat_flat.take(bit), 1, out=fwd)
-        fwd &= valid
-        prefix = np.logical_and.accumulate(fwd | ~valid, axis=1)
-        decided = ctx.decided_b[g0:g1, :hmax]
-        np.copyto(decided, valid)
-        decided[:, 1:] &= prefix[:, :-1]
-        success = ctx.success_b[g0:g1]
-        success[:] = prefix[:, -1]
-        n_dec = decided.sum(axis=1)
-
-        # -- conflict pass, tournament-scoped --------------------------------
-        # same sentinel construction as turbo (invalid pairs land at m*m and
-        # are masked out *before* the tournament offsets are applied, so an
-        # offset sentinel can never alias a later tournament's valid code)
-        upd_ok = decided & (
-            success[:, None] | (ctx.hrange[:hmax] < (n_dec - 1)[:, None])
-        )
-        # the (games, writers, subjects) pair grid is the conflict pass's
-        # dominant temporary; int32 halves its memory traffic (scoped codes
-        # max out at T * m * m, far inside int32 range)
-        jc32 = jc.astype(np.int32)
-        obs = np.empty((n_games, hmax + 1), dtype=np.int32)
-        obs[:, 0] = ctx.obs_buf[:, 0]
-        obs[:, 1:] = np.where(upd_ok, jc32, np.int32(m))
-        subj = np.where(decided, jc32, np.int32(m * m))
-        pair = obs[:, :, None] * np.int32(m) + subj[:, None, :]
-        pair[obs[:, :, None] == subj[:, None, :]] = m * m
-        pair2 = pair.reshape(n_games, -1)
-        w_ok = pair2 < m * m
-        w_counts = w_ok.sum(axis=1)
-        # base codes commit to the shared matrices; scoped codes drive the
-        # per-tournament conflict walk.  Offsets are added to the compressed
-        # per-pair vectors (a few thousand elements) rather than the full
-        # (games, pairs) grid — same codes, one large temporary fewer.
-        w_vals = pair2[w_ok]
-        w_off = np.repeat(ctx.pair_off, w_counts)
-        w_scoped = w_vals + w_off
-        read_off = np.repeat(ctx.pair_off, n_dec)
-        r1 = cells_dec[decided] + read_off
-        r2 = (ctx.src_round_m[:, None] + jc)[decided] + read_off
-
-        # -- per-tournament walk: a game conflicts iff one of its read pairs
-        # was written by an earlier game of the *same tournament's* round.
-        # Slate order is ascending seat position within each tournament, so
-        # a reversed scatter-assign leaves each code's *first* writer — the
-        # positional minimum — without ufunc.at's per-element dispatch.
-        first_writer = ctx.writer_buf
-        first_writer.fill(ctx.n_seats)
-        w_pos = np.repeat(ctx.pos_in_t, w_counts)
-        first_writer[w_scoped[::-1]] = w_pos[::-1]
-        g_read = np.repeat(ctx.grange, n_dec)
-        pos_read = np.repeat(ctx.pos_in_t, n_dec)
-        conflict = first_writer[r1] < pos_read
-        conflict |= first_writer[r2] < pos_read
-        keep = ctx.keep_b[g0:g1]
-        keep[g_read[conflict]] = False
-
-        # -- commit the non-conflicting games' watchdog writes in one batch --
-        k_pairs = keep.repeat(w_counts)
-        pairs = w_vals[k_pairs]
-        ps_flat += np.bincount(pairs, minlength=m * m)
-        w_fwd = np.broadcast_to(
-            fwd[:, None, :], pair.shape
-        ).reshape(n_games, -1)[w_ok]
-        pf_pairs = pairs[w_fwd[k_pairs]]
-        pf_flat += np.bincount(pf_pairs, minlength=m * m)
-        self.known[:] = np.count_nonzero(self.ps, axis=1)
-        self.pf_sum[:] = self.pf.sum(axis=1)
-
-        # -- second-chance vectorized pass over the conflicted games ---------
-        if not keep.all():
-            rel_ids = np.flatnonzero(~keep)
-            if len(rel_ids) < 10:
-                # below ~10 games the sub-pass's fixed dispatch cost exceeds
-                # the scalar kernel; replay directly
-                self._replayed_games += len(rel_ids)
-                for g in rel_ids.tolist():
-                    self._replay_game(
-                        ctx.src_list[g0 + g],
-                        plan.paths_of(g0 + g),
-                        req,
-                        delivered,
-                        csn_free,
-                    )
-            else:
-                self._second_chance(ctx, g0, rel_ids, req, delivered, csn_free)
+        """Below ~10 games the second-chance sub-pass's fixed dispatch cost
+        exceeds the scalar kernel; replay those directly."""
+        if len(rel_ids) < 10:
+            self._replay_ids(ctx, g0 + rel_ids, req, delivered, csn_free)
+        else:
+            self._second_chance(ctx, g0, rel_ids, req, delivered, csn_free)
 
     def _second_chance(
         self,
@@ -435,10 +293,10 @@ class FusedEngine(TurboEngine):
         slate speculation applied iteratively, and accepted games re-enter
         the buffered fold exactly like first-pass games.
         """
-        m = self.m
+        m = ctx.m
         plan = ctx.plan
-        ps_flat = self.ps.reshape(-1)
-        pf_flat = self.pf.reshape(-1)
+        ks = self._ks
+        kern = self._k
         g = g0 + rel_ids  # absolute game ids, ascending = replay order
         n_sub = len(g)
 
@@ -454,14 +312,9 @@ class FusedEngine(TurboEngine):
 
         # -- ratings + best path, against the live matrices ------------------
         hmax_r = int(plan.path_len[prow].max()) if total else 1
-        cells = ctx.cells_rate[prow, :hmax_r]
-        c = ps_flat.take(cells)
-        zero = c == 0
-        np.maximum(c, 1, out=c)
-        d = pf_flat.take(cells) / c
-        d[zero] = 0.5
-        d[ctx.pad_path[prow, :hmax_r]] = 1.0
-        ratings = d.prod(axis=1)
+        ratings = kern.rate_paths(
+            ks, ctx.cells_rate[prow, :hmax_r], ctx.pad_path[prow, :hmax_r]
+        )
         buf = ctx.ratings_buf[:n_sub]
         buf.fill(-1.0)
         buf[np.repeat(np.arange(n_sub), counts), plan.path_col[prow]] = ratings
@@ -474,59 +327,46 @@ class FusedEngine(TurboEngine):
         src_g = plan.src[g]
         cells_dec = jc * m
         cells_dec += src_g[:, None]
-        c2 = ps_flat.take(cells_dec)
-        f2 = pf_flat.take(cells_dec)
-        unknown = c2 == 0
-        np.maximum(c2, 1, out=c2)
-        rate = f2 / c2
-        trust = (rate > self._b0).astype(np.int64)
-        trust += rate > self._b1
-        trust += rate > self._b2
-        kn = self.known.take(jc)
-        np.maximum(kn, 1, out=kn)
-        av = self.pf_sum.take(jc) / kn
-        delta = self._band * av
-        bit = trust * 3
-        bit += 1
-        bit += f2 > av + delta
-        bit -= f2 < av - delta
-        np.copyto(bit, UNKNOWN_BIT, where=unknown)
-        bit += jc * STRATEGY_LENGTH
-        fwd = self._strat_flat.take(bit) == 1
-        fwd &= valid
-        prefix = np.logical_and.accumulate(fwd | ~valid, axis=1)
-        decided = valid.copy()
-        decided[:, 1:] &= prefix[:, :-1]
-        success = prefix[:, -1]
-        n_dec = decided.sum(axis=1)
+        trust = np.empty((n_sub, hmax), dtype=np.int64)
+        unknown = np.empty((n_sub, hmax), dtype=bool)
+        fwd = np.empty((n_sub, hmax), dtype=bool)
+        decided = np.empty((n_sub, hmax), dtype=bool)
+        success = np.empty(n_sub, dtype=bool)
+        n_dec = kern.decide(
+            ks, jc, valid, cells_dec, trust, unknown, fwd, decided, success
+        )
 
         # -- conflict walk among the subset's own writes, per tournament -----
         upd_ok = decided & (
             success[:, None] | (ctx.hrange[:hmax] < (n_dec - 1)[:, None])
         )
-        obs = np.empty((n_sub, hmax + 1), dtype=np.int64)
+        jc32 = jc.astype(np.int32)
+        obs = np.empty((n_sub, hmax + 1), dtype=np.int32)
         obs[:, 0] = src_g
-        np.copyto(obs[:, 1:], jc)
-        np.copyto(obs[:, 1:], m, where=~upd_ok)
-        subj = np.where(decided, jc, m * m)
-        pair = obs[:, :, None] * m + subj[:, None, :]
-        pair[obs[:, :, None] == subj[:, None, :]] = m * m
+        np.copyto(obs[:, 1:], jc32)
+        np.copyto(obs[:, 1:], np.int32(m), where=~upd_ok)
+        subj = np.where(decided, jc32, np.int32(m * m))
+        pair = obs[:, :, None] * np.int32(m) + subj[:, None, :]
+        if ctx.diag_only:
+            pair.reshape(n_sub, -1)[:, hmax :: hmax + 1] = m * m
+        else:
+            pair[obs[:, :, None] == subj[:, None, :]] = m * m
         pair2 = pair.reshape(n_sub, -1)
         w_ok = pair2 < m * m
         w_counts = w_ok.sum(axis=1)
         w_vals = pair2[w_ok]
         pair_off = ctx.pair_off[rel_ids]
-        pos = ctx.pos_in_t[rel_ids]
+        pos = ctx.walk_pos[rel_ids]
         # offsets applied to the compressed per-pair vectors, as in the
         # slate pass — same scoped codes, no full-grid temporaries
-        w_scoped = w_vals + np.repeat(pair_off, w_counts)
+        w_scoped = ctx.scope(w_vals, np.repeat(pair_off, w_counts))
         read_off = np.repeat(pair_off, n_dec)
-        r1 = cells_dec[decided] + read_off
-        r2 = (src_g[:, None] * m + jc)[decided] + read_off
+        r1 = ctx.scope(cells_dec[decided], read_off)
+        r2 = ctx.scope((src_g[:, None] * m + jc)[decided], read_off)
         first_writer = ctx.writer_buf
-        first_writer.fill(ctx.n_seats)
-        w_pos = np.repeat(pos, w_counts)
-        first_writer[w_scoped[::-1]] = w_pos[::-1]
+        kern.first_writer(
+            first_writer, ctx.walk_fill, w_scoped, np.repeat(pos, w_counts)
+        )
         pos_read = np.repeat(pos, n_dec)
         conflict_read = first_writer[r1] < pos_read
         conflict_read |= first_writer[r2] < pos_read
@@ -537,13 +377,10 @@ class FusedEngine(TurboEngine):
         if keep2.any():
             k_pairs = keep2.repeat(w_counts)
             pairs = w_vals[k_pairs]
-            ps_flat += np.bincount(pairs, minlength=m * m)
             w_fwd = np.broadcast_to(
                 fwd[:, None, :], pair.shape
             ).reshape(n_sub, -1)[w_ok]
-            pf_flat += np.bincount(pairs[w_fwd[k_pairs]], minlength=m * m)
-            self.known[:] = np.count_nonzero(self.ps, axis=1)
-            self.pf_sum[:] = self.pf.sum(axis=1)
+            kern.commit(ks, pairs, pairs[w_fwd[k_pairs]])
             ga = g[keep2]
             # full-row reset first: the re-chosen path's hmax may be
             # narrower than the first pass wrote
@@ -562,13 +399,4 @@ class FusedEngine(TurboEngine):
 
         # -- scalar tail: games that conflicted twice ------------------------
         if not keep2.all():
-            twice = g[~keep2]
-            self._replayed_games += len(twice)
-            for gg in twice.tolist():
-                self._replay_game(
-                    ctx.src_list[gg],
-                    plan.paths_of(gg),
-                    req,
-                    delivered,
-                    csn_free,
-                )
+            self._replay_ids(ctx, g[~keep2], req, delivered, csn_free)

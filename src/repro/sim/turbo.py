@@ -73,13 +73,14 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.payoff import PayoffConfig
-from repro.core.strategy import STRATEGY_LENGTH, UNKNOWN_BIT, Strategy
+from repro.core.strategy import STRATEGY_LENGTH, Strategy
 from repro.game.stats import TournamentStats
 from repro.paths.oracle import PathOracle
 from repro.paths.vector import GamePlanArrays, plan_tournament_arrays
 from repro.reputation.activity import ActivityClassifier
 from repro.reputation.exchange import ExchangeConfig, exchange_reputation_flat
 from repro.reputation.trust import TrustTable
+from repro.sim.kernels import KernelState, TimedKernel, resolve_kernel
 from repro.telemetry.runtime import get_telemetry
 
 __all__ = ["TurboEngine"]
@@ -88,11 +89,18 @@ __all__ = ["TurboEngine"]
 class _PlanContext:
     """Everything about a tournament plan that does not depend on reputation
     state, precomputed once so the per-round pass is pure gathers and ufuncs.
+
+    The conflict-walk scoping attributes (``pair_off`` / ``walk_pos`` /
+    ``walk_fill``) let one round pass serve turbo (one tournament, no
+    scoping), fused (T stacked tournaments, per-tournament pair spaces) and
+    stacked (R replications x T tournaments, block-diagonal pair spaces):
+    ``pair_off is None`` selects the unscoped fast path.
     """
 
     __slots__ = (
         "plan",
         "games_per_round",
+        "m",
         "pg_rel",
         "cells_rate",
         "pad_path",
@@ -101,10 +109,15 @@ class _PlanContext:
         "is_csn",
         "has_csn",
         "src_sel",
+        "src_round",
         "src_round_m",
         "src_list",
+        "diag_only",
         "hrange",
         "grange",
+        "pair_off",
+        "walk_pos",
+        "walk_fill",
         "writer_buf",
         "ratings_buf",
         "obs_buf",
@@ -117,9 +130,16 @@ class _PlanContext:
         "keep_b",
     )
 
-    def __init__(self, plan: GamePlanArrays, games_per_round: int, m: int, n_pop: int):
+    def __init__(
+        self,
+        plan: GamePlanArrays,
+        games_per_round: int,
+        m: int,
+        csn_lookup: np.ndarray,
+    ):
         self.plan = plan
         self.games_per_round = games_per_round
+        self.m = m
         src_of_path = plan.src[plan.path_game]
         nodes = plan.path_nodes
         valid = nodes >= 0
@@ -137,23 +157,38 @@ class _PlanContext:
         # gather of ``jc``, which is cheaper than materialising (P, H).
         self.jc = node0
         self.valid = valid
-        self.is_csn = nodes >= n_pop
+        # padding resolves to node 0, which is always a normal node, so the
+        # lookup needs no valid-mask
+        self.is_csn = csn_lookup[node0]
         self.has_csn = self.is_csn.any(axis=1)
-        self.src_sel = plan.src >= n_pop
+        self.src_sel = csn_lookup[plan.src]
         # every round's source order is the participants list, so the
         # round-constant pieces are hoisted once
         src_round = plan.src[:games_per_round]
+        self.src_round = src_round
         self.src_round_m = src_round * m
         self.src_list = plan.src.tolist()
+        # sampler-built plans guarantee distinct intermediates excluding the
+        # source, so the only possible (observer == subject) cell in the
+        # conflict pair grid is the (writer i+1, subject i) diagonal — a
+        # strided assignment instead of a full-grid equality mask.  Scripted
+        # plans make no such promise and keep the mask.
+        self.diag_only = plan.distinct_nodes
         n_games = plan.n_games
         h = nodes.shape[1]
         self.hrange = np.arange(h)
         self.grange = np.arange(games_per_round, dtype=np.int64)
+        # conflict-walk scoping: turbo shares one pair space per round
+        self.pair_off = None
+        self.walk_pos = self.grange
+        self.walk_fill = games_per_round
         self.writer_buf = np.empty(m * m + 1, dtype=np.int64)
         self.ratings_buf = np.empty(
             (games_per_round, max(plan.max_paths, 1)), dtype=np.float64
         )
-        self.obs_buf = np.empty((games_per_round, h + 1), dtype=np.int64)
+        # the pair grid runs in int32 (codes stay < 2 m^2 << 2^31), halving
+        # the memory traffic of the widest per-round intermediate
+        self.obs_buf = np.empty((games_per_round, h + 1), dtype=np.int32)
         self.obs_buf[:, 0] = src_round
         # per-game speculative outcomes, buffered for the tournament-end
         # fold; the round pass computes straight into slices of these
@@ -165,12 +200,19 @@ class _PlanContext:
         self.success_b = np.zeros(n_games, dtype=bool)
         self.keep_b = np.ones(n_games, dtype=bool)
 
+    def scope(self, vals: np.ndarray, off: np.ndarray) -> np.ndarray:
+        """Map base pair codes into the scoped writer-buffer space."""
+        return vals + off
+
 
 class TurboEngine:
     """Round-vectorized speculative implementation of the tournament
     semantics (statistical-equivalence contract)."""
 
     name = "turbo"
+    #: the engine routes its hot ops through the pluggable kernel interface
+    #: (``repro.sim.kernels``) and accepts a ``kernel=`` selector
+    supports_kernel_backends = True
 
     def __init__(
         self,
@@ -179,6 +221,7 @@ class TurboEngine:
         trust_table: TrustTable | None = None,
         activity: ActivityClassifier | None = None,
         payoffs: PayoffConfig | None = None,
+        kernel: str = "auto",
     ):
         if n_population < 1:
             raise ValueError(f"population must be >= 1, got {n_population}")
@@ -191,7 +234,11 @@ class TurboEngine:
         self.payoffs = payoffs or PayoffConfig()
         if self.trust_table.n_levels != 4:
             raise ValueError("TurboEngine is specialised to 4 trust levels")
-        self.m = n_population + max_selfish
+        self.m = self._matrix_order()
+        self.kernel_name = kernel
+        self._kernel = resolve_kernel(kernel)
+        self._k = self._kernel
+        self._csn_lookup = self._build_csn_lookup()
         self._bounds = np.asarray(self.trust_table.bounds, dtype=np.float64)
         self._b0, self._b1, self._b2 = self.trust_table.bounds
         self._band = self.activity.band
@@ -208,6 +255,15 @@ class TurboEngine:
         #: instrumentation for tests and the perf bench
         self._replayed_games = 0
         self._alloc()
+        self._ks = self._kernel_state()
+
+    def _matrix_order(self) -> int:
+        """Side length of the reputation matrices (hook for stacking)."""
+        return self.n_population + self.max_selfish
+
+    def _build_csn_lookup(self) -> np.ndarray:
+        """(m,) bool — which matrix ids are selfish seats (stacking hook)."""
+        return np.arange(self.m) >= self.n_population
 
     def _rebuild_strategy_table(self) -> None:
         # (m * STRATEGY_LENGTH,) int8: population strategies then zeros, so
@@ -216,6 +272,36 @@ class TurboEngine:
         flat = np.array(self._strategies, dtype=np.int8).reshape(-1)
         table[: flat.size] = flat
         self._strat_flat = table
+
+    def _kernel_state(self) -> KernelState:
+        """Bundle the live state views the kernel ops operate on.  Rebuilt
+        at every entry point: ``_alloc`` and ``set_strategies`` replace the
+        underlying arrays, and the bundle is a handful of references."""
+        return KernelState(
+            ps=self.ps,
+            pf=self.pf,
+            ps_flat=self.ps.reshape(-1),
+            pf_flat=self.pf.reshape(-1),
+            known=self.known,
+            pf_sum=self.pf_sum,
+            strat_flat=self._strat_flat,
+            csn_lookup=self._csn_lookup,
+            b0=self._b0,
+            b1=self._b1,
+            b2=self._b2,
+            band=self._band,
+            fwd_pay=self._fwd_pay,
+            disc_pay=self._disc_pay,
+            default_trust=self._default_trust,
+            src_success=self._src_success,
+            src_failure=self._src_failure,
+            send_pay=self.send_pay,
+            n_sent=self.n_sent,
+            fwd_pay_acc=self.fwd_pay_acc,
+            n_fwd=self.n_fwd,
+            disc_pay_acc=self.disc_pay_acc,
+            n_disc=self.n_disc,
+        )
 
     def _alloc(self) -> None:
         m = self.m
@@ -295,15 +381,19 @@ class TurboEngine:
             plan = plan_tournament_arrays(
                 oracle, participants * rounds, participants
             )
-            ctx = _PlanContext(plan, games_per_round, self.m, self.n_population)
+            ctx = _PlanContext(plan, games_per_round, self.m, self._csn_lookup)
         else:
             with tel.registry.timer("engine.plan_s").time():
                 plan = plan_tournament_arrays(
                     oracle, participants * rounds, participants
                 )
                 ctx = _PlanContext(
-                    plan, games_per_round, self.m, self.n_population
+                    plan, games_per_round, self.m, self._csn_lookup
                 )
+        self._ks = self._kernel_state()
+        self._k = (
+            self._kernel if tel is None else TimedKernel(self._kernel, tel.registry)
+        )
         # replay contributions accumulate here; speculative outcomes are
         # folded vectorized at the end (dead state during the tournament)
         req = np.zeros(9, dtype=np.int64)
@@ -371,10 +461,10 @@ class TurboEngine:
         delivered: np.ndarray,
         csn_free: np.ndarray,
     ) -> None:
-        m = self.m
+        m = ctx.m
         plan = ctx.plan
-        ps_flat = self.ps.reshape(-1)
-        pf_flat = self.pf.reshape(-1)
+        ks = self._ks
+        kern = self._k
         g0 = round_no * ctx.games_per_round
         g1 = g0 + ctx.games_per_round
         p0 = int(plan.game_path_start[g0])
@@ -387,14 +477,9 @@ class TurboEngine:
         # longest path, which the route-table oracles can push to 2-3x the
         # typical game's, and the padding columns are pure dead work
         hmax_r = int(plan.path_len[p0:p1].max()) if p1 > p0 else 1
-        cells = ctx.cells_rate[p0:p1, :hmax_r]
-        c = ps_flat.take(cells)
-        zero = c == 0
-        np.maximum(c, 1, out=c)
-        d = pf_flat.take(cells) / c
-        d[zero] = 0.5
-        d[ctx.pad_path[p0:p1, :hmax_r]] = 1.0
-        ratings = d.prod(axis=1)
+        ratings = kern.rate_paths(
+            ks, ctx.cells_rate[p0:p1, :hmax_r], ctx.pad_path[p0:p1, :hmax_r]
+        )
 
         # -- best path per game (first index wins ties, as the trio does) ---
         buf = ctx.ratings_buf
@@ -410,41 +495,22 @@ class TurboEngine:
         hmax = int(plan.path_len[chosen].max())
         valid = ctx.valid[chosen, :hmax]
         jc = ctx.jc[chosen, :hmax]
-        src_round = ctx.obs_buf[:, 0]
         cells_dec = jc * m
-        cells_dec += src_round[:, None]
-        c2 = ps_flat.take(cells_dec)
-        f2 = pf_flat.take(cells_dec)
-        unknown = ctx.unknown_b[g0:g1, :hmax]
-        np.equal(c2, 0, out=unknown)
-        np.maximum(c2, 1, out=c2)
-        rate = f2 / c2
-        trust = ctx.trust_b[g0:g1, :hmax]
-        trust[:] = np.searchsorted(
-            self._bounds, rate.ravel(), side="left"
-        ).reshape(rate.shape)
-        kn = self.known.take(jc)
-        np.maximum(kn, 1, out=kn)
-        av = self.pf_sum.take(jc) / kn
-        delta = self._band * av
-        bit = trust * 3
-        bit += 1
-        bit += f2 > av + delta
-        bit -= f2 < av - delta
-        np.copyto(bit, UNKNOWN_BIT, where=unknown)
-        # strategy row base derived in place: CSN rows resolve into the
-        # zero-padded tail of the strategy table, so no masking is needed
-        bit += jc * STRATEGY_LENGTH
-        fwd = ctx.fwd_b[g0:g1, :hmax]
-        np.equal(self._strat_flat.take(bit), 1, out=fwd)
-        fwd &= valid
-        prefix = np.logical_and.accumulate(fwd | ~valid, axis=1)
+        cells_dec += ctx.src_round[:, None]
+        n_dec = kern.decide(
+            ks,
+            jc,
+            valid,
+            cells_dec,
+            ctx.trust_b[g0:g1, :hmax],
+            ctx.unknown_b[g0:g1, :hmax],
+            ctx.fwd_b[g0:g1, :hmax],
+            ctx.decided_b[g0:g1, :hmax],
+            ctx.success_b[g0:g1],
+        )
         decided = ctx.decided_b[g0:g1, :hmax]
-        np.copyto(decided, valid)
-        decided[:, 1:] &= prefix[:, :-1]
+        fwd = ctx.fwd_b[g0:g1, :hmax]
         success = ctx.success_b[g0:g1]
-        success[:] = prefix[:, -1]
-        n_dec = decided.sum(axis=1)
 
         # -- conflict pass: pair-granular reads vs earlier writes ------------
         # watchdog write pairs (observer, subject) with out-of-range
@@ -455,12 +521,17 @@ class TurboEngine:
         upd_ok = decided & (
             success[:, None] | (ctx.hrange[:hmax] < (n_dec - 1)[:, None])
         )
+        jc32 = jc.astype(np.int32)
         obs = ctx.obs_buf[:, : hmax + 1]  # column 0 is the source id
-        np.copyto(obs[:, 1:], jc)
-        np.copyto(obs[:, 1:], m, where=~upd_ok)
-        subj = np.where(decided, jc, m * m)
-        pair = obs[:, :, None] * m + subj[:, None, :]
-        pair[obs[:, :, None] == subj[:, None, :]] = m * m
+        np.copyto(obs[:, 1:], jc32)
+        np.copyto(obs[:, 1:], np.int32(m), where=~upd_ok)
+        subj = np.where(decided, jc32, np.int32(m * m))
+        pair = obs[:, :, None] * np.int32(m) + subj[:, None, :]
+        if ctx.diag_only:
+            # observer == subject can only land on the (i+1, i) diagonal
+            pair.reshape(n_games, -1)[:, hmax :: hmax + 1] = m * m
+        else:
+            pair[obs[:, :, None] == subj[:, None, :]] = m * m
         pair2 = pair.reshape(n_games, -1)
         w_ok = pair2 < m * m
         w_counts = w_ok.sum(axis=1)
@@ -472,43 +543,93 @@ class TurboEngine:
         r2 = (ctx.src_round_m[:, None] + jc)[decided]
 
         # -- vectorized walk: a game conflicts iff one of its read pairs was
-        # (speculatively) written by a strictly earlier game of the round.
-        # first_writer[pair] = earliest game writing it; every game's writes
-        # count, kept or not — exactly the sequential walk's written-set.
+        # (speculatively) written by a strictly earlier game in its pair
+        # scope (turbo: the round; fused/stacked: its own tournament, via
+        # per-tournament offsets).  first_writer[pair] = earliest position
+        # writing it; every game's writes count, kept or not — exactly the
+        # sequential walk's written-set.
+        w_pos = np.repeat(ctx.walk_pos, w_counts)
+        pos_read = np.repeat(ctx.walk_pos, n_dec)
+        if ctx.pair_off is None:
+            w_scoped = w_vals
+            g_read = pos_read
+        else:
+            w_scoped = ctx.scope(w_vals, np.repeat(ctx.pair_off, w_counts))
+            read_off = np.repeat(ctx.pair_off, n_dec)
+            r1 = ctx.scope(r1, read_off)
+            r2 = ctx.scope(r2, read_off)
+            g_read = np.repeat(ctx.grange, n_dec)
         first_writer = ctx.writer_buf
-        first_writer.fill(n_games)
-        np.minimum.at(first_writer, w_vals, np.repeat(ctx.grange, w_counts))
-        r_game = np.repeat(ctx.grange, n_dec)
-        conflict = first_writer[r1] < r_game
-        conflict |= first_writer[r2] < r_game
+        kern.first_writer(first_writer, ctx.walk_fill, w_scoped, w_pos)
+        conflict = first_writer[r1] < pos_read
+        conflict |= first_writer[r2] < pos_read
         keep = ctx.keep_b[g0:g1]
-        keep[r_game[conflict]] = False
+        keep[g_read[conflict]] = False
 
         # -- commit the non-conflicting games' watchdog writes in one batch --
         k_pairs = keep.repeat(w_counts)
         pairs = w_vals[k_pairs]
-        ps_flat += np.bincount(pairs, minlength=m * m)
         w_fwd = np.broadcast_to(
             fwd[:, None, :], pair.shape
         ).reshape(n_games, -1)[w_ok]
-        pf_pairs = pairs[w_fwd[k_pairs]]
-        pf_flat += np.bincount(pf_pairs, minlength=m * m)
-        # the aggregates are cheapest recomputed wholesale at this scale
-        self.known[:] = np.count_nonzero(self.ps, axis=1)
-        self.pf_sum[:] = self.pf.sum(axis=1)
+        kern.commit(ks, pairs, pairs[w_fwd[k_pairs]])
 
-        # -- replay conflicting games through the exact scalar kernel --------
+        # -- resolve conflicting games against live state --------------------
         if not keep.all():
-            replay_ids = np.flatnonzero(~keep)
-            self._replayed_games += len(replay_ids)
-            for g in replay_ids.tolist():
-                self._replay_game(
-                    ctx.src_list[g0 + g],
-                    plan.paths_of(g0 + g),
-                    req,
-                    delivered,
-                    csn_free,
-                )
+            self._resolve_conflicts(
+                ctx, g0, np.flatnonzero(~keep), req, delivered, csn_free
+            )
+
+    def _resolve_conflicts(
+        self,
+        ctx: _PlanContext,
+        g0: int,
+        rel_ids: np.ndarray,
+        req: np.ndarray,
+        delivered: np.ndarray,
+        csn_free: np.ndarray,
+    ) -> None:
+        """Handle this round's conflicted games.  Turbo replays each through
+        the exact scalar kernel; fused layers a vectorized second-chance
+        pass in front (see the override)."""
+        self._replay_ids(ctx, g0 + rel_ids, req, delivered, csn_free)
+
+    def _replay_one(
+        self,
+        ctx: _PlanContext,
+        g: int,
+        req: np.ndarray,
+        delivered: np.ndarray,
+        csn_free: np.ndarray,
+    ) -> None:
+        plan = ctx.plan
+        lo = int(plan.game_path_start[g])
+        hi = int(plan.game_path_start[g + 1])
+        source = ctx.src_list[g]
+        deciders, flags, success = self._k.replay_decide(
+            self._ks,
+            source,
+            plan.path_nodes[lo:hi],
+            plan.path_len[lo:hi],
+            req,
+            delivered,
+            csn_free,
+        )
+        self._k.watchdog(self._ks, source, deciders, flags, success)
+
+    def _replay_ids(
+        self,
+        ctx: _PlanContext,
+        ids: np.ndarray,
+        req: np.ndarray,
+        delivered: np.ndarray,
+        csn_free: np.ndarray,
+    ) -> None:
+        """Replay games (absolute plan indices, ascending) one at a time
+        through the exact scalar kernel against the live matrices."""
+        self._replayed_games += len(ids)
+        for g in ids.tolist():
+            self._replay_one(ctx, g, req, delivered, csn_free)
 
     def _fold_tournament(
         self,
@@ -520,13 +641,11 @@ class TurboEngine:
         """Fold the buffered speculative outcomes of all kept games into the
         payoff accumulators and statistics counters (dead state during the
         tournament, so one vectorized pass suffices)."""
-        m = self.m
         keep = ctx.keep_b
         chosen = ctx.chosen_b
         decided = ctx.decided_b
         fwd = ctx.fwd_b
         success = ctx.success_b
-        src = ctx.plan.src
         src_sel = ctx.src_sel
         is_csn = ctx.is_csn[chosen]
 
@@ -542,7 +661,23 @@ class TurboEngine:
             ).ravel(),
             minlength=9,
         )
-        ksrc = src[keep]
+        self._fold_payoffs(ctx, keep, chosen, is_csn)
+
+    def _fold_payoffs(
+        self,
+        ctx: _PlanContext,
+        keep: np.ndarray,
+        chosen: np.ndarray,
+        is_csn: np.ndarray,
+    ) -> None:
+        """Fold per-node payoff contributions of all kept games — shared by
+        the statistics folds of every engine variant (the stacked engine's
+        per-replication statistics differ, its payoff fold does not)."""
+        m = self.m
+        decided = ctx.decided_b
+        fwd = ctx.fwd_b
+        success = ctx.success_b
+        ksrc = ctx.plan.src[keep]
         self.send_pay += np.bincount(
             ksrc,
             weights=np.where(success[keep], self._src_success, self._src_failure),
@@ -563,114 +698,6 @@ class TurboEngine:
             jj[~ff], weights=self._disc_pay[lvl[~ff]], minlength=m
         )
         self.n_disc += np.bincount(jj[~ff], minlength=m)
-
-    def _replay_game(
-        self,
-        source: int,
-        paths: list[list[int]],
-        req: np.ndarray,
-        delivered: np.ndarray,
-        csn_free: np.ndarray,
-    ) -> None:
-        """The exact per-game kernel (mirrors the batch engine), run against
-        the live matrices for games whose speculation conflicted."""
-        ps, pf = self.ps, self.pf
-        known, pf_sum = self.known, self.pf_sum
-        n_pop = self.n_population
-        b0, b1, b2 = self._b0, self._b1, self._b2
-        band = self._band
-        strategies = self._strategies
-        source_selfish = source >= n_pop
-
-        ps_s, pf_s = ps[source], pf[source]
-        best_i = 0
-        best_r = -1.0
-        for i, candidate in enumerate(paths):
-            r = 1.0
-            for node in candidate:
-                cell = int(ps_s[node])
-                r *= (int(pf_s[node]) / cell) if cell else 0.5
-            if r > best_r:
-                best_i, best_r = i, r
-        path = paths[best_i]
-
-        contains_csn = any(node >= n_pop for node in path)
-        csn_free[source_selfish * 2 + contains_csn] += 1
-
-        deciders: list[int] = []
-        flags: list[bool] = []
-        trusts: list[int | None] = []
-        success = True
-        req_base = 4 if source_selfish else 0
-        for j in path:
-            cell = int(ps[j, source])
-            if j >= n_pop:
-                forward = False
-                trust: int | None = None
-                req[req_base + 2] += 1
-            else:
-                if cell == 0:
-                    trust = None
-                    forward = strategies[j][UNKNOWN_BIT] == 1
-                else:
-                    fj = int(pf[j, source])
-                    rating = fj / cell
-                    trust = (
-                        3
-                        if rating > b2
-                        else 2
-                        if rating > b1
-                        else 1
-                        if rating > b0
-                        else 0
-                    )
-                    av = int(pf_sum[j]) / int(known[j])
-                    act = (
-                        0
-                        if fj < av - band * av
-                        else 2
-                        if fj > av + band * av
-                        else 1
-                    )
-                    forward = strategies[j][trust * 3 + act] == 1
-                req[req_base + (1 if forward else 0)] += 1
-            deciders.append(j)
-            flags.append(forward)
-            trusts.append(trust)
-            if not forward:
-                success = False
-                break
-
-        self.send_pay[source] += self._src_success if success else self._src_failure
-        self.n_sent[source] += 1
-        n_decided = len(deciders)
-        for idx in range(n_decided):
-            j = deciders[idx]
-            if j >= n_pop:
-                continue  # dead state, as in the batch engine
-            t = trusts[idx]
-            level = self._default_trust if t is None else t
-            if flags[idx]:
-                self.fwd_pay_acc[j] += self._fwd_pay[level]
-                self.n_fwd[j] += 1
-            else:
-                self.disc_pay_acc[j] += self._disc_pay[level]
-                self.n_disc[j] += 1
-
-        updaters = deciders if success else deciders[: n_decided - 1]
-        for u in (source, *updaters):
-            ps_u, pf_u = ps[u], pf[u]
-            for idx in range(n_decided):
-                j = deciders[idx]
-                if j != u:
-                    if ps_u[j] == 0:
-                        known[u] += 1
-                    ps_u[j] += 1
-                    if flags[idx]:
-                        pf_u[j] += 1
-                        pf_sum[u] += 1
-
-        delivered[source_selfish * 2 + success] += 1
 
     def _run_exchange(
         self,

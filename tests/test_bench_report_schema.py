@@ -49,6 +49,15 @@ class TestCommittedArtefacts:
             assert set(ledger["wall_s"][oracle]) == set(ENGINES), oracle
         assert ledger["metrics"]["turbo_speedup_vs_batch_random"] >= 1.3
 
+    def test_engine_ledger_has_stacked_rows_and_kernel_record(self):
+        """The cross-replication rows and the kernel-backend attribution
+        record must survive ledger regenerations."""
+        ledger = json.loads((REPO_ROOT / "BENCH_ENGINE.json").read_text())
+        for kind in ("random", "topology", "mobile"):
+            assert set(ledger["wall_s"][f"{kind}_stacked"]) == {"stacked"}
+        assert ledger["kernel"]["backend"] in ("numpy", "numba")
+        assert ledger["metrics"]["stacked_random_games_per_s"] > 0
+
 
 def good_payload() -> dict:
     return {
@@ -123,6 +132,36 @@ class TestValidator:
         payload = good_payload()
         payload["metrics"] = {"ok": True}
         with pytest.raises(ValueError, match="bool"):
+            validate_bench_report(payload)
+
+    def test_optional_kernel_record_accepted(self):
+        payload = good_payload()
+        payload["kernel"] = {
+            "backend": "numpy",
+            "compiled": False,
+            "numba_available": False,
+        }
+        validate_bench_report(payload)
+
+    @pytest.mark.parametrize(
+        "kernel,fragment",
+        [
+            ({"backend": "numpy"}, "exactly the keys"),
+            ("numpy", "exactly the keys"),
+            (
+                {"backend": "", "compiled": False, "numba_available": False},
+                "non-empty string",
+            ),
+            (
+                {"backend": "numpy", "compiled": 1, "numba_available": False},
+                "must be a boolean",
+            ),
+        ],
+    )
+    def test_malformed_kernel_record_rejected(self, kernel, fragment):
+        payload = good_payload()
+        payload["kernel"] = kernel
+        with pytest.raises(ValueError, match=fragment):
             validate_bench_report(payload)
 
     def test_non_mapping_payload_rejected(self):

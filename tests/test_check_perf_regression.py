@@ -172,6 +172,40 @@ class TestDegenerateInputs:
         fresh = write(tmp_path, "fresh.json", ledger(walls))
         assert gate.main(["--baseline", str(baseline), "--fresh", str(fresh)]) == 0
 
+    def test_stacked_rows_are_gated(self, gate):
+        """The cross-replication stacked rows must stay in the gate list —
+        dropping one silently un-gates the kernel-backend throughput
+        trajectory."""
+        for row in ("random_stacked", "topology_stacked", "mobile_stacked"):
+            assert row in gate.GATED_ORACLES
+
+    def test_stacked_row_gates_absolute_only(self, gate, tmp_path):
+        """Stacked rows carry a single ``stacked`` engine and no reference
+        canary: a 4x slowdown passes (absolute 6x failsafe only), a 7x one
+        trips."""
+        base = json.loads(json.dumps(BASE_WALLS))
+        base["random_stacked"] = {"stacked": 0.001}
+        for factor, expected in ((4.0, 0), (7.0, 1)):
+            walls = json.loads(json.dumps(base))
+            walls["random_stacked"]["stacked"] = 0.001 * factor
+            baseline = write(tmp_path, "baseline.json", ledger(base))
+            fresh = write(tmp_path, "fresh.json", ledger(walls))
+            assert (
+                gate.main(["--baseline", str(baseline), "--fresh", str(fresh)])
+                == expected
+            ), f"{factor}x stacked slowdown"
+
+    def test_stacked_row_missing_from_one_ledger_errors(
+        self, gate, tmp_path, capsys
+    ):
+        base = json.loads(json.dumps(BASE_WALLS))
+        base["mobile_stacked"] = {"stacked": 0.002}
+        baseline = write(tmp_path, "baseline.json", ledger(base))
+        fresh = write(tmp_path, "fresh.json", ledger(BASE_WALLS))
+        assert gate.main(["--baseline", str(baseline), "--fresh", str(fresh)]) == 3
+        err = capsys.readouterr().err
+        assert "'mobile_stacked'" in err and "fresh" in err
+
     def test_canary_absent_disables_normalized_gate_only(self, gate, tmp_path):
         """Without a reference row the normalized gate cannot run; the
         absolute failsafe still does."""

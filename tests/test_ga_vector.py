@@ -31,6 +31,7 @@ from repro.ga.vector import (
     initial_population_matrix,
     mutate_matrix,
     next_generation_matrix,
+    next_generation_tensor,
     one_point_crossover_matrix,
     roulette_select_indices,
     select_indices,
@@ -238,3 +239,66 @@ class TestGenerationStep:
         assert len(out) == 6
         assert all(isinstance(row, tuple) and len(row) == 13 for row in out)
         assert all(set(row) <= {0, 1} for row in out)
+
+
+class TestGenerationTensor:
+    """The stacked (R, P, L) step replays each replication's matrix step.
+
+    Contract (load-bearing for stacked evaluation,
+    ``repro.experiments.replication.run_replications_stacked``): row ``r``
+    of ``next_generation_tensor`` is bit-identical to
+    ``next_generation_matrix(populations[r], fitness[r], cfg, rngs[r])``
+    with a fresh generator on the same stream — per-replication rng
+    streams never observe that the other replications exist.
+    """
+
+    @SETTINGS
+    @given(
+        seed=seeds,
+        n_rep=st.integers(1, 4),
+        elitism=st.integers(0, 3),
+    )
+    def test_rows_bit_identical_to_matrix_step(self, seed, n_rep, elitism):
+        cfg = GAConfig(population_size=6, elitism=elitism)
+        base = np.random.default_rng(seed + 17)
+        pops = base.integers(0, 2, size=(n_rep, 6, 13), dtype=np.int8)
+        fitness = base.random((n_rep, 6))
+        tensor_rngs = [np.random.default_rng((seed, r)) for r in range(n_rep)]
+        matrix_rngs = [np.random.default_rng((seed, r)) for r in range(n_rep)]
+        out = next_generation_tensor(pops, fitness, cfg, tensor_rngs)
+        assert out.shape == (n_rep, 6, 13)
+        for r in range(n_rep):
+            expected = next_generation_matrix(
+                pops[r], fitness[r], cfg, matrix_rngs[r]
+            )
+            np.testing.assert_array_equal(out[r], expected, err_msg=f"rep {r}")
+            # both implementations left stream r at the same point
+            assert tensor_rngs[r].integers(1 << 30) == matrix_rngs[r].integers(
+                1 << 30
+            )
+
+    def test_rng_count_mismatch_rejected(self):
+        cfg = GAConfig(population_size=4)
+        with pytest.raises(ValueError, match="rngs"):
+            next_generation_tensor(
+                np.zeros((2, 4, 13), dtype=np.int8),
+                np.ones((2, 4)),
+                cfg,
+                [np.random.default_rng(0)],
+            )
+
+    def test_shape_validation(self):
+        cfg = GAConfig(population_size=4)
+        rngs = [np.random.default_rng(0)]
+        with pytest.raises(ValueError, match="bit tensor"):
+            next_generation_tensor(
+                np.zeros((4, 13), dtype=np.int8), np.ones((1, 4)), cfg, rngs
+            )
+        with pytest.raises(ValueError, match="population size"):
+            next_generation_tensor(
+                np.zeros((1, 3, 13), dtype=np.int8), np.ones((1, 3)), cfg, rngs
+            )
+        with pytest.raises(ValueError, match="fitness"):
+            next_generation_tensor(
+                np.zeros((1, 4, 13), dtype=np.int8), np.ones((2, 4)), cfg, rngs
+            )

@@ -1,0 +1,213 @@
+"""Kernel backend contract (:mod:`repro.sim.kernels`).
+
+Three layers of pinning:
+
+* **Selection** — ``resolve_kernel`` policy (``auto`` prefers the compiled
+  backend, explicit ``numba`` fails fast with the install hint), config and
+  factory validation, the ``TimedKernel`` telemetry wrapper.
+* **Bit-identity of the numpy backend** — the kernel refactor moved the
+  engines' inline hot loops behind the op interface; the pinned digests
+  below were recorded on the pre-kernel scalar code, so any drift in the
+  reference backend is a test failure, not a re-pin.
+* **Cross-backend parity** — every test that exercises op semantics is
+  parametrized over the installed backends.  When numba is absent (the
+  default container; the ``.[kernels]`` extra is optional) its parameter
+  *skips visibly* rather than silently narrowing the suite; the compiled
+  backend itself is held to the statistical-equivalence tier
+  (``compare_samples``), not bit-identity — float reductions may associate
+  differently under fusion.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.replication import run_replication
+from repro.sim import make_engine
+from repro.sim.kernels import (
+    KERNEL_NAMES,
+    TimedKernel,
+    available_backends,
+    numba_available,
+    resolve_kernel,
+)
+from repro.sim.kernels.numpy_backend import NumpyKernel
+
+needs_numba = pytest.mark.skipif(
+    not numba_available(),
+    reason="numba not installed (optional .[kernels] extra) — compiled"
+    " backend untested on this machine",
+)
+
+#: Both backends when installed; the numba parameter skips *visibly*.
+BACKENDS = [
+    "numpy",
+    pytest.param("numba", marks=needs_numba),
+]
+
+
+def replication_digest(config: ExperimentConfig, replication: int = 0) -> str:
+    result = run_replication(config, replication)
+    blob = json.dumps(result.to_dict(), sort_keys=True, default=float)
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+class TestSelection:
+    def test_kernel_names(self):
+        assert KERNEL_NAMES == ("auto", "numpy", "numba")
+
+    def test_available_backends(self):
+        avail = available_backends()
+        assert avail["numpy"] is True
+        assert set(avail) == {"numpy", "numba"}
+
+    def test_numpy_always_resolves(self):
+        kernel = resolve_kernel("numpy")
+        assert kernel.name == "numpy"
+        assert kernel.compiled is False
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            resolve_kernel("fortran")
+
+    def test_auto_prefers_compiled_when_available(self):
+        kernel = resolve_kernel("auto")
+        if numba_available():
+            assert kernel.name == "numba"
+            assert kernel.compiled is True
+        else:
+            assert kernel.name == "numpy"
+
+    @pytest.mark.skipif(
+        numba_available(), reason="numba installed; the fail-fast path is moot"
+    )
+    def test_explicit_numba_fails_fast_with_install_hint(self):
+        with pytest.raises(RuntimeError, match=r"\.\[kernels\]"):
+            resolve_kernel("numba")
+
+    def test_config_validates_kernel_name(self):
+        with pytest.raises(ValueError, match="kernel must be one of"):
+            ExperimentConfig.for_case("case1", scale="smoke", kernel="fortran")
+
+    def test_config_rejects_numba_on_non_kernel_engine(self):
+        with pytest.raises(ValueError, match="does not support kernel"):
+            ExperimentConfig.for_case(
+                "case1", scale="smoke", engine="batch", kernel="numba"
+            )
+
+    def test_factory_rejects_numba_on_non_kernel_engine(self):
+        with pytest.raises(ValueError, match="does not support kernel"):
+            make_engine("batch", 10, 2, kernel="numba")
+
+    def test_factory_threads_kernel_to_capable_engines(self):
+        for name in ("turbo", "fused"):
+            engine = make_engine(name, 10, 2, kernel="numpy")
+            assert engine.supports_kernel_backends
+            assert engine.kernel_name == "numpy"
+            assert engine._kernel.name == "numpy"
+
+    def test_non_kernel_engines_tolerate_the_defaults(self):
+        # "auto"/"numpy" mean "the reference semantics", which fixed
+        # engines natively implement — only an explicit numba is an error
+        for kernel in ("auto", "numpy"):
+            engine = make_engine("batch", 10, 2, kernel=kernel)
+            assert not getattr(engine, "supports_kernel_backends", False)
+
+
+class TestTimedKernel:
+    def test_wraps_and_times_ops(self):
+        from repro.telemetry.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        timed = TimedKernel(NumpyKernel(), registry)
+        assert timed.name == "numpy"
+        assert timed.compiled is False
+        buf = np.full(7, 99, dtype=np.int64)
+        # contract: pos ascending (game order), so the first writer wins
+        codes = np.array([2, 2, 5], dtype=np.int64)
+        pos = np.array([0, 1, 2], dtype=np.int64)
+        timed.first_writer(buf, 99, codes, pos)
+        expected = np.full(7, 99, dtype=np.int64)
+        np.minimum.at(expected, codes, pos)
+        np.testing.assert_array_equal(buf, expected)
+        snapshot = registry.snapshot()
+        assert snapshot["timers"]["kernel.walk_s"]["count"] == 1
+
+
+class TestFirstWriterParity:
+    """The conflict walk is the one op with a non-obvious vectorization
+    (reversed scatter-assign standing in for ``minimum.at`` on ascending
+    positions) — pin it directly against the obvious semantics on both
+    backends."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("seed", [0, 7, 991])
+    def test_matches_minimum_at(self, backend, seed):
+        kernel = resolve_kernel(backend)
+        rng = np.random.default_rng(seed)
+        n_codes, n_events = 50, 200
+        codes = rng.integers(0, n_codes, size=n_events).astype(np.int64)
+        pos = np.sort(rng.integers(0, 10_000, size=n_events)).astype(np.int64)
+        buf = np.empty(n_codes, dtype=np.int64)
+        kernel.first_writer(buf, 1 << 60, codes, pos)
+        expected = np.full(n_codes, 1 << 60, dtype=np.int64)
+        np.minimum.at(expected, codes, pos)
+        np.testing.assert_array_equal(buf, expected)
+
+
+class TestNumpyBitIdentity:
+    """The numpy backend IS the pre-kernel engine code: digests recorded on
+    the inline implementation before the refactor must keep verifying."""
+
+    PINNED = [
+        ("turbo", "case1", 1234, "68970e5a3bb396ae"),
+        ("turbo", "case3", 1234, "fdd6e5abf8a9a80d"),
+        ("turbo", "exchange_core", 1234, "670a6c26e4788d12"),
+        ("turbo", "mobile_gauss", 7, "98d652ad93e77a57"),
+        ("fused", "case1", 1234, "5d931f9d1726a965"),
+        ("fused", "case3", 1234, "d3e38025ad52b233"),
+        ("fused", "exchange_core", 1234, "2e6ad40dcbdf84a6"),
+        ("fused", "mobile_gauss", 7, "c4af90387c207d1f"),
+    ]
+
+    @pytest.mark.parametrize("engine,case,seed,expected", PINNED)
+    def test_pinned_digests(self, engine, case, seed, expected):
+        config = ExperimentConfig.for_case(
+            case, scale="smoke", engine=engine, seed=seed, kernel="numpy"
+        )
+        assert replication_digest(config) == expected
+
+    def test_auto_is_numpy_when_numba_absent(self):
+        if numba_available():
+            pytest.skip("numba installed; auto resolves to the compiled backend")
+        config = ExperimentConfig.for_case(
+            "case1", scale="smoke", engine="fused", seed=1234
+        )
+        assert config.kernel == "auto"
+        assert replication_digest(config) == "5d931f9d1726a965"
+
+
+@needs_numba
+class TestNumbaStatisticalEquivalence:
+    """Gate the compiled backend on the same distributional tier that
+    admits turbo/fused: KS + Mann-Whitney on cooperation and fitness
+    samples, numpy-kernel vs numba-kernel ensembles."""
+
+    def test_distributions_match(self):
+        from repro.analysis.equivalence import (
+            collect_engine_samples,
+            compare_samples,
+        )
+
+        config = ExperimentConfig.for_case(
+            "case3", scale="smoke", seed=424243, engine="fused"
+        )
+        reference = collect_engine_samples(config.with_(kernel="numpy"), 20)
+        compiled = collect_engine_samples(config.with_(kernel="numba"), 20)
+        report = compare_samples(reference[0], compiled[0], alpha=0.01)
+        assert report.equivalent, report
